@@ -1,0 +1,272 @@
+// Benchmarks: one per experiment E1–E15 (the paper's reproducible
+// artifacts; see DESIGN.md's index and EXPERIMENTS.md for recorded
+// outputs), plus micro-benchmarks for the substrate — state-space
+// enumeration, the relation checkers, and simulator throughput — and
+// ablations for the design choices DESIGN.md calls out (priority vs plain
+// wrapper composition).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// benchExperiment runs one experiment per iteration and fails the
+// benchmark if the experiment deviates from its expectations.
+func benchExperiment(b *testing.B, fn func() *experiments.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep := fn()
+		if !rep.Pass() {
+			b.Fatalf("%s deviated:\n%s", rep.ID, rep)
+		}
+	}
+}
+
+func BenchmarkE1Fig1Counterexample(b *testing.B) { benchExperiment(b, experiments.E1Fig1) }
+func BenchmarkE2CompilerTolerance(b *testing.B)  { benchExperiment(b, experiments.E2Compiler) }
+func BenchmarkE3BiddingServer(b *testing.B)      { benchExperiment(b, experiments.E3Bidding) }
+func BenchmarkE4Theorem6(b *testing.B)           { benchExperiment(b, experiments.E4Theorem6) }
+func BenchmarkE5Lemma7(b *testing.B)             { benchExperiment(b, experiments.E5Lemma7) }
+func BenchmarkE6Dijkstra4(b *testing.B)          { benchExperiment(b, experiments.E6Dijkstra4) }
+func BenchmarkE7Lemma9(b *testing.B)             { benchExperiment(b, experiments.E7Lemma9) }
+func BenchmarkE8Dijkstra3(b *testing.B)          { benchExperiment(b, experiments.E8Dijkstra3) }
+func BenchmarkE9NewThreeState(b *testing.B)      { benchExperiment(b, experiments.E9NewThreeState) }
+func BenchmarkE10KState(b *testing.B)            { benchExperiment(b, experiments.E10KState) }
+func BenchmarkE11Convergence(b *testing.B)       { benchExperiment(b, experiments.E11Convergence) }
+func BenchmarkE12WrapperInterference(b *testing.B) {
+	benchExperiment(b, experiments.E12WrapperInterference)
+}
+func BenchmarkE13RefinementHierarchy(b *testing.B) {
+	benchExperiment(b, experiments.E13RefinementHierarchy)
+}
+func BenchmarkE14SynchronousDaemon(b *testing.B) {
+	benchExperiment(b, experiments.E14SynchronousDaemon)
+}
+func BenchmarkE15FairDaemon(b *testing.B) { benchExperiment(b, experiments.E15FairDaemon) }
+
+// BenchmarkFairStabilizationCheck measures the weak-fairness decision
+// procedure on the Lemma 9 composition.
+func BenchmarkFairStabilizationCheck(b *testing.B) {
+	for _, n := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("Lemma9/N=%d", n), func(b *testing.B) {
+			btr := ring.NewBTR(n)
+			three := ring.NewThreeState(n)
+			alpha, err := three.Abstraction(btr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lab := three.Lemma9Labeled()
+			spec := btr.System()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := core.FairStabilizing(lab, spec, alpha); !rep.Holds {
+					b.Fatal(rep.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerate measures guarded-command enumeration into automata.
+func BenchmarkEnumerate(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("Dijkstra3/N=%d", n), func(b *testing.B) {
+			t := ring.NewThreeState(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = t.Dijkstra3()
+			}
+		})
+	}
+	for _, n := range []int{3, 5} {
+		b.Run(fmt.Sprintf("BTR/N=%d", n), func(b *testing.B) {
+			r := ring.NewBTR(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = r.System()
+			}
+		})
+	}
+}
+
+// BenchmarkStabilizationCheck measures the Section 2 decision procedure.
+func BenchmarkStabilizationCheck(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("Dijkstra3-self/N=%d", n), func(b *testing.B) {
+			d3 := ring.NewThreeState(n).Dijkstra3()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := core.SelfStabilizing(d3); !rep.Holds {
+					b.Fatal(rep.Verdict)
+				}
+			}
+		})
+	}
+	for _, n := range []int{3, 4} {
+		b.Run(fmt.Sprintf("Dijkstra3-to-BTR/N=%d", n), func(b *testing.B) {
+			btr := ring.NewBTR(n)
+			three := ring.NewThreeState(n)
+			alpha, err := three.Abstraction(btr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d3 := three.Dijkstra3()
+			spec := btr.System()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := core.Stabilizing(d3, spec, alpha); !rep.Holds {
+					b.Fatal(rep.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvergenceRefinementCheck measures [C1 ⪯ BTR].
+func BenchmarkConvergenceRefinementCheck(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("C1-BTR/N=%d", n), func(b *testing.B) {
+			btr := ring.NewBTR(n)
+			four := ring.NewFourState(n)
+			alpha, err := four.Abstraction(btr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c1 := four.C1()
+			spec := btr.System()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := core.ConvergenceRefinement(c1, spec, alpha); !rep.Holds {
+					b.Fatal(rep.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw move execution after
+// convergence (token circulation).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, p := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("Dijkstra3/P=%d", p), func(b *testing.B) {
+			proto := sim.NewDijkstra3(p)
+			legit, err := sim.LegitimateConfig(proto)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := &sim.Runner{Proto: proto, Daemon: sim.NewRoundRobinDaemon(p),
+				MaxSteps: b.N, RunAfterConvergence: true}
+			b.ResetTimer()
+			if _, err := r.Run(legit); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSimConvergence measures recovery runs end to end.
+func BenchmarkSimConvergence(b *testing.B) {
+	for _, p := range []int{8, 16} {
+		b.Run(fmt.Sprintf("Dijkstra3/P=%d", p), func(b *testing.B) {
+			proto := sim.NewDijkstra3(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := sim.MeasureConvergence(proto,
+					func(run int) sim.Daemon { return sim.NewRandomDaemon(int64(run)) },
+					10, p, 100000, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Converged != stats.Runs {
+					b.Fatal("non-convergence")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLiveRing measures the goroutine-per-process ring.
+func BenchmarkLiveRing(b *testing.B) {
+	proto := sim.NewDijkstra3(8)
+	legit, err := sim.LegitimateConfig(proto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := append(sim.Config(nil), legit...)
+	start[3] = (start[3] + 1) % 3
+	start[5] = (start[5] + 2) % 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := &sim.LiveRing{Proto: proto, MaxSteps: 100000}
+		res, err := lr.Run(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("live ring did not converge")
+		}
+	}
+}
+
+// BenchmarkAblationBoxComposition compares the plain union against the
+// priority composition used by Theorem 6 — the design decision DESIGN.md
+// calls out (PriorityBox is what makes the abstract wrappers sound).
+func BenchmarkAblationBoxComposition(b *testing.B) {
+	r := ring.NewBTR(4)
+	btr := r.System()
+	w1, w2 := r.W1(), r.W2()
+	b.Run("PlainBox", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = system.BoxAll(btr, w1, w2)
+		}
+	})
+	b.Run("PriorityBox", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = system.PriorityBox(system.Box(btr, w1), w2)
+		}
+	})
+}
+
+// BenchmarkReachability measures the model checker's core sweep.
+func BenchmarkReachability(b *testing.B) {
+	for _, n := range []int{5, 7, 9} {
+		b.Run(fmt.Sprintf("Dijkstra3/N=%d", n), func(b *testing.B) {
+			d3 := ring.NewThreeState(n).Dijkstra3()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = mc.ReachFromInit(d3)
+			}
+		})
+	}
+}
+
+// BenchmarkGCLCompile measures the guarded-command pipeline end to end.
+func BenchmarkGCLCompile(b *testing.B) {
+	const src = `
+var c0 : 0..2;
+var c1 : 0..2;
+var c2 : 0..2;
+var c3 : 0..2;
+init c0 == 0 && c1 == 0 && c2 == 0 && c3 == 1;
+action bottom: c1 == (c0 + 1) % 3 -> c0 := (c1 + 1) % 3;
+action up1: c0 == (c1 + 1) % 3 -> c1 := c0;
+action dn1: c2 == (c1 + 1) % 3 -> c1 := c2;
+action up2: c1 == (c2 + 1) % 3 -> c2 := c1;
+action dn2: c3 == (c2 + 1) % 3 -> c2 := c3;
+action top: c2 == c0 && (c2 + 1) % 3 != c3 -> c3 := (c2 + 1) % 3;
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.CompileGCL("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

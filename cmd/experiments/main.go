@@ -1,0 +1,78 @@
+// Command experiments regenerates every result of the paper (experiments
+// E1–E15; see DESIGN.md for the index) and prints one report per
+// experiment. It exits non-zero if any mechanized outcome deviates from
+// its recorded expectation.
+//
+// Usage:
+//
+//	experiments [-only E4] [-list] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	only := fs.String("only", "", "run a single experiment by ID (e.g. E4)")
+	list := fs.Bool("list", false, "list experiment IDs and titles without running")
+	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	failed := 0
+	matched := false
+	var collected []*experiments.Report
+	for _, fn := range experiments.All() {
+		if *list {
+			// Reports are cheap to *construct* only by running; for the
+			// listing we run and print the header line only.
+			rep := fn()
+			fmt.Fprintf(out, "%s  %s\n", rep.ID, rep.Title)
+			matched = true
+			continue
+		}
+		rep := fn()
+		if *only != "" && rep.ID != *only {
+			continue
+		}
+		matched = true
+		if *asJSON {
+			collected = append(collected, rep)
+		} else {
+			fmt.Fprintln(out, rep)
+		}
+		if !rep.Pass() {
+			failed++
+		}
+	}
+	if *asJSON && !*list {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) deviated from expectations", failed)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "PASS") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if strings.Contains(out, "E4") {
+		t.Fatal("-only leaked other experiments")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E99"}, &b); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E13"} {
+		if !strings.Contains(b.String(), id) {
+			t.Fatalf("listing missing %s:\n%s", id, b.String())
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E1", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"ID": "E1"`, `"Rows"`, `"Pass": true`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

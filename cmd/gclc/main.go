@@ -1,0 +1,135 @@
+// Command gclc is the guarded-command language tool: it parses, checks,
+// formats, enumerates, and model-checks GCL programs written in the
+// paper's notation.
+//
+// Usage:
+//
+//	gclc print prog.gcl          reformat the program
+//	gclc info prog.gcl           state-space and automaton summary
+//	gclc selfstab prog.gcl       check "prog is stabilizing to prog"
+//	gclc dot prog.gcl            emit Graphviz (small programs only)
+//	gclc refine C.gcl A.gcl      check [C ⊑ A]_init, [C ⊑ A], [C ⪯ A],
+//	                             C stabilizing to A (shared state space)
+//	gclc optimize prog.gcl       simplify the program and certify the
+//	                             rewrite stabilization preserving
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gcl"
+	"repro/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gclc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: gclc <print|info|selfstab|dot|refine> <file.gcl> [file2.gcl]")
+	}
+	cmd, path := args[0], args[1]
+
+	compile := func(p string) (*gcl.Compiled, error) {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		return gcl.Compile(p, string(src))
+	}
+
+	switch cmd {
+	case "print":
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		prog, err := gcl.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, prog)
+		return nil
+
+	case "info":
+		c, err := compile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, c.System)
+		fmt.Fprintf(out, "variables: %d, actions: %d\n", len(c.Program.Vars), len(c.Program.Actions))
+		return nil
+
+	case "selfstab":
+		c, err := compile(path)
+		if err != nil {
+			return err
+		}
+		rep := core.SelfStabilizing(c.System)
+		fmt.Fprintln(out, rep.Verdict)
+		if !rep.Holds && len(rep.Witness) > 0 {
+			fmt.Fprintln(out, "counterexample:", rep.FormatWitness(c.System))
+		}
+		return nil
+
+	case "dot":
+		c, err := compile(path)
+		if err != nil {
+			return err
+		}
+		if c.System.NumStates() > 512 {
+			return fmt.Errorf("%d states is too large to draw usefully", c.System.NumStates())
+		}
+		return system.WriteDOT(out, c.System, nil)
+
+	case "refine":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: gclc refine C.gcl A.gcl")
+		}
+		cc, err := compile(path)
+		if err != nil {
+			return err
+		}
+		ca, err := compile(args[2])
+		if err != nil {
+			return err
+		}
+		if !cc.Space.SameShape(ca.Space) {
+			return fmt.Errorf("programs declare different state spaces; refine requires a shared space")
+		}
+		fmt.Fprintln(out, core.RefinementInit(cc.System, ca.System, nil))
+		fmt.Fprintln(out, core.EverywhereRefinement(cc.System, ca.System, nil))
+		fmt.Fprintln(out, core.ConvergenceRefinement(cc.System, ca.System, nil).Verdict)
+		fmt.Fprintln(out, core.Stabilizing(cc.System, ca.System, nil).Verdict)
+		return nil
+
+	case "optimize":
+		c, err := compile(path)
+		if err != nil {
+			return err
+		}
+		opt, cert, notes, err := gcl.OptimizeAndCertify(c)
+		if err != nil {
+			return err
+		}
+		for _, n := range notes {
+			fmt.Fprintln(out, "//", n)
+		}
+		fmt.Fprint(out, opt.Program)
+		fmt.Fprintln(out, "//", cert)
+		if !cert.Preserved() {
+			return fmt.Errorf("optimization not certified; do not adopt")
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}

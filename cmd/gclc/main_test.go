@@ -1,0 +1,175 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const counterSrc = `
+var x : 0..2;
+init x == 0;
+action tick: true -> x := (x + 1) % 3;
+`
+
+func TestRunPrint(t *testing.T) {
+	path := writeTemp(t, "c.gcl", counterSrc)
+	var b strings.Builder
+	if err := run([]string{"print", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "var x : 0..2;") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunInfo(t *testing.T) {
+	path := writeTemp(t, "c.gcl", counterSrc)
+	var b strings.Builder
+	if err := run([]string{"info", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "|Σ|=3") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunSelfStab(t *testing.T) {
+	path := writeTemp(t, "c.gcl", counterSrc)
+	var b strings.Builder
+	if err := run([]string{"selfstab", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "✓") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+
+	broken := writeTemp(t, "b.gcl", `
+var x : 0..1;
+init x == 0;
+action spin: x == 0 -> x := 0;
+action trap: x == 1 -> x := 1;
+`)
+	b.Reset()
+	if err := run([]string{"selfstab", broken}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "✗") || !strings.Contains(b.String(), "counterexample") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	path := writeTemp(t, "c.gcl", counterSrc)
+	var b strings.Builder
+	if err := run([]string{"dot", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunDotTooLarge(t *testing.T) {
+	big := writeTemp(t, "big.gcl", `
+var a : 0..9;
+var b : 0..9;
+var c : 0..9;
+action t: true -> a := a;
+`)
+	var sb strings.Builder
+	if err := run([]string{"dot", big}, &sb); err == nil {
+		t.Fatal("oversized dot accepted")
+	}
+}
+
+func TestRunRefine(t *testing.T) {
+	aPath := writeTemp(t, "a.gcl", `
+var x : 0..3;
+init x == 0;
+action down: x > 0 -> x := x - 1;
+action cycle: x == 0 -> x := 0;
+`)
+	cPath := writeTemp(t, "c.gcl", `
+var x : 0..3;
+init x == 0;
+action jump: x > 1 -> x := x - 2;
+action down: x == 1 -> x := 0;
+action cycle: x == 0 -> x := 0;
+`)
+	var b strings.Builder
+	if err := run([]string{"refine", cPath, aPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The jump x := x−2 compresses A's two decrements: convergence
+	// refinement holds, everywhere refinement does not.
+	if !strings.Contains(out, "⪯") || !strings.Contains(out, "⊑") {
+		t.Fatalf("output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 verdicts, got:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "✓") { // convergence refinement
+		t.Fatalf("convergence verdict: %s", lines[2])
+	}
+	if !strings.HasPrefix(lines[1], "✗") { // everywhere refinement
+		t.Fatalf("everywhere verdict: %s", lines[1])
+	}
+}
+
+func TestRunRefineSpaceMismatch(t *testing.T) {
+	aPath := writeTemp(t, "a.gcl", "var x : 0..1;\naction t: true -> x := x;")
+	cPath := writeTemp(t, "c.gcl", "var y : 0..2;\naction t: true -> y := y;")
+	var b strings.Builder
+	if err := run([]string{"refine", cPath, aPath}, &b); err == nil {
+		t.Fatal("mismatched spaces accepted")
+	}
+}
+
+func TestRunOptimize(t *testing.T) {
+	path := writeTemp(t, "o.gcl", `
+var x : 0..3;
+init x == 0;
+action loop: x == x -> x := x * 1;
+action step: x + 0 < 3 -> x := x + 1;
+`)
+	var b strings.Builder
+	if err := run([]string{"optimize", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "certified") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if strings.Contains(out, "x * 1") || strings.Contains(out, "x + 0") {
+		t.Fatalf("not simplified:\n%s", out)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"print"}, &b); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"nope", "x"}, &b); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"refine", "only-one.gcl"}, &b); err == nil {
+		t.Fatal("refine with one file accepted")
+	}
+	if err := run([]string{"info", "/does/not/exist.gcl"}, &b); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Command refcheck runs the paper's relation battery for one token-ring
+// family and ring size: refinements, convergence refinements, and
+// stabilization, each with a ✓/✗ verdict. With -witness, failing verdicts
+// additionally print their counterexample computation in the concrete
+// system's own state vocabulary.
+//
+// Usage:
+//
+//	refcheck -family btr4 -n 3
+//	refcheck -family btr3 -n 4 -fair -witness
+//	refcheck -family kstate -n 3 -k 4
+//	refcheck -family btr -n 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "refcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("refcheck", flag.ContinueOnError)
+	fs.SetOutput(out)
+	family := fs.String("family", "btr3", "btr | btr3 | btr4 | kstate")
+	n := fs.Int("n", 3, "top process index N (N+1 processes, N ≥ 2)")
+	k := fs.Int("k", 0, "K for the kstate family (default N+1)")
+	fair := fs.Bool("fair", false, "btr3 only: also check Lemma 9 under weak fairness")
+	witness := fs.Bool("witness", false, "print counterexample computations for failing verdicts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k == 0 {
+		*k = *n + 1
+	}
+
+	// show prints a verdict; with -witness, failing verdicts also print
+	// the counterexample formatted over the concrete system's state space.
+	show := func(v core.Verdict, concrete *system.System) {
+		fmt.Fprintln(out, v)
+		if *witness && !v.Holds && len(v.Witness) > 0 {
+			fmt.Fprintln(out, "  witness:", v.FormatWitness(concrete))
+		}
+	}
+
+	switch *family {
+	case "btr":
+		b := ring.NewBTR(*n)
+		btr := b.System()
+		show(core.SelfStabilizing(btr).Verdict, btr)
+		wrapped := b.Wrapped()
+		show(core.Stabilizing(wrapped, btr, nil).Verdict, wrapped)
+		plain := b.WrappedPlain()
+		show(core.Stabilizing(plain, btr, nil).Verdict, plain)
+		return nil
+
+	case "btr4":
+		b := ring.NewBTR(*n)
+		f := ring.NewFourState(*n)
+		ab, err := f.Abstraction(b)
+		if err != nil {
+			return err
+		}
+		btr := b.System()
+		btr4, c1, d4 := f.BTR4(), f.C1(), f.Dijkstra4()
+		show(core.ConvergenceRefinement(btr4, btr, ab).Verdict, btr4)
+		show(core.ConvergenceRefinement(c1, btr, ab).Verdict, c1)
+		show(core.Stabilizing(c1, btr, ab).Verdict, c1)
+		show(core.Stabilizing(d4, btr, ab).Verdict, d4)
+		show(core.ConvergenceRefinement(d4, btr, ab).Verdict, d4)
+		show(core.SelfStabilizing(d4).Verdict, d4)
+		return nil
+
+	case "btr3":
+		b := ring.NewBTR(*n)
+		f := ring.NewThreeState(*n)
+		ab, err := f.Abstraction(b)
+		if err != nil {
+			return err
+		}
+		btr := b.System()
+		lemma9 := f.Lemma9System()
+		c2comp := f.ComposedC2()
+		d3 := f.Dijkstra3()
+		c3 := f.C3().StripSelfLoops()
+		nt := f.NewThree()
+		show(core.Stabilizing(lemma9, btr, ab).Verdict, lemma9)
+		show(core.ConvergenceRefinement(c2comp, lemma9, nil).Verdict, c2comp)
+		show(core.Stabilizing(c2comp, btr, ab).Verdict, c2comp)
+		show(core.Stabilizing(d3, btr, ab).Verdict, d3)
+		show(core.ConvergenceRefinement(c3, btr, ab).Verdict, c3)
+		show(core.Stabilizing(nt, btr, ab).Verdict, nt)
+		fmt.Fprintf(out, "  aggressive variant = Dijkstra3: %v\n",
+			system.TransitionsEqual(f.AggressiveThree(), d3))
+		if *fair {
+			lab := f.Lemma9Labeled()
+			show(core.FairStabilizing(lab, btr, ab).Verdict, lab.Base())
+		}
+		return nil
+
+	case "kstate":
+		u := ring.NewUTR(*n)
+		ks := ring.NewKState(*n, *k)
+		ab, err := ks.Abstraction(u)
+		if err != nil {
+			return err
+		}
+		utr := u.System()
+		wrapped := u.Wrapped()
+		ksys := ks.System()
+		show(core.Stabilizing(wrapped, utr, nil).Verdict, wrapped)
+		show(core.SelfStabilizing(ksys).Verdict, ksys)
+		show(core.Stabilizing(ksys, utr, ab).Verdict, ksys)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFamilies(t *testing.T) {
+	for _, family := range []string{"btr", "btr3", "btr4", "kstate"} {
+		var b strings.Builder
+		if err := run([]string{"-family", family, "-n", "2"}, &b); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if !strings.Contains(b.String(), "✓") {
+			t.Fatalf("%s output has no passing verdicts:\n%s", family, b.String())
+		}
+	}
+}
+
+func TestRunBTR3ShowsFindings(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "btr3", "-n", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Lemma 10 and Lemma 12 failures are expected findings at N=3.
+	if !strings.Contains(out, "✗") {
+		t.Fatalf("expected recorded findings in output:\n%s", out)
+	}
+	if !strings.Contains(out, "aggressive variant = Dijkstra3: true") {
+		t.Fatalf("missing equality line:\n%s", out)
+	}
+}
+
+func TestRunWitnessFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "btr3", "-n", "3", "-witness"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "witness: c0=") {
+		t.Fatalf("witness lines missing:\n%s", b.String())
+	}
+}
+
+func TestRunFairFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "btr3", "-n", "4", "-fair"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "weak fairness") {
+		t.Fatalf("fair verdict missing:\n%s", b.String())
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "nope"}, &b); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

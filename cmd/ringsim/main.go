@@ -1,0 +1,139 @@
+// Command ringsim simulates a derived token-ring protocol under a chosen
+// daemon, with transient-fault injection, and reports convergence.
+//
+// Usage:
+//
+//	ringsim -protocol dijkstra3 -p 8 -faults 4 -runs 50
+//	ringsim -protocol kstate -p 6 -k 6 -daemon roundrobin -trace
+//	ringsim -protocol dijkstra4 -p 7 -live
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	protoName := fs.String("protocol", "dijkstra3", "dijkstra3 | dijkstra4 | kstate | newthree")
+	p := fs.Int("p", 8, "number of processes (≥ 3)")
+	k := fs.Int("k", 0, "K for kstate (default: number of processes)")
+	daemonName := fs.String("daemon", "random", "random | roundrobin | greedy")
+	seed := fs.Int64("seed", 1, "random seed")
+	faults := fs.Int("faults", 3, "registers corrupted at start of each run")
+	steps := fs.Int("steps", 100000, "step budget per run")
+	runs := fs.Int("runs", 1, "number of runs to aggregate")
+	traceRun := fs.Bool("trace", false, "print each configuration of a single run")
+	live := fs.Bool("live", false, "run with one goroutine per process (Go scheduler as daemon)")
+	service := fs.Bool("service", false, "measure the ring as a mutual-exclusion service")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *k == 0 {
+		*k = *p
+	}
+	var proto sim.Protocol
+	switch *protoName {
+	case "dijkstra3":
+		proto = sim.NewDijkstra3(*p)
+	case "dijkstra4":
+		proto = sim.NewDijkstra4(*p)
+	case "kstate":
+		proto = sim.NewKState(*p, *k)
+	case "newthree":
+		proto = sim.NewNewThree(*p)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protoName)
+	}
+
+	mkDaemon := func(run int) sim.Daemon {
+		switch *daemonName {
+		case "random":
+			return sim.NewRandomDaemon(*seed + int64(run))
+		case "roundrobin":
+			return sim.NewRoundRobinDaemon(proto.Procs())
+		case "greedy":
+			return sim.NewGreedyDaemon(proto)
+		default:
+			return nil
+		}
+	}
+	if mkDaemon(0) == nil {
+		return fmt.Errorf("unknown daemon %q", *daemonName)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	legit, err := sim.LegitimateConfig(proto)
+	if err != nil {
+		return err
+	}
+
+	if *service {
+		start := sim.Corrupt(proto, legit, *faults, rng)
+		stats, err := sim.MeasureService(proto, mkDaemon(0), start, *steps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s as a mutual-exclusion service (%d moves, %d initial faults)\n",
+			proto.Name(), stats.Steps, *faults)
+		fmt.Fprintf(out, "unsafe window: %d steps (%d violations); entries per process: %v (min %d, max %d)\n",
+			stats.StepsToSafety, stats.ViolationSteps, stats.Entries, stats.MinEntries(), stats.MaxEntries())
+		return nil
+	}
+
+	if *live {
+		start := sim.Corrupt(proto, legit, *faults, rng)
+		fmt.Fprintf(out, "%s live run from %v (%d corrupted registers)\n", proto.Name(), start, *faults)
+		lr := &sim.LiveRing{Proto: proto, MaxSteps: *steps}
+		res, err := lr.Run(start)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "converged=%v steps=%d final=%v\n", res.Converged, res.Steps, res.Final)
+		return nil
+	}
+
+	if *traceRun {
+		start := sim.Corrupt(proto, legit, *faults, rng)
+		fmt.Fprintf(out, "%s under %s daemon from %v\n", proto.Name(), *daemonName, start)
+		cur := start.Clone()
+		d := mkDaemon(0)
+		for step := 0; step < *steps; step++ {
+			fmt.Fprintf(out, "%4d  %v  tokens=%d\n", step, cur, sim.TokenCount(proto, cur))
+			if proto.Legitimate(cur) {
+				fmt.Fprintf(out, "legitimate after %d steps\n", step)
+				return nil
+			}
+			moves := sim.EnabledMoves(proto, cur)
+			if len(moves) == 0 {
+				return fmt.Errorf("deadlock at %v", cur)
+			}
+			m := d.Choose(moves)
+			cur[m.Proc] = m.NewVal
+		}
+		return fmt.Errorf("no convergence within %d steps", *steps)
+	}
+
+	stats, err := sim.MeasureConvergence(proto, mkDaemon, *runs, *faults, *steps, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s daemon=%s runs=%d faults=%d\n", proto.Name(), *daemonName, *runs, *faults)
+	fmt.Fprintf(out, "converged %d/%d  mean steps %.1f  max steps %d\n",
+		stats.Converged, stats.Runs, stats.MeanSteps, stats.MaxSteps)
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAggregate(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-protocol", "dijkstra3", "-p", "6", "-runs", "5", "-faults", "3", "-steps", "10000"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "converged 5/5") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunAllProtocolsAndDaemons(t *testing.T) {
+	for _, proto := range []string{"dijkstra3", "dijkstra4", "kstate", "newthree"} {
+		for _, daemon := range []string{"random", "roundrobin", "greedy"} {
+			var b strings.Builder
+			err := run([]string{"-protocol", proto, "-daemon", daemon,
+				"-p", "5", "-runs", "2", "-steps", "20000"}, &b)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", proto, daemon, err)
+			}
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-protocol", "kstate", "-p", "5", "-k", "5", "-trace", "-faults", "2", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "legitimate after") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunLive(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-protocol", "dijkstra4", "-p", "5", "-live", "-faults", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "converged=true") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunService(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-protocol", "dijkstra3", "-p", "6", "-service",
+		"-faults", "3", "-steps", "2000", "-seed", "9"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "mutual-exclusion service") || !strings.Contains(out, "unsafe window") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-protocol", "nope"}, &b); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-daemon", "nope"}, &b); err == nil {
+		t.Fatal("unknown daemon accepted")
+	}
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package bidding reproduces the second Section 1 example: a bidding
+// server that stores the highest k bids. The abstract specification is
+// tolerant to the corruption of a single stored bid — it still delivers
+// (k−1) of the best k — but its sorted-list refinement is not: corrupting
+// the list head to the maximum value blocks every later bid. A repaired
+// refinement that re-scans for the true minimum restores the tolerance.
+// The package provides the three servers, a fault-injecting stream
+// harness, and the (k−1)-of-best-k metric.
+package bidding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxValue plays the role of MAX_INTEGER in the paper's scenario: the
+// corruption value that wedges the sorted-list implementation.
+const MaxValue = int(^uint(0) >> 1)
+
+// Server is the bidding-server interface of Section 1: Bid offers a value;
+// Stored returns the currently stored bids; CorruptSlot models a transient
+// fault hitting one stored cell.
+type Server interface {
+	// Name identifies the implementation in reports.
+	Name() string
+	// K returns the number of stored bids.
+	K() int
+	// Bid offers v: the server replaces its minimum stored bid with v iff
+	// v is greater than that minimum.
+	Bid(v int)
+	// Stored returns a copy of the stored bids (unspecified order).
+	Stored() []int
+	// CorruptSlot overwrites stored cell i with v (the fault action).
+	CorruptSlot(i, v int)
+}
+
+// Spec is the abstract specification server: a plain multiset of k bids
+// with the replace-minimum rule applied literally. It recomputes the
+// minimum on every call, so its behavior depends only on the multiset —
+// corruption perturbs one value and nothing else.
+type Spec struct {
+	bids []int
+}
+
+// NewSpec builds the specification server with k zero-valued slots.
+func NewSpec(k int) *Spec {
+	if k <= 0 {
+		panic(fmt.Sprintf("bidding: k must be positive, got %d", k))
+	}
+	return &Spec{bids: make([]int, k)}
+}
+
+// Name implements Server.
+func (s *Spec) Name() string { return "spec" }
+
+// K implements Server.
+func (s *Spec) K() int { return len(s.bids) }
+
+// Bid implements Server.
+func (s *Spec) Bid(v int) {
+	mi := 0
+	for i, b := range s.bids {
+		if b < s.bids[mi] {
+			mi = i
+		}
+	}
+	if v > s.bids[mi] {
+		s.bids[mi] = v
+	}
+}
+
+// Stored implements Server.
+func (s *Spec) Stored() []int { return append([]int(nil), s.bids...) }
+
+// CorruptSlot implements Server.
+func (s *Spec) CorruptSlot(i, v int) { s.bids[i] = v }
+
+// SortedList is the fragile refinement: bids are kept sorted ascending
+// with the minimum at the head, and Bid trusts the sort order — it
+// compares v against the head only. Absent faults this refines Spec
+// exactly; with the head corrupted to MaxValue, every later bid is
+// rejected and the server fails (k−1)-of-best-k.
+type SortedList struct {
+	bids []int // ascending; head = minimum (by presumed invariant)
+}
+
+// NewSortedList builds the sorted-list server with k zero-valued slots.
+func NewSortedList(k int) *SortedList {
+	if k <= 0 {
+		panic(fmt.Sprintf("bidding: k must be positive, got %d", k))
+	}
+	return &SortedList{bids: make([]int, k)}
+}
+
+// Name implements Server.
+func (s *SortedList) Name() string { return "sorted-list" }
+
+// K implements Server.
+func (s *SortedList) K() int { return len(s.bids) }
+
+// Bid implements Server: compare against the head, drop it, insert v in
+// order — correct exactly while the sort-order invariant holds.
+func (s *SortedList) Bid(v int) {
+	if v <= s.bids[0] {
+		return
+	}
+	rest := s.bids[1:]
+	i := sort.SearchInts(rest, v)
+	copy(s.bids, rest[:i])
+	s.bids[i] = v
+	// Elements above the insertion point are already in place.
+}
+
+// Stored implements Server.
+func (s *SortedList) Stored() []int { return append([]int(nil), s.bids...) }
+
+// CorruptSlot implements Server. Corruption does not re-sort: that is the
+// point — the implementation's extra invariant (sortedness) is exactly
+// what the fault breaks.
+func (s *SortedList) CorruptSlot(i, v int) { s.bids[i] = v }
+
+// ScanMin is the repaired refinement: it keeps the same array but locates
+// the true minimum by scanning on every bid, never trusting residual
+// order. A single corrupted cell therefore perturbs at most that one
+// stored value, and the (k−1)-of-best-k guarantee survives — the repair a
+// graybox wrapper would impose.
+type ScanMin struct {
+	bids []int
+}
+
+// NewScanMin builds the scanning server with k zero-valued slots.
+func NewScanMin(k int) *ScanMin {
+	if k <= 0 {
+		panic(fmt.Sprintf("bidding: k must be positive, got %d", k))
+	}
+	return &ScanMin{bids: make([]int, k)}
+}
+
+// Name implements Server.
+func (s *ScanMin) Name() string { return "scan-min" }
+
+// K implements Server.
+func (s *ScanMin) K() int { return len(s.bids) }
+
+// Bid implements Server.
+func (s *ScanMin) Bid(v int) {
+	mi := 0
+	for i, b := range s.bids {
+		if b < s.bids[mi] {
+			mi = i
+		}
+	}
+	if v > s.bids[mi] {
+		s.bids[mi] = v
+	}
+}
+
+// Stored implements Server.
+func (s *ScanMin) Stored() []int { return append([]int(nil), s.bids...) }
+
+// CorruptSlot implements Server.
+func (s *ScanMin) CorruptSlot(i, v int) { s.bids[i] = v }
+
+// Interface compliance.
+var (
+	_ Server = (*Spec)(nil)
+	_ Server = (*SortedList)(nil)
+	_ Server = (*ScanMin)(nil)
+)

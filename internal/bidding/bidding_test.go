@@ -1,0 +1,237 @@
+package bidding
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func TestSpecKeepsBestK(t *testing.T) {
+	s := NewSpec(3)
+	for _, v := range []int{5, 1, 9, 3, 7, 2} {
+		s.Bid(v)
+	}
+	got := sortedCopy(s.Stored())
+	want := []int{5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stored = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: in the absence of faults all three servers agree with the
+// ground-truth best-k on random streams.
+func TestQuickServersAgreeFaultFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)
+		stream := make([]int, rng.Intn(40))
+		for i := range stream {
+			stream[i] = 1 + rng.Intn(20)
+		}
+		want := BestK(stream, k)
+		for _, mk := range []func() Server{
+			func() Server { return NewSpec(k) },
+			func() Server { return NewSortedList(k) },
+			func() Server { return NewScanMin(k) },
+		} {
+			s := mk()
+			winners, err := RunStream(s, stream, nil)
+			if err != nil {
+				return false
+			}
+			if Overlap(winners, want) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperScenario reproduces the Section 1 failure verbatim: the head of
+// the sorted list is corrupted to MAX_INTEGER, after which no new bid
+// enters; the spec server shrugs the same fault off.
+func TestPaperScenario(t *testing.T) {
+	const k = 3
+	stream := []int{4, 8, 2, 9, 7, 6, 5}
+	// Corrupt after 3 bids, then 4 more good bids arrive.
+	fault := Fault{At: 3, Slot: 0, Value: MaxValue}
+
+	spec := NewSpec(k)
+	specWinners, err := RunStream(spec, stream, []Fault{fault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Satisfies(specWinners, stream, k, 1) {
+		t.Fatalf("spec failed (k−1)-of-best-k: winners %v", specWinners)
+	}
+
+	sorted := NewSortedList(k)
+	sortedWinners, err := RunStream(sorted, stream, []Fault{fault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Satisfies(sortedWinners, stream, k, 1) {
+		t.Fatalf("sorted list unexpectedly satisfied the bar: winners %v", sortedWinners)
+	}
+	// The wedge: both non-corrupted slots still hold pre-fault values.
+	if Overlap(sortedWinners, BestK(stream, k)) > 1 {
+		t.Fatalf("sorted list admitted post-fault bids: %v", sortedWinners)
+	}
+
+	robust := NewScanMin(k)
+	robustWinners, err := RunStream(robust, stream, []Fault{fault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Satisfies(robustWinners, stream, k, 1) {
+		t.Fatalf("scan-min failed the bar: winners %v", robustWinners)
+	}
+}
+
+// Property: the spec and scan-min servers satisfy (k−1)-of-best-k under
+// ANY single corruption (arbitrary slot, arbitrary value, arbitrary time).
+func TestQuickSingleCorruptionTolerance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(30)
+		stream := make([]int, n)
+		for i := range stream {
+			stream[i] = 1 + rng.Intn(15)
+		}
+		fault := Fault{At: rng.Intn(n + 1), Slot: rng.Intn(k)}
+		switch rng.Intn(3) {
+		case 0:
+			fault.Value = MaxValue
+		case 1:
+			fault.Value = 0
+		default:
+			fault.Value = rng.Intn(20)
+		}
+		for _, mk := range []func() Server{
+			func() Server { return NewSpec(k) },
+			func() Server { return NewScanMin(k) },
+		} {
+			winners, err := RunStream(mk(), stream, []Fault{fault})
+			if err != nil {
+				return false
+			}
+			if !Satisfies(winners, stream, k, 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureTolerance(t *testing.T) {
+	const k = 4
+	specStats, err := MeasureTolerance(func() Server { return NewSpec(k) }, 100, 50, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specStats.Satisfied != specStats.Trials {
+		t.Fatalf("spec satisfied %d/%d", specStats.Satisfied, specStats.Trials)
+	}
+	robustStats, err := MeasureTolerance(func() Server { return NewScanMin(k) }, 100, 50, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robustStats.Satisfied != robustStats.Trials {
+		t.Fatalf("scan-min satisfied %d/%d", robustStats.Satisfied, robustStats.Trials)
+	}
+	sortedStats, err := MeasureTolerance(func() Server { return NewSortedList(k) }, 100, 50, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sortedStats.Satisfied >= robustStats.Satisfied {
+		t.Fatalf("sorted list (%d/%d) should satisfy strictly less often than scan-min (%d/%d)",
+			sortedStats.Satisfied, sortedStats.Trials, robustStats.Satisfied, robustStats.Trials)
+	}
+}
+
+func TestBestK(t *testing.T) {
+	got := BestK([]int{3, 1, 2}, 2)
+	if got[0] != 3 || got[1] != 2 {
+		t.Fatalf("BestK = %v", got)
+	}
+	// Short streams pad with the servers' zero-valued slots.
+	got = BestK([]int{5}, 3)
+	if got[0] != 5 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("BestK = %v", got)
+	}
+}
+
+func TestOverlapMultiset(t *testing.T) {
+	if got := Overlap([]int{2, 2, 3}, []int{2, 3, 3}); got != 2 {
+		t.Fatalf("Overlap = %d, want 2", got)
+	}
+	if got := Overlap(nil, []int{1}); got != 0 {
+		t.Fatalf("Overlap = %d, want 0", got)
+	}
+}
+
+func TestRunStreamValidation(t *testing.T) {
+	s := NewSpec(2)
+	if _, err := RunStream(s, []int{1}, []Fault{{Slot: 5}}); err == nil {
+		t.Fatal("bad slot accepted")
+	}
+	if _, err := RunStream(s, []int{1}, []Fault{{At: 7}}); err == nil {
+		t.Fatal("bad time accepted")
+	}
+	// Fault exactly at end of stream is legal (corruption after bidding).
+	if _, err := RunStream(s, []int{1}, []Fault{{At: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedListInsertionCorrect(t *testing.T) {
+	// Fault-free sorted list stays sorted through arbitrary streams.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSortedList(4)
+		for i := 0; i < 30; i++ {
+			s.Bid(1 + rng.Intn(25))
+			st := s.Stored()
+			if !sort.IntsAreSorted(st) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorsRejectBadK(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSpec(0) },
+		func() { NewSortedList(-1) },
+		func() { NewScanMin(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,121 @@
+package bidding
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fault schedules one transient corruption: before processing the bid at
+// stream index At, stored cell Slot is overwritten with Value.
+type Fault struct {
+	At    int
+	Slot  int
+	Value int
+}
+
+// RunStream feeds the stream through the server, applying faults at their
+// scheduled points, and returns the declared winners (the stored bids at
+// the end of the bidding period).
+func RunStream(s Server, stream []int, faults []Fault) ([]int, error) {
+	byAt := make(map[int][]Fault, len(faults))
+	for _, f := range faults {
+		if f.Slot < 0 || f.Slot >= s.K() {
+			return nil, fmt.Errorf("bidding: fault slot %d outside [0,%d)", f.Slot, s.K())
+		}
+		if f.At < 0 || f.At > len(stream) {
+			return nil, fmt.Errorf("bidding: fault time %d outside [0,%d]", f.At, len(stream))
+		}
+		byAt[f.At] = append(byAt[f.At], f)
+	}
+	for i, v := range stream {
+		for _, f := range byAt[i] {
+			s.CorruptSlot(f.Slot, f.Value)
+		}
+		s.Bid(v)
+	}
+	for _, f := range byAt[len(stream)] {
+		s.CorruptSlot(f.Slot, f.Value)
+	}
+	return s.Stored(), nil
+}
+
+// BestK returns the k largest values of the stream (padded with zeros for
+// short streams, matching the servers' zero-initialized slots), sorted
+// descending.
+func BestK(stream []int, k int) []int {
+	all := make([]int, 0, len(stream)+k)
+	all = append(all, stream...)
+	for i := 0; i < k; i++ {
+		all = append(all, 0)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	return all[:k]
+}
+
+// Overlap returns the size of the multiset intersection of a and b.
+func Overlap(a, b []int) int {
+	counts := make(map[int]int, len(a))
+	for _, x := range a {
+		counts[x]++
+	}
+	n := 0
+	for _, x := range b {
+		if counts[x] > 0 {
+			counts[x]--
+			n++
+		}
+	}
+	return n
+}
+
+// Satisfies reports whether winners meet the paper's tolerance bar:
+// at least (k − allowedLosses) of the true best-k appear among them.
+// allowedLosses is 0 for fault-free runs and 1 for single-corruption runs.
+func Satisfies(winners, stream []int, k, allowedLosses int) bool {
+	return Overlap(winners, BestK(stream, k)) >= k-allowedLosses
+}
+
+// TrialStats aggregates randomized tolerance trials.
+type TrialStats struct {
+	// Trials is the number of runs.
+	Trials int
+	// Satisfied counts runs meeting the (k−1)-of-best-k bar.
+	Satisfied int
+	// MeanOverlap is the average |winners ∩ best-k|.
+	MeanOverlap float64
+}
+
+// MeasureTolerance runs `trials` random streams against fresh servers from
+// mk, corrupting one random slot to MaxValue at a random time, and scores
+// each run against (k−1)-of-best-k. Values are drawn from [1, maxBid].
+func MeasureTolerance(mk func() Server, trials, streamLen, maxBid int, seed int64) (*TrialStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	stats := &TrialStats{Trials: trials}
+	totalOverlap := 0
+	for trial := 0; trial < trials; trial++ {
+		s := mk()
+		stream := make([]int, streamLen)
+		for i := range stream {
+			stream[i] = 1 + rng.Intn(maxBid)
+		}
+		fault := Fault{
+			At:    rng.Intn(streamLen + 1),
+			Slot:  rng.Intn(s.K()),
+			Value: MaxValue,
+		}
+		winners, err := RunStream(s, stream, []Fault{fault})
+		if err != nil {
+			return nil, err
+		}
+		// The corruption value itself may legitimately sit in a slot; it
+		// must not count as a delivered best bid.
+		ov := Overlap(winners, BestK(stream, s.K()))
+		totalOverlap += ov
+		if ov >= s.K()-1 {
+			stats.Satisfied++
+		}
+	}
+	stats.MeanOverlap = float64(totalOverlap) / float64(trials)
+	return stats, nil
+}

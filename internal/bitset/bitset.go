@@ -1,0 +1,225 @@
+// Package bitset provides a dense bit set used to represent sets of
+// automaton states. It is a small, allocation-conscious substrate for the
+// model-checking engine: state spaces in this repository are contiguous
+// integer ranges, so a dense representation beats map[int]struct{} both in
+// memory and in iteration order (which is deterministic here by
+// construction).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity dense bit set over the universe [0, Len()).
+// The zero value is an empty set of capacity zero; use New to create a
+// set with a non-zero universe.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative universe size %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromSlice returns a set over [0, n) containing exactly the given members.
+func FromSlice(n int, members []int) *Set {
+	s := New(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// Full returns the set containing every element of [0, n).
+func Full(n int) *Set {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << uint(s.n%wordBits)) - 1
+	}
+}
+
+// Len returns the universe size n (not the number of members; see Count).
+func (s *Set) Len() int { return s.n }
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of universe [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Has reports whether i is a member.
+func (s *Set) Has(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes every member, keeping the universe size.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+func (s *Set) sameUniverse(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// UnionWith adds every member of t to s.
+func (s *Set) UnionWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// IntersectWith removes members of s not in t.
+func (s *Set) IntersectWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// DifferenceWith removes members of t from s.
+func (s *Set) DifferenceWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Complement returns the set of non-members within the universe.
+func (s *Set) Complement() *Set {
+	c := s.Clone()
+	for i := range c.words {
+		c.words[i] = ^c.words[i]
+	}
+	c.trim()
+	return c
+}
+
+// SubsetOf reports whether every member of s is a member of t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.sameUniverse(t)
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t have the same members and universe.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn on every member in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the members in increasing order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// First returns the smallest member, or -1 if the set is empty.
+func (s *Set) First() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{a, b, c}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if s.First() != -1 {
+		t.Fatalf("First = %d, want -1", s.First())
+	}
+}
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("Has(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("!Has(%d) after Add", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) after Remove")
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := Full(n)
+		if got := s.Count(); got != n {
+			t.Fatalf("Full(%d).Count = %d", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if !s.Has(i) {
+				t.Fatalf("Full(%d) missing %d", n, i)
+			}
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	s := FromSlice(70, []int{0, 5, 69})
+	c := s.Complement()
+	if got := c.Count(); got != 67 {
+		t.Fatalf("Count = %d, want 67", got)
+	}
+	for i := 0; i < 70; i++ {
+		if s.Has(i) == c.Has(i) {
+			t.Fatalf("complement agrees with set at %d", i)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 50, 99})
+	b := FromSlice(100, []int{2, 3, 4, 99})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	wantU := FromSlice(100, []int{1, 2, 3, 4, 50, 99})
+	if !u.Equal(wantU) {
+		t.Fatalf("union = %v, want %v", u, wantU)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	wantI := FromSlice(100, []int{2, 3, 99})
+	if !i.Equal(wantI) {
+		t.Fatalf("intersect = %v, want %v", i, wantI)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	wantD := FromSlice(100, []int{1, 50})
+	if !d.Equal(wantD) {
+		t.Fatalf("difference = %v, want %v", d, wantD)
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromSlice(10, []int{1, 2})
+	b := FromSlice(10, []int{1, 2, 3})
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("a should be subset of itself")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	s := FromSlice(200, []int{150, 3, 77, 0, 199})
+	got := s.Members()
+	want := []int{0, 3, 77, 150, 199}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFirst(t *testing.T) {
+	s := FromSlice(200, []int{150, 77, 199})
+	if got := s.First(); got != 77 {
+		t.Fatalf("First = %d, want 77", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice(10, []int{1, 3})
+	if got := s.String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(5).Add(5)
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(5).UnionWith(New(6))
+}
+
+// Property: union is commutative and idempotent; difference then union
+// with the intersection restores the original.
+func TestQuickSetAlgebra(t *testing.T) {
+	const n = 256
+	f := func(as, bs []uint16) bool {
+		a, b := New(n), New(n)
+		for _, x := range as {
+			a.Add(int(x) % n)
+		}
+		for _, x := range bs {
+			b.Add(int(x) % n)
+		}
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		// (a \ b) ∪ (a ∩ b) == a
+		d := a.Clone()
+		d.DifferenceWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		d.UnionWith(i)
+		return d.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count agrees with a reference implementation over random sets.
+func TestQuickCountReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		ref := make(map[int]bool)
+		s := New(n)
+		for k := 0; k < 100; k++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+				ref[i] = true
+			} else {
+				s.Remove(i)
+				delete(ref, i)
+			}
+		}
+		if s.Count() != len(ref) {
+			t.Fatalf("Count = %d, ref = %d", s.Count(), len(ref))
+		}
+		for i := 0; i < n; i++ {
+			if s.Has(i) != ref[i] {
+				t.Fatalf("Has(%d) = %v, ref %v", i, s.Has(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestComplementRoundTrip(t *testing.T) {
+	s := FromSlice(129, []int{0, 64, 128, 77})
+	if !s.Complement().Complement().Equal(s) {
+		t.Fatal("double complement should be identity")
+	}
+}
+
+func TestClearAndClone(t *testing.T) {
+	s := FromSlice(10, []int{1, 2, 3})
+	c := s.Clone()
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left members")
+	}
+	if c.Count() != 3 {
+		t.Fatal("Clone shares storage with original")
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+func TestConvergenceRefinementExactStepsOnly(t *testing.T) {
+	a := line("A", 4)
+	c := line("C", 4)
+	rep := ConvergenceRefinement(c, a, nil)
+	if !rep.Holds {
+		t.Fatalf("identical systems: %s", rep.Verdict)
+	}
+	if len(rep.Compressions) != 0 || rep.ExactEdges != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestConvergenceRefinementWithCompression(t *testing.T) {
+	// A: 0→1→2→3 terminal; C compresses 0→2 in one step, matches A at 1.
+	a := line("A", 4)
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 2)
+	cb.AddTransition(1, 2)
+	cb.AddTransition(2, 3)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	// Note: [C ⊑ A]_init fails here (C's from-init computation 0,2,3 is
+	// not a computation of A). The paper's C1 keeps the initial behavior
+	// identical and compresses only outside; model that by also giving C
+	// the exact step 0→1 — from init, C may still choose 0→2, so keep
+	// init at a state where compression is unreachable.
+	cb2 := system.NewBuilder("C2", 5)
+	cb2.AddTransition(0, 1)
+	cb2.AddTransition(1, 2)
+	cb2.AddTransition(2, 3)
+	cb2.AddTransition(4, 2) // fault state 4 compresses over A's path 4→1→2? build A2 accordingly
+	cb2.AddInit(0)
+	ab2 := system.NewBuilder("A2", 5)
+	ab2.AddTransition(0, 1)
+	ab2.AddTransition(1, 2)
+	ab2.AddTransition(2, 3)
+	ab2.AddTransition(4, 1) // A recovers 4→1, then 1→2
+	ab2.AddInit(0)
+	a2, c2 := ab2.Build(), cb2.Build()
+
+	rep := ConvergenceRefinement(c2, a2, nil)
+	if !rep.Holds {
+		t.Fatalf("compressing refinement rejected: %s", rep.Verdict)
+	}
+	if len(rep.Compressions) != 1 {
+		t.Fatalf("compressions = %+v", rep.Compressions)
+	}
+	cp := rep.Compressions[0]
+	if cp.From != 4 || cp.To != 2 || cp.Omissions != 1 {
+		t.Fatalf("compression = %+v", cp)
+	}
+	if len(cp.Cover) != 3 || cp.Cover[0] != 4 || cp.Cover[1] != 1 || cp.Cover[2] != 2 {
+		t.Fatalf("cover = %v", cp.Cover)
+	}
+	_ = a
+	_ = c
+}
+
+func TestConvergenceRefinementNoCover(t *testing.T) {
+	// C jumps 0→3 but A has no path 0→…→3.
+	ab := system.NewBuilder("A", 4)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(3, 1)
+	ab.AddInit(0)
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(3, 1)
+	cb.AddTransition(2, 3) // A has no transition/path 2→3
+	cb.AddInit(0)
+	rep := ConvergenceRefinement(cb.Build(), ab.Build(), nil)
+	if rep.Holds {
+		t.Fatalf("uncoverable step accepted: %s", rep.Verdict)
+	}
+	if !strings.Contains(rep.Reason, "covering path") {
+		t.Fatalf("reason = %q", rep.Reason)
+	}
+}
+
+func TestConvergenceRefinementCompressionOnCycleRejected(t *testing.T) {
+	// Legitimate behavior (states 0,1) is identical; the fault region
+	// cycles in A as 2→3→4→2 and in C as 2→4→2, so C's compression 2→4
+	// lies on a cycle of C: omissions would be infinite.
+	ab := system.NewBuilder("A", 5)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddTransition(2, 3)
+	ab.AddTransition(3, 4)
+	ab.AddTransition(4, 2)
+	ab.AddInit(0)
+	cb := system.NewBuilder("C", 5)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	cb.AddTransition(2, 4)
+	cb.AddTransition(4, 2)
+	cb.AddTransition(3, 4)
+	cb.AddInit(0)
+	rep := ConvergenceRefinement(cb.Build(), ab.Build(), nil)
+	if rep.Holds {
+		t.Fatalf("cyclic compression accepted: %s", rep.Verdict)
+	}
+	if !strings.Contains(rep.Reason, "cycle") {
+		t.Fatalf("reason = %q", rep.Reason)
+	}
+}
+
+func TestConvergenceRefinementTerminalMismatch(t *testing.T) {
+	a := line("A", 3)
+	cb := system.NewBuilder("C", 3)
+	cb.AddTransition(0, 1)
+	// state 2 would be fine; state 1 is terminal in C but not in A.
+	cb.AddInit(0)
+	rep := ConvergenceRefinement(cb.Build(), a, nil)
+	if rep.Holds {
+		t.Fatalf("terminal mismatch accepted: %s", rep.Verdict)
+	}
+}
+
+func TestConvergenceRefinementEmbedsInitRefinement(t *testing.T) {
+	// C diverges from init: 0→2 while A only has 0→1.
+	a := line("A", 3)
+	cb := system.NewBuilder("C", 3)
+	cb.AddTransition(0, 2)
+	cb.AddTransition(1, 2)
+	cb.AddInit(0)
+	rep := ConvergenceRefinement(cb.Build(), a, nil)
+	if rep.Holds {
+		t.Fatal("init divergence accepted")
+	}
+	if rep.RefinementInit.Holds {
+		t.Fatal("embedded init refinement should have failed")
+	}
+}
+
+func TestConvergenceStutterViaAbstraction(t *testing.T) {
+	// The C3 situation in miniature: C makes a τ step (same abstract
+	// image) before the abstract step; no compression occurs.
+	ab := system.NewBuilder("A", 2)
+	ab.AddTransition(0, 1)
+	ab.AddInit(0)
+	a := ab.Build()
+	cb := system.NewBuilder("C", 4) // 0,1 ↦ 0; 2,3 ↦ 1
+	cb.AddTransition(0, 1)          // τ
+	cb.AddTransition(1, 2)          // abstract 0→1
+	cb.AddTransition(2, 3)          // τ at terminal image — but 3 must terminate
+	cb.AddInit(0)
+	c := cb.Build()
+	alpha, err := system.NewAbstraction(4, 2, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ConvergenceRefinement(c, a, alpha)
+	if !rep.Holds {
+		t.Fatalf("stuttering convergence refinement rejected: %s", rep.Verdict)
+	}
+	if rep.StutterEdges != 2 || len(rep.Compressions) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestFig1Claims(t *testing.T) {
+	a, c := Fig1(6)
+	// The paper's Figure 1: [C ⊑ A]_init holds …
+	if v := RefinementInit(c, a, nil); !v.Holds {
+		t.Fatalf("[C ⊑ A]_init: %s", v)
+	}
+	// … A is stabilizing to A …
+	if v := SelfStabilizing(a); !v.Holds {
+		t.Fatalf("A self-stabilizing: %s", v.Verdict)
+	}
+	// … but C is not stabilizing to A (it halts at s*).
+	if v := Stabilizing(c, a, nil); v.Holds {
+		t.Fatalf("C must not be stabilizing to A: %s", v.Verdict)
+	}
+	// And accordingly C is not an everywhere refinement (s* is terminal
+	// in C, not in A) nor a convergence refinement of A.
+	if v := EverywhereRefinement(c, a, nil); v.Holds {
+		t.Fatalf("[C ⊑ A]: %s", v)
+	}
+	if rep := ConvergenceRefinement(c, a, nil); rep.Holds {
+		t.Fatalf("[C ⪯ A]: %s", rep.Verdict)
+	}
+}
+
+func TestOddEvenSeparatesRelations(t *testing.T) {
+	a, c := OddEvenRecovery()
+	// C is an everywhere-eventually refinement of A …
+	if v := EverywhereEventuallyRefinement(c, a, nil); !v.Holds {
+		t.Fatalf("[C ⊑ee A]: %s", v)
+	}
+	// … but not a convergence refinement (recovery via even states is not
+	// a subsequence of A's odd recovery path).
+	if rep := ConvergenceRefinement(c, a, nil); rep.Holds {
+		t.Fatalf("[C ⪯ A] must fail: %s", rep.Verdict)
+	}
+	// And of course not an everywhere refinement either.
+	if v := EverywhereRefinement(c, a, nil); v.Holds {
+		t.Fatalf("[C ⊑ A] must fail: %s", v)
+	}
+}
+
+func TestHierarchyEverywhereImpliesConvergence(t *testing.T) {
+	// [C ⊑ A] ⇒ [C ⪯ A] (Section 2): any everywhere refinement passes the
+	// convergence check with zero compressions.
+	a := line("A", 5)
+	cb := system.NewBuilder("C", 5)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 2)
+	cb.AddTransition(2, 3)
+	cb.AddTransition(3, 4)
+	cb.AddInit(0)
+	c := cb.Build()
+	if v := EverywhereRefinement(c, a, nil); !v.Holds {
+		t.Fatalf("[C ⊑ A]: %s", v)
+	}
+	rep := ConvergenceRefinement(c, a, nil)
+	if !rep.Holds || len(rep.Compressions) != 0 {
+		t.Fatalf("[C ⪯ A]: %s, compressions %v", rep.Verdict, rep.Compressions)
+	}
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/system"
+)
+
+// ExampleStabilizing shows the stabilization checker on a two-state
+// system with a recovery edge.
+func ExampleStabilizing() {
+	// A: the legitimate alternation 0 ↔ 1; state 2 is unknown to A.
+	ab := system.NewBuilder("A", 3)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	a := ab.Build()
+
+	// C adds a recovery edge from the fault state 2 back into the cycle.
+	cb := system.NewBuilder("C", 3)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	cb.AddTransition(2, 0)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	rep := core.Stabilizing(c, a, nil)
+	fmt.Println(rep.Holds)
+	fmt.Println(len(rep.Legitimate))
+	// Output:
+	// true
+	// 2
+}
+
+// ExampleConvergenceRefinement shows a compression: C jumps over one of
+// A's recovery states, which the relation allows (a convergence
+// isomorphism drops states) as long as the endpoints agree and the jump
+// is not repeatable forever.
+func ExampleConvergenceRefinement() {
+	ab := system.NewBuilder("A", 4)
+	ab.AddTransition(0, 0) // legitimate self-loop
+	ab.AddTransition(2, 1) // recovery: 2 → 1 → 0
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	a := ab.Build()
+
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 0)
+	cb.AddTransition(2, 0) // compressed recovery
+	cb.AddTransition(1, 0)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	rep := core.ConvergenceRefinement(c, a, nil)
+	fmt.Println(rep.Holds)
+	for _, cp := range rep.Compressions {
+		fmt.Printf("s%d → s%d omits %d state(s)\n", cp.From, cp.To, cp.Omissions)
+	}
+	// Output:
+	// true
+	// s2 → s0 omits 1 state(s)
+}
+
+// ExampleVerdict_FormatWitness shows counterexample rendering.
+func ExampleVerdict_FormatWitness() {
+	a, c := core.Fig1(4)
+	rep := core.Stabilizing(c, a, nil)
+	fmt.Println(rep.Holds)
+	fmt.Println(rep.FormatWitness(c))
+	// Output:
+	// false
+	// s4
+}

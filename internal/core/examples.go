@@ -1,0 +1,73 @@
+package core
+
+import "repro/internal/system"
+
+// This file constructs the paper's two small counterexample systems so the
+// test suite, the experiments binary, and the benchmarks can machine-check
+// the claims made about them.
+
+// Fig1 builds the Section 2.1 counterexample showing that plain refinement
+// is not stabilization preserving (Figure 1).
+//
+// States are s0, s1, ..., s(k-1) arranged in a chain that loops at the end
+// (the paper's "s0, s1, s2, s3, …" made finite), plus s* (index k). In
+// both A and C the only computation from the initial state s0 is the
+// chain. A additionally has the transition s* → s2, so A recovers from the
+// fault state s*; C leaves s* terminal. Hence [C ⊑ A]_init holds, A is
+// stabilizing to A, but C is not stabilizing to A.
+func Fig1(k int) (a, c *system.System) {
+	if k < 3 {
+		panic("core: Fig1 needs at least 3 chain states")
+	}
+	n := k + 1 // chain + s*
+	star := k
+
+	ab := system.NewBuilder("A_fig1", n)
+	cb := system.NewBuilder("C_fig1", n)
+	for i := 0; i+1 < k; i++ {
+		ab.AddTransition(i, i+1)
+		cb.AddTransition(i, i+1)
+	}
+	// Keep computations infinite, as in the figure's "s3, …": loop the tail.
+	ab.AddTransition(k-1, k-2)
+	cb.AddTransition(k-1, k-2)
+	// A alone recovers from s*.
+	ab.AddTransition(star, 2)
+	ab.AddInit(0)
+	cb.AddInit(0)
+	return ab.Build(), cb.Build()
+}
+
+// OddEvenRecovery builds the Section 7 example separating convergence
+// refinement from everywhere-eventually refinement: A stabilizes to s0
+// along odd-numbered states (s* s3 s1 s0) while C recovers from s* along
+// even-numbered states (s* s4 s2 s0). C is an everywhere-eventually
+// refinement of A — after a finite prefix over even states it behaves as A
+// — but not a convergence refinement of A, because A's computations never
+// visit s4: C's recovery path is not a subsequence of any of A's.
+//
+// States: 0..4 are s0..s4; index 5 is s*. In both systems s0 has a
+// self-loop (the stabilized behavior) and s0 is initial. C retains A's odd
+// recovery edges so it has no terminal states A lacks; its divergence from
+// A is exactly the even path out of s*.
+func OddEvenRecovery() (a, c *system.System) {
+	const n = 6
+	const star = 5
+
+	ab := system.NewBuilder("A_oddpath", n)
+	ab.AddTransition(star, 3)
+	ab.AddTransition(3, 1)
+	ab.AddTransition(1, 0)
+	ab.AddTransition(0, 0)
+	ab.AddInit(0)
+
+	cb := system.NewBuilder("C_evenpath", n)
+	cb.AddTransition(star, 4)
+	cb.AddTransition(4, 2)
+	cb.AddTransition(2, 0)
+	cb.AddTransition(3, 1) // A's odd path retained
+	cb.AddTransition(1, 0)
+	cb.AddTransition(0, 0)
+	cb.AddInit(0)
+	return ab.Build(), cb.Build()
+}

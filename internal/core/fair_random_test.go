@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/system"
+)
+
+// randomLabeled builds a random labeled system over a small integer space
+// with a handful of guarded actions, plus a matching unlabeled spec whose
+// legitimate behavior is the self-loop region {0}.
+func randomLabeled(rng *rand.Rand) (*system.LabeledSystem, *system.System) {
+	card := 3 + rng.Intn(4)
+	sp := system.NewSpace(system.Int("x", card))
+	nActs := 2 + rng.Intn(4)
+	acts := make([]system.Action, 0, nActs)
+	// Always include the legitimate self-loop at 0 so the spec region is
+	// inhabited.
+	acts = append(acts, system.Action{
+		Name:   "stay",
+		Guard:  func(v system.Vals) bool { return v[0] == 0 },
+		Effect: func(v system.Vals) { v[0] = 0 },
+	})
+	for i := 1; i < nActs; i++ {
+		lo := rng.Intn(card)
+		target := rng.Intn(card)
+		acts = append(acts, system.Action{
+			Name:  fmt.Sprintf("a%d", i),
+			Guard: func(v system.Vals) bool { return v[0] >= lo && v[0] != target },
+			Effect: func(v system.Vals) {
+				v[0] = target
+			},
+		})
+	}
+	c := system.EnumerateLabeled("randL", sp, acts, func(v system.Vals) bool { return v[0] == 0 })
+
+	ab := system.NewBuilder("specA", card)
+	ab.AddTransition(0, 0)
+	ab.AddInit(0)
+	return c, ab.Build()
+}
+
+// TestQuickFairWeakerThanUnfair: on random labeled systems, whenever the
+// unfair stabilization check passes, the weak-fairness check must pass
+// too (fair computations are a subset of all computations), and whenever
+// the fair check fails, the unfair one must fail as well.
+func TestQuickFairWeakerThanUnfair(t *testing.T) {
+	agreePass, agreeFail, fairOnly := 0, 0, 0
+	for trial := 0; trial < 400; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		c, a := randomLabeled(rng)
+		unfair := Stabilizing(c.Base(), a, nil)
+		fair := FairStabilizing(c, a, nil)
+		switch {
+		case unfair.Holds && !fair.Holds:
+			t.Fatalf("trial %d: unfair passes but fair fails\nunfair: %s\nfair: %s",
+				trial, unfair.Verdict, fair.Verdict)
+		case unfair.Holds && fair.Holds:
+			agreePass++
+		case !unfair.Holds && fair.Holds:
+			fairOnly++
+		default:
+			agreeFail++
+		}
+	}
+	// The generator must exercise all three reachable cells.
+	if agreePass == 0 || agreeFail == 0 || fairOnly == 0 {
+		t.Fatalf("generator too narrow: pass=%d fail=%d fairOnly=%d", agreePass, agreeFail, fairOnly)
+	}
+}

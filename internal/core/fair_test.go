@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+// starveFixture builds a labeled system where an unfair daemon can loop
+// on a "chase" action forever while a continuously enabled "recover"
+// action would leave the bad region: states 1 ↔ 2 chase each other, and
+// recover (enabled in both) exits to the legitimate self-loop at 0.
+func starveFixture() (*system.LabeledSystem, *system.System) {
+	sp := system.NewSpace(system.Int("x", 3))
+	c := system.EnumerateLabeled("C", sp, []system.Action{
+		{Name: "chase", Guard: func(v system.Vals) bool { return v[0] > 0 }, Effect: func(v system.Vals) {
+			v[0] = 3 - v[0] // 1 ↔ 2
+		}},
+		{Name: "recover", Guard: func(v system.Vals) bool { return v[0] > 0 }, Effect: func(v system.Vals) {
+			v[0] = 0
+		}},
+		{Name: "stay", Guard: func(v system.Vals) bool { return v[0] == 0 }, Effect: func(v system.Vals) {
+			v[0] = 0
+		}},
+	}, func(v system.Vals) bool { return v[0] == 0 })
+
+	ab := system.NewBuilder("A", 3)
+	ab.AddTransition(0, 0)
+	ab.AddInit(0)
+	return c, ab.Build()
+}
+
+func TestFairStabilizingBreaksStarvation(t *testing.T) {
+	c, a := starveFixture()
+	// Unfair: the chase loop never recovers.
+	unfair := Stabilizing(c.Base(), a, nil)
+	if unfair.Holds {
+		t.Fatalf("unfair check should fail: %s", unfair.Verdict)
+	}
+	// Weakly fair: recover is continuously enabled on the chase loop and
+	// must eventually be taken.
+	fair := FairStabilizing(c, a, nil)
+	if !fair.Holds {
+		t.Fatalf("fair check should pass: %s", fair.Verdict)
+	}
+	if !strings.Contains(fair.Relation, "weak fairness") {
+		t.Fatalf("relation = %q", fair.Relation)
+	}
+}
+
+func TestFairStabilizingStillCatchesRealDivergence(t *testing.T) {
+	// A chase loop with NO escape stays a violation under fairness: the
+	// only action enabled on the loop is the chase itself, which is taken.
+	sp := system.NewSpace(system.Int("x", 3))
+	c := system.EnumerateLabeled("C", sp, []system.Action{
+		{Name: "chase", Guard: func(v system.Vals) bool { return v[0] > 0 }, Effect: func(v system.Vals) {
+			v[0] = 3 - v[0]
+		}},
+		{Name: "stay", Guard: func(v system.Vals) bool { return v[0] == 0 }, Effect: func(v system.Vals) {
+			v[0] = 0
+		}},
+	}, func(v system.Vals) bool { return v[0] == 0 })
+	ab := system.NewBuilder("A", 3)
+	ab.AddTransition(0, 0)
+	ab.AddInit(0)
+
+	rep := FairStabilizing(c, ab.Build(), nil)
+	if rep.Holds {
+		t.Fatalf("fair check should still fail: %s", rep.Verdict)
+	}
+	if len(rep.WitnessLoop) == 0 {
+		t.Fatal("expected a loop witness")
+	}
+}
+
+func TestFairStabilizingBadTerminal(t *testing.T) {
+	sp := system.NewSpace(system.Int("x", 2))
+	c := system.EnumerateLabeled("C", sp, []system.Action{
+		{Name: "stay", Guard: func(v system.Vals) bool { return v[0] == 0 }, Effect: func(v system.Vals) {
+			v[0] = 0
+		}},
+		// x=1 is terminal in C.
+	}, func(v system.Vals) bool { return v[0] == 0 })
+	ab := system.NewBuilder("A", 2)
+	ab.AddTransition(0, 0)
+	ab.AddInit(0)
+	rep := FairStabilizing(c, ab.Build(), nil)
+	if rep.Holds {
+		t.Fatalf("bad terminal accepted under fairness: %s", rep.Verdict)
+	}
+	if !strings.Contains(rep.Reason, "terminal") {
+		t.Fatalf("reason = %q", rep.Reason)
+	}
+}
+
+func TestFairImpliedByUnfair(t *testing.T) {
+	// Whenever the unfair check passes, the fair check must pass too
+	// (fair computations are a subset of all computations).
+	c, a := starveFixture()
+	// Restrict to the recovering part: drop the chase action.
+	sp := system.NewSpace(system.Int("x", 3))
+	onlyRecover := system.EnumerateLabeled("C2", sp, []system.Action{
+		{Name: "recover", Guard: func(v system.Vals) bool { return v[0] > 0 }, Effect: func(v system.Vals) {
+			v[0] = 0
+		}},
+		{Name: "stay", Guard: func(v system.Vals) bool { return v[0] == 0 }, Effect: func(v system.Vals) {
+			v[0] = 0
+		}},
+	}, func(v system.Vals) bool { return v[0] == 0 })
+	if rep := Stabilizing(onlyRecover.Base(), a, nil); !rep.Holds {
+		t.Fatalf("unfair: %s", rep.Verdict)
+	}
+	if rep := FairStabilizing(onlyRecover, a, nil); !rep.Holds {
+		t.Fatalf("fair must follow: %s", rep.Verdict)
+	}
+	_ = c
+}
+
+func TestFairStabilizingSpaceMismatch(t *testing.T) {
+	sp := system.NewSpace(system.Int("x", 2))
+	c := system.EnumerateLabeled("C", sp, nil, nil)
+	rep := FairStabilizing(c, line("A", 3), nil)
+	if rep.Holds {
+		t.Fatal("mismatched spaces accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/system"
+)
+
+// randomStabilizingSpec builds a random self-stabilizing specification:
+// a strongly-connected "legitimate core" of size coreN (a cycle plus
+// random chords) holding the initial states, and recoverN fault states
+// arranged as a DAG that drains into the core. Every state has an
+// outgoing transition; every computation reaches the core and cycles
+// there, so the system is self-stabilizing by construction — which the
+// checker must confirm.
+func randomStabilizingSpec(rng *rand.Rand, coreN, recoverN int) *system.System {
+	n := coreN + recoverN
+	b := system.NewBuilder("randA", n)
+	// Core cycle 0 → 1 → … → coreN−1 → 0 with random chords.
+	for i := 0; i < coreN; i++ {
+		b.AddTransition(i, (i+1)%coreN)
+	}
+	for c := 0; c < coreN/2; c++ {
+		b.AddTransition(rng.Intn(coreN), rng.Intn(coreN))
+	}
+	b.AddInit(0)
+	// Recovery DAG: state i (≥ coreN) steps only to strictly smaller
+	// states, so no cycles exist outside the core.
+	for i := coreN; i < n; i++ {
+		outs := 1 + rng.Intn(2)
+		for o := 0; o < outs; o++ {
+			b.AddTransition(i, rng.Intn(i))
+		}
+	}
+	return b.Build()
+}
+
+// compressRecovery derives a convergence refinement C of A by replacing
+// random recovery transitions (s, m) with their two-step compressions
+// (s, t) for some A-successor t of m. Compressed edges stay inside the
+// strictly-descending recovery region or enter the core, so they cannot
+// lie on a cycle of C; core behavior is untouched.
+func compressRecovery(rng *rand.Rand, a *system.System, coreN int) *system.System {
+	n := a.NumStates()
+	b := system.NewBuilder("randC", n)
+	for s := 0; s < n; s++ {
+		for _, m := range a.Succ(s) {
+			if s >= coreN && rng.Intn(2) == 0 {
+				if nexts := a.Succ(m); len(nexts) > 0 {
+					t := nexts[rng.Intn(len(nexts))]
+					if t != s { // a self-loop would be a new cycle
+						b.AddTransition(s, t)
+						continue
+					}
+				}
+			}
+			b.AddTransition(s, m)
+		}
+	}
+	for _, s := range a.InitStates() {
+		b.AddInit(s)
+	}
+	return b.Build()
+}
+
+// TestQuickTheorem1OnRandomInstances replays Theorem 1 on hundreds of
+// random (A, C) pairs: the generator guarantees A self-stabilizing and
+// [C ⪯ A]; the checkers must agree, and the theorem's conclusion — C
+// stabilizing to A — must follow.
+func TestQuickTheorem1OnRandomInstances(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		coreN := 2 + rng.Intn(5)
+		recoverN := 1 + rng.Intn(8)
+		a := randomStabilizingSpec(rng, coreN, recoverN)
+		c := compressRecovery(rng, a, coreN)
+
+		if rep := SelfStabilizing(a); !rep.Holds {
+			t.Fatalf("trial %d: generated A not self-stabilizing: %s", trial, rep.Verdict)
+		}
+		conv := ConvergenceRefinement(c, a, nil)
+		if !conv.Holds {
+			t.Fatalf("trial %d: generated C not ⪯ A: %s", trial, conv.Verdict)
+		}
+		// Theorem 1's conclusion.
+		if rep := Stabilizing(c, a, nil); !rep.Holds {
+			t.Fatalf("trial %d: Theorem 1 violated: %s", trial, rep.Verdict)
+		}
+		// Hierarchy: ⪯ implies ⊑ee.
+		if v := EverywhereEventuallyRefinement(c, a, nil); !v.Holds {
+			t.Fatalf("trial %d: hierarchy violated: %s", trial, v)
+		}
+	}
+}
+
+// TestQuickEverywhereImpliesConvergenceRandom: on random systems, any C
+// that passes the everywhere-refinement check must pass the convergence
+// check with zero compressions, and vice versa when no compressions are
+// reported.
+func TestQuickEverywhereImpliesConvergenceRandom(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		coreN := 2 + rng.Intn(4)
+		recoverN := rng.Intn(6)
+		a := randomStabilizingSpec(rng, coreN, recoverN)
+		// Sub-refinement: drop random transitions of A (keeping at least
+		// one per state) — every behavior of C is literally a behavior
+		// of A.
+		b := system.NewBuilder("subC", a.NumStates())
+		for s := 0; s < a.NumStates(); s++ {
+			outs := a.Succ(s)
+			keep := rng.Intn(len(outs))
+			for i, m := range outs {
+				if i == keep || rng.Intn(3) > 0 {
+					b.AddTransition(s, m)
+				}
+			}
+		}
+		for _, s := range a.InitStates() {
+			b.AddInit(s)
+		}
+		c := b.Build()
+
+		ev := EverywhereRefinement(c, a, nil)
+		if !ev.Holds {
+			t.Fatalf("trial %d: sub-refinement rejected: %s", trial, ev)
+		}
+		conv := ConvergenceRefinement(c, a, nil)
+		if !conv.Holds || len(conv.Compressions) != 0 {
+			t.Fatalf("trial %d: [C ⊑ A] ⇒ [C ⪯ A] violated: %s (%d compressions)",
+				trial, conv.Verdict, len(conv.Compressions))
+		}
+	}
+}
+
+// TestQuickStabilizationMonotoneUnderBox: boxing a wrapper that only adds
+// recovery transitions from outside the legitimate region onto a
+// stabilizing system keeps it stabilizing — the essence of Lemma 4's
+// direction, on random instances.
+func TestQuickStabilizationMonotoneUnderBox(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		coreN := 2 + rng.Intn(4)
+		recoverN := 1 + rng.Intn(6)
+		a := randomStabilizingSpec(rng, coreN, recoverN)
+		// Wrapper: extra descending recovery edges (no initial states).
+		wb := system.NewBuilder("randW", a.NumStates())
+		added := false
+		for i := coreN; i < a.NumStates(); i++ {
+			if rng.Intn(2) == 0 {
+				wb.AddTransition(i, rng.Intn(i))
+				added = true
+			}
+		}
+		if !added {
+			continue
+		}
+		w := wb.Build()
+		boxed := system.Box(a, w)
+		if rep := Stabilizing(boxed, a, nil); !rep.Holds {
+			t.Fatalf("trial %d: descending wrapper broke stabilization: %s", trial, rep.Verdict)
+		}
+	}
+}

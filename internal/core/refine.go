@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/mc"
+	"repro/internal/system"
+)
+
+// alphaOf normalizes the optional abstraction: nil means the identity on a
+// shared state space, with strict (stutter-free) semantics.
+func alphaOf(c, a *system.System, ab *system.Abstraction) (*system.Abstraction, bool, error) {
+	if ab == nil {
+		if c.NumStates() != a.NumStates() {
+			return nil, false, fmt.Errorf("core: %q and %q have different state spaces (%d vs %d) and no abstraction was given",
+				c.Name(), a.Name(), c.NumStates(), a.NumStates())
+		}
+		return system.Identity(c.NumStates()), false, nil
+	}
+	if ab.NumConcrete() != c.NumStates() || ab.NumAbstract() != a.NumStates() {
+		return nil, false, fmt.Errorf("core: abstraction shape (%d→%d) does not match systems (%d→%d)",
+			ab.NumConcrete(), ab.NumAbstract(), c.NumStates(), a.NumStates())
+	}
+	return ab, true, nil
+}
+
+// RefinementInit decides [C ⊑ A]_init: every computation of C that starts
+// from an initial state of C is a computation of A. With an abstraction,
+// the destuttered α-image of every such computation must be a computation
+// of A. ab may be nil when C and A share a state space.
+func RefinementInit(c, a *system.System, ab *system.Abstraction) Verdict {
+	relation := fmt.Sprintf("[%s ⊑ %s]_init", c.Name(), a.Name())
+	alpha, stutterOK, err := alphaOf(c, a, ab)
+	if err != nil {
+		return fail(relation, err.Error(), nil, nil)
+	}
+	region := mc.ReachFromInit(c)
+	return refinementOver(relation, c, a, alpha, stutterOK, region)
+}
+
+// EverywhereRefinement decides [C ⊑ A]: every computation of C (from any
+// state) is a computation of A. This is the relation of Theorem 0 (from
+// the authors' "Graybox stabilization" paper) restated in Section 2.1.
+func EverywhereRefinement(c, a *system.System, ab *system.Abstraction) Verdict {
+	relation := fmt.Sprintf("[%s ⊑ %s]", c.Name(), a.Name())
+	alpha, stutterOK, err := alphaOf(c, a, ab)
+	if err != nil {
+		return fail(relation, err.Error(), nil, nil)
+	}
+	return refinementOver(relation, c, a, alpha, stutterOK, bitset.Full(c.NumStates()))
+}
+
+// refinementOver checks that, over the given region of concrete states,
+// every C-step maps to an A-step (or a stutter, when permitted), every
+// C-terminal state maps to an A-terminal state, and no cycle of pure
+// stutter steps maps to a non-terminal abstract state. On finite automata
+// this is exactly computation-set inclusion over the region: every path
+// extends to a maximal one, so a single offending step/terminal yields a
+// counterexample computation, and conversely.
+func refinementOver(relation string, c, a *system.System, alpha *system.Abstraction, stutterOK bool, region *bitset.Set) Verdict {
+	var stutters, exact int
+	var badEdge [2]int
+	var badTerm = -1
+	foundBadEdge := false
+	region.ForEach(func(s int) {
+		if foundBadEdge || badTerm >= 0 {
+			return
+		}
+		as := alpha.Of(s)
+		if c.Terminal(s) {
+			if !a.Terminal(as) {
+				badTerm = s
+			}
+			return
+		}
+		for _, t := range c.Succ(s) {
+			at := alpha.Of(t)
+			if as == at {
+				if stutterOK {
+					stutters++
+					continue
+				}
+				// Identity semantics: a self-loop must itself be in T_A.
+				if a.HasTransition(as, at) {
+					exact++
+					continue
+				}
+				badEdge = [2]int{s, t}
+				foundBadEdge = true
+				return
+			}
+			if a.HasTransition(as, at) {
+				exact++
+				continue
+			}
+			badEdge = [2]int{s, t}
+			foundBadEdge = true
+			return
+		}
+	})
+	if foundBadEdge {
+		witness := witnessTo(c, region, badEdge[0])
+		witness = append(witness, badEdge[1])
+		return fail(relation,
+			fmt.Sprintf("concrete step %s → %s maps to a non-transition of %s",
+				c.StateString(badEdge[0]), c.StateString(badEdge[1]), a.Name()),
+			witness, nil)
+	}
+	if badTerm >= 0 {
+		return fail(relation,
+			fmt.Sprintf("concrete computation terminates at %s but α-image %s is not terminal in %s",
+				c.StateString(badTerm), a.StateString(alpha.Of(badTerm)), a.Name()),
+			witnessTo(c, region, badTerm), nil)
+	}
+	if stutterOK {
+		if v, bad := checkStutterCycles(relation, c, a, alpha, region); bad {
+			return v
+		}
+	}
+	return ok(relation, fmt.Sprintf("every computation over %d states tracks %s (%d exact steps, %d stutters)",
+		region.Count(), a.Name(), exact, stutters))
+}
+
+// checkStutterCycles rejects cycles of C inside region consisting solely of
+// stutter steps whose (single) abstract image is not A-terminal: such a
+// cycle sustains an infinite concrete computation whose destuttered image
+// is a finite, non-maximal abstract sequence — not a computation of A.
+// Steps whose image (a, a) is itself a transition of A are not stutters:
+// they realize A's own self-loop, and a cycle of them tracks an infinite
+// A-computation.
+func checkStutterCycles(relation string, c, a *system.System, alpha *system.Abstraction, region *bitset.Set) (Verdict, bool) {
+	// Build the stutter subgraph restricted to region.
+	b := system.NewBuilder("stutter", c.NumStates())
+	any := false
+	region.ForEach(func(s int) {
+		as := alpha.Of(s)
+		if a.HasTransition(as, as) {
+			return
+		}
+		for _, t := range c.Succ(s) {
+			if region.Has(t) && alpha.Of(t) == as {
+				b.AddTransition(s, t)
+				any = true
+			}
+		}
+	})
+	if !any {
+		return Verdict{}, false
+	}
+	sub := b.Build()
+	if cyc := mc.FindCycleWithin(sub, region); cyc != nil {
+		img := alpha.Of(cyc.States[0])
+		if !a.Terminal(img) {
+			return fail(relation,
+				fmt.Sprintf("pure-stutter cycle at abstract state %s, which is not terminal in %s: the destuttered image of the looping computation is not maximal",
+					a.StateString(img), a.Name()),
+				witnessTo(c, region, cyc.States[0]), cyc.States), true
+		}
+	}
+	return Verdict{}, false
+}
+
+// witnessTo returns a short path inside the region ending at target. When
+// the region is C's from-init reachable set, the path starts at an initial
+// state; otherwise the target itself is a legal computation start, so the
+// one-state path suffices — but a from-init prefix is more readable when
+// one exists.
+func witnessTo(c *system.System, region *bitset.Set, target int) []int {
+	if p := mc.PathFromInit(c, target); p != nil {
+		return p
+	}
+	return []int{target}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+// line builds a terminal chain 0 → 1 → ... → n-1 with init {0}.
+func line(name string, n int) *system.System {
+	b := system.NewBuilder(name, n)
+	for i := 0; i+1 < n; i++ {
+		b.AddTransition(i, i+1)
+	}
+	b.AddInit(0)
+	return b.Build()
+}
+
+func TestRefinementInitIdentical(t *testing.T) {
+	a := line("A", 4)
+	c := line("C", 4)
+	v := RefinementInit(c, a, nil)
+	if !v.Holds {
+		t.Fatalf("identical systems: %s", v)
+	}
+}
+
+func TestRefinementInitExtraUnreachableEdgeOK(t *testing.T) {
+	a := line("A", 4)
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 2)
+	cb.AddTransition(2, 3)
+	cb.AddInit(0)
+	// Unreachable-from-init transition not in A — init refinement must
+	// still hold, everywhere refinement must not.
+	// state 3 is reachable; add a divergent edge from an isolated state:
+	cb2 := system.NewBuilder("C2", 5)
+	cb2.AddTransition(0, 1)
+	cb2.AddTransition(1, 2)
+	cb2.AddTransition(2, 3)
+	cb2.AddTransition(4, 0) // not an A transition; 4 unreachable from init
+	cb2.AddInit(0)
+	ab2 := system.NewBuilder("A2", 5)
+	ab2.AddTransition(0, 1)
+	ab2.AddTransition(1, 2)
+	ab2.AddTransition(2, 3)
+	ab2.AddInit(0)
+	_ = cb.Build()
+	a2, c2 := ab2.Build(), cb2.Build()
+	if v := RefinementInit(c2, a2, nil); !v.Holds {
+		t.Fatalf("init refinement should ignore unreachable divergence: %s", v)
+	}
+	if v := EverywhereRefinement(c2, a2, nil); v.Holds {
+		t.Fatalf("everywhere refinement should see the divergence: %s", v)
+	}
+	_ = a
+}
+
+func TestRefinementInitBadEdge(t *testing.T) {
+	a := line("A", 4)
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 2) // skips a state: not an A transition
+	cb.AddTransition(2, 3)
+	cb.AddInit(0)
+	v := RefinementInit(cb.Build(), a, nil)
+	if v.Holds {
+		t.Fatalf("skipping step accepted: %s", v)
+	}
+	if len(v.Witness) == 0 {
+		t.Fatal("no witness for failing refinement")
+	}
+	if v.Witness[0] != 0 {
+		t.Fatalf("witness should start at an initial state: %v", v.Witness)
+	}
+	if !strings.Contains(v.Reason, "non-transition") {
+		t.Fatalf("reason = %q", v.Reason)
+	}
+}
+
+func TestRefinementTerminalMismatch(t *testing.T) {
+	// C stops at state 1; A continues. The finite computation 0,1 of C is
+	// not maximal in A, hence not a computation of A.
+	a := line("A", 3)
+	cb := system.NewBuilder("C", 3)
+	cb.AddTransition(0, 1)
+	cb.AddInit(0)
+	v := RefinementInit(cb.Build(), a, nil)
+	if v.Holds {
+		t.Fatalf("premature termination accepted: %s", v)
+	}
+	if !strings.Contains(v.Reason, "terminat") {
+		t.Fatalf("reason = %q", v.Reason)
+	}
+}
+
+func TestRefinementSelfLoopStrictOnSharedSpace(t *testing.T) {
+	a := line("A", 2)
+	cb := system.NewBuilder("C", 2)
+	cb.AddTransition(0, 0) // self-loop not in A
+	cb.AddTransition(0, 1)
+	cb.AddInit(0)
+	if v := RefinementInit(cb.Build(), a, nil); v.Holds {
+		t.Fatalf("self-loop accepted without abstraction: %s", v)
+	}
+}
+
+func TestRefinementStutterAllowedViaAbstraction(t *testing.T) {
+	// Concrete: 4 states, pairs {0,1} and {2,3} map to abstract 0 and 1.
+	// C: 0→1 (stutter), 1→2 (abstract step), 2→3 (stutter), 3 terminal.
+	// A: 0→1, 1 terminal.
+	ab := system.NewBuilder("A", 2)
+	ab.AddTransition(0, 1)
+	ab.AddInit(0)
+	a := ab.Build()
+
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 2)
+	cb.AddTransition(2, 3)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	alpha, err := system.NewAbstraction(4, 2, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := RefinementInit(c, a, alpha); !v.Holds {
+		t.Fatalf("stuttering refinement rejected: %s", v)
+	}
+	if v := EverywhereRefinement(c, a, alpha); !v.Holds {
+		t.Fatalf("stuttering everywhere refinement rejected: %s", v)
+	}
+}
+
+func TestRefinementStutterCycleRejected(t *testing.T) {
+	// C loops forever between two states mapping to abstract 0, which is
+	// not terminal in A: the destuttered image "0" is not maximal.
+	ab := system.NewBuilder("A", 2)
+	ab.AddTransition(0, 1)
+	ab.AddInit(0)
+	a := ab.Build()
+
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	alpha, err := system.NewAbstraction(4, 2, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := RefinementInit(c, a, alpha)
+	if v.Holds {
+		t.Fatalf("stutter divergence accepted: %s", v)
+	}
+	if !strings.Contains(v.Reason, "stutter") {
+		t.Fatalf("reason = %q", v.Reason)
+	}
+}
+
+func TestRefinementStutterCycleAtTerminalImageOK(t *testing.T) {
+	// Same shape, but abstract 0 is terminal in A: an infinite concrete
+	// stutter at a terminal abstract state destutters to the maximal
+	// one-state computation.
+	ab := system.NewBuilder("A", 2)
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	a := ab.Build()
+
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	alpha, err := system.NewAbstraction(4, 2, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := RefinementInit(c, a, alpha); !v.Holds {
+		t.Fatalf("terminal-image stutter rejected: %s", v)
+	}
+}
+
+func TestRefinementSpaceMismatchWithoutAbstraction(t *testing.T) {
+	v := RefinementInit(line("C", 3), line("A", 4), nil)
+	if v.Holds || !strings.Contains(v.Reason, "state spaces") {
+		t.Fatalf("verdict = %s", v)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	a := line("A", 3)
+	v := RefinementInit(line("C", 3), a, nil)
+	s := v.String()
+	if !strings.HasPrefix(s, "✓") || !strings.Contains(s, "⊑") {
+		t.Fatalf("String = %q", s)
+	}
+	bad := fail("[X ⊑ Y]", "boom", []int{0, 1}, []int{2})
+	if !strings.HasPrefix(bad.String(), "✗") || !strings.Contains(bad.String(), "loop") {
+		t.Fatalf("String = %q", bad.String())
+	}
+	fw := bad.FormatWitness(a)
+	if !strings.Contains(fw, "s0 → s1") || !strings.Contains(fw, "loop: s2") {
+		t.Fatalf("FormatWitness = %q", fw)
+	}
+	if got := (Verdict{Holds: true}).FormatWitness(a); got != "" {
+		t.Fatalf("FormatWitness on pass = %q", got)
+	}
+}

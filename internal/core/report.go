@@ -1,0 +1,138 @@
+// Package core implements the definitions and theorems of Sections 2 and 7
+// of "Convergence Refinement" (Demirbas & Arora, ICDCS 2002) as decision
+// procedures over finite-state systems:
+//
+//   - refinement with respect to initial states            [C ⊑ A]_init
+//   - everywhere refinement                                [C ⊑ A]
+//   - convergence refinement                               [C ⪯ A]
+//   - everywhere-eventually refinement (Section 7)
+//   - stabilization                                        "C is stabilizing to A"
+//
+// All relations optionally go through a Section 2.3 abstraction function α
+// relating different state spaces. With an abstraction, mapped concrete
+// computations are compared modulo stuttering: a concrete step whose two
+// endpoints have the same α-image is a τ step (Section 6's C3 takes such
+// steps), and the destuttered image must track the abstract system. With a
+// nil abstraction (shared state space) the Section 2 definitions apply
+// verbatim, with no stutter allowance.
+//
+// Every checker returns a Verdict carrying a human-readable reason and,
+// when the relation fails, a concrete counterexample (a finite path or a
+// lasso denoting an infinite computation).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/system"
+)
+
+// Verdict is the outcome of one relation check.
+type Verdict struct {
+	// Holds reports whether the relation was established.
+	Holds bool
+	// Relation names the relation checked, e.g. "[C1 ⪯ BTR]".
+	Relation string
+	// Reason explains the outcome in one or two sentences.
+	Reason string
+	// Witness is a counterexample path of concrete states (empty when the
+	// relation holds). For an infinite counterexample, WitnessLoop holds
+	// the cycle entered after Witness.
+	Witness     []int
+	WitnessLoop []int
+}
+
+// ok builds a passing verdict.
+func ok(relation, reason string) Verdict {
+	return Verdict{Holds: true, Relation: relation, Reason: reason}
+}
+
+// fail builds a failing verdict with an optional witness.
+func fail(relation, reason string, witness, loop []int) Verdict {
+	return Verdict{Relation: relation, Reason: reason, Witness: witness, WitnessLoop: loop}
+}
+
+// String renders the verdict as a single line.
+func (v Verdict) String() string {
+	mark := "✗"
+	if v.Holds {
+		mark = "✓"
+	}
+	s := fmt.Sprintf("%s %s — %s", mark, v.Relation, v.Reason)
+	if len(v.Witness) > 0 {
+		s += fmt.Sprintf(" (witness: %d states", len(v.Witness))
+		if len(v.WitnessLoop) > 0 {
+			s += fmt.Sprintf(" + %d-state loop", len(v.WitnessLoop))
+		}
+		s += ")"
+	}
+	return s
+}
+
+// FormatWitness renders the counterexample using sys's state formatter.
+func (v Verdict) FormatWitness(sys *system.System) string {
+	if len(v.Witness) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range v.Witness {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(sys.StateString(s))
+	}
+	if len(v.WitnessLoop) > 0 {
+		b.WriteString(" → [loop: ")
+		for i, s := range v.WitnessLoop {
+			if i > 0 {
+				b.WriteString(" → ")
+			}
+			b.WriteString(sys.StateString(s))
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Compression records one transition of the concrete system that covers a
+// multi-step path of the abstract system — the paper's "compressed forms of
+// computations" (Section 4.2). Omissions is the number of abstract states
+// dropped (cover length − 2).
+type Compression struct {
+	From, To  int
+	Omissions int
+	// Cover is the abstract path realized by the concrete step, from
+	// α(From) to α(To) inclusive.
+	Cover []int
+}
+
+// ConvergenceReport is the detailed outcome of a convergence-refinement
+// check.
+type ConvergenceReport struct {
+	Verdict
+	// RefinementInit is the verdict of the embedded [C ⊑ A]_init check.
+	RefinementInit Verdict
+	// Compressions lists the concrete transitions that compress abstract
+	// computations. Empty for everywhere refinements (and for C3, whose τ
+	// steps stutter instead of compressing — Lemma 12).
+	Compressions []Compression
+	// StutterEdges counts concrete transitions whose endpoints share an
+	// α-image.
+	StutterEdges int
+	// ExactEdges counts concrete transitions mapping to single abstract
+	// transitions.
+	ExactEdges int
+}
+
+// StabilizationReport is the detailed outcome of a stabilization check.
+type StabilizationReport struct {
+	Verdict
+	// Legitimate is the set of concrete states from which the system
+	// thereafter tracks A-from-init computations (the greatest such set),
+	// as sorted state indices.
+	Legitimate []int
+	// ReachableLegit counts abstract states reachable from A's initial
+	// states (the target region's size).
+	ReachableLegit int
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/mc"
+	"repro/internal/system"
+)
+
+// Stabilizing decides the paper's tolerance definition exactly: "C is
+// stabilizing to A iff every computation of C has a suffix that is a
+// suffix of some computation of A that starts at an initial state of A."
+// Transient faults are modeled by letting computations of C start anywhere
+// in Σ, so the check quantifies over all states, not just C's initial ones.
+//
+// The decision rests on a finite-state characterization. Call an
+// occurrence in a computation a *bad event* if it is
+//
+//   - a state whose α-image is not reachable from A's initial states, or
+//   - a step that is neither an A-transition (under α) nor a stutter.
+//
+// A suffix starting after the last bad event follows A's transitions
+// through A-reachable states, so it is a suffix of an A-from-init
+// computation (its finite endpoint must additionally be A-terminal).
+// Hence a computation has a valid suffix iff it contains finitely many bad
+// events and ends well. On a finite automaton, the violations are exactly:
+//
+//  1. a terminal state of C whose α-image is not an A-reachable terminal
+//     state of A (the one-state computation starting there has no valid
+//     suffix);
+//  2. a bad state or bad step lying on a cycle of C (a computation can
+//     loop through it forever, incurring infinitely many bad events);
+//  3. a cycle of pure stutter steps whose abstract image is not
+//     A-terminal (the computation loops forever while its destuttered
+//     image stalls as a finite, non-maximal sequence).
+//
+// Passing A as both arguments (with a nil abstraction) decides
+// self-stabilization, "A is stabilizing to A".
+func Stabilizing(c, a *system.System, ab *system.Abstraction) *StabilizationReport {
+	relation := fmt.Sprintf("%s is stabilizing to %s", c.Name(), a.Name())
+	legit := mc.ReachFromInit(a)
+	rep := suffixTracking(relation, c, a, ab, legit)
+	rep.ReachableLegit = legit.Count()
+	return rep
+}
+
+// SelfStabilizing decides "A is stabilizing to A".
+func SelfStabilizing(a *system.System) *StabilizationReport {
+	return Stabilizing(a, a, nil)
+}
+
+// EverywhereEventuallyRefinement decides the Section 7 relation: C is an
+// everywhere-eventually refinement of A iff (1) [C ⊑ A]_init and (2) every
+// computation of C is an arbitrary finite prefix over Σ followed by a
+// computation of A. The A-suffix may start at any state of A — not just
+// the reachable ones — and may use recovery paths entirely different from
+// A's, which is why this relation is too permissive for graybox wrapper
+// design (see the odd/even recovery-path example in this package's tests).
+func EverywhereEventuallyRefinement(c, a *system.System, ab *system.Abstraction) Verdict {
+	relation := fmt.Sprintf("[%s ⊑ee %s]", c.Name(), a.Name())
+	if v := RefinementInit(c, a, ab); !v.Holds {
+		return fail(relation, "the embedded [C ⊑ A]_init check failed: "+v.Reason, v.Witness, v.WitnessLoop)
+	}
+	// Same finitely-many-bad-events machinery, but with no reachability
+	// constraint on A's side: the suffix may be a computation of A from
+	// anywhere.
+	rep := suffixTracking(relation, c, a, ab, nil)
+	return rep.Verdict
+}
+
+// suffixTracking implements the shared finitely-many-bad-events check.
+// legit, when non-nil, restricts valid suffixes to α-images inside it
+// (stabilization); nil means any A state may anchor the suffix
+// (everywhere-eventually refinement).
+func suffixTracking(relation string, c, a *system.System, ab *system.Abstraction, legit *bitset.Set) *StabilizationReport {
+	rep := &StabilizationReport{}
+	alpha, stutterOK, err := alphaOf(c, a, ab)
+	if err != nil {
+		rep.Verdict = fail(relation, err.Error(), nil, nil)
+		return rep
+	}
+
+	badState := func(s int) bool {
+		return legit != nil && !legit.Has(alpha.Of(s))
+	}
+	badEdge := func(s, t int) bool {
+		as, at := alpha.Of(s), alpha.Of(t)
+		if a.HasTransition(as, at) {
+			return false
+		}
+		return !(stutterOK && as == at)
+	}
+
+	// Violation 1: bad terminals.
+	for s := 0; s < c.NumStates(); s++ {
+		if !c.Terminal(s) {
+			continue
+		}
+		as := alpha.Of(s)
+		if !a.Terminal(as) || badState(s) {
+			rep.Verdict = fail(relation,
+				fmt.Sprintf("the one-state computation at terminal %s has no valid suffix: α-image %s is %s",
+					c.StateString(s), a.StateString(as), describeBadAnchor(a, as, legit)),
+				[]int{s}, nil)
+			return rep
+		}
+	}
+
+	// Violations 2: bad states / bad steps on cycles. An edge (s, t) lies
+	// on a cycle iff s and t share an SCC; a state lies on a cycle iff its
+	// SCC is cyclic.
+	_, comp := mc.SCCs(c, nil)
+	cyclic := cyclicComponents(c, comp)
+	for s := 0; s < c.NumStates(); s++ {
+		if badState(s) && cyclic[comp[s]] {
+			cyc := cycleThrough(c, comp, s)
+			rep.Verdict = fail(relation,
+				fmt.Sprintf("state %s (α-image outside %s's reachable region) lies on a cycle: a computation revisits it forever and no suffix escapes it",
+					c.StateString(s), a.Name()),
+				[]int{s}, cyc)
+			return rep
+		}
+		for _, t := range c.Succ(s) {
+			if badEdge(s, t) && comp[s] == comp[t] {
+				rep.Verdict = fail(relation,
+					fmt.Sprintf("step %s → %s does not track %s and lies on a cycle: a computation incurs it infinitely often",
+						c.StateString(s), c.StateString(t), a.Name()),
+					[]int{s, t}, cycleThrough(c, comp, s))
+				return rep
+			}
+		}
+	}
+
+	// Violation 3: pure-stutter divergence.
+	if stutterOK {
+		if v, bad := checkStutterCycles(relation, c, a, alpha, bitset.Full(c.NumStates())); bad {
+			v.Relation = relation
+			rep.Verdict = v
+			return rep
+		}
+	}
+
+	// The relation holds. For reporting, the legitimate region is the set
+	// of states from which no bad event is reachable: all computations
+	// from these states track A (within the legitimate region) forever.
+	badCore := bitset.New(c.NumStates())
+	for s := 0; s < c.NumStates(); s++ {
+		if badState(s) {
+			badCore.Add(s)
+			continue
+		}
+		for _, t := range c.Succ(s) {
+			if badEdge(s, t) {
+				badCore.Add(s)
+				break
+			}
+		}
+	}
+	g := mc.CanReach(c, badCore).Complement()
+	rep.Legitimate = g.Members()
+	rep.Verdict = ok(relation,
+		fmt.Sprintf("every computation has a suffix tracking %s; %d of %d states are legitimate (no bad event reachable)",
+			a.Name(), g.Count(), c.NumStates()))
+	return rep
+}
+
+// describeBadAnchor explains why an abstract state cannot anchor a valid
+// suffix.
+func describeBadAnchor(a *system.System, as int, legit *bitset.Set) string {
+	if legit != nil && !legit.Has(as) {
+		if !a.Terminal(as) {
+			return "neither terminal in nor reachable in " + a.Name()
+		}
+		return "not reachable from the initial states of " + a.Name()
+	}
+	return "not terminal in " + a.Name()
+}
+
+// cyclicComponents marks the SCC indices that contain a cycle (size > 1,
+// or a single state with a self-loop).
+func cyclicComponents(c *system.System, comp []int) map[int]bool {
+	size := make(map[int]int)
+	for _, ci := range comp {
+		size[ci]++
+	}
+	cyclic := make(map[int]bool, len(size))
+	for s := 0; s < c.NumStates(); s++ {
+		ci := comp[s]
+		if size[ci] > 1 || c.HasTransition(s, s) {
+			if size[ci] > 1 {
+				cyclic[ci] = true
+			} else if c.HasTransition(s, s) {
+				cyclic[ci] = true
+			}
+		}
+	}
+	return cyclic
+}
+
+// cycleThrough extracts a cycle inside s's component, for witness display.
+func cycleThrough(c *system.System, comp []int, s int) []int {
+	members := bitset.New(c.NumStates())
+	for t := 0; t < c.NumStates(); t++ {
+		if comp[t] == comp[s] {
+			members.Add(t)
+		}
+	}
+	if cyc := mc.FindCycleWithin(c, members); cyc != nil {
+		return cyc.States
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+// ringAB builds a two-state specification that alternates 0 ↔ 1 with init
+// {0}: every state is reachable and every computation is infinite.
+func ringAB(name string) *system.System {
+	b := system.NewBuilder(name, 2)
+	b.AddTransition(0, 1)
+	b.AddTransition(1, 0)
+	b.AddInit(0)
+	return b.Build()
+}
+
+func TestSelfStabilizingAlternator(t *testing.T) {
+	a := ringAB("A")
+	rep := SelfStabilizing(a)
+	if !rep.Holds {
+		t.Fatalf("alternator not self-stabilizing: %s", rep.Verdict)
+	}
+	if len(rep.Legitimate) != 2 || rep.ReachableLegit != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestNotSelfStabilizingWhenFaultStateTraps(t *testing.T) {
+	// State 2 is a trap outside A's reachable region.
+	b := system.NewBuilder("A", 3)
+	b.AddTransition(0, 1)
+	b.AddTransition(1, 0)
+	b.AddTransition(2, 2)
+	b.AddInit(0)
+	a := b.Build()
+	rep := SelfStabilizing(a)
+	if rep.Holds {
+		t.Fatalf("trapping system reported stabilizing: %s", rep.Verdict)
+	}
+	if !strings.Contains(rep.Reason, "cycle") {
+		t.Fatalf("reason = %q", rep.Reason)
+	}
+}
+
+func TestStabilizingConvergesFromEverywhere(t *testing.T) {
+	// C adds recovery edges from fault states 2,3 into the legit cycle.
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	cb.AddTransition(2, 0)
+	cb.AddTransition(3, 2)
+	cb.AddInit(0)
+	ab := system.NewBuilder("A", 4)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	rep := Stabilizing(cb.Build(), ab.Build(), nil)
+	if !rep.Holds {
+		t.Fatalf("recovering system rejected: %s", rep.Verdict)
+	}
+	// Legitimate region: exactly the states with no reachable bad event
+	// — the recovery edges (2,0),(3,2) are bad events, so only {0,1}.
+	if len(rep.Legitimate) != 2 || rep.Legitimate[0] != 0 || rep.Legitimate[1] != 1 {
+		t.Fatalf("legitimate = %v", rep.Legitimate)
+	}
+}
+
+func TestStabilizingBadTerminal(t *testing.T) {
+	cb := system.NewBuilder("C", 3)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	// state 2 terminal in C.
+	cb.AddInit(0)
+	ab := system.NewBuilder("A", 3)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	rep := Stabilizing(cb.Build(), ab.Build(), nil)
+	if rep.Holds {
+		t.Fatalf("dead terminal accepted: %s", rep.Verdict)
+	}
+	if !strings.Contains(rep.Reason, "terminal") {
+		t.Fatalf("reason = %q", rep.Reason)
+	}
+}
+
+func TestStabilizingFiniteBadEventsAccepted(t *testing.T) {
+	// The key distinction from the naive closed-region check: state 0 is
+	// on a legitimate cycle AND has a one-shot escape edge 0→2 that is not
+	// an A-transition; from 2 the system rejoins legitimacy via an
+	// A-transition 2→0? No — (2,0) must be an A transition for the suffix
+	// to be valid. Give A the edge 2→0 but make 2 unreachable in A:
+	// then α(2)=2 is outside A's reachable region, a bad state — but it is
+	// not on a cycle, so computations pass through it at most once.
+	ab := system.NewBuilder("A", 3)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddTransition(2, 0) // present in A, but 2 unreachable from init
+	ab.AddInit(0)
+	a := ab.Build()
+
+	cb := system.NewBuilder("C", 3)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	cb.AddTransition(0, 2) // bad step, traversed at most once (2 cannot return… it can: 2→0!)
+	cb.AddTransition(2, 0)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	// Here 0→2→0 IS a cycle of C containing the bad step (0,2) (bad since
+	// (0,2) ∉ T_A) — so this must be rejected.
+	rep := Stabilizing(c, a, nil)
+	if rep.Holds {
+		t.Fatalf("infinitely repeatable bad step accepted: %s", rep.Verdict)
+	}
+
+	// Remove the return edge: now the bad step 0→2 is not on any cycle,
+	// and from 2 the computation halts… 2 must not be terminal-bad. Give
+	// 2 a transition to 1 in both systems, reachable only via the fault.
+	ab2 := system.NewBuilder("A2", 3)
+	ab2.AddTransition(0, 1)
+	ab2.AddTransition(1, 0)
+	ab2.AddTransition(2, 1) // in A, 2 recovers to 1; 2 unreachable from init
+	ab2.AddInit(0)
+	cb2 := system.NewBuilder("C2", 3)
+	cb2.AddTransition(0, 1)
+	cb2.AddTransition(1, 0)
+	cb2.AddTransition(2, 1)
+	cb2.AddInit(0)
+	rep2 := Stabilizing(cb2.Build(), ab2.Build(), nil)
+	if !rep2.Holds {
+		t.Fatalf("finitely many bad events rejected: %s", rep2.Verdict)
+	}
+	// 2 is a bad state (not A-reachable) but off-cycle: it is excluded
+	// from the legitimate region yet does not break stabilization.
+	if len(rep2.Legitimate) != 2 {
+		t.Fatalf("legitimate = %v", rep2.Legitimate)
+	}
+}
+
+func TestStabilizingWithAbstractionAndStutter(t *testing.T) {
+	// Concrete pairs {0,1}↦0, {2,3}↦1; abstract alternator. C stutters
+	// inside each pair and steps across pairs; every computation keeps
+	// alternating at the abstract level.
+	ab := system.NewBuilder("A", 2)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	a := ab.Build()
+
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1) // τ
+	cb.AddTransition(1, 2) // 0→1 abstract
+	cb.AddTransition(2, 3) // τ
+	cb.AddTransition(3, 0) // 1→0 abstract
+	cb.AddInit(0)
+	c := cb.Build()
+
+	alpha, err := system.NewAbstraction(4, 2, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Stabilizing(c, a, alpha)
+	if !rep.Holds {
+		t.Fatalf("stuttering stabilization rejected: %s", rep.Verdict)
+	}
+	if len(rep.Legitimate) != 4 {
+		t.Fatalf("legitimate = %v", rep.Legitimate)
+	}
+}
+
+func TestStabilizingRejectsStutterDivergence(t *testing.T) {
+	// C can loop forever inside the pair mapping to abstract 0 (non-
+	// terminal): destuttered image stalls.
+	ab := system.NewBuilder("A", 2)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0) // pure stutter cycle in pair {0,1}
+	cb.AddTransition(1, 2)
+	cb.AddTransition(2, 3)
+	cb.AddTransition(3, 0)
+	cb.AddInit(0)
+	alpha, err := system.NewAbstraction(4, 2, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Stabilizing(cb.Build(), ab.Build(), alpha)
+	if rep.Holds {
+		t.Fatalf("stutter divergence accepted: %s", rep.Verdict)
+	}
+}
+
+func TestEverywhereEventuallyBasics(t *testing.T) {
+	// Recovery through states unknown to A is fine for ⊑ee as long as it
+	// is finite and lands in A-behavior.
+	a, c := OddEvenRecovery()
+	v := EverywhereEventuallyRefinement(c, a, nil)
+	if !v.Holds {
+		t.Fatalf("[C ⊑ee A]: %s", v)
+	}
+	// A bad cycle is not fine.
+	cb := system.NewBuilder("C2", 6)
+	cb.AddTransition(5, 4)
+	cb.AddTransition(4, 5) // loops forever outside A behavior
+	cb.AddTransition(0, 0)
+	cb.AddInit(0)
+	v = EverywhereEventuallyRefinement(cb.Build(), a, nil)
+	if v.Holds {
+		t.Fatalf("diverging C accepted: %s", v)
+	}
+}
+
+func TestEverywhereEventuallyRequiresInitRefinement(t *testing.T) {
+	a := line("A", 3)
+	cb := system.NewBuilder("C", 3)
+	cb.AddTransition(0, 2) // diverges immediately from init
+	cb.AddTransition(1, 2)
+	cb.AddInit(0)
+	v := EverywhereEventuallyRefinement(cb.Build(), a, nil)
+	if v.Holds {
+		t.Fatal("init divergence accepted")
+	}
+	if !strings.Contains(v.Reason, "init") {
+		t.Fatalf("reason = %q", v.Reason)
+	}
+}
+
+func TestStabilizationHierarchy(t *testing.T) {
+	// Everywhere refinement ⊆ convergence refinement ⊆ everywhere-
+	// eventually refinement on a recovery example.
+	ab := system.NewBuilder("A", 4)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddTransition(2, 0)
+	ab.AddTransition(3, 2)
+	ab.AddInit(0)
+	a := ab.Build()
+
+	// C compresses A's recovery 3→2→0 into 3→0.
+	cb := system.NewBuilder("C", 4)
+	cb.AddTransition(0, 1)
+	cb.AddTransition(1, 0)
+	cb.AddTransition(2, 0)
+	cb.AddTransition(3, 0)
+	cb.AddInit(0)
+	c := cb.Build()
+
+	if v := EverywhereRefinement(c, a, nil); v.Holds {
+		t.Fatalf("[C ⊑ A] should fail (3→0 is not an A step): %s", v)
+	}
+	if rep := ConvergenceRefinement(c, a, nil); !rep.Holds {
+		t.Fatalf("[C ⪯ A] should hold: %s", rep.Verdict)
+	}
+	if v := EverywhereEventuallyRefinement(c, a, nil); !v.Holds {
+		t.Fatalf("[C ⊑ee A] should hold: %s", v)
+	}
+	// And stabilization is preserved (Theorem 1 instance).
+	if rep := Stabilizing(c, a, nil); !rep.Holds {
+		t.Fatalf("C stabilizing to A: %s", rep.Verdict)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/system"
+)
+
+// TheoremCheck replays one of the paper's metatheorems on a concrete
+// instance: it verifies each hypothesis, verifies the conclusion
+// independently, and reports whether the implication was witnessed (all
+// hypotheses and the conclusion hold). A theorem is *refuted* by an
+// instance only if all hypotheses hold and the conclusion fails — which,
+// the paper being sound, the test suite asserts never happens.
+type TheoremCheck struct {
+	Name       string
+	Hypotheses []Verdict
+	Conclusion Verdict
+}
+
+// HypothesesHold reports whether every hypothesis verdict passed.
+func (tc *TheoremCheck) HypothesesHold() bool {
+	for _, h := range tc.Hypotheses {
+		if !h.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// Witnessed reports whether the instance witnesses the theorem: all
+// hypotheses hold and so does the conclusion.
+func (tc *TheoremCheck) Witnessed() bool {
+	return tc.HypothesesHold() && tc.Conclusion.Holds
+}
+
+// Refuted reports whether the instance contradicts the theorem — all
+// hypotheses hold yet the conclusion fails. This must never be true.
+func (tc *TheoremCheck) Refuted() bool {
+	return tc.HypothesesHold() && !tc.Conclusion.Holds
+}
+
+// String renders a multi-line summary.
+func (tc *TheoremCheck) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", tc.Name)
+	for _, h := range tc.Hypotheses {
+		fmt.Fprintf(&b, "  hypothesis: %s\n", h)
+	}
+	fmt.Fprintf(&b, "  conclusion: %s\n", tc.Conclusion)
+	switch {
+	case tc.Refuted():
+		b.WriteString("  REFUTED — hypotheses hold but conclusion fails\n")
+	case tc.Witnessed():
+		b.WriteString("  witnessed\n")
+	default:
+		b.WriteString("  vacuous (some hypothesis fails)\n")
+	}
+	return b.String()
+}
+
+// Theorem1 instantiates "If [C ⪯ A] and A is stabilizing to B, then C is
+// stabilizing to B". abCA relates C to A; abAB relates A to B; the derived
+// relation from C to B composes the two. Pass nil abstractions for shared
+// state spaces.
+func Theorem1(c, a, b *system.System, abCA, abAB *system.Abstraction) (*TheoremCheck, error) {
+	abCB, err := Compose(abCA, abAB, c, a, b)
+	if err != nil {
+		return nil, fmt.Errorf("core: composing abstractions for Theorem 1: %w", err)
+	}
+	conv := ConvergenceRefinement(c, a, abCA)
+	stab := Stabilizing(a, b, abAB)
+	concl := Stabilizing(c, b, abCB)
+	return &TheoremCheck{
+		Name:       "Theorem 1",
+		Hypotheses: []Verdict{conv.Verdict, stab.Verdict},
+		Conclusion: concl.Verdict,
+	}, nil
+}
+
+// Theorem3 instantiates "If [C ⪯ A] and (A [] W) is stabilizing to A then
+// (C [] W) is stabilizing to A". It requires C, A and W over a shared
+// state space (the Section 2 setting); for the cross-space versions the
+// ring derivations instantiate Theorem 5 directly.
+func Theorem3(c, a, w *system.System) *TheoremCheck {
+	conv := ConvergenceRefinement(c, a, nil)
+	wrapped := Stabilizing(system.Box(a, w), a, nil)
+	concl := Stabilizing(system.Box(c, w), a, nil)
+	return &TheoremCheck{
+		Name:       "Theorem 3",
+		Hypotheses: []Verdict{conv.Verdict, wrapped.Verdict},
+		Conclusion: concl.Verdict,
+	}
+}
+
+// Theorem5 instantiates the graybox wrapping theorem: "If [C ⪯ A] and
+// (A [] W) is stabilizing to A then for all W' with [W' ⪯ W], (C [] W')
+// is stabilizing to A", for one particular W'. All four systems share a
+// state space here; the ring packages exercise the cross-space version by
+// mapping their concrete systems through abstraction functions first.
+func Theorem5(c, a, w, wPrime *system.System) *TheoremCheck {
+	conv := ConvergenceRefinement(c, a, nil)
+	wrapped := Stabilizing(system.Box(a, w), a, nil)
+	wconv := ConvergenceRefinement(wPrime, w, nil)
+	concl := Stabilizing(system.Box(c, wPrime), a, nil)
+	return &TheoremCheck{
+		Name:       "Theorem 5",
+		Hypotheses: []Verdict{conv.Verdict, wrapped.Verdict, wconv.Verdict},
+		Conclusion: concl.Verdict,
+	}
+}
+
+// Compose builds the abstraction β∘α: Σ_C → Σ_B from α: Σ_C → Σ_A and
+// β: Σ_A → Σ_B. Nil arguments denote identities; if both are nil the
+// result is nil (identity), provided the endpoint spaces agree.
+func Compose(abCA, abAB *system.Abstraction, c, a, b *system.System) (*system.Abstraction, error) {
+	switch {
+	case abCA == nil && abAB == nil:
+		if c.NumStates() != b.NumStates() {
+			return nil, fmt.Errorf("identity composition impossible: |Σ_C|=%d, |Σ_B|=%d", c.NumStates(), b.NumStates())
+		}
+		return nil, nil
+	case abCA == nil:
+		if c.NumStates() != a.NumStates() {
+			return nil, fmt.Errorf("identity α impossible: |Σ_C|=%d, |Σ_A|=%d", c.NumStates(), a.NumStates())
+		}
+		return abAB, nil
+	case abAB == nil:
+		if a.NumStates() != b.NumStates() {
+			return nil, fmt.Errorf("identity β impossible: |Σ_A|=%d, |Σ_B|=%d", a.NumStates(), b.NumStates())
+		}
+		return abCA, nil
+	default:
+		if abCA.NumAbstract() != abAB.NumConcrete() {
+			return nil, fmt.Errorf("abstraction shapes do not compose: %d→%d then %d→%d",
+				abCA.NumConcrete(), abCA.NumAbstract(), abAB.NumConcrete(), abAB.NumAbstract())
+		}
+		return system.NewAbstraction(abCA.NumConcrete(), abAB.NumAbstract(), func(s int) int {
+			return abAB.Of(abCA.Of(s))
+		})
+	}
+}

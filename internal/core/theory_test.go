@@ -1,0 +1,179 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+// tinyTokenWorld builds a miniature of the paper's Section 3 setup over a
+// shared state space: an abstract system A whose legitimate behavior
+// alternates 0 ↔ 1, a wrapper W recovering fault states {2, 3} back into
+// the legitimate cycle, and a concrete system C that compresses part of
+// A's legitimate behavior. All over 4 states.
+func tinyTokenWorld() (a, w, c, wPrime *system.System) {
+	ab := system.NewBuilder("A", 4)
+	ab.AddTransition(0, 1)
+	ab.AddTransition(1, 0)
+	ab.AddInit(0)
+	a = ab.Build()
+
+	wb := system.NewBuilder("W", 4)
+	wb.AddTransition(3, 2)
+	wb.AddTransition(2, 0)
+	w = wb.Build()
+
+	// C equals A on legitimate states; no extra behavior. (A compression
+	// inside the two-state legitimate cycle would lie on a cycle, so here
+	// C ⪯ A holds with zero compressions.)
+	cbuild := system.NewBuilder("C", 4)
+	cbuild.AddTransition(0, 1)
+	cbuild.AddTransition(1, 0)
+	cbuild.AddInit(0)
+	c = cbuild.Build()
+
+	// W' compresses W's recovery path 3→2→0 into a single step 3→0 and
+	// keeps 2→0.
+	wpb := system.NewBuilder("W'", 4)
+	wpb.AddTransition(3, 0)
+	wpb.AddTransition(2, 0)
+	wPrime = wpb.Build()
+	return a, w, c, wPrime
+}
+
+func TestWrapperMakesAStabilizing(t *testing.T) {
+	a, w, _, _ := tinyTokenWorld()
+	if rep := SelfStabilizing(a); rep.Holds {
+		t.Fatalf("A alone must not be stabilizing (states 2,3 dead): %s", rep.Verdict)
+	}
+	wrapped := system.Box(a, w)
+	if rep := Stabilizing(wrapped, a, nil); !rep.Holds {
+		t.Fatalf("(A [] W) stabilizing to A: %s", rep.Verdict)
+	}
+}
+
+func TestTheorem1Instance(t *testing.T) {
+	a, w, c, _ := tinyTokenWorld()
+	// Use (C [] W) ⪯ (A [] W) and (A [] W) stabilizing to A.
+	cw := system.Box(c, w)
+	aw := system.Box(a, w)
+	tc, err := Theorem1(cw, aw, a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Refuted() {
+		t.Fatalf("Theorem 1 refuted:\n%s", tc)
+	}
+	if !tc.Witnessed() {
+		t.Fatalf("Theorem 1 instance vacuous:\n%s", tc)
+	}
+}
+
+func TestTheorem3Instance(t *testing.T) {
+	a, w, c, _ := tinyTokenWorld()
+	tc := Theorem3(c, a, w)
+	if tc.Refuted() {
+		t.Fatalf("Theorem 3 refuted:\n%s", tc)
+	}
+	if !tc.Witnessed() {
+		t.Fatalf("Theorem 3 instance vacuous:\n%s", tc)
+	}
+}
+
+func TestTheorem5Instance(t *testing.T) {
+	a, w, c, wPrime := tinyTokenWorld()
+	// Hypothesis [W' ⪯ W] holds: 3→0 compresses W's 3→2→0.
+	tc := Theorem5(c, a, w, wPrime)
+	if tc.Refuted() {
+		t.Fatalf("Theorem 5 refuted:\n%s", tc)
+	}
+	if !tc.Witnessed() {
+		t.Fatalf("Theorem 5 instance vacuous:\n%s", tc)
+	}
+}
+
+func TestTheorem5CatchesBadWrapper(t *testing.T) {
+	a, w, c, _ := tinyTokenWorld()
+	// A wrapper that recovers along a path W never uses is NOT a
+	// convergence refinement of W; the theorem gives no guarantee, and the
+	// check reports the instance as vacuous, not refuted.
+	wb := system.NewBuilder("Wbad", 4)
+	wb.AddTransition(3, 1) // W recovers 3→2→0; this goes 3→1
+	wb.AddTransition(2, 0)
+	wBad := wb.Build()
+	tc := Theorem5(c, a, w, wBad)
+	if tc.HypothesesHold() {
+		t.Fatalf("[Wbad ⪯ W] should fail:\n%s", tc)
+	}
+	if tc.Refuted() {
+		t.Fatalf("vacuous instance misreported as refuted:\n%s", tc)
+	}
+}
+
+func TestTheoremCheckString(t *testing.T) {
+	a, w, c, _ := tinyTokenWorld()
+	tc := Theorem3(c, a, w)
+	s := tc.String()
+	for _, want := range []string{"Theorem 3", "hypothesis:", "conclusion:", "witnessed"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestComposeAbstractions(t *testing.T) {
+	abCA, err := system.NewAbstraction(8, 4, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	abAB, err := system.NewAbstraction(4, 2, func(s int) int { return s / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dummy systems just for size checking.
+	c := line("C", 8)
+	a := line("A", 4)
+	b := line("B", 2)
+	composed, err := Compose(abCA, abAB, c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Of(7) != 1 || composed.Of(0) != 0 || composed.Of(3) != 0 {
+		t.Fatalf("composition wrong: %d %d %d", composed.Of(7), composed.Of(0), composed.Of(3))
+	}
+
+	// Identity composition requires matching endpoint sizes.
+	if _, err := Compose(nil, nil, c, a, b); err == nil {
+		t.Fatal("mismatched identity composition accepted")
+	}
+	got, err := Compose(nil, nil, line("X", 2), a, b)
+	if err != nil || got != nil {
+		t.Fatalf("identity∘identity = %v, %v", got, err)
+	}
+	// One-sided identities.
+	if _, err := Compose(nil, abAB, c, a, b); err == nil {
+		t.Fatal("α identity with |C| ≠ |A| accepted")
+	}
+	one, err := Compose(nil, abAB, a, a, b)
+	if err != nil || one != abAB {
+		t.Fatalf("identity∘β: %v, %v", one, err)
+	}
+	two, err := Compose(abCA, nil, c, a, a)
+	if err != nil || two != abCA {
+		t.Fatalf("α∘identity: %v, %v", two, err)
+	}
+	// Shape mismatch.
+	if _, err := Compose(abAB, abCA, b, a, c); err == nil {
+		t.Fatal("non-composable shapes accepted")
+	}
+}
+
+func TestFig1RequiresMinimumSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fig1(2)
+}

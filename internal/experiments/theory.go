@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/system"
+)
+
+// E1Fig1 machine-checks the Figure 1 counterexample: refinement with
+// respect to initial states does not preserve stabilization.
+func E1Fig1() *Report {
+	r := &Report{
+		ID:    "E1",
+		Title: "Figure 1: plain refinement is not stabilization preserving",
+		Claim: "[C ⊑ A]_init holds and A is stabilizing to A, yet C is not stabilizing to A",
+	}
+	for _, k := range []int{4, 6, 10} {
+		a, c := core.Fig1(k)
+		init := core.RefinementInit(c, a, nil)
+		selfStab := core.SelfStabilizing(a)
+		notStab := core.Stabilizing(c, a, nil)
+		name := fmt.Sprintf("k=%d", k)
+		r.Rows = append(r.Rows,
+			expectRow(name+": [C ⊑ A]_init", init.Holds, true, init.Reason),
+			expectRow(name+": A stabilizing to A", selfStab.Holds, true, selfStab.Reason),
+			expectRow(name+": C NOT stabilizing to A", notStab.Holds, false, notStab.Reason),
+		)
+	}
+	return r
+}
+
+// E4Theorem6 checks (BTR [] W1) <] W2 stabilizing to BTR, and documents
+// that the plain union fails (the token-crossing schedule).
+func E4Theorem6() *Report {
+	r := &Report{
+		ID:    "E4",
+		Title: "Theorem 6: BTR [] W1 [] W2 is stabilizing to BTR",
+		Claim: "the wrappers of Section 3.2 stabilize the abstract bidirectional ring",
+		Notes: []string{
+			"W2 must preempt the ring's moves (PriorityBox); under the plain union a daemon moves opposing tokens through each other forever — the checker exhibits the crossing loop.",
+		},
+	}
+	for _, n := range []int{2, 3, 4, 5} {
+		b := ring.NewBTR(n)
+		btr := b.System()
+		rep := core.Stabilizing(b.Wrapped(), btr, nil)
+		r.Rows = append(r.Rows, expectRow(fmt.Sprintf("N=%d: wrapped stabilizing", n), rep.Holds, true, rep.Reason))
+	}
+	b := ring.NewBTR(3)
+	plain := core.Stabilizing(b.WrappedPlain(), b.System(), nil)
+	r.Rows = append(r.Rows, expectRow("N=3: plain union NOT stabilizing", plain.Holds, false, plain.Reason))
+	return r
+}
+
+// E5Lemma7 checks [C1 ⪯ BTR] through the 4-state mapping, plus the
+// exactness of BTR4 itself.
+func E5Lemma7() *Report {
+	r := &Report{
+		ID:    "E5",
+		Title: "Lemma 7: [C1 ⪯ BTR] via the 4-state mapping",
+		Claim: "C1's computations are convergence isomorphisms of BTR's; compressions only drop tokens",
+	}
+	for _, n := range []int{2, 3, 4} {
+		b := ring.NewBTR(n)
+		f := ring.NewFourState(n)
+		ab, err := f.Abstraction(b)
+		if err != nil {
+			r.Rows = append(r.Rows, Row{Name: fmt.Sprintf("N=%d", n), Detail: err.Error()})
+			continue
+		}
+		btr4 := core.ConvergenceRefinement(f.BTR4(), b.System(), ab)
+		c1 := core.ConvergenceRefinement(f.C1(), b.System(), ab)
+		r.Rows = append(r.Rows,
+			expectRow(fmt.Sprintf("N=%d: [BTR4 ⪯ BTR]", n), btr4.Holds, true, btr4.Reason),
+			expectRow(fmt.Sprintf("N=%d: [C1 ⪯ BTR]", n), c1.Holds, true,
+				fmt.Sprintf("%s; %d compressions", c1.Reason, len(c1.Compressions))),
+		)
+	}
+	return r
+}
+
+// E6Dijkstra4 checks Theorem 8 and the 4-state optimization.
+func E6Dijkstra4() *Report {
+	r := &Report{
+		ID:    "E6",
+		Title: "Theorem 8 + Dijkstra's 4-state system",
+		Claim: "C1 [] W1' [] W2' (= C1, the wrappers being vacuous) and the guard-relaxed Dijkstra-4 are stabilizing to BTR",
+		Notes: []string{
+			"Finding: the guard relaxation is NOT itself a convergence refinement of BTR for N ≥ 3 (a relaxed move can create a token); its stabilization is established directly, outside the refinement framework.",
+		},
+	}
+	for _, n := range []int{2, 3, 4} {
+		b := ring.NewBTR(n)
+		f := ring.NewFourState(n)
+		ab, err := f.Abstraction(b)
+		if err != nil {
+			r.Rows = append(r.Rows, Row{Name: fmt.Sprintf("N=%d", n), Detail: err.Error()})
+			continue
+		}
+		w1 := f.W1Prime()
+		vacuous := true
+		for s := 0; s < w1.NumStates(); s++ {
+			for _, t := range w1.Succ(s) {
+				if t != s {
+					vacuous = false
+				}
+			}
+		}
+		c1 := core.Stabilizing(f.C1(), b.System(), ab)
+		d4 := core.Stabilizing(f.Dijkstra4(), b.System(), ab)
+		r.Rows = append(r.Rows,
+			expectRow(fmt.Sprintf("N=%d: W1' vacuous, W2' empty", n),
+				vacuous && f.W2Prime().NumTransitions() == 0, true,
+				fmt.Sprintf("W1' self-loops only: %v; W2' transitions: %d", vacuous, f.W2Prime().NumTransitions())),
+			expectRow(fmt.Sprintf("N=%d: C1 stabilizing to BTR", n), c1.Holds, true, c1.Reason),
+			expectRow(fmt.Sprintf("N=%d: Dijkstra4 stabilizing to BTR", n), d4.Holds, true, d4.Reason),
+		)
+	}
+	b := ring.NewBTR(3)
+	f := ring.NewFourState(3)
+	ab, _ := f.Abstraction(b)
+	rel := core.ConvergenceRefinement(f.Dijkstra4(), b.System(), ab)
+	r.Rows = append(r.Rows, expectRow("N=3: [D4 ⪯ BTR] fails (finding)", rel.Holds, false, rel.Reason))
+	return r
+}
+
+// E7Lemma9 checks (BTR3 [] W1″) <] W2' stabilizing to BTR and the
+// boundary at N = 4.
+func E7Lemma9() *Report {
+	r := &Report{
+		ID:    "E7",
+		Title: "Lemma 9: BTR3 [] W1'' [] W2' is stabilizing to BTR",
+		Claim: "the local wrapper W1'' and deletion wrapper W2' stabilize the abstract 3-state ring",
+		Notes: []string{
+			"Finding: under a fully adversarial daemon the composition fails at N = 4 (a staircase of same-direction tokens circulates forever, starving a continuously enabled action); Dijkstra's merged top guard rules the schedule out. Under weak fairness the lemma holds at every tested N — the paper's claim is correct for any non-starving daemon.",
+		},
+	}
+	for _, n := range []int{2, 3} {
+		b := ring.NewBTR(n)
+		f := ring.NewThreeState(n)
+		ab, err := f.Abstraction(b)
+		if err != nil {
+			r.Rows = append(r.Rows, Row{Name: fmt.Sprintf("N=%d", n), Detail: err.Error()})
+			continue
+		}
+		rep := core.Stabilizing(f.Lemma9System(), b.System(), ab)
+		r.Rows = append(r.Rows,
+			expectRow(fmt.Sprintf("N=%d: Lemma 9", n), rep.Holds, true, rep.Reason))
+		if n >= 3 {
+			// At N = 2 the local and global guards coincide; the
+			// separation needs a middle counter to differ.
+			notEvery := core.EverywhereRefinement(f.W1DoublePrime(), f.W1PrimeGlobal(), nil)
+			r.Rows = append(r.Rows,
+				expectRow(fmt.Sprintf("N=%d: W1'' not an everywhere refinement of W1'", n), notEvery.Holds, false, notEvery.Reason))
+		}
+	}
+	b := ring.NewBTR(4)
+	f := ring.NewThreeState(4)
+	ab, _ := f.Abstraction(b)
+	rep := core.Stabilizing(f.Lemma9System(), b.System(), ab)
+	r.Rows = append(r.Rows, expectRow("N=4: unfair boundary (fails, finding)", rep.Holds, false, rep.Reason))
+	for _, n := range []int{4, 5} {
+		bn := ring.NewBTR(n)
+		fn := ring.NewThreeState(n)
+		abn, err := fn.Abstraction(bn)
+		if err != nil {
+			r.Rows = append(r.Rows, Row{Name: fmt.Sprintf("N=%d fair", n), Detail: err.Error()})
+			continue
+		}
+		fair := core.FairStabilizing(fn.Lemma9Labeled(), bn.System(), abn)
+		r.Rows = append(r.Rows, expectRow(fmt.Sprintf("N=%d: holds under weak fairness", n), fair.Holds, true, fair.Reason))
+	}
+	return r
+}
+
+// E8Dijkstra3 checks Lemma 10 (with its N ≥ 3 boundary) and Theorem 11.
+func E8Dijkstra3() *Report {
+	r := &Report{
+		ID:    "E8",
+		Title: "Lemma 10, Theorem 11: Dijkstra's 3-state system",
+		Claim: "[C2[]W1''[]W2' ⪯ BTR3[]W1''[]W2'] and the composed system is stabilizing to BTR",
+		Notes: []string{
+			"Finding: Lemma 10 verifies at N = 2 but fails for N ≥ 3 (a C2 move deletes one token and redirects another in a single step, with no abstract cover). Theorem 11's conclusion is established directly at every N.",
+		},
+	}
+	f2 := ring.NewThreeState(2)
+	l10 := core.ConvergenceRefinement(f2.ComposedC2(), f2.Lemma9System(), nil)
+	r.Rows = append(r.Rows, expectRow("N=2: Lemma 10", l10.Holds, true,
+		fmt.Sprintf("%s; %d compressions", l10.Reason, len(l10.Compressions))))
+	f3 := ring.NewThreeState(3)
+	l10b := core.ConvergenceRefinement(f3.ComposedC2(), f3.Lemma9System(), nil)
+	r.Rows = append(r.Rows, expectRow("N=3: Lemma 10 fails (finding)", l10b.Holds, false, l10b.Reason))
+
+	for _, n := range []int{2, 3, 4, 5} {
+		b := ring.NewBTR(n)
+		f := ring.NewThreeState(n)
+		ab, err := f.Abstraction(b)
+		if err != nil {
+			r.Rows = append(r.Rows, Row{Name: fmt.Sprintf("N=%d", n), Detail: err.Error()})
+			continue
+		}
+		d3 := core.Stabilizing(f.Dijkstra3(), b.System(), ab)
+		r.Rows = append(r.Rows, expectRow(fmt.Sprintf("N=%d: Dijkstra3 stabilizing to BTR", n), d3.Holds, true, d3.Reason))
+	}
+	return r
+}
+
+// E9NewThreeState checks Section 6: Lemma 12's collision-state finding,
+// Theorem 13, and the aggressive-W2' equality with Dijkstra-3.
+func E9NewThreeState() *Report {
+	r := &Report{
+		ID:    "E9",
+		Title: "Section 6: the new 3-state system C3",
+		Claim: "C3 stutters instead of compressing (Lemma 12); C3 [] W1'' [] W2' is stabilizing to BTR (Theorem 13); the aggressive-W2' variant equals Dijkstra's 3-state system",
+		Notes: []string{
+			"Finding: Lemma 12 as stated fails — at an opposing-token collision state C3's move relocates both tokens at once, a compression lying on a cycle. Away from collisions the τ-step claim is exact, and Theorem 13 holds (the deletion wrapper resolves collisions first).",
+		},
+	}
+	for _, n := range []int{2, 3, 4} {
+		b := ring.NewBTR(n)
+		f := ring.NewThreeState(n)
+		ab, err := f.Abstraction(b)
+		if err != nil {
+			r.Rows = append(r.Rows, Row{Name: fmt.Sprintf("N=%d", n), Detail: err.Error()})
+			continue
+		}
+		l12 := core.ConvergenceRefinement(f.C3().StripSelfLoops(), b.System(), ab)
+		t13 := core.Stabilizing(f.NewThree(), b.System(), ab)
+		agg := system.TransitionsEqual(f.AggressiveThree(), f.Dijkstra3())
+		r.Rows = append(r.Rows,
+			expectRow(fmt.Sprintf("N=%d: Lemma 12 fails at collisions (finding)", n), l12.Holds, false, l12.Reason),
+			expectRow(fmt.Sprintf("N=%d: Theorem 13", n), t13.Holds, true, t13.Reason),
+			expectRow(fmt.Sprintf("N=%d: aggressive variant = Dijkstra3", n), agg, true, "automaton equality"),
+		)
+	}
+	return r
+}
+
+// E10KState checks the unidirectional ring derivation and the K-vs-N
+// stabilization matrix of Dijkstra's K-state system.
+func E10KState() *Report {
+	r := &Report{
+		ID:    "E10",
+		Title: "K-state system (technical-report derivation)",
+		Claim: "the wrapped unidirectional ring stabilizes; Dijkstra's K-state system self-stabilizes iff K ≥ N (N+1 processes)",
+	}
+	for _, n := range []int{2, 3} {
+		u := ring.NewUTR(n)
+		rep := core.Stabilizing(u.Wrapped(), u.System(), nil)
+		r.Rows = append(r.Rows, expectRow(fmt.Sprintf("N=%d: UTR wrapped stabilizing", n), rep.Holds, true, rep.Reason))
+	}
+	for _, tc := range []struct {
+		n, k int
+		want bool
+	}{
+		{2, 2, true}, {3, 2, false}, {3, 3, true}, {4, 3, false}, {4, 4, true}, {4, 6, true},
+	} {
+		ks := ring.NewKState(tc.n, tc.k)
+		rep := core.SelfStabilizing(ks.System())
+		r.Rows = append(r.Rows, expectRow(
+			fmt.Sprintf("N=%d K=%d: self-stabilizing=%v", tc.n, tc.k, tc.want),
+			rep.Holds, tc.want, rep.Reason))
+	}
+	return r
+}
+
+// E13RefinementHierarchy separates the three refinement relations of
+// Sections 2 and 7 with witnesses.
+func E13RefinementHierarchy() *Report {
+	r := &Report{
+		ID:    "E13",
+		Title: "Refinement hierarchy: everywhere ⊂ convergence ⊂ everywhere-eventually",
+		Claim: "the odd/even recovery example is an everywhere-eventually refinement but not a convergence refinement; every everywhere refinement is a convergence refinement",
+	}
+	a, c := core.OddEvenRecovery()
+	ee := core.EverywhereEventuallyRefinement(c, a, nil)
+	conv := core.ConvergenceRefinement(c, a, nil)
+	ev := core.EverywhereRefinement(c, a, nil)
+	r.Rows = append(r.Rows,
+		expectRow("odd/even: [C ⊑ee A]", ee.Holds, true, ee.Reason),
+		expectRow("odd/even: [C ⪯ A] fails", conv.Holds, false, conv.Reason),
+		expectRow("odd/even: [C ⊑ A] fails", ev.Holds, false, ev.Reason),
+	)
+
+	// Everywhere ⇒ convergence on a ring instance: BTR refines itself.
+	b := ring.NewBTR(2)
+	btr := b.System()
+	self := core.ConvergenceRefinement(btr, btr, nil)
+	r.Rows = append(r.Rows, expectRow("BTR: [BTR ⪯ BTR]", self.Holds, true, self.Reason))
+	return r
+}

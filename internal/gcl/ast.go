@@ -1,0 +1,262 @@
+package gcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the type of an expression: integer or boolean.
+type Type int
+
+// Expression types.
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeBool
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Program is a parsed GCL program.
+type Program struct {
+	Vars    []VarDecl
+	Init    Expr // nil means every state is initial
+	Actions []ActionDecl
+}
+
+// VarDecl declares one finite-domain variable: either boolean or an
+// integer range Lo..Hi (inclusive).
+type VarDecl struct {
+	Name   string
+	IsBool bool
+	Lo, Hi int
+	Pos    Pos
+}
+
+// Card returns the domain cardinality.
+func (v VarDecl) Card() int {
+	if v.IsBool {
+		return 2
+	}
+	return v.Hi - v.Lo + 1
+}
+
+// ActionDecl is one guarded command.
+type ActionDecl struct {
+	Name    string
+	Guard   Expr
+	Assigns []Assign
+	Pos     Pos
+}
+
+// Assign is one assignment in an action body. All assignments of an action
+// are performed simultaneously against the pre-state.
+type Assign struct {
+	Name string
+	Expr Expr
+	Pos  Pos
+}
+
+// Expr is an expression node. Type() returns the checked type and is valid
+// only after Check has run on the enclosing program.
+type Expr interface {
+	fmt.Stringer
+	Type() Type
+	Position() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int
+	Pos   Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	Pos   Pos
+}
+
+// Ident references a declared variable. Index is resolved by Check.
+type Ident struct {
+	Name  string
+	Index int
+	typ   Type
+	Pos   Pos
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	Op  TokenKind
+	X   Expr
+	typ Type
+	Pos Pos
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   TokenKind
+	X, Y Expr
+	typ  Type
+	Pos  Pos
+}
+
+// Cond is the ternary conditional "c ? x : y" — the expression form of
+// the if-then-else cascades in the paper's Section 5.2 and 6 listings.
+type Cond struct {
+	C, X, Y Expr
+	typ     Type
+	Pos     Pos
+}
+
+// Type implementations.
+
+// Type returns TypeInt.
+func (e *IntLit) Type() Type { return TypeInt }
+
+// Type returns TypeBool.
+func (e *BoolLit) Type() Type { return TypeBool }
+
+// Type returns the variable's checked type.
+func (e *Ident) Type() Type { return e.typ }
+
+// Type returns the checked result type.
+func (e *Unary) Type() Type { return e.typ }
+
+// Type returns the checked result type.
+func (e *Binary) Type() Type { return e.typ }
+
+// Type returns the checked result type.
+func (e *Cond) Type() Type { return e.typ }
+
+// Position implementations.
+
+// Position returns the source position.
+func (e *IntLit) Position() Pos { return e.Pos }
+
+// Position returns the source position.
+func (e *BoolLit) Position() Pos { return e.Pos }
+
+// Position returns the source position.
+func (e *Ident) Position() Pos { return e.Pos }
+
+// Position returns the source position.
+func (e *Unary) Position() Pos { return e.Pos }
+
+// Position returns the source position.
+func (e *Binary) Position() Pos { return e.Pos }
+
+// Position returns the source position.
+func (e *Cond) Position() Pos { return e.Pos }
+
+// String renders the literal.
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+
+// String renders the literal.
+func (e *BoolLit) String() string {
+	if e.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// String renders the identifier.
+func (e *Ident) String() string { return e.Name }
+
+// String renders the operation with explicit parentheses.
+func (e *Unary) String() string {
+	op := "!"
+	if e.Op == KindMinus {
+		op = "-"
+	}
+	return op + parenthesize(e.X)
+}
+
+// String renders the operation with explicit parentheses around compound
+// operands, so printed programs re-parse to the same tree.
+func (e *Binary) String() string {
+	return parenthesize(e.X) + " " + opText(e.Op) + " " + parenthesize(e.Y)
+}
+
+// String renders the conditional with explicit parentheses.
+func (e *Cond) String() string {
+	return parenthesize(e.C) + " ? " + parenthesize(e.X) + " : " + parenthesize(e.Y)
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *IntLit, *BoolLit, *Ident:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+func opText(op TokenKind) string {
+	switch op {
+	case KindPlus:
+		return "+"
+	case KindMinus:
+		return "-"
+	case KindStar:
+		return "*"
+	case KindSlash:
+		return "/"
+	case KindPercent:
+		return "%"
+	case KindEq:
+		return "=="
+	case KindNeq:
+		return "!="
+	case KindLt:
+		return "<"
+	case KindLe:
+		return "<="
+	case KindGt:
+		return ">"
+	case KindGe:
+		return ">="
+	case KindAnd:
+		return "&&"
+	case KindOr:
+		return "||"
+	default:
+		return op.String()
+	}
+}
+
+// String renders the whole program in parseable concrete syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, v := range p.Vars {
+		if v.IsBool {
+			fmt.Fprintf(&b, "var %s : bool;\n", v.Name)
+		} else {
+			fmt.Fprintf(&b, "var %s : %d..%d;\n", v.Name, v.Lo, v.Hi)
+		}
+	}
+	if p.Init != nil {
+		fmt.Fprintf(&b, "\ninit %s;\n", p.Init)
+	}
+	if len(p.Actions) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, a := range p.Actions {
+		fmt.Fprintf(&b, "action %s: %s ->", a.Name, a.Guard)
+		for _, as := range a.Assigns {
+			fmt.Fprintf(&b, " %s := %s;", as.Name, as.Expr)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

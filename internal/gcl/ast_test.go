@@ -1,0 +1,123 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTypedASTAccessors checks the Type/Position/String surface after a
+// full parse-and-check pass.
+func TestTypedASTAccessors(t *testing.T) {
+	prog, err := Parse(`
+var b : bool;
+var x : 0..4;
+action a: !b && -x + 2 * x >= 0 || x == 1 -> b := true; x := x / 2;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	guard := prog.Actions[0].Guard
+	if guard.Type() != TypeBool {
+		t.Fatalf("guard type = %v", guard.Type())
+	}
+	or := guard.(*Binary)
+	if or.Op != KindOr || or.Type() != TypeBool {
+		t.Fatalf("top = %v", or)
+	}
+	and := or.X.(*Binary)
+	not := and.X.(*Unary)
+	if not.Type() != TypeBool || not.X.(*Ident).Type() != TypeBool {
+		t.Fatal("unary/ident types wrong")
+	}
+	cmp := and.Y.(*Binary)
+	if cmp.Type() != TypeBool {
+		t.Fatal("comparison type wrong")
+	}
+	sum := cmp.X.(*Binary)
+	if sum.Type() != TypeInt {
+		t.Fatal("sum type wrong")
+	}
+	neg := sum.X.(*Unary)
+	if neg.Op != KindMinus || neg.Type() != TypeInt {
+		t.Fatal("negation wrong")
+	}
+	if guard.Position().Line != 4 {
+		t.Fatalf("position = %v", guard.Position())
+	}
+	// Literal node accessors.
+	lit := prog.Actions[0].Assigns[1].Expr.(*Binary).Y.(*IntLit)
+	if lit.Type() != TypeInt || lit.Position().Line != 4 {
+		t.Fatalf("literal = %+v", lit)
+	}
+	boolLit := prog.Actions[0].Assigns[0].Expr.(*BoolLit)
+	if boolLit.Type() != TypeBool || boolLit.String() != "true" {
+		t.Fatalf("bool literal = %+v", boolLit)
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	prog, err := Parse(`
+var x : 0..4;
+action a: !(x == 0) && x < 4 -> x := (x + 1) * 2 - x / x % 3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.String()
+	// The printer re-parenthesizes explicitly; verify a round trip and
+	// spot-check operator spellings.
+	for _, frag := range []string{"!", "==", "&&", "<", ":=", "+", "*", "-", "/", "%"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("printed program missing %q:\n%s", frag, s)
+		}
+	}
+	prog2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s)
+	}
+	if prog2.String() != s {
+		t.Fatal("printer not idempotent")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeInt.String() != "int" || TypeBool.String() != "bool" || TypeInvalid.String() != "invalid" {
+		t.Fatal("type names wrong")
+	}
+}
+
+func TestVarDeclCard(t *testing.T) {
+	if (VarDecl{IsBool: true}).Card() != 2 {
+		t.Fatal("bool card")
+	}
+	if (VarDecl{Lo: -1, Hi: 1}).Card() != 3 {
+		t.Fatal("range card")
+	}
+}
+
+func TestFalseLiteralString(t *testing.T) {
+	prog, err := Parse("var b : bool;\naction a: b -> b := false;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Actions[0].Assigns[0].Expr.String(); got != "false" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestUnaryMinusPrinting(t *testing.T) {
+	prog, err := Parse("var x : -3..3;\naction a: x > -2 -> x := -x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.String()
+	if !strings.Contains(s, "-x") && !strings.Contains(s, "-(x)") {
+		t.Fatalf("printed = %q", s)
+	}
+	if !strings.Contains(s, "var x : -3..3;") {
+		t.Fatalf("negative range lost: %q", s)
+	}
+}

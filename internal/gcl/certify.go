@@ -1,0 +1,52 @@
+package gcl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/system"
+)
+
+// OptimizeAndCertify runs Optimize on a compiled program, compiles the
+// result over the same state space, and certifies the transformation by
+// deciding a refinement relation between the two automata — the
+// "stabilization-preserving refinement tool" the paper's introduction
+// calls for. The optimized program is returned even when certification
+// fails, so tools can report what went wrong, but Preserved() gates
+// whether it is safe to adopt.
+func OptimizeAndCertify(orig *Compiled) (*Compiled, *Certificate, []string, error) {
+	optProg, notes := Optimize(orig.Program)
+	opt, err := CompileProgram(orig.System.Name()+"|opt", optProg)
+	if err != nil {
+		return nil, nil, notes, fmt.Errorf("gcl: recompiling optimized program: %w", err)
+	}
+	if !opt.Space.SameShape(orig.Space) {
+		return nil, nil, notes, fmt.Errorf("gcl: optimization changed the state space")
+	}
+	return opt, Certify(orig, opt), notes, nil
+}
+
+// Certify grades the relation between an original compiled program and a
+// candidate replacement over the same state space.
+func Certify(orig, opt *Compiled) *Certificate {
+	o, n := orig.System, opt.System
+	sameInit := o.Init().Equal(n.Init())
+	if system.TransitionsEqual(n, o) && sameInit {
+		return &Certificate{Level: CertIdentical}
+	}
+	if system.TransitionsEqual(n.StripSelfLoops(), o.StripSelfLoops()) && sameInit {
+		// Identical as state-change behavior: τ steps (state-preserving
+		// actions) are unobservable in computations-as-state-sequences.
+		return &Certificate{Level: CertTauEquivalent}
+	}
+	if v := core.EverywhereRefinement(n, o, nil); v.Holds {
+		if vi := core.RefinementInit(n, o, nil); vi.Holds {
+			return &Certificate{Level: CertEverywhere}
+		}
+	}
+	rep := core.ConvergenceRefinement(n, o, nil)
+	if rep.Holds {
+		return &Certificate{Level: CertConvergence}
+	}
+	return &Certificate{Level: CertFailed, Detail: rep.Reason}
+}

@@ -1,0 +1,182 @@
+package gcl
+
+import "fmt"
+
+// CheckError reports a semantic (type or resolution) failure.
+type CheckError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *CheckError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Check resolves identifiers against the program's declarations and infers
+// expression types, rejecting type errors: guards and the init predicate
+// must be boolean; assignment right-hand sides must match the target
+// variable's type; arithmetic applies to ints, logic to bools, and
+// (in)equality to same-typed operands.
+func Check(p *Program) error {
+	byName := make(map[string]int, len(p.Vars))
+	for i, v := range p.Vars {
+		byName[v.Name] = i
+	}
+	c := &checker{prog: p, byName: byName}
+
+	if p.Init != nil {
+		t, err := c.check(p.Init)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return &CheckError{Pos: p.Init.Position(), Msg: "init predicate must be boolean"}
+		}
+	}
+	for ai := range p.Actions {
+		a := &p.Actions[ai]
+		t, err := c.check(a.Guard)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return &CheckError{Pos: a.Guard.Position(),
+				Msg: fmt.Sprintf("guard of action %q must be boolean, got %s", a.Name, t)}
+		}
+		if len(a.Assigns) == 0 {
+			return &CheckError{Pos: a.Pos, Msg: fmt.Sprintf("action %q has no assignments", a.Name)}
+		}
+		targets := make(map[string]bool, len(a.Assigns))
+		for _, as := range a.Assigns {
+			vi, found := byName[as.Name]
+			if !found {
+				return &CheckError{Pos: as.Pos, Msg: fmt.Sprintf("assignment to undeclared variable %q", as.Name)}
+			}
+			if targets[as.Name] {
+				return &CheckError{Pos: as.Pos,
+					Msg: fmt.Sprintf("action %q assigns %q twice; simultaneous assignments must have distinct targets", a.Name, as.Name)}
+			}
+			targets[as.Name] = true
+			t, err := c.check(as.Expr)
+			if err != nil {
+				return err
+			}
+			want := TypeInt
+			if p.Vars[vi].IsBool {
+				want = TypeBool
+			}
+			if t != want {
+				return &CheckError{Pos: as.Pos,
+					Msg: fmt.Sprintf("cannot assign %s expression to %s variable %q", t, want, as.Name)}
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog   *Program
+	byName map[string]int
+}
+
+func (c *checker) check(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return TypeInt, nil
+	case *BoolLit:
+		return TypeBool, nil
+	case *Ident:
+		vi, found := c.byName[e.Name]
+		if !found {
+			return TypeInvalid, &CheckError{Pos: e.Pos, Msg: fmt.Sprintf("undeclared variable %q", e.Name)}
+		}
+		e.Index = vi
+		if c.prog.Vars[vi].IsBool {
+			e.typ = TypeBool
+		} else {
+			e.typ = TypeInt
+		}
+		return e.typ, nil
+	case *Unary:
+		t, err := c.check(e.X)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch e.Op {
+		case KindNot:
+			if t != TypeBool {
+				return TypeInvalid, &CheckError{Pos: e.Pos, Msg: fmt.Sprintf("operator ! requires bool, got %s", t)}
+			}
+			e.typ = TypeBool
+		case KindMinus:
+			if t != TypeInt {
+				return TypeInvalid, &CheckError{Pos: e.Pos, Msg: fmt.Sprintf("unary - requires int, got %s", t)}
+			}
+			e.typ = TypeInt
+		default:
+			return TypeInvalid, &CheckError{Pos: e.Pos, Msg: fmt.Sprintf("unknown unary operator %s", e.Op)}
+		}
+		return e.typ, nil
+	case *Cond:
+		tc, err := c.check(e.C)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if tc != TypeBool {
+			return TypeInvalid, &CheckError{Pos: e.Pos, Msg: "ternary condition must be boolean"}
+		}
+		tx, err := c.check(e.X)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		ty, err := c.check(e.Y)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if tx != ty {
+			return TypeInvalid, &CheckError{Pos: e.Pos,
+				Msg: fmt.Sprintf("ternary arms must have the same type, got %s and %s", tx, ty)}
+		}
+		e.typ = tx
+		return e.typ, nil
+	case *Binary:
+		tx, err := c.check(e.X)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		ty, err := c.check(e.Y)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch e.Op {
+		case KindPlus, KindMinus, KindStar, KindSlash, KindPercent:
+			if tx != TypeInt || ty != TypeInt {
+				return TypeInvalid, &CheckError{Pos: e.Pos,
+					Msg: fmt.Sprintf("operator %s requires int operands, got %s and %s", opText(e.Op), tx, ty)}
+			}
+			e.typ = TypeInt
+		case KindLt, KindLe, KindGt, KindGe:
+			if tx != TypeInt || ty != TypeInt {
+				return TypeInvalid, &CheckError{Pos: e.Pos,
+					Msg: fmt.Sprintf("operator %s requires int operands, got %s and %s", opText(e.Op), tx, ty)}
+			}
+			e.typ = TypeBool
+		case KindEq, KindNeq:
+			if tx != ty {
+				return TypeInvalid, &CheckError{Pos: e.Pos,
+					Msg: fmt.Sprintf("operator %s requires same-typed operands, got %s and %s", opText(e.Op), tx, ty)}
+			}
+			e.typ = TypeBool
+		case KindAnd, KindOr:
+			if tx != TypeBool || ty != TypeBool {
+				return TypeInvalid, &CheckError{Pos: e.Pos,
+					Msg: fmt.Sprintf("operator %s requires bool operands, got %s and %s", opText(e.Op), tx, ty)}
+			}
+			e.typ = TypeBool
+		default:
+			return TypeInvalid, &CheckError{Pos: e.Pos, Msg: fmt.Sprintf("unknown binary operator %s", e.Op)}
+		}
+		return e.typ, nil
+	default:
+		return TypeInvalid, &CheckError{Pos: e.Position(), Msg: "unknown expression node"}
+	}
+}

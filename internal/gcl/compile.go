@@ -1,0 +1,127 @@
+package gcl
+
+import (
+	"fmt"
+
+	"repro/internal/system"
+)
+
+// Compiled is a type-checked program together with its state space and
+// enumerated automaton.
+type Compiled struct {
+	Program *Program
+	Space   *system.Space
+	System  *system.System
+}
+
+// Compile parses, checks, and enumerates a GCL source text into an
+// automaton named name.
+func Compile(name, src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("gcl: parsing %s: %w", name, err)
+	}
+	return CompileProgram(name, prog)
+}
+
+// CompileProgram checks and enumerates an already-parsed program.
+func CompileProgram(name string, prog *Program) (*Compiled, error) {
+	if err := Check(prog); err != nil {
+		return nil, fmt.Errorf("gcl: checking %s: %w", name, err)
+	}
+	sp := SpaceOf(prog)
+	b := system.NewSpaceBuilder(name, sp)
+
+	env := make(system.Vals, len(prog.Vars))
+	next := make(system.Vals, len(prog.Vars))
+	for s := 0; s < sp.Size(); s++ {
+		env = sp.Decode(s, env)
+		if prog.Init == nil {
+			b.AddInit(s)
+		} else {
+			isInit, err := EvalBool(prog, prog.Init, env)
+			if err != nil {
+				return nil, evalFailure(sp, s, err)
+			}
+			if isInit {
+				b.AddInit(s)
+			}
+		}
+		for ai := range prog.Actions {
+			a := &prog.Actions[ai]
+			enabled, err := EvalBool(prog, a.Guard, env)
+			if err != nil {
+				return nil, evalFailure(sp, s, err)
+			}
+			if !enabled {
+				continue
+			}
+			copy(next, env)
+			for _, as := range a.Assigns {
+				v, err := Eval(prog, as.Expr, env) // pre-state: simultaneous semantics
+				if err != nil {
+					return nil, evalFailure(sp, s, err)
+				}
+				decl := prog.Vars[varIndex(prog, as.Name)]
+				enc, err := encodeValue(decl, v)
+				if err != nil {
+					return nil, &EvalError{Pos: as.Pos,
+						Msg:   fmt.Sprintf("action %q: %v", a.Name, err),
+						State: sp.StateString(s)}
+				}
+				next[varIndex(prog, as.Name)] = enc
+			}
+			b.AddTransition(s, sp.Encode(next))
+		}
+	}
+	return &Compiled{Program: prog, Space: sp, System: b.Build()}, nil
+}
+
+// SpaceOf builds the structured state space of a program's declarations.
+func SpaceOf(prog *Program) *system.Space {
+	vars := make([]system.Var, len(prog.Vars))
+	for i, v := range prog.Vars {
+		if v.IsBool {
+			vars[i] = system.Bool(v.Name)
+		} else if v.Lo == 0 {
+			vars[i] = system.Int(v.Name, v.Card())
+		} else {
+			lo := v.Lo
+			vars[i] = system.Var{Name: v.Name, Card: v.Card(), Fmt: func(x int) string {
+				return fmt.Sprintf("%d", x+lo)
+			}}
+		}
+	}
+	return system.NewSpace(vars...)
+}
+
+func varIndex(prog *Program, name string) int {
+	for i, v := range prog.Vars {
+		if v.Name == name {
+			return i
+		}
+	}
+	// Unreachable after Check.
+	panic(fmt.Sprintf("gcl: unresolved variable %q", name))
+}
+
+func encodeValue(decl VarDecl, v int) (int, error) {
+	if decl.IsBool {
+		if v != 0 && v != 1 {
+			return 0, fmt.Errorf("boolean %q assigned %d", decl.Name, v)
+		}
+		return v, nil
+	}
+	if v < decl.Lo || v > decl.Hi {
+		return 0, fmt.Errorf("variable %q assigned %d outside %d..%d", decl.Name, v, decl.Lo, decl.Hi)
+	}
+	return v - decl.Lo, nil
+}
+
+func evalFailure(sp *system.Space, s int, err error) error {
+	if ee, okk := err.(*EvalError); okk && ee.State == "" {
+		ee.State = sp.StateString(s)
+		return ee
+	}
+	return err
+}

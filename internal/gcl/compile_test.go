@@ -1,0 +1,192 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/system"
+)
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"var x : bool;\ninit 3;", "init predicate must be boolean"},
+		{"var x : bool;\naction a: 3 -> x := true;", "must be boolean"},
+		{"var x : bool;\naction a: y -> x := true;", `undeclared variable "y"`},
+		{"var x : bool;\naction a: x -> y := true;", `undeclared variable "y"`},
+		{"var x : bool;\naction a: x -> x := 3;", "cannot assign int expression to bool"},
+		{"var x : 0..3;\naction a: x == 0 -> x := true;", "cannot assign bool expression to int"},
+		{"var x : 0..3;\naction a: x -> x := 0;", "must be boolean"},
+		{"var x : bool;\naction a: !3 == 3 -> x := true;", "requires bool"},
+		{"var x : bool;\naction a: -x > 0 -> x := true;", "requires int"},
+		{"var x : bool;\naction a: x + 1 > 0 -> x := true;", "requires int operands"},
+		{"var x : bool;\nvar y : 0..2;\naction a: x == y -> x := true;", "same-typed operands"},
+		{"var x : 0..2;\naction a: x && x > 0 -> x := 0;", "requires bool operands"},
+		{"var x : 0..2;\naction a: x < 1 -> x := 0; x := 1;", "assigns \"x\" twice"},
+	}
+	for _, tc := range cases {
+		prog, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		err = Check(prog)
+		if err == nil {
+			t.Errorf("Check(%q) passed, want error with %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Check(%q) = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestCompileCounter(t *testing.T) {
+	c, err := Compile("counter", `
+var x : 0..3;
+init x == 0;
+action inc: x < 3 -> x := x + 1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := c.System
+	if sys.NumStates() != 4 || sys.NumTransitions() != 3 {
+		t.Fatalf("%s", sys)
+	}
+	if !sys.HasTransition(0, 1) || !sys.Terminal(3) {
+		t.Fatal("transitions wrong")
+	}
+	if got := sys.InitStates(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("init = %v", got)
+	}
+}
+
+func TestCompileSimultaneousAssignment(t *testing.T) {
+	c, err := Compile("swap", `
+var x : bool;
+var y : bool;
+action swap: x != y -> x := y; y := x;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := c.Space
+	// From (x=1,y=0): simultaneous swap gives (x=0,y=1), not (0,0).
+	from := sp.Encode(system.Vals{1, 0})
+	to := sp.Encode(system.Vals{0, 1})
+	if !c.System.HasTransition(from, to) {
+		t.Fatal("simultaneous swap missing")
+	}
+	if c.System.HasTransition(from, sp.Encode(system.Vals{0, 0})) {
+		t.Fatal("sequential-assignment artifact present")
+	}
+}
+
+func TestCompileRangeOffset(t *testing.T) {
+	c, err := Compile("neg", `
+var x : -2..2;
+init x == -2;
+action up: x < 2 -> x := x + 1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.System.NumStates() != 5 || c.System.NumTransitions() != 4 {
+		t.Fatalf("%s", c.System)
+	}
+	// init state is encoded 0 (x=-2).
+	if got := c.System.InitStates(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("init = %v", got)
+	}
+	if got := c.Space.StateString(0); got != "x=-2" {
+		t.Fatalf("StateString = %q", got)
+	}
+}
+
+func TestCompileDomainViolation(t *testing.T) {
+	_, err := Compile("bad", `
+var x : 0..2;
+action over: x == 2 -> x := x + 1;
+`)
+	if err == nil || !strings.Contains(err.Error(), "outside 0..2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileDivisionByZero(t *testing.T) {
+	_, err := Compile("div", `
+var x : 0..2;
+action d: 1 / x == 1 -> x := 0;
+`)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFloorModSemantics(t *testing.T) {
+	// (x - 1) % 3 must be 2 when x == 0 (the paper's ⊖ under modulo 3).
+	c, err := Compile("mod", `
+var x : 0..2;
+action dec: true -> x := (x - 1) % 3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.System.HasTransition(0, 2) {
+		t.Fatal("(0-1)%3 should wrap to 2")
+	}
+	if !c.System.HasTransition(2, 1) || !c.System.HasTransition(1, 0) {
+		t.Fatal("decrement transitions wrong")
+	}
+}
+
+func TestShortCircuitPreventsEvalError(t *testing.T) {
+	// x == 0 short-circuits the division; this must compile.
+	c, err := Compile("sc", `
+var x : 0..2;
+action d: x == 0 || 2 / x == 2 -> x := 0;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.System.NumTransitions() == 0 {
+		t.Fatal("no transitions")
+	}
+}
+
+// TestCompiledDijkstra3IsSelfStabilizing is the end-to-end sanity check
+// tying the whole pipeline together: parse the paper's 3-state system for
+// three processes from concrete syntax, compile to an automaton, and run
+// the stabilization checker on it.
+func TestCompiledDijkstra3IsSelfStabilizing(t *testing.T) {
+	c, err := Compile("dijkstra3", dijkstra3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.System.NumStates() != 27 {
+		t.Fatalf("states = %d", c.System.NumStates())
+	}
+	rep := core.SelfStabilizing(c.System)
+	if !rep.Holds {
+		t.Fatalf("Dijkstra-3 (N=2) not self-stabilizing: %s\n%s",
+			rep.Verdict, rep.FormatWitness(c.System))
+	}
+}
+
+func TestEvalUnknownExprNodes(t *testing.T) {
+	prog := &Program{Vars: []VarDecl{{Name: "x", Lo: 0, Hi: 1}}}
+	if _, err := Eval(prog, nil2expr(), make(system.Vals, 1)); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+// nil2expr builds an expression node type Eval does not know.
+type bogusExpr struct{}
+
+func (bogusExpr) String() string { return "bogus" }
+func (bogusExpr) Type() Type     { return TypeInvalid }
+func (bogusExpr) Position() Pos  { return Pos{} }
+
+func nil2expr() Expr { return bogusExpr{} }

@@ -1,0 +1,139 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []TokenKind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	out := make([]TokenKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kinds(t, "var x : 0..2;")
+	want := []TokenKind{KindVar, KindIdent, KindColon, KindInt, KindDotDot, KindInt, KindSemicolon, KindEOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kinds(t, ":= == != <= >= < > && || ! -> + - * / % ( ) , :")
+	want := []TokenKind{KindAssign, KindEq, KindNeq, KindLe, KindGe, KindLt, KindGt,
+		KindAnd, KindOr, KindNot, KindArrow, KindPlus, KindMinus, KindStar,
+		KindSlash, KindPercent, KindLParen, KindRParen, KindComma, KindColon, KindEOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsAndIdents(t *testing.T) {
+	toks, err := Lex("var bool init action true false varx c0 _tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{KindVar, KindBool, KindInit, KindAction, KindTrue, KindFalse,
+		KindIdent, KindIdent, KindIdent, KindEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("tok[%d] = %v, want %v", i, toks[i], k)
+		}
+	}
+	if toks[6].Text != "varx" || toks[7].Text != "c0" || toks[8].Text != "_tmp" {
+		t.Fatalf("ident texts wrong: %v", toks)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment -> ignored
+var x : bool; /* block
+comment */ init x;
+`
+	got := kinds(t, src)
+	want := []TokenKind{KindVar, KindIdent, KindColon, KindBool, KindSemicolon,
+		KindInit, KindIdent, KindSemicolon, KindEOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	_, err := Lex("var x /* oops")
+	if err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("var x : bool;\naction a: x -> x := false;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Fatalf("pos of 'var' = %v", toks[0].Pos)
+	}
+	// "action" starts line 2, col 1.
+	var actionTok Token
+	for _, tok := range toks {
+		if tok.Kind == KindAction {
+			actionTok = tok
+		}
+	}
+	if actionTok.Pos != (Pos{2, 1}) {
+		t.Fatalf("pos of 'action' = %v", actionTok.Pos)
+	}
+}
+
+func TestLexBadCharacter(t *testing.T) {
+	_, err := Lex("var x : bool; @")
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLexMalformedNumber(t *testing.T) {
+	_, err := Lex("12abc")
+	if err == nil || !strings.Contains(err.Error(), "malformed number") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLexSingleAmpersandRejected(t *testing.T) {
+	_, err := Lex("x & y")
+	if err == nil {
+		t.Fatal("single & accepted")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := Lex("x 42 :=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := toks[0].String(); !strings.Contains(s, `"x"`) {
+		t.Fatalf("String = %q", s)
+	}
+	if s := toks[2].String(); s != "':='" {
+		t.Fatalf("String = %q", s)
+	}
+}

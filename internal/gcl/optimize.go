@@ -1,0 +1,309 @@
+package gcl
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// This file is a miniature of the tool the paper's introduction asks for:
+// a program transformer that is *certifiably* stabilization preserving.
+// Optimize rewrites a guarded-command program (constant folding, boolean
+// simplification, vacuous-action elimination); Certify then decides, via
+// the convergence-refinement checker, that the optimized automaton
+// refines the original — so by Theorem 1 every stabilization property of
+// the original carries over. The transformations are not trusted: a
+// transformation whose certificate fails is simply not shipped.
+
+// Optimize returns a simplified copy of the program and notes describing
+// the rewrites applied. The input must already have passed Check; the
+// output passes Check again by construction (re-run by CompileProgram).
+func Optimize(p *Program) (*Program, []string) {
+	out := &Program{Vars: append([]VarDecl(nil), p.Vars...)}
+	var notes []string
+	if p.Init != nil {
+		simplified := simplify(p.Init)
+		if !sameExpr(simplified, p.Init) {
+			notes = append(notes, "simplified init predicate")
+		}
+		if lit, isLit := simplified.(*BoolLit); isLit && lit.Value {
+			simplified = nil
+			notes = append(notes, "init predicate is a tautology: dropped")
+		}
+		out.Init = simplified
+	}
+
+	seen := make(map[string]bool)
+	for _, a := range p.Actions {
+		guard := simplify(a.Guard)
+		if lit, isLit := guard.(*BoolLit); isLit && !lit.Value {
+			notes = append(notes, fmt.Sprintf("action %q: guard is unsatisfiable, removed", a.Name))
+			continue
+		}
+		assigns := make([]Assign, 0, len(a.Assigns))
+		for _, as := range a.Assigns {
+			assigns = append(assigns, Assign{Name: as.Name, Expr: simplify(as.Expr), Pos: as.Pos})
+		}
+		// Vacuous-assignment elimination: x := x.
+		kept := assigns[:0]
+		for _, as := range assigns {
+			if id, isIdent := as.Expr.(*Ident); isIdent && id.Name == as.Name {
+				notes = append(notes, fmt.Sprintf("action %q: dropped identity assignment to %q", a.Name, as.Name))
+				continue
+			}
+			kept = append(kept, as)
+		}
+		if len(kept) == 0 {
+			notes = append(notes, fmt.Sprintf("action %q: all assignments vacuous, action removed", a.Name))
+			continue
+		}
+		// Structural duplicate elimination.
+		key := guard.String()
+		for _, as := range kept {
+			key += "|" + as.Name + ":=" + as.Expr.String()
+		}
+		if seen[key] {
+			notes = append(notes, fmt.Sprintf("action %q: duplicate of an earlier action, removed", a.Name))
+			continue
+		}
+		seen[key] = true
+		out.Actions = append(out.Actions, ActionDecl{Name: a.Name, Guard: guard, Assigns: kept, Pos: a.Pos})
+	}
+	return out, notes
+}
+
+// simplify rewrites an expression bottom-up: constant folding over pure
+// integer/boolean operators and the usual boolean identities. It never
+// changes the expression's value in any environment (division and modulo
+// are folded only when the divisor is a non-zero literal).
+func simplify(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit, *BoolLit, *Ident:
+		return e
+	case *Unary:
+		x := simplify(e.X)
+		switch e.Op {
+		case KindNot:
+			if lit, isLit := x.(*BoolLit); isLit {
+				return &BoolLit{Value: !lit.Value, Pos: e.Pos}
+			}
+			if inner, isNot := x.(*Unary); isNot && inner.Op == KindNot {
+				return inner.X // double negation
+			}
+		case KindMinus:
+			if lit, isLit := x.(*IntLit); isLit {
+				return &IntLit{Value: -lit.Value, Pos: e.Pos}
+			}
+		}
+		return &Unary{Op: e.Op, X: x, typ: e.typ, Pos: e.Pos}
+	case *Binary:
+		x, y := simplify(e.X), simplify(e.Y)
+		if folded, okf := foldBinary(e, x, y); okf {
+			return folded
+		}
+		return &Binary{Op: e.Op, X: x, Y: y, typ: e.typ, Pos: e.Pos}
+	case *Cond:
+		c, x, y := simplify(e.C), simplify(e.X), simplify(e.Y)
+		if lit, isLit := c.(*BoolLit); isLit {
+			if lit.Value {
+				return x
+			}
+			return y
+		}
+		if sameExpr(x, y) {
+			return x // the condition is pure: both arms agree
+		}
+		return &Cond{C: c, X: x, Y: y, typ: e.typ, Pos: e.Pos}
+	default:
+		return e
+	}
+}
+
+// foldBinary applies constant folding and boolean identities.
+func foldBinary(e *Binary, x, y Expr) (Expr, bool) {
+	xi, xIsInt := x.(*IntLit)
+	yi, yIsInt := y.(*IntLit)
+	xb, xIsBool := x.(*BoolLit)
+	yb, yIsBool := y.(*BoolLit)
+
+	boolLit := func(v bool) (Expr, bool) { return &BoolLit{Value: v, Pos: e.Pos}, true }
+	intLit := func(v int) (Expr, bool) { return &IntLit{Value: v, Pos: e.Pos}, true }
+
+	switch e.Op {
+	case KindAnd:
+		switch {
+		case xIsBool && !xb.Value, yIsBool && !yb.Value:
+			return boolLit(false)
+		case xIsBool && xb.Value:
+			return y, true
+		case yIsBool && yb.Value:
+			return x, true
+		}
+	case KindOr:
+		switch {
+		case xIsBool && xb.Value, yIsBool && yb.Value:
+			return boolLit(true)
+		case xIsBool && !xb.Value:
+			return y, true
+		case yIsBool && !yb.Value:
+			return x, true
+		}
+	case KindPlus:
+		if xIsInt && yIsInt {
+			return intLit(xi.Value + yi.Value)
+		}
+		if xIsInt && xi.Value == 0 {
+			return y, true
+		}
+		if yIsInt && yi.Value == 0 {
+			return x, true
+		}
+	case KindMinus:
+		if xIsInt && yIsInt {
+			return intLit(xi.Value - yi.Value)
+		}
+		if yIsInt && yi.Value == 0 {
+			return x, true
+		}
+	case KindStar:
+		if xIsInt && yIsInt {
+			return intLit(xi.Value * yi.Value)
+		}
+		if (xIsInt && xi.Value == 1) || (yIsInt && yi.Value == 0) {
+			return y, true
+		}
+		if (yIsInt && yi.Value == 1) || (xIsInt && xi.Value == 0) {
+			return x, true
+		}
+	case KindSlash:
+		if xIsInt && yIsInt && yi.Value != 0 {
+			return intLit(floorDiv(xi.Value, yi.Value))
+		}
+	case KindPercent:
+		if xIsInt && yIsInt && yi.Value != 0 {
+			return intLit(floorMod(xi.Value, yi.Value))
+		}
+	case KindEq:
+		if xIsInt && yIsInt {
+			return boolLit(xi.Value == yi.Value)
+		}
+		if xIsBool && yIsBool {
+			return boolLit(xb.Value == yb.Value)
+		}
+		if sameExpr(x, y) {
+			return boolLit(true) // x == x: pure expressions
+		}
+	case KindNeq:
+		if xIsInt && yIsInt {
+			return boolLit(xi.Value != yi.Value)
+		}
+		if xIsBool && yIsBool {
+			return boolLit(xb.Value != yb.Value)
+		}
+		if sameExpr(x, y) {
+			return boolLit(false)
+		}
+	case KindLt:
+		if xIsInt && yIsInt {
+			return boolLit(xi.Value < yi.Value)
+		}
+	case KindLe:
+		if xIsInt && yIsInt {
+			return boolLit(xi.Value <= yi.Value)
+		}
+	case KindGt:
+		if xIsInt && yIsInt {
+			return boolLit(xi.Value > yi.Value)
+		}
+	case KindGe:
+		if xIsInt && yIsInt {
+			return boolLit(xi.Value >= yi.Value)
+		}
+	}
+	return nil, false
+}
+
+// sameExpr reports structural equality of expressions (sound for the
+// pure expression language: equal structure implies equal value).
+func sameExpr(a, b Expr) bool {
+	switch a := a.(type) {
+	case *IntLit:
+		bb, isB := b.(*IntLit)
+		return isB && a.Value == bb.Value
+	case *BoolLit:
+		bb, isB := b.(*BoolLit)
+		return isB && a.Value == bb.Value
+	case *Ident:
+		bb, isB := b.(*Ident)
+		return isB && a.Name == bb.Name
+	case *Unary:
+		bb, isB := b.(*Unary)
+		return isB && a.Op == bb.Op && sameExpr(a.X, bb.X)
+	case *Binary:
+		bb, isB := b.(*Binary)
+		return isB && a.Op == bb.Op && sameExpr(a.X, bb.X) && sameExpr(a.Y, bb.Y)
+	case *Cond:
+		bb, isB := b.(*Cond)
+		return isB && sameExpr(a.C, bb.C) && sameExpr(a.X, bb.X) && sameExpr(a.Y, bb.Y)
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+// CertLevel grades a certification, strongest first.
+type CertLevel int
+
+// Certification levels.
+const (
+	// CertFailed means no refinement relation could be established: the
+	// optimization must not be shipped.
+	CertFailed CertLevel = iota
+	// CertConvergence: the optimized automaton is a convergence
+	// refinement of the original — stabilization preserved (Theorem 1).
+	CertConvergence
+	// CertEverywhere: an everywhere refinement — stabilization preserved
+	// (Theorem 0).
+	CertEverywhere
+	// CertTauEquivalent: identical after stripping τ self-loops —
+	// behaviorally equal as state sequences.
+	CertTauEquivalent
+	// CertIdentical: the very same automaton.
+	CertIdentical
+)
+
+// String names the level.
+func (l CertLevel) String() string {
+	switch l {
+	case CertIdentical:
+		return "identical automaton"
+	case CertTauEquivalent:
+		return "identical modulo τ self-loops"
+	case CertEverywhere:
+		return "everywhere refinement (Theorem 0 preserves stabilization)"
+	case CertConvergence:
+		return "convergence refinement (Theorem 1 preserves stabilization)"
+	default:
+		return "NOT certified"
+	}
+}
+
+// Certificate is the result of certifying an optimization against its
+// original.
+type Certificate struct {
+	// Level grades the established relation.
+	Level CertLevel
+	// Detail carries the failing verdict's reason when Level is
+	// CertFailed.
+	Detail string
+}
+
+// Preserved reports whether stabilization properties of the original
+// provably carry over to the optimized program.
+func (c *Certificate) Preserved() bool { return c.Level != CertFailed }
+
+// String renders the certificate.
+func (c *Certificate) String() string {
+	if c.Level == CertFailed {
+		return fmt.Sprintf("NOT certified: %s", c.Detail)
+	}
+	return "certified: " + c.Level.String()
+}

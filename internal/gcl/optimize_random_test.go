@@ -1,0 +1,128 @@
+package gcl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomExpr builds a random expression of the wanted type over the
+// variables x (int, 0..3) and b (bool).
+func randomExpr(rng *rand.Rand, want Type, depth int) string {
+	if depth <= 0 {
+		if want == TypeBool {
+			return []string{"b", "true", "false", "!b"}[rng.Intn(4)]
+		}
+		return []string{"x", "0", "1", "2", "3"}[rng.Intn(5)]
+	}
+	if want == TypeBool {
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("(%s && %s)", randomExpr(rng, TypeBool, depth-1), randomExpr(rng, TypeBool, depth-1))
+		case 1:
+			return fmt.Sprintf("(%s || %s)", randomExpr(rng, TypeBool, depth-1), randomExpr(rng, TypeBool, depth-1))
+		case 2:
+			return fmt.Sprintf("!(%s)", randomExpr(rng, TypeBool, depth-1))
+		case 3:
+			op := []string{"==", "!=", "<", "<=", ">", ">="}[rng.Intn(6)]
+			return fmt.Sprintf("(%s %s %s)", randomExpr(rng, TypeInt, depth-1), op, randomExpr(rng, TypeInt, depth-1))
+		default:
+			return randomExpr(rng, TypeBool, 0)
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", randomExpr(rng, TypeInt, depth-1), randomExpr(rng, TypeInt, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", randomExpr(rng, TypeInt, depth-1), randomExpr(rng, TypeInt, depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", randomExpr(rng, TypeInt, depth-1), randomExpr(rng, TypeInt, depth-1))
+	case 3:
+		// Keep divisors non-zero literals so programs always compile.
+		return fmt.Sprintf("(%s %% %d)", randomExpr(rng, TypeInt, depth-1), 1+rng.Intn(3))
+	default:
+		return randomExpr(rng, TypeInt, 0)
+	}
+}
+
+// TestQuickOptimizerSoundness generates random programs, optimizes them,
+// and requires certification at τ-equivalence or better: the rewrite set
+// (constant folding, boolean identities, vacuous-action and duplicate
+// elimination) must never change observable behavior.
+func TestQuickOptimizerSoundness(t *testing.T) {
+	accepted := 0
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var b strings.Builder
+		b.WriteString("var x : 0..3;\nvar b : bool;\n")
+		nActions := 1 + rng.Intn(4)
+		for i := 0; i < nActions; i++ {
+			guard := randomExpr(rng, TypeBool, 2)
+			// Assignments stay in range: x := <expr> % 4 guarantees the
+			// domain; booleans are unrestricted.
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, "action a%d: %s -> x := (%s) %% 4;\n", i, guard, randomExpr(rng, TypeInt, 2))
+			} else {
+				fmt.Fprintf(&b, "action a%d: %s -> b := %s;\n", i, guard, randomExpr(rng, TypeBool, 2))
+			}
+		}
+		src := b.String()
+		orig, err := Compile("rand", src)
+		if err != nil {
+			// Domain violations from negative intermediates are possible;
+			// they are compile-time rejections, not optimizer inputs.
+			continue
+		}
+		accepted++
+		opt, cert, _, err := OptimizeAndCertify(orig)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if cert.Level < CertTauEquivalent {
+			t.Fatalf("trial %d: certificate only %s\noriginal:\n%s\noptimized:\n%s",
+				trial, cert, src, opt.Program)
+		}
+	}
+	if accepted < 100 {
+		t.Fatalf("only %d/300 random programs compiled; generator too narrow", accepted)
+	}
+}
+
+// TestQuickSimplifyPreservesValue checks the expression simplifier
+// pointwise: for random expressions, the simplified form evaluates to the
+// same value in every environment.
+func TestQuickSimplifyPreservesValue(t *testing.T) {
+	for trial := 0; trial < 400; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		want := TypeBool
+		if rng.Intn(2) == 0 {
+			want = TypeInt
+		}
+		src := fmt.Sprintf("var x : 0..3;\nvar b : bool;\ninit %s == %s;\naction a: true -> x := 0;",
+			randomExpr(rng, want, 3), randomExpr(rng, want, 3))
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if err := Check(prog); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		simplified := simplify(prog.Init)
+		// Compare on every environment (x ∈ 0..3 × b ∈ {0,1}).
+		for x := 0; x < 4; x++ {
+			for bv := 0; bv < 2; bv++ {
+				env := []int{x, bv}
+				v1, err1 := Eval(prog, prog.Init, env)
+				v2, err2 := Eval(prog, simplified, env)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("trial %d: error behavior changed: %v vs %v\n%s", trial, err1, err2, src)
+				}
+				if err1 == nil && v1 != v2 {
+					t.Fatalf("trial %d: value changed at x=%d b=%d: %d vs %d\nexpr: %s\nsimplified: %s",
+						trial, x, bv, v1, v2, prog.Init, simplified)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+func compileT(t *testing.T, src string) *Compiled {
+	t.Helper()
+	c, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	c := compileT(t, `
+var x : 0..9;
+init x == 2 + 3 - 5;
+action a: x < 2 * 2 + 1 -> x := x + (1 * 1);
+action dead: 1 > 2 -> x := 0;
+`)
+	opt, cert, notes, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Level != CertIdentical {
+		t.Fatalf("certificate = %s", cert)
+	}
+	printed := opt.Program.String()
+	if strings.Contains(printed, "2 + 3") || strings.Contains(printed, "1 * 1") {
+		t.Fatalf("constants not folded:\n%s", printed)
+	}
+	if strings.Contains(printed, "dead") {
+		t.Fatalf("unsatisfiable action survived:\n%s", printed)
+	}
+	if len(notes) == 0 {
+		t.Fatal("no rewrite notes")
+	}
+	if !system.TransitionsEqual(opt.System, c.System) {
+		t.Fatal("automaton changed")
+	}
+}
+
+func TestOptimizeBooleanIdentities(t *testing.T) {
+	c := compileT(t, `
+var b : bool;
+action a: (b && true) || false -> b := false;
+action n: !(!b) -> b := false;
+`)
+	opt, cert, _, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Level != CertIdentical {
+		t.Fatalf("certificate = %s", cert)
+	}
+	printed := opt.Program.String()
+	if strings.Contains(printed, "true") || strings.Contains(printed, "false ||") || strings.Contains(printed, "!(!") {
+		t.Fatalf("identities not applied:\n%s", printed)
+	}
+}
+
+func TestOptimizeSelfComparisonIsThePaperExample(t *testing.T) {
+	// The introduction's `while (x == x)`: a pure self-comparison is a
+	// tautology at the source level — which is exactly why its naive
+	// two-read compilation is the fault-intolerance culprit.
+	c := compileT(t, `
+var x : 0..3;
+init x == 0;
+action loop: x == x -> x := 0;
+`)
+	opt, cert, _, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Level != CertIdentical {
+		t.Fatalf("certificate = %s", cert)
+	}
+	if got := opt.Program.Actions[0].Guard.String(); got != "true" {
+		t.Fatalf("guard = %q, want folded tautology", got)
+	}
+}
+
+func TestOptimizeDropsTauActions(t *testing.T) {
+	c := compileT(t, `
+var x : 0..2;
+init x == 0;
+action tau: x == 1 -> x := x;
+action real: x < 2 -> x := x + 1;
+`)
+	opt, cert, notes, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the τ self-loop changes the automaton but is certified at
+	// the τ-equivalence level.
+	if cert.Level != CertTauEquivalent {
+		t.Fatalf("certificate = %s", cert)
+	}
+	if len(opt.Program.Actions) != 1 || opt.Program.Actions[0].Name != "real" {
+		t.Fatalf("actions = %+v", opt.Program.Actions)
+	}
+	joined := strings.Join(notes, "; ")
+	if !strings.Contains(joined, "vacuous") {
+		t.Fatalf("notes = %v", notes)
+	}
+}
+
+func TestOptimizeDeduplicatesActions(t *testing.T) {
+	c := compileT(t, `
+var x : 0..2;
+action a: x == 0 -> x := 1;
+action b: x == 0 -> x := 1;
+`)
+	opt, cert, _, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Level != CertIdentical {
+		t.Fatalf("certificate = %s", cert)
+	}
+	if len(opt.Program.Actions) != 1 {
+		t.Fatalf("actions = %d", len(opt.Program.Actions))
+	}
+}
+
+func TestOptimizeTautologicalInitDropped(t *testing.T) {
+	c := compileT(t, `
+var x : 0..2;
+init x == x;
+action a: x < 2 -> x := x + 1;
+`)
+	opt, cert, _, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Program.Init != nil {
+		t.Fatalf("init survived: %s", opt.Program.Init)
+	}
+	if cert.Level != CertIdentical {
+		t.Fatalf("certificate = %s", cert)
+	}
+}
+
+func TestOptimizeDijkstra3IsIdentityTransformation(t *testing.T) {
+	// The generator's output is already minimal: optimization must be a
+	// certified no-op on the real protocol.
+	src := compileT(t, dijkstra3Src)
+	opt, cert, _, err := OptimizeAndCertify(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Level != CertIdentical {
+		t.Fatalf("certificate = %s", cert)
+	}
+	if !system.TransitionsEqual(opt.System, src.System) {
+		t.Fatal("automaton changed")
+	}
+}
+
+func TestCertifyGradesSubRefinement(t *testing.T) {
+	// A hand-made "optimization" that strengthens a guard (drops
+	// transitions): certifiable as an everywhere refinement, not
+	// identical.
+	orig := compileT(t, `
+var x : 0..2;
+init x == 0;
+action a: x < 2 -> x := x + 1;
+action b: x == 2 -> x := 0;
+action extra: x == 2 -> x := 1;
+`)
+	narrowed := compileT(t, `
+var x : 0..2;
+init x == 0;
+action a: x < 2 -> x := x + 1;
+action b: x == 2 -> x := 0;
+`)
+	cert := Certify(orig, narrowed)
+	if cert.Level != CertEverywhere {
+		t.Fatalf("certificate = %s", cert)
+	}
+}
+
+func TestCertifyGradesCompression(t *testing.T) {
+	// Replacing two steps by their composition away from the initial
+	// states: a convergence refinement.
+	orig := compileT(t, `
+var x : 0..3;
+init x == 0;
+action step: x > 0 -> x := x - 1;
+action loop: x == 0 -> x := 0;
+`)
+	jumped := compileT(t, `
+var x : 0..3;
+init x == 0;
+action jump: x > 1 -> x := x - 2;
+action step: x == 1 -> x := 0;
+action loop: x == 0 -> x := 0;
+`)
+	cert := Certify(orig, jumped)
+	if cert.Level != CertConvergence {
+		t.Fatalf("certificate = %s", cert)
+	}
+}
+
+func TestCertifyFails(t *testing.T) {
+	orig := compileT(t, `
+var x : 0..2;
+init x == 0;
+action down: x > 0 -> x := x - 1;
+action loop: x == 0 -> x := 0;
+`)
+	rogue := compileT(t, `
+var x : 0..2;
+init x == 0;
+action up: x < 2 -> x := x + 1;
+action loop: x == 0 -> x := 0;
+`)
+	cert := Certify(orig, rogue)
+	if cert.Preserved() {
+		t.Fatalf("rogue transformation certified: %s", cert)
+	}
+	if !strings.Contains(cert.String(), "NOT certified") {
+		t.Fatalf("String = %q", cert)
+	}
+}
+
+func TestOptimizedProgramReparses(t *testing.T) {
+	c := compileT(t, `
+var x : 0..9;
+action a: x == x && x + 0 < 9 -> x := x * 1 + 1;
+`)
+	opt, _, _, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(opt.Program.String()); err != nil {
+		t.Fatalf("optimized output does not reparse: %v\n%s", err, opt.Program)
+	}
+}

@@ -1,0 +1,171 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+const dijkstra3Src = `
+// Dijkstra's 3-state token ring for N = 2 (three processes).
+var c0 : 0..2;
+var c1 : 0..2;
+var c2 : 0..2;
+
+init c0 == 0 && c1 == 0 && c2 == 1;
+
+action bottom: c1 == (c0 + 1) % 3 -> c0 := (c1 + 1) % 3;
+action mid_up: c0 == (c1 + 1) % 3 -> c1 := c0;
+action mid_dn: c2 == (c1 + 1) % 3 -> c1 := c2;
+action top:    c1 == c0 && (c1 + 1) % 3 != c2 -> c2 := (c1 + 1) % 3;
+`
+
+func TestParseDijkstra3(t *testing.T) {
+	prog, err := Parse(dijkstra3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Vars) != 3 || len(prog.Actions) != 4 {
+		t.Fatalf("vars=%d actions=%d", len(prog.Vars), len(prog.Actions))
+	}
+	if prog.Init == nil {
+		t.Fatal("init missing")
+	}
+	if prog.Actions[0].Name != "bottom" || len(prog.Actions[0].Assigns) != 1 {
+		t.Fatalf("action[0] = %+v", prog.Actions[0])
+	}
+	if prog.Vars[0].Card() != 3 {
+		t.Fatalf("card = %d", prog.Vars[0].Card())
+	}
+}
+
+func TestParseMultipleAssignments(t *testing.T) {
+	src := `
+var x : bool;
+var y : bool;
+action swap: x -> x := y; y := x;
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Actions[0].Assigns) != 2 {
+		t.Fatalf("assigns = %+v", prog.Actions[0].Assigns)
+	}
+}
+
+func TestParseBoolAndNegativeRange(t *testing.T) {
+	prog, err := Parse("var up : bool;\nvar t : -2..2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Vars[0].IsBool {
+		t.Fatal("up should be bool")
+	}
+	if prog.Vars[1].Lo != -2 || prog.Vars[1].Hi != 2 || prog.Vars[1].Card() != 5 {
+		t.Fatalf("range var = %+v", prog.Vars[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("var x : 0..9;\naction a: x + 2 * 3 == 7 || x == 0 && x < 1 -> x := 0;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, okk := prog.Actions[0].Guard.(*Binary)
+	if !okk || g.Op != KindOr {
+		t.Fatalf("top op = %+v", prog.Actions[0].Guard)
+	}
+	left, okk := g.X.(*Binary)
+	if !okk || left.Op != KindEq {
+		t.Fatalf("left = %v", g.X)
+	}
+	add, okk := left.X.(*Binary)
+	if !okk || add.Op != KindPlus {
+		t.Fatalf("left.X = %v", left.X)
+	}
+	if mul, okk := add.Y.(*Binary); !okk || mul.Op != KindStar {
+		t.Fatalf("2*3 not grouped: %v", add.Y)
+	}
+	right, okk := g.Y.(*Binary)
+	if !okk || right.Op != KindAnd {
+		t.Fatalf("right = %v", g.Y)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	prog, err := Parse("var b : bool;\nvar x : 0..3;\naction a: !b && -x + 3 > 0 -> b := true;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Actions[0].Guard.(*Binary)
+	if _, okk := g.X.(*Unary); !okk {
+		t.Fatalf("!b not unary: %v", g.X)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	prog, err := Parse("var x : 0..9;\naction a: (x + 1) * 2 == 4 -> x := (x);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := prog.Actions[0].Guard.(*Binary)
+	mul := eq.X.(*Binary)
+	if mul.Op != KindStar {
+		t.Fatalf("paren grouping lost: %v", eq.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"", "no variables"},
+		{"var x : bool", "expected ';'"},
+		{"var x : 5..2;", "empty domain"},
+		{"var x : bool;\nvar x : bool;", "redeclared"},
+		{"var x : bool;\naction a: x -> x := true;\naction a: x -> x := false;", `action "a" redeclared`},
+		{"var x : bool;\ninit x", "expected ';'"},
+		{"var x : bool;\naction a x -> x := true;", "expected ':'"},
+		{"var x : bool;\naction a: x x := true;", "expected '->'"},
+		{"var x : bool;\naction a: x -> x = true;", "unexpected character '='"},
+		{"var x : bool;\naction a: x -> y + 1;", "expected ':='"},
+		{"var x : bool;\ngarbage", "expected 'var', 'init', 'action'"},
+		{"var x : bool;\naction a: -> x := true;", "expected expression"},
+		{"var x : bool;\naction a: (x -> x := true;", "expected ')'"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog, err := Parse(dijkstra3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := prog.String()
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed program failed: %v\n%s", err, printed)
+	}
+	if prog2.String() != printed {
+		t.Fatalf("printing not idempotent:\n%s\nvs\n%s", printed, prog2.String())
+	}
+}
+
+func TestParseNoInitIsAllowed(t *testing.T) {
+	prog, err := Parse("var x : bool;\naction a: x -> x := false;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Init != nil {
+		t.Fatal("init should be nil")
+	}
+}

@@ -1,0 +1,128 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+func TestTernaryParseAndEval(t *testing.T) {
+	c, err := Compile("t", `
+var x : 0..4;
+init x == 0;
+action a: x < 4 -> x := (x == 2) ? 0 : x + 1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := c.System
+	// 0→1→2→0 cycle; 3→4 terminal branch.
+	if !sys.HasTransition(0, 1) || !sys.HasTransition(1, 2) || !sys.HasTransition(2, 0) {
+		t.Fatal("ternary branch wrong")
+	}
+	if !sys.HasTransition(3, 4) || !sys.Terminal(4) {
+		t.Fatal("else branch wrong")
+	}
+}
+
+func TestTernaryRightAssociative(t *testing.T) {
+	prog, err := Parse(`
+var x : 0..9;
+action a: true -> x := x == 0 ? 1 : x == 1 ? 2 : 3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, isCond := prog.Actions[0].Assigns[0].Expr.(*Cond)
+	if !isCond {
+		t.Fatalf("not a conditional: %T", prog.Actions[0].Assigns[0].Expr)
+	}
+	if _, isNested := outer.Y.(*Cond); !isNested {
+		t.Fatalf("else arm should be the nested conditional, got %T", outer.Y)
+	}
+}
+
+func TestTernaryTypeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"var x : 0..2;\naction a: true -> x := x ? 0 : 1;", "must be boolean"},
+		{"var x : 0..2;\nvar b : bool;\naction a: true -> x := b ? 0 : b;", "same type"},
+	}
+	for _, tc := range cases {
+		prog, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		err = Check(prog)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Check(%q) = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestTernaryMissingColon(t *testing.T) {
+	_, err := Parse("var x : 0..2;\naction a: true -> x := x == 0 ? 1;")
+	if err == nil || !strings.Contains(err.Error(), "':'") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTernaryPrintRoundTrip(t *testing.T) {
+	src := `
+var x : 0..4;
+action a: x < 4 -> x := (x == 2) ? 0 : ((x == 3) ? 1 : x + 1);
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := prog.String()
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if prog2.String() != printed {
+		t.Fatal("print not idempotent")
+	}
+}
+
+func TestTernarySimplify(t *testing.T) {
+	c, err := Compile("t", `
+var x : 0..4;
+action a: x < 4 -> x := true ? x + 1 : 0;
+action b: x > 0 -> x := (x == x) ? x - 1 : x - 1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, cert, _, err := OptimizeAndCertify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Level != CertIdentical {
+		t.Fatalf("certificate = %s", cert)
+	}
+	printed := opt.Program.String()
+	if strings.Contains(printed, "?") {
+		t.Fatalf("conditionals not simplified away:\n%s", printed)
+	}
+}
+
+func TestTernaryShortCircuit(t *testing.T) {
+	// The unselected arm must not be evaluated: division by zero in the
+	// dead arm is harmless.
+	c, err := Compile("t", `
+var x : 0..2;
+action a: true -> x := (x == 0) ? 1 : (2 / x);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := c.Space
+	if !c.System.HasTransition(sp.Encode(system.Vals{0}), sp.Encode(system.Vals{1})) {
+		t.Fatal("then branch wrong")
+	}
+	if !c.System.HasTransition(sp.Encode(system.Vals{1}), sp.Encode(system.Vals{2})) {
+		t.Fatal("else branch wrong")
+	}
+}

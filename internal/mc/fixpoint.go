@@ -1,0 +1,156 @@
+package mc
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/system"
+)
+
+// GreatestFixpoint computes the largest subset of seed on which keep is
+// stable: starting from seed, states for which keep(s, current) is false
+// are removed until no more removals occur. keep must be monotone in its
+// second argument (removing states can only turn keep false, never true);
+// all uses in this repository — closure under transitions with side
+// conditions — are monotone.
+func GreatestFixpoint(seed *bitset.Set, keep func(s int, current *bitset.Set) bool) *bitset.Set {
+	cur := seed.Clone()
+	for {
+		var removed []int
+		cur.ForEach(func(s int) {
+			if !keep(s, cur) {
+				removed = append(removed, s)
+			}
+		})
+		if len(removed) == 0 {
+			return cur
+		}
+		for _, s := range removed {
+			cur.Remove(s)
+		}
+	}
+}
+
+// Lasso is a witness for a maximal computation that never leaves a state
+// region: a finite Stem followed either by a Loop (infinite computation) or
+// by termination at the stem's last state (Loop nil).
+type Lasso struct {
+	Stem []int // non-empty; Stem[0] is the starting state
+	Loop []int // nil for a finite (terminating) witness
+}
+
+// Infinite reports whether the witness denotes an infinite computation.
+func (l *Lasso) Infinite() bool { return len(l.Loop) > 0 }
+
+// States returns stem followed by one unrolling of the loop.
+func (l *Lasso) States() []int {
+	out := make([]int, 0, len(l.Stem)+len(l.Loop))
+	out = append(out, l.Stem...)
+	out = append(out, l.Loop...)
+	return out
+}
+
+// TrappedWitness searches for a maximal computation of sys that starts in
+// `from` and stays forever inside `region`: either a path to a cycle inside
+// region, or a path to a sys-terminal state inside region. It returns nil
+// if every computation from `from` eventually leaves region. This is the
+// counterexample generator for the convergence half of stabilization
+// checks, with region = the complement of the legitimate set.
+func TrappedWitness(sys *system.System, from, region *bitset.Set) *Lasso {
+	starts := from.Clone()
+	starts.IntersectWith(region)
+	if starts.Empty() {
+		return nil
+	}
+
+	// Terminal-in-region witness: shortest path inside region from a start.
+	if terms := TerminalsWithin(sys, region); len(terms) > 0 {
+		tset := bitset.FromSlice(sys.NumStates(), terms)
+		if l := pathInto(sys, starts, region, tset); l != nil {
+			return &Lasso{Stem: l}
+		}
+	}
+
+	// Cycle-in-region witness.
+	if cyc := FindCycleWithin(sys, region); cyc != nil {
+		entry := bitset.FromSlice(sys.NumStates(), cyc.States)
+		stem := pathInto(sys, starts, region, entry)
+		if stem != nil {
+			loop := rotateCycle(cyc.States, stem[len(stem)-1])
+			return &Lasso{Stem: stem, Loop: loop}
+		}
+		// The cycle exists but is unreachable from `from` inside region;
+		// other cycles might be reachable. Fall through to a per-start
+		// exhaustive search.
+		return trappedSearch(sys, starts, region)
+	}
+	return nil
+}
+
+// pathInto finds a shortest path from any state of starts to any state of
+// targets, traveling only inside region. Returns nil if none.
+func pathInto(sys *system.System, starts, region, targets *bitset.Set) []int {
+	var best []int
+	starts.ForEach(func(s int) {
+		if !region.Has(s) {
+			return
+		}
+		tr := BFS(sys, s, region)
+		targets.ForEach(func(t int) {
+			if p := tr.PathTo(t); p != nil && (best == nil || len(p) < len(best)) {
+				best = p
+			}
+		})
+	})
+	return best
+}
+
+// rotateCycle rotates cycle states so the cycle starts right after `at` if
+// `at` is on the cycle; otherwise returns the cycle unchanged (stem ends at
+// the entry point, loop begins with its successor along the cycle).
+func rotateCycle(cycle []int, at int) []int {
+	for i, s := range cycle {
+		if s == at {
+			out := make([]int, 0, len(cycle))
+			out = append(out, cycle[i+1:]...)
+			out = append(out, cycle[:i+1]...)
+			return out
+		}
+	}
+	return append([]int(nil), cycle...)
+}
+
+// trappedSearch is the exhaustive fallback: restrict to the region
+// reachable from starts and retry cycle/terminal detection there.
+func trappedSearch(sys *system.System, starts, region *bitset.Set) *Lasso {
+	reach := reachWithin(sys, starts, region)
+	if terms := TerminalsWithin(sys, reach); len(terms) > 0 {
+		tset := bitset.FromSlice(sys.NumStates(), terms)
+		if p := pathInto(sys, starts, reach, tset); p != nil {
+			return &Lasso{Stem: p}
+		}
+	}
+	if cyc := FindCycleWithin(sys, reach); cyc != nil {
+		entry := bitset.FromSlice(sys.NumStates(), cyc.States)
+		if stem := pathInto(sys, starts, reach, entry); stem != nil {
+			return &Lasso{Stem: stem, Loop: rotateCycle(cyc.States, stem[len(stem)-1])}
+		}
+	}
+	return nil
+}
+
+// reachWithin is forward reachability restricted to a region.
+func reachWithin(sys *system.System, from, region *bitset.Set) *bitset.Set {
+	seen := from.Clone()
+	seen.IntersectWith(region)
+	stack := seen.Members()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range sys.Succ(s) {
+			if region.Has(t) && !seen.Has(t) {
+				seen.Add(t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}

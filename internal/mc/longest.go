@@ -1,0 +1,100 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/system"
+)
+
+// ErrCyclic reports that the region contains a cycle, so no longest path
+// exists.
+var ErrCyclic = errors.New("region is cyclic")
+
+// LongestEscape computes the exact worst-case number of steps a daemon
+// can keep the system inside `region` before every continuation has left
+// it: the longest path through the subgraph induced by region, plus the
+// final exiting step. For a stabilizing system with region = the
+// complement of its legitimate set, this is the adversarial worst-case
+// recovery time — the restriction is a DAG precisely because the system
+// stabilizes, and the function returns ErrCyclic otherwise (wrapped with
+// a witness state).
+//
+// States of region with no outgoing transitions at all contribute paths
+// that end inside the region (the computation terminates there); they are
+// counted without the exiting step.
+func LongestEscape(sys *system.System, region *bitset.Set) (int, error) {
+	// Longest path over the induced DAG by memoized DFS with cycle
+	// detection (colors: 0 unvisited, 1 on stack, 2 done).
+	n := sys.NumStates()
+	color := make([]uint8, n)
+	memo := make([]int, n)
+
+	var visit func(s int) (int, error)
+	visit = func(s int) (int, error) {
+		switch color[s] {
+		case 1:
+			return 0, fmt.Errorf("mc: state %d: %w", s, ErrCyclic)
+		case 2:
+			return memo[s], nil
+		}
+		color[s] = 1
+		best := 0
+		for _, t := range sys.Succ(s) {
+			if !region.Has(t) {
+				// Exiting step.
+				if best < 1 {
+					best = 1
+				}
+				continue
+			}
+			sub, err := visit(t)
+			if err != nil {
+				return 0, err
+			}
+			if sub+1 > best {
+				best = sub + 1
+			}
+		}
+		color[s] = 2
+		memo[s] = best
+		return best, nil
+	}
+
+	longest := 0
+	var failure error
+	region.ForEach(func(s int) {
+		if failure != nil {
+			return
+		}
+		d, err := visit(s)
+		if err != nil {
+			failure = err
+			return
+		}
+		if d > longest {
+			longest = d
+		}
+	})
+	if failure != nil {
+		return 0, failure
+	}
+	return longest, nil
+}
+
+// WorstCaseRecovery returns the exact adversarial worst-case number of
+// steps from any state of sys to its legitimate region (the states given
+// as a sorted slice, e.g. StabilizationReport.Legitimate). It errors if
+// the illegitimate region is cyclic — i.e. if sys does not actually
+// converge.
+func WorstCaseRecovery(sys *system.System, legitimate []int) (int, error) {
+	region := bitset.Full(sys.NumStates())
+	for _, s := range legitimate {
+		region.Remove(s)
+	}
+	if region.Empty() {
+		return 0, nil
+	}
+	return LongestEscape(sys, region)
+}

@@ -1,0 +1,78 @@
+package mc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/system"
+)
+
+func TestLongestEscapeChain(t *testing.T) {
+	// 3 → 2 → 1 → 0, region {1,2,3}: worst case 3 steps (3,2,1, exit).
+	b := system.NewBuilder("chain", 4)
+	b.AddTransition(3, 2)
+	b.AddTransition(2, 1)
+	b.AddTransition(1, 0)
+	sys := b.Build()
+	got, err := LongestEscape(sys, bitset.FromSlice(4, []int{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("LongestEscape = %d, want 3", got)
+	}
+}
+
+func TestLongestEscapeBranching(t *testing.T) {
+	// 4 can exit immediately or take the long way 4→3→2→exit.
+	b := system.NewBuilder("g", 5)
+	b.AddTransition(4, 0)
+	b.AddTransition(4, 3)
+	b.AddTransition(3, 2)
+	b.AddTransition(2, 0)
+	sys := b.Build()
+	got, err := LongestEscape(sys, bitset.FromSlice(5, []int{2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("LongestEscape = %d, want 3", got)
+	}
+}
+
+func TestLongestEscapeCyclic(t *testing.T) {
+	b := system.NewBuilder("c", 3)
+	b.AddTransition(1, 2)
+	b.AddTransition(2, 1)
+	sys := b.Build()
+	_, err := LongestEscape(sys, bitset.FromSlice(3, []int{1, 2}))
+	if !errors.Is(err, ErrCyclic) {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestLongestEscapeTerminalInside(t *testing.T) {
+	// 2 → 1(terminal): the path ends inside the region after one step.
+	b := system.NewBuilder("t", 3)
+	b.AddTransition(2, 1)
+	sys := b.Build()
+	got, err := LongestEscape(sys, bitset.FromSlice(3, []int{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("LongestEscape = %d, want 1", got)
+	}
+}
+
+func TestWorstCaseRecoveryAllLegit(t *testing.T) {
+	b := system.NewBuilder("l", 2)
+	b.AddTransition(0, 1)
+	b.AddTransition(1, 0)
+	sys := b.Build()
+	got, err := WorstCaseRecovery(sys, []int{0, 1})
+	if err != nil || got != 0 {
+		t.Fatalf("WorstCaseRecovery = %d, %v", got, err)
+	}
+}

@@ -1,0 +1,274 @@
+package mc
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/system"
+)
+
+// build constructs a raw system from an edge list.
+func build(t *testing.T, n int, edges [][2]int, inits ...int) *system.System {
+	t.Helper()
+	b := system.NewBuilder("g", n)
+	for _, e := range edges {
+		b.AddTransition(e[0], e[1])
+	}
+	for _, i := range inits {
+		b.AddInit(i)
+	}
+	return b.Build()
+}
+
+func TestReach(t *testing.T) {
+	sys := build(t, 5, [][2]int{{0, 1}, {1, 2}, {3, 4}}, 0)
+	got := Reach(sys, bitset.FromSlice(5, []int{0}))
+	if !got.Equal(bitset.FromSlice(5, []int{0, 1, 2})) {
+		t.Fatalf("Reach = %v", got)
+	}
+}
+
+func TestReachFromInit(t *testing.T) {
+	sys := build(t, 4, [][2]int{{0, 1}, {2, 3}}, 0, 2)
+	got := ReachFromInit(sys)
+	if got.Count() != 4 {
+		t.Fatalf("Reach = %v", got)
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	sys := build(t, 5, [][2]int{{0, 1}, {1, 2}, {3, 2}, {4, 0}})
+	got := CanReach(sys, bitset.FromSlice(5, []int{2}))
+	if !got.Equal(bitset.FromSlice(5, []int{0, 1, 2, 3, 4})) {
+		t.Fatalf("CanReach = %v", got)
+	}
+	got = CanReach(sys, bitset.FromSlice(5, []int{4}))
+	if !got.Equal(bitset.FromSlice(5, []int{4})) {
+		t.Fatalf("CanReach = %v", got)
+	}
+}
+
+func TestPredecessors(t *testing.T) {
+	sys := build(t, 3, [][2]int{{0, 2}, {1, 2}, {2, 0}})
+	pred := Predecessors(sys)
+	if len(pred[2]) != 2 || pred[2][0] != 0 || pred[2][1] != 1 {
+		t.Fatalf("pred[2] = %v", pred[2])
+	}
+	if len(pred[0]) != 1 || pred[0][0] != 2 {
+		t.Fatalf("pred[0] = %v", pred[0])
+	}
+	if len(pred[1]) != 0 {
+		t.Fatalf("pred[1] = %v", pred[1])
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	sys := build(t, 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}, {3, 5}})
+	p := ShortestPath(sys, 0, 3)
+	if len(p) != 3 || p[0] != 0 || p[2] != 3 {
+		t.Fatalf("ShortestPath = %v", p)
+	}
+	if got := ShortestPath(sys, 3, 0); got != nil {
+		t.Fatalf("path should not exist, got %v", got)
+	}
+	if p := ShortestPath(sys, 2, 2); len(p) != 1 || p[0] != 2 {
+		t.Fatalf("trivial path = %v", p)
+	}
+}
+
+func TestBFSWithin(t *testing.T) {
+	sys := build(t, 4, [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}})
+	within := bitset.FromSlice(4, []int{0, 2, 3}) // exclude 1
+	tr := BFS(sys, 0, within)
+	p := tr.PathTo(3)
+	if len(p) != 3 || p[1] != 2 {
+		t.Fatalf("PathTo(3) = %v, want via 2", p)
+	}
+	if tr.Dist[1] != -1 {
+		t.Fatal("BFS entered excluded state")
+	}
+}
+
+func TestPathFromInit(t *testing.T) {
+	sys := build(t, 5, [][2]int{{0, 2}, {1, 2}, {2, 3}}, 0, 1)
+	p := PathFromInit(sys, 3)
+	if len(p) != 3 || p[2] != 3 {
+		t.Fatalf("PathFromInit = %v", p)
+	}
+	if got := PathFromInit(sys, 4); got != nil {
+		t.Fatalf("unreachable target returned %v", got)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two SCCs: {0,1,2} cycle and {3}; plus 4 with self-loop.
+	sys := build(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {4, 4}})
+	comps, comp := SCCs(sys, nil)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("cycle states in different components")
+	}
+	if comp[3] == comp[0] || comp[4] == comp[0] {
+		t.Fatal("separate states merged")
+	}
+	// Reverse topological order: {3} must be emitted before {0,1,2}.
+	var big, single int
+	for i, c := range comps {
+		if len(c) == 3 {
+			big = i
+		}
+		if len(c) == 1 && c[0] == 3 {
+			single = i
+		}
+	}
+	if single > big {
+		t.Fatal("SCC emission not reverse-topological")
+	}
+}
+
+func TestSCCsWithin(t *testing.T) {
+	sys := build(t, 3, [][2]int{{0, 1}, {1, 0}, {1, 2}})
+	within := bitset.FromSlice(3, []int{0, 2})
+	comps, comp := SCCs(sys, within)
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if comp[1] != -1 {
+		t.Fatal("excluded state got a component")
+	}
+}
+
+func TestFindCycleWithin(t *testing.T) {
+	sys := build(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 1}, {3, 3}})
+	// Full graph: cycle {1,2} exists.
+	cyc := FindCycleWithin(sys, bitset.Full(5))
+	if cyc == nil {
+		t.Fatal("missed cycle")
+	}
+	states := append([]int(nil), cyc.States...)
+	sort.Ints(states)
+	if len(states) == 1 && states[0] == 3 {
+		// self-loop also acceptable
+	} else if len(states) != 2 || states[0] != 1 || states[1] != 2 {
+		t.Fatalf("cycle = %v", cyc.States)
+	}
+	// Cycle witness must be a real cycle: consecutive transitions and wrap.
+	for i := 0; i+1 < len(cyc.States); i++ {
+		if !sys.HasTransition(cyc.States[i], cyc.States[i+1]) {
+			t.Fatalf("witness edge missing: %v", cyc.States)
+		}
+	}
+	if !sys.HasTransition(cyc.States[len(cyc.States)-1], cyc.States[0]) {
+		t.Fatalf("witness does not wrap: %v", cyc.States)
+	}
+	// Excluding state 2 and 3 leaves no cycle.
+	if c := FindCycleWithin(sys, bitset.FromSlice(5, []int{0, 1, 4})); c != nil {
+		t.Fatalf("phantom cycle %v", c.States)
+	}
+}
+
+func TestFindSelfLoop(t *testing.T) {
+	sys := build(t, 2, [][2]int{{1, 1}})
+	cyc := FindCycleWithin(sys, bitset.Full(2))
+	if cyc == nil || len(cyc.States) != 1 || cyc.States[0] != 1 {
+		t.Fatalf("cycle = %+v", cyc)
+	}
+}
+
+func TestTerminalsWithin(t *testing.T) {
+	sys := build(t, 4, [][2]int{{0, 1}, {2, 3}})
+	got := TerminalsWithin(sys, bitset.FromSlice(4, []int{1, 2, 3}))
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("terminals = %v", got)
+	}
+}
+
+func TestGreatestFixpoint(t *testing.T) {
+	// Keep states whose value is >= all removed neighbors... simpler: keep
+	// s if s+1 is still in the set or s == 4 (top). Seed {0..4}: stable.
+	seed := bitset.Full(5)
+	got := GreatestFixpoint(seed, func(s int, cur *bitset.Set) bool {
+		return s == 4 || cur.Has(s+1)
+	})
+	if got.Count() != 5 {
+		t.Fatalf("fixpoint = %v", got)
+	}
+	// Remove the anchor: everything unravels.
+	seed2 := bitset.FromSlice(5, []int{0, 1, 2, 3})
+	got2 := GreatestFixpoint(seed2, func(s int, cur *bitset.Set) bool {
+		return s == 4 || cur.Has(s+1)
+	})
+	if !got2.Empty() {
+		t.Fatalf("fixpoint = %v, want empty", got2)
+	}
+}
+
+func TestTrappedWitnessCycle(t *testing.T) {
+	// Region {1,2}: cycle 1<->2 reachable from 0? 0 not in region, so start
+	// inside region.
+	sys := build(t, 3, [][2]int{{0, 1}, {1, 2}, {2, 1}})
+	region := bitset.FromSlice(3, []int{1, 2})
+	w := TrappedWitness(sys, bitset.FromSlice(3, []int{1}), region)
+	if w == nil || !w.Infinite() {
+		t.Fatalf("witness = %+v", w)
+	}
+	if w.Stem[0] != 1 {
+		t.Fatalf("stem = %v", w.Stem)
+	}
+}
+
+func TestTrappedWitnessTerminal(t *testing.T) {
+	sys := build(t, 3, [][2]int{{0, 1}, {1, 2}})
+	region := bitset.FromSlice(3, []int{1, 2})
+	w := TrappedWitness(sys, bitset.FromSlice(3, []int{1}), region)
+	if w == nil || w.Infinite() {
+		t.Fatalf("witness = %+v", w)
+	}
+	if last := w.Stem[len(w.Stem)-1]; last != 2 {
+		t.Fatalf("stem = %v, want ending at terminal 2", w.Stem)
+	}
+}
+
+func TestTrappedWitnessNone(t *testing.T) {
+	// From region {0}, the only move leaves the region; no trap.
+	sys := build(t, 2, [][2]int{{0, 1}, {1, 1}})
+	region := bitset.FromSlice(2, []int{0})
+	if w := TrappedWitness(sys, bitset.FromSlice(2, []int{0}), region); w != nil {
+		t.Fatalf("unexpected witness %+v", w)
+	}
+}
+
+func TestTrappedWitnessUnreachableCycle(t *testing.T) {
+	// Region {0,1,2,3}: cycle {2,3} exists but is unreachable from start 0;
+	// 0 -> 1 terminal... 1 is terminal in region AND in sys, so the
+	// terminal witness fires. Make 1 leave the region instead: then from 0
+	// nothing traps.
+	sys := build(t, 5, [][2]int{{0, 1}, {1, 4}, {2, 3}, {3, 2}, {4, 4}})
+	region := bitset.FromSlice(5, []int{0, 1, 2, 3})
+	w := TrappedWitness(sys, bitset.FromSlice(5, []int{0}), region)
+	if w != nil {
+		t.Fatalf("unexpected witness %+v", w)
+	}
+	// But starting inside the cycle, it traps.
+	w = TrappedWitness(sys, bitset.FromSlice(5, []int{2}), region)
+	if w == nil || !w.Infinite() {
+		t.Fatalf("witness = %+v", w)
+	}
+}
+
+func TestLassoStates(t *testing.T) {
+	l := &Lasso{Stem: []int{0, 1}, Loop: []int{2, 3}}
+	got := l.States()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("States = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("States = %v", got)
+		}
+	}
+}

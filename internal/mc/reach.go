@@ -1,0 +1,150 @@
+// Package mc is the graph engine under the refinement and stabilization
+// checkers: forward/backward reachability, Tarjan strongly-connected
+// components, shortest-path witnesses, and cycle detection restricted to a
+// state subset. Everything operates on the automata of internal/system and
+// is deterministic (successors are visited in sorted order).
+package mc
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/system"
+)
+
+// Reach returns the set of states reachable from `from` via zero or more
+// transitions of sys (so `from` itself is included).
+func Reach(sys *system.System, from *bitset.Set) *bitset.Set {
+	seen := from.Clone()
+	stack := from.Members()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range sys.Succ(s) {
+			if !seen.Has(t) {
+				seen.Add(t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachFromInit returns the states reachable from the initial states: the
+// legitimate-state region of a specification.
+func ReachFromInit(sys *system.System) *bitset.Set {
+	return Reach(sys, sys.Init())
+}
+
+// CanReach returns the set of states from which some state in `target` is
+// reachable (backward reachability; includes target itself). Backward edges
+// are materialized on the fly by a predecessor index.
+func CanReach(sys *system.System, target *bitset.Set) *bitset.Set {
+	pred := Predecessors(sys)
+	seen := target.Clone()
+	stack := target.Members()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pred[s] {
+			if !seen.Has(p) {
+				seen.Add(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// Predecessors builds the reversed adjacency of sys: pred[t] lists every s
+// with (s, t) ∈ T, in increasing order.
+func Predecessors(sys *system.System) [][]int {
+	n := sys.NumStates()
+	counts := make([]int, n)
+	for s := 0; s < n; s++ {
+		for _, t := range sys.Succ(s) {
+			counts[t]++
+		}
+	}
+	pred := make([][]int, n)
+	for t := 0; t < n; t++ {
+		if counts[t] > 0 {
+			pred[t] = make([]int, 0, counts[t])
+		}
+	}
+	for s := 0; s < n; s++ {
+		for _, t := range sys.Succ(s) {
+			pred[t] = append(pred[t], s)
+		}
+	}
+	return pred
+}
+
+// BFSTree holds the result of a breadth-first search from a single source:
+// distances (-1 for unreachable) and BFS-tree parents (-1 for source and
+// unreachable states). Paths reconstructed from it are shortest paths.
+type BFSTree struct {
+	Source int
+	Dist   []int
+	Parent []int
+}
+
+// BFS runs a breadth-first search over sys from source. If within is
+// non-nil the search only traverses states in it (the source must be a
+// member).
+func BFS(sys *system.System, source int, within *bitset.Set) *BFSTree {
+	n := sys.NumStates()
+	tr := &BFSTree{Source: source, Dist: make([]int, n), Parent: make([]int, n)}
+	for i := range tr.Dist {
+		tr.Dist[i] = -1
+		tr.Parent[i] = -1
+	}
+	tr.Dist[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range sys.Succ(s) {
+			if within != nil && !within.Has(t) {
+				continue
+			}
+			if tr.Dist[t] == -1 {
+				tr.Dist[t] = tr.Dist[s] + 1
+				tr.Parent[t] = s
+				queue = append(queue, t)
+			}
+		}
+	}
+	return tr
+}
+
+// PathTo reconstructs the shortest path from the tree's source to t,
+// inclusive of both endpoints. It returns nil if t is unreachable. For
+// t == source it returns the one-state path.
+func (tr *BFSTree) PathTo(t int) []int {
+	if tr.Dist[t] == -1 {
+		return nil
+	}
+	path := make([]int, tr.Dist[t]+1)
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i] = t
+		t = tr.Parent[t]
+	}
+	return path
+}
+
+// ShortestPath returns a shortest path from `from` to `to` (inclusive), or
+// nil if none exists.
+func ShortestPath(sys *system.System, from, to int) []int {
+	return BFS(sys, from, nil).PathTo(to)
+}
+
+// PathFromInit returns a shortest path from some initial state of sys to
+// target, or nil if target is unreachable from I.
+func PathFromInit(sys *system.System, target int) []int {
+	var best []int
+	sys.Init().ForEach(func(s int) {
+		if p := ShortestPath(sys, s, target); p != nil && (best == nil || len(p) < len(best)) {
+			best = p
+		}
+	})
+	return best
+}

@@ -1,0 +1,159 @@
+package mc
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/system"
+)
+
+// SCCs computes the strongly connected components of sys restricted to the
+// states in `within` (nil means all states), using an iterative Tarjan
+// algorithm. Components are returned in reverse topological order (Tarjan's
+// natural emission order: a component is emitted only after everything it
+// can reach). comp[s] is the component index of s, or -1 if s ∉ within.
+func SCCs(sys *system.System, within *bitset.Set) (components [][]int, comp []int) {
+	n := sys.NumStates()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp = make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	inSet := func(s int) bool { return within == nil || within.Has(s) }
+
+	// Iterative Tarjan with an explicit call frame per state.
+	type frame struct {
+		s  int
+		ei int // index into Succ(s)
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited || !inSet(root) {
+			continue
+		}
+		call := []frame{{s: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			succ := sys.Succ(f.s)
+			advanced := false
+			for f.ei < len(succ) {
+				t := succ[f.ei]
+				f.ei++
+				if !inSet(t) {
+					continue
+				}
+				if index[t] == unvisited {
+					index[t] = next
+					low[t] = next
+					next++
+					stack = append(stack, t)
+					onStack[t] = true
+					call = append(call, frame{s: t})
+					advanced = true
+					break
+				}
+				if onStack[t] && index[t] < low[f.s] {
+					low[f.s] = index[t]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.s finished.
+			if low[f.s] == index[f.s] {
+				var c []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(components)
+					c = append(c, w)
+					if w == f.s {
+						break
+					}
+				}
+				components = append(components, c)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].s
+				if low[f.s] < low[parent] {
+					low[parent] = low[f.s]
+				}
+			}
+		}
+	}
+	return components, comp
+}
+
+// Cycle holds a witness cycle: states[0] == states[len-1] is implied (the
+// last state has a transition back to states[0]).
+type Cycle struct {
+	States []int
+}
+
+// FindCycleWithin returns a cycle of sys lying entirely inside `within`, or
+// nil if the restriction of sys to `within` is acyclic. Self-loops count as
+// cycles.
+func FindCycleWithin(sys *system.System, within *bitset.Set) *Cycle {
+	components, comp := SCCs(sys, within)
+	for _, c := range components {
+		if len(c) > 1 {
+			return traceCycle(sys, within, comp, c)
+		}
+		s := c[0]
+		if sys.HasTransition(s, s) {
+			return &Cycle{States: []int{s}}
+		}
+	}
+	return nil
+}
+
+// traceCycle extracts an explicit cycle from a non-trivial SCC by walking
+// successors inside the component until a state repeats.
+func traceCycle(sys *system.System, within *bitset.Set, comp []int, c []int) *Cycle {
+	target := comp[c[0]]
+	pos := make(map[int]int)
+	var walk []int
+	s := c[0]
+	for {
+		if at, seen := pos[s]; seen {
+			return &Cycle{States: walk[at:]}
+		}
+		pos[s] = len(walk)
+		walk = append(walk, s)
+		advanced := false
+		for _, t := range sys.Succ(s) {
+			if (within == nil || within.Has(t)) && comp[t] == target {
+				s = t
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			// Cannot happen inside a non-trivial SCC; guard anyway.
+			return &Cycle{States: walk}
+		}
+	}
+}
+
+// TerminalsWithin returns the states of `within` that are terminal in sys
+// (no outgoing transitions at all — not merely none inside within).
+func TerminalsWithin(sys *system.System, within *bitset.Set) []int {
+	var out []int
+	within.ForEach(func(s int) {
+		if sys.Terminal(s) {
+			out = append(out, s)
+		}
+	})
+	return out
+}

@@ -1,0 +1,417 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/system"
+)
+
+// ThreeState models the Section 5/6 encoding: every process j carries a
+// 3-valued counter c.j, and the BTR token variables are simulated by
+//
+//	↑t.j ≡ c.(j−1) = c.j ⊕ 1     (j in 1..N; ⊕ is addition mod 3)
+//	↓t.j ≡ c.(j+1) = c.j ⊕ 1     (j in 0..N−1)
+type ThreeState struct {
+	// N is the top process index.
+	N int
+	// Space holds c0..cN, each over 0..2.
+	Space *system.Space
+}
+
+// NewThreeState builds the 3-state space for top index n (n ≥ 2).
+func NewThreeState(n int) *ThreeState {
+	if n < 2 {
+		panic(fmt.Sprintf("ring: ThreeState needs N ≥ 2, got %d", n))
+	}
+	vars := make([]system.Var, 0, n+1)
+	for j := 0; j <= n; j++ {
+		vars = append(vars, system.Int(fmt.Sprintf("c%d", j), 3))
+	}
+	return &ThreeState{N: n, Space: system.NewSpace(vars...)}
+}
+
+// inc3 is ⊕1 and dec3 is ⊖1, both modulo 3.
+func inc3(x int) int { return (x + 1) % 3 }
+func dec3(x int) int { return (x + 2) % 3 }
+
+// HasUpToken evaluates the mapped ↑t.j (j in 1..N).
+func (t *ThreeState) HasUpToken(v system.Vals, j int) bool {
+	return v[j-1] == inc3(v[j])
+}
+
+// HasDownToken evaluates the mapped ↓t.j (j in 0..N−1).
+func (t *ThreeState) HasDownToken(v system.Vals, j int) bool {
+	return v[j+1] == inc3(v[j])
+}
+
+// TokenCount counts mapped tokens.
+func (t *ThreeState) TokenCount(v system.Vals) int {
+	c := 0
+	for j := 1; j <= t.N; j++ {
+		if t.HasUpToken(v, j) {
+			c++
+		}
+	}
+	for j := 0; j < t.N; j++ {
+		if t.HasDownToken(v, j) {
+			c++
+		}
+	}
+	return c
+}
+
+// Abstraction builds the mapping from the 3-state space onto (a subset of)
+// BTR's space.
+func (t *ThreeState) Abstraction(b *BTR) (*system.Abstraction, error) {
+	if b.N != t.N {
+		return nil, fmt.Errorf("ring: abstraction between N=%d and N=%d", t.N, b.N)
+	}
+	return system.MapSpaces(t.Space, b.Space, func(c system.Vals, a system.Vals) {
+		for j := 1; j <= t.N; j++ {
+			a[b.UpIdx(j)] = boolToInt(t.HasUpToken(c, j))
+		}
+		for j := 0; j < t.N; j++ {
+			a[b.DownIdx(j)] = boolToInt(t.HasDownToken(c, j))
+		}
+	})
+}
+
+func (t *ThreeState) uniqueTokenInit(v system.Vals) bool { return t.TokenCount(v) == 1 }
+
+// BTR3 is the abstract-model transliteration of BTR into the 3-state
+// encoding (Section 5's first listing). The middle actions write one
+// neighbor — permitted in the abstract model — so that the passed token
+// materializes at the neighbor:
+//
+//	c.(N−1) = c.N⊕1 → c.N := c.(N−1)⊕1                       (top)
+//	c.1 = c.0⊕1     → c.0 := c.1⊕1                           (bottom)
+//	c.(j−1) = c.j⊕1 → c.j := c.(j−1); c.(j+1) := c.j ⊖ 1     (middle, pass up)
+//	c.(j+1) = c.j⊕1 → c.j := c.(j+1); c.(j−1) := c.j ⊖ 1     (middle, pass down)
+//
+// The neighbor write uses the updated c.j (sequential reading), so after
+// passing up, ↑t.(j+1) ≡ c.j = c.(j+1)⊕1 holds by construction.
+func (t *ThreeState) BTR3() *system.System {
+	return system.Enumerate(fmt.Sprintf("BTR3(N=%d)", t.N), t.Space, t.btr3Actions(), t.uniqueTokenInit)
+}
+
+// btr3Actions returns BTR3's guarded commands.
+func (t *ThreeState) btr3Actions() []system.Action {
+	acts := t.endpointActions()
+	for j := 1; j < t.N; j++ {
+		j := j
+		acts = append(acts,
+			system.Action{
+				Name:  fmt.Sprintf("up%d", j),
+				Guard: func(v system.Vals) bool { return t.HasUpToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = v[j-1]
+					v[j+1] = dec3(v[j])
+				},
+			},
+			system.Action{
+				Name:  fmt.Sprintf("down%d", j),
+				Guard: func(v system.Vals) bool { return t.HasDownToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = v[j+1]
+					v[j-1] = dec3(v[j])
+				},
+			},
+		)
+	}
+	return acts
+}
+
+// endpointActions are the top and bottom actions shared by BTR3, C2 and C3
+// (they already write only their own state).
+func (t *ThreeState) endpointActions() []system.Action {
+	return []system.Action{
+		{
+			Name:  "top",
+			Guard: func(v system.Vals) bool { return t.HasUpToken(v, t.N) },
+			Effect: func(v system.Vals) {
+				v[t.N] = inc3(v[t.N-1])
+			},
+		},
+		{
+			Name:  "bottom",
+			Guard: func(v system.Vals) bool { return t.HasDownToken(v, 0) },
+			Effect: func(v system.Vals) {
+				v[0] = inc3(v[1])
+			},
+		},
+	}
+}
+
+// C2 is the Section 5.2 concrete refinement of BTR3: the neighbor writes
+// are commented out; a middle process copies the counter the token came
+// from.
+func (t *ThreeState) C2() *system.System {
+	acts := t.endpointActions()
+	for j := 1; j < t.N; j++ {
+		j := j
+		acts = append(acts,
+			system.Action{
+				Name:  fmt.Sprintf("up%d", j),
+				Guard: func(v system.Vals) bool { return t.HasUpToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = v[j-1]
+				},
+			},
+			system.Action{
+				Name:  fmt.Sprintf("down%d", j),
+				Guard: func(v system.Vals) bool { return t.HasDownToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = v[j+1]
+				},
+			},
+		)
+	}
+	return system.Enumerate(fmt.Sprintf("C2(N=%d)", t.N), t.Space, acts, t.uniqueTokenInit)
+}
+
+// C3 is the Section 6 alternative refinement: a middle process implements
+// token passing by writing only its own counter as a function of the
+// destination neighbor; in illegitimate states it may take τ (stuttering)
+// steps instead of compressing:
+//
+//	c.(j−1) = c.j⊕1 → c.j := c.(j+1)⊕1    (pass up: creates ↑t.(j+1) directly)
+//	c.(j+1) = c.j⊕1 → c.j := c.(j−1)⊕1    (pass down: creates ↓t.(j−1) directly)
+func (t *ThreeState) C3() *system.System {
+	acts := t.endpointActions()
+	for j := 1; j < t.N; j++ {
+		j := j
+		acts = append(acts,
+			system.Action{
+				Name:  fmt.Sprintf("up%d", j),
+				Guard: func(v system.Vals) bool { return t.HasUpToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = inc3(v[j+1])
+				},
+			},
+			system.Action{
+				Name:  fmt.Sprintf("down%d", j),
+				Guard: func(v system.Vals) bool { return t.HasDownToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = inc3(v[j-1])
+				},
+			},
+		)
+	}
+	return system.Enumerate(fmt.Sprintf("C3(N=%d)", t.N), t.Space, acts, t.uniqueTokenInit)
+}
+
+// W1DoublePrime is the local wrapper W1″ of Section 5.1, the implementable
+// approximation of the global W1′ at process N:
+//
+//	c.(N−1) = c.0 ∧ c.N ≠ c.(N−1)⊕1 → c.N := c.(N−1)⊕1
+func (t *ThreeState) W1DoublePrime() *system.System {
+	return enumerateWrapper(fmt.Sprintf("W1''(N=%d)", t.N), t.Space, t.w1DoublePrimeActions())
+}
+
+// w1DoublePrimeActions returns W1″'s single guarded command.
+func (t *ThreeState) w1DoublePrimeActions() []system.Action {
+	return []system.Action{{
+		Name: "W1''",
+		Guard: func(v system.Vals) bool {
+			return v[t.N-1] == v[0] && v[t.N] != inc3(v[t.N-1])
+		},
+		Effect: func(v system.Vals) {
+			v[t.N] = inc3(v[t.N-1])
+		},
+	}}
+}
+
+// W1PrimeGlobal is the global wrapper W1′ of Section 5.1, the direct image
+// of W1 under the mapping:
+//
+//	(∀j,k : j,k ≠ N : c.j = c.k) ∧ c.N ≠ c.(N−1)⊕1 → c.N := c.(N−1)⊕1
+func (t *ThreeState) W1PrimeGlobal() *system.System {
+	acts := []system.Action{{
+		Name: "W1'",
+		Guard: func(v system.Vals) bool {
+			for j := 1; j < t.N; j++ {
+				if v[j] != v[0] {
+					return false
+				}
+			}
+			return v[t.N] != inc3(v[t.N-1])
+		},
+		Effect: func(v system.Vals) {
+			v[t.N] = inc3(v[t.N-1])
+		},
+	}}
+	return enumerateWrapper(fmt.Sprintf("W1'(N=%d)", t.N), t.Space, acts)
+}
+
+// W2Prime is the Section 5.1 refinement of W2: a middle process holding
+// both tokens (c.(j−1) = c.j⊕1 ∧ c.(j+1) = c.j⊕1) deletes both by copying
+// c.(j−1).
+func (t *ThreeState) W2Prime() *system.System {
+	return enumerateWrapper(fmt.Sprintf("W2'(N=%d)", t.N), t.Space, t.w2PrimeActions())
+}
+
+// w2PrimeActions returns W2′'s per-middle deletion commands.
+func (t *ThreeState) w2PrimeActions() []system.Action {
+	var acts []system.Action
+	for j := 1; j < t.N; j++ {
+		j := j
+		acts = append(acts, system.Action{
+			Name: fmt.Sprintf("W2'_%d", j),
+			Guard: func(v system.Vals) bool {
+				return t.HasUpToken(v, j) && t.HasDownToken(v, j)
+			},
+			Effect: func(v system.Vals) {
+				v[j] = v[j-1]
+			},
+		})
+	}
+	return acts
+}
+
+// Lemma9Labeled is the Lemma 9 composition with action identity
+// preserved, for fairness-aware analysis: (BTR3 [] W1″) <] W2′ where each
+// guarded command is a distinct schedulable action.
+func (t *ThreeState) Lemma9Labeled() *system.LabeledSystem {
+	btr3 := system.EnumerateLabeled(fmt.Sprintf("BTR3(N=%d)", t.N), t.Space, t.btr3Actions(), t.uniqueTokenInit)
+	w1 := system.EnumerateLabeled(fmt.Sprintf("W1''(N=%d)", t.N), t.Space, t.w1DoublePrimeActions(), neverInit)
+	w2 := system.EnumerateLabeled(fmt.Sprintf("W2'(N=%d)", t.N), t.Space, t.w2PrimeActions(), neverInit)
+	return system.PriorityBoxLabeled(system.BoxLabeled(btr3, w1), w2)
+}
+
+// neverInit marks no state initial (the wrapper convention for labeled
+// enumeration).
+func neverInit(system.Vals) bool { return false }
+
+// Dijkstra3 is Dijkstra's 3-state stabilizing token-ring system as listed
+// at the end of Section 5.2:
+//
+//	c.(N−1) = c.0 ∧ c.(N−1)⊕1 ≠ c.N → c.N := c.(N−1)⊕1   (top)
+//	c.1 = c.0⊕1                      → c.0 := c.1⊕1       (bottom)
+//	c.(j−1) = c.j⊕1                  → c.j := c.(j−1)     (middle)
+//	c.(j+1) = c.j⊕1                  → c.j := c.(j+1)     (middle)
+func (t *ThreeState) Dijkstra3() *system.System {
+	acts := []system.Action{
+		{
+			Name: "top",
+			Guard: func(v system.Vals) bool {
+				return v[t.N-1] == v[0] && inc3(v[t.N-1]) != v[t.N]
+			},
+			Effect: func(v system.Vals) {
+				v[t.N] = inc3(v[t.N-1])
+			},
+		},
+		{
+			Name:  "bottom",
+			Guard: func(v system.Vals) bool { return t.HasDownToken(v, 0) },
+			Effect: func(v system.Vals) {
+				v[0] = inc3(v[1])
+			},
+		},
+	}
+	for j := 1; j < t.N; j++ {
+		j := j
+		acts = append(acts,
+			system.Action{
+				Name:  fmt.Sprintf("up%d", j),
+				Guard: func(v system.Vals) bool { return t.HasUpToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = v[j-1]
+				},
+			},
+			system.Action{
+				Name:  fmt.Sprintf("down%d", j),
+				Guard: func(v system.Vals) bool { return t.HasDownToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[j] = v[j+1]
+				},
+			},
+		)
+	}
+	return system.Enumerate(fmt.Sprintf("Dijkstra3(N=%d)", t.N), t.Space, acts, t.uniqueTokenInit)
+}
+
+// Lemma9System is the stabilized abstract composition of Lemma 9,
+// (BTR3 [] W1″) <] W2′. As with Theorem 6, the deletion wrapper must
+// preempt the ring's moves: under the plain union, an opposing-token
+// collision pair can be carried around the ring forever by the processes'
+// own actions without W2′ ever firing (the experiments exhibit the
+// two-state loop at N = 3).
+func (t *ThreeState) Lemma9System() *system.System {
+	return system.PriorityBox(system.Box(t.BTR3(), t.W1DoublePrime()), t.W2Prime())
+}
+
+// ComposedC2 is the Section 5.2 composition (C2 [] W1″) <] W2′, again with
+// the deletion wrapper preempting.
+func (t *ThreeState) ComposedC2() *system.System {
+	return system.PriorityBox(system.Box(t.C2(), t.W1DoublePrime()), t.W2Prime())
+}
+
+// NewThree is the Section 6 "new 3-state stabilizing token-ring":
+// (C3 [] W1″) <] W2′, with C3's τ self-loops stripped (a daemon spinning
+// forever on a no-op is indistinguishable from not scheduling it; the
+// state sequence is unchanged).
+func (t *ThreeState) NewThree() *system.System {
+	composed := system.PriorityBox(system.Box(t.C3(), t.W1DoublePrime()), t.W2Prime())
+	return composed.StripSelfLoops().Rename(fmt.Sprintf("NewThree(N=%d)", t.N))
+}
+
+// AggressiveThree is the final Section 6 system: C3 refined further with a
+// more aggressive W2′ that deletes ↑t.j when ↑t.(j+1) also holds (and
+// symmetrically for ↓), written with the paper's if-then-else cascade.
+// Because K = 3, every branch of the middle actions collapses to
+// Dijkstra's assignments; VerifyAggressiveEqualsDijkstra3 machine-checks
+// that the automaton equals Dijkstra3's.
+func (t *ThreeState) AggressiveThree() *system.System {
+	acts := []system.Action{
+		{
+			Name: "top",
+			Guard: func(v system.Vals) bool {
+				return v[t.N-1] == v[0] && inc3(v[t.N-1]) != v[t.N]
+			},
+			Effect: func(v system.Vals) {
+				v[t.N] = inc3(v[t.N-1])
+			},
+		},
+		{
+			Name:  "bottom",
+			Guard: func(v system.Vals) bool { return t.HasDownToken(v, 0) },
+			Effect: func(v system.Vals) {
+				v[0] = inc3(v[1])
+			},
+		},
+	}
+	for j := 1; j < t.N; j++ {
+		j := j
+		acts = append(acts,
+			system.Action{
+				Name:  fmt.Sprintf("up%d", j),
+				Guard: func(v system.Vals) bool { return t.HasUpToken(v, j) },
+				Effect: func(v system.Vals) {
+					switch {
+					case v[j-1] == v[j+1]:
+						v[j] = v[j-1] // both tokens at j: delete both
+					case v[j] == inc3(v[j+1]):
+						v[j] = v[j-1] // ↑t.(j+1) would duplicate: absorb
+					default:
+						v[j] = inc3(v[j+1]) // C3's own-write pass
+					}
+				},
+			},
+			system.Action{
+				Name:  fmt.Sprintf("down%d", j),
+				Guard: func(v system.Vals) bool { return t.HasDownToken(v, j) },
+				Effect: func(v system.Vals) {
+					switch {
+					case v[j-1] == v[j+1]:
+						v[j] = v[j+1]
+					case v[j] == inc3(v[j-1]):
+						v[j] = v[j+1]
+					default:
+						v[j] = inc3(v[j-1])
+					}
+				},
+			},
+		)
+	}
+	return system.Enumerate(fmt.Sprintf("AggressiveThree(N=%d)", t.N), t.Space, acts, t.uniqueTokenInit)
+}

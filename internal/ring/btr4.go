@@ -1,0 +1,324 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/mc"
+	"repro/internal/system"
+)
+
+// FourState models the Section 4 encoding: every process j carries a
+// boolean c.j, and every middle process a boolean up.j; up.0 ≡ true and
+// up.N ≡ false are constants, not variables. The token variables of BTR
+// are simulated by the Section 4 mapping:
+//
+//	↑t.N ≡ c.N ≠ c.(N−1) ∧ up.(N−1)
+//	↓t.0 ≡ c.0 = c.1 ∧ ¬up.1
+//	↑t.j ≡ c.j ≠ c.(j−1) ∧ up.(j−1) ∧ ¬up.j     (0 < j < N)
+//	↓t.j ≡ c.j = c.(j+1) ∧ ¬up.(j+1) ∧ up.j     (0 < j < N)
+type FourState struct {
+	// N is the top process index.
+	N int
+	// Space holds c0..cN then up1..up(N−1).
+	Space *system.Space
+
+	legit []int // cached LegitStates
+}
+
+// NewFourState builds the 4-state space for top index n (n ≥ 2).
+func NewFourState(n int) *FourState {
+	if n < 2 {
+		panic(fmt.Sprintf("ring: FourState needs N ≥ 2, got %d", n))
+	}
+	vars := make([]system.Var, 0, 2*n)
+	for j := 0; j <= n; j++ {
+		vars = append(vars, system.Bool(fmt.Sprintf("c%d", j)))
+	}
+	for j := 1; j < n; j++ {
+		vars = append(vars, system.Bool(fmt.Sprintf("up%d", j)))
+	}
+	return &FourState{N: n, Space: system.NewSpace(vars...)}
+}
+
+// CIdx returns the variable index of c.j.
+func (f *FourState) CIdx(j int) int {
+	if j < 0 || j > f.N {
+		panic(fmt.Sprintf("ring: c.%d undefined for N=%d", j, f.N))
+	}
+	return j
+}
+
+// Up reads the (possibly constant) up.j value from a state: up.0 ≡ true,
+// up.N ≡ false.
+func (f *FourState) Up(v system.Vals, j int) bool {
+	switch {
+	case j == 0:
+		return true
+	case j == f.N:
+		return false
+	case j > 0 && j < f.N:
+		return v[f.N+j] == 1
+	default:
+		panic(fmt.Sprintf("ring: up.%d undefined for N=%d", j, f.N))
+	}
+}
+
+// setUp writes up.j for a middle process.
+func (f *FourState) setUp(v system.Vals, j int, val bool) {
+	if j <= 0 || j >= f.N {
+		panic(fmt.Sprintf("ring: up.%d is constant for N=%d", j, f.N))
+	}
+	if val {
+		v[f.N+j] = 1
+	} else {
+		v[f.N+j] = 0
+	}
+}
+
+// HasUpToken evaluates the mapped ↑t.j (j in 1..N).
+func (f *FourState) HasUpToken(v system.Vals, j int) bool {
+	return v[f.CIdx(j)] != v[f.CIdx(j-1)] && f.Up(v, j-1) && !f.Up(v, j)
+}
+
+// HasDownToken evaluates the mapped ↓t.j (j in 0..N−1).
+func (f *FourState) HasDownToken(v system.Vals, j int) bool {
+	return v[f.CIdx(j)] == v[f.CIdx(j+1)] && !f.Up(v, j+1) && f.Up(v, j)
+}
+
+// TokenCount counts mapped tokens.
+func (f *FourState) TokenCount(v system.Vals) int {
+	c := 0
+	for j := 1; j <= f.N; j++ {
+		if f.HasUpToken(v, j) {
+			c++
+		}
+	}
+	for j := 0; j < f.N; j++ {
+		if f.HasDownToken(v, j) {
+			c++
+		}
+	}
+	return c
+}
+
+// Abstraction builds the Section 2.3 mapping from the 4-state space onto
+// (a subset of) BTR's space. It is deliberately not onto: no 4-state
+// configuration maps to an abstract state holding both ↑t.j and ↓t.j.
+func (f *FourState) Abstraction(b *BTR) (*system.Abstraction, error) {
+	if b.N != f.N {
+		return nil, fmt.Errorf("ring: abstraction between N=%d and N=%d", f.N, b.N)
+	}
+	return system.MapSpaces(f.Space, b.Space, func(c system.Vals, a system.Vals) {
+		for j := 1; j <= f.N; j++ {
+			a[b.UpIdx(j)] = boolToInt(f.HasUpToken(c, j))
+		}
+		for j := 0; j < f.N; j++ {
+			a[b.DownIdx(j)] = boolToInt(f.HasDownToken(c, j))
+		}
+	})
+}
+
+// LegitStates returns the coherent encodings of the unique-token abstract
+// states: the configurations reachable from the canonical all-false state
+// (whose unique token is ↓t.0) under the encoding's own moves. These are
+// the initial states of BTR4, C1 and Dijkstra4 — "the initial states of
+// BTR4 follow from those of BTR using the mapping" selects, per abstract
+// initial state, the encodings that simulate BTR exactly. Unique-token
+// encodings outside this set are coherent in token count but would need a
+// neighbor repair on the very next step; they are fault states, not
+// initial states.
+func (f *FourState) LegitStates() []int {
+	if f.legit == nil {
+		canonical := f.Space.Encode(make(system.Vals, f.Space.NumVars()))
+		sys := system.Enumerate("btr4-legit-probe", f.Space, f.btr4Actions(true),
+			nil).WithInit([]int{canonical})
+		f.legit = mc.ReachFromInit(sys).Members()
+	}
+	return f.legit
+}
+
+// BTR4 is the abstract-model transliteration of BTR into the 4-state
+// encoding: each action updates its own process and additionally writes
+// neighbor state where needed so that exactly the intended token movement
+// happens (the abstract system model permits writing neighbors). C1 is the
+// same system with those neighbor writes commented out.
+func (f *FourState) BTR4() *system.System {
+	return system.Enumerate(fmt.Sprintf("BTR4(N=%d)", f.N), f.Space, f.btr4Actions(true), nil).
+		WithInit(f.LegitStates())
+}
+
+// C1 is the Section 4.2 concrete refinement of BTR4: the neighbor-writing
+// clauses are dropped because the concrete model only writes own state.
+func (f *FourState) C1() *system.System {
+	return system.Enumerate(fmt.Sprintf("C1(N=%d)", f.N), f.Space, f.btr4Actions(false), nil).
+		WithInit(f.LegitStates())
+}
+
+func (f *FourState) btr4Actions(neighborWrites bool) []system.Action {
+	acts := []system.Action{
+		{
+			// ↑t.N → pass down: c.N := c.(N−1). ↓t.(N−1) becomes true by
+			// the mapping; no neighbor writes needed.
+			Name:  "top",
+			Guard: func(v system.Vals) bool { return f.HasUpToken(v, f.N) },
+			Effect: func(v system.Vals) {
+				v[f.CIdx(f.N)] = v[f.CIdx(f.N-1)]
+			},
+		},
+		{
+			// ↓t.0 → pass up: c.0 := ¬c.0 creates ↑t.1.
+			Name:  "bottom",
+			Guard: func(v system.Vals) bool { return f.HasDownToken(v, 0) },
+			Effect: func(v system.Vals) {
+				v[f.CIdx(0)] = 1 - v[f.CIdx(0)]
+			},
+		},
+	}
+	for j := 1; j < f.N; j++ {
+		j := j
+		acts = append(acts,
+			system.Action{
+				// ↑t.j → ↑t.(j+1): own writes c.j := c.(j−1), up.j := true.
+				// BTR4 additionally enforces ↑t.(j+1)'s remaining conjuncts
+				// on the (j+1)-neighbor — the clauses C1 comments out.
+				Name:  fmt.Sprintf("up%d", j),
+				Guard: func(v system.Vals) bool { return f.HasUpToken(v, j) },
+				Effect: func(v system.Vals) {
+					v[f.CIdx(j)] = v[f.CIdx(j-1)]
+					f.setUp(v, j, true)
+					if neighborWrites {
+						if v[f.CIdx(j+1)] == v[f.CIdx(j)] {
+							v[f.CIdx(j+1)] = 1 - v[f.CIdx(j)]
+						}
+						if j+1 < f.N {
+							f.setUp(v, j+1, false)
+						}
+					}
+				},
+			},
+			system.Action{
+				// ↓t.j → ↓t.(j−1): own write up.j := false. BTR4 enforces
+				// ↓t.(j−1)'s remaining conjuncts on the (j−1)-neighbor.
+				Name:  fmt.Sprintf("down%d", j),
+				Guard: func(v system.Vals) bool { return f.HasDownToken(v, j) },
+				Effect: func(v system.Vals) {
+					f.setUp(v, j, false)
+					if neighborWrites {
+						v[f.CIdx(j-1)] = v[f.CIdx(j)]
+						if j-1 > 0 {
+							f.setUp(v, j-1, true)
+						}
+					}
+				},
+			},
+		)
+	}
+	return acts
+}
+
+// Dijkstra4 is Dijkstra's 4-state stabilizing token-ring system, obtained
+// in Section 4.2 by relaxing the guards of (C1 [] W1′ [] W2′):
+//
+//	c.(N−1) ≠ c.N                      → c.N := c.(N−1)
+//	c.1 = c.0 ∧ ¬up.1                  → c.0 := ¬c.0
+//	c.(j−1) ≠ c.j                      → c.j := c.(j−1); up.j := true
+//	c.(j+1) = c.j ∧ ¬up.(j+1) ∧ up.j   → up.j := false
+func (f *FourState) Dijkstra4() *system.System {
+	acts := []system.Action{
+		{
+			Name:  "top",
+			Guard: func(v system.Vals) bool { return v[f.CIdx(f.N-1)] != v[f.CIdx(f.N)] },
+			Effect: func(v system.Vals) {
+				v[f.CIdx(f.N)] = v[f.CIdx(f.N-1)]
+			},
+		},
+		{
+			Name: "bottom",
+			Guard: func(v system.Vals) bool {
+				return v[f.CIdx(1)] == v[f.CIdx(0)] && !f.Up(v, 1)
+			},
+			Effect: func(v system.Vals) {
+				v[f.CIdx(0)] = 1 - v[f.CIdx(0)]
+			},
+		},
+	}
+	for j := 1; j < f.N; j++ {
+		j := j
+		acts = append(acts,
+			system.Action{
+				Name:  fmt.Sprintf("up%d", j),
+				Guard: func(v system.Vals) bool { return v[f.CIdx(j-1)] != v[f.CIdx(j)] },
+				Effect: func(v system.Vals) {
+					v[f.CIdx(j)] = v[f.CIdx(j-1)]
+					f.setUp(v, j, true)
+				},
+			},
+			system.Action{
+				Name: fmt.Sprintf("down%d", j),
+				Guard: func(v system.Vals) bool {
+					return v[f.CIdx(j+1)] == v[f.CIdx(j)] && !f.Up(v, j+1) && f.Up(v, j)
+				},
+				Effect: func(v system.Vals) {
+					f.setUp(v, j, false)
+				},
+			},
+		)
+	}
+	return system.Enumerate(fmt.Sprintf("Dijkstra4(N=%d)", f.N), f.Space, acts, nil).
+		WithInit(f.LegitStates())
+}
+
+// W1Prime is the mapped wrapper W1′ of Section 4.1. Its guard already
+// implies ↑t.N, so its effect never changes the state: the paper calls it
+// "vacuously implemented". The returned system consequently contains only
+// self-loops; VerifyW1PrimeVacuous checks that claim, and the composed
+// systems omit W1′ just as the paper does.
+func (f *FourState) W1Prime() *system.System {
+	acts := []system.Action{{
+		Name: "W1'",
+		Guard: func(v system.Vals) bool {
+			for j := 1; j < f.N; j++ {
+				if !f.Up(v, j) {
+					return false
+				}
+			}
+			return v[f.CIdx(f.N-1)] != v[f.CIdx(f.N)]
+		},
+		Effect: func(v system.Vals) {
+			// Make ↑t.N true: c.N ≠ c.(N−1) and up.(N−1) = true. Both
+			// already hold whenever the guard does.
+			v[f.CIdx(f.N)] = 1 - v[f.CIdx(f.N-1)]
+			if f.N-1 > 0 && f.N-1 < f.N {
+				f.setUp(v, f.N-1, true)
+			}
+		},
+	}}
+	return enumerateWrapper(fmt.Sprintf("W1'(N=%d)", f.N), f.Space, acts)
+}
+
+// W2Prime is the mapped wrapper W2′ of Section 4.1: under the mapping,
+// ↑t.j ∧ ↓t.j ≡ false, so the wrapper has no enabled transition anywhere.
+func (f *FourState) W2Prime() *system.System {
+	var acts []system.Action
+	for j := 1; j < f.N; j++ {
+		j := j
+		acts = append(acts, system.Action{
+			Name: fmt.Sprintf("W2'_%d", j),
+			Guard: func(v system.Vals) bool {
+				return f.HasUpToken(v, j) && f.HasDownToken(v, j)
+			},
+			Effect: func(v system.Vals) {
+				// Would delete both tokens; never enabled.
+				v[f.CIdx(j)] = v[f.CIdx(j-1)]
+			},
+		})
+	}
+	return enumerateWrapper(fmt.Sprintf("W2'(N=%d)", f.N), f.Space, acts)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

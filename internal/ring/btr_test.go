@@ -1,0 +1,176 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/system"
+)
+
+func TestBTRShape(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		b := NewBTR(n)
+		sys := b.System()
+		if got, want := sys.NumStates(), 1<<(2*n); got != want {
+			t.Fatalf("N=%d: states = %d, want %d", n, got, want)
+		}
+		// Initial states: one per token position = 2N.
+		if got := len(sys.InitStates()); got != 2*n {
+			t.Fatalf("N=%d: inits = %d, want %d", n, got, 2*n)
+		}
+	}
+}
+
+func TestBTRIndexHelpers(t *testing.T) {
+	b := NewBTR(3)
+	if b.UpIdx(1) != 0 || b.UpIdx(3) != 2 || b.DownIdx(0) != 3 || b.DownIdx(2) != 5 {
+		t.Fatal("index layout changed")
+	}
+	for _, fn := range []func(){
+		func() { b.UpIdx(0) },
+		func() { b.UpIdx(4) },
+		func() { b.DownIdx(3) },
+		func() { b.DownIdx(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for undefined token variable")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBTRTokenConservation(t *testing.T) {
+	// The ring's own actions never create or destroy tokens, except that
+	// moving a token onto an equally-directed token merges the two.
+	b := NewBTR(3)
+	sys := b.System()
+	cur := make(system.Vals, b.Space.NumVars())
+	next := make(system.Vals, b.Space.NumVars())
+	for s := 0; s < sys.NumStates(); s++ {
+		cur = b.Space.Decode(s, cur)
+		pre := b.TokenCount(cur)
+		for _, succ := range sys.Succ(s) {
+			next = b.Space.Decode(succ, next)
+			post := b.TokenCount(next)
+			if post > pre || post < pre-1 {
+				t.Fatalf("token count %d → %d on %s → %s", pre, post,
+					sys.StateString(s), sys.StateString(succ))
+			}
+		}
+	}
+}
+
+func TestBTRAloneNotStabilizing(t *testing.T) {
+	b := NewBTR(2)
+	rep := core.SelfStabilizing(b.System())
+	if rep.Holds {
+		t.Fatalf("BTR without wrappers reported stabilizing: %s", rep.Verdict)
+	}
+}
+
+// TestTheorem6 verifies (BTR [] W1) <] W2 is stabilizing to BTR — the
+// Section 3.2 result — for several ring sizes, with W2 preempting the
+// ring's moves.
+func TestTheorem6(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		b := NewBTR(n)
+		rep := core.Stabilizing(b.Wrapped(), b.System(), nil)
+		if !rep.Holds {
+			t.Fatalf("N=%d: %s", n, rep.Verdict)
+		}
+		// The legitimate region is exactly the unique-token states.
+		if got := len(rep.Legitimate); got != 2*n {
+			t.Fatalf("N=%d: legitimate = %d, want %d", n, got, 2*n)
+		}
+	}
+}
+
+// TestTheorem6NeedsPriority documents why PriorityBox is part of W2's
+// semantics: under the plain union, opposing tokens cross through each
+// other forever and the composition is not stabilizing. The checker's
+// counterexample is the token-crossing loop.
+func TestTheorem6NeedsPriority(t *testing.T) {
+	b := NewBTR(3)
+	rep := core.Stabilizing(b.WrappedPlain(), b.System(), nil)
+	if rep.Holds {
+		t.Fatalf("plain union unexpectedly stabilizing: %s", rep.Verdict)
+	}
+	if len(rep.WitnessLoop) == 0 {
+		t.Fatalf("expected a loop witness, got %+v", rep.Verdict)
+	}
+}
+
+func TestW1FiresOnlyOnTokenlessStates(t *testing.T) {
+	b := NewBTR(3)
+	w1 := b.W1()
+	v := make(system.Vals, b.Space.NumVars())
+	count := 0
+	for s := 0; s < w1.NumStates(); s++ {
+		if len(w1.Succ(s)) == 0 {
+			continue
+		}
+		count++
+		v = b.Space.Decode(s, v)
+		if b.TokenCount(v) != 0 {
+			t.Fatalf("W1 enabled in tokenful state %s", w1.StateString(s))
+		}
+	}
+	if count != 1 {
+		t.Fatalf("W1 enabled in %d states, want exactly the one tokenless state", count)
+	}
+	if len(w1.InitStates()) != 0 {
+		t.Fatal("wrapper declared initial states")
+	}
+}
+
+func TestW2DeletesOpposingPairs(t *testing.T) {
+	b := NewBTR(2)
+	w2 := b.W2()
+	v := make(system.Vals, b.Space.NumVars())
+	next := make(system.Vals, b.Space.NumVars())
+	for s := 0; s < w2.NumStates(); s++ {
+		for _, succ := range w2.Succ(s) {
+			v = b.Space.Decode(s, v)
+			next = b.Space.Decode(succ, next)
+			if got := b.TokenCount(v) - b.TokenCount(next); got != 2 {
+				t.Fatalf("W2 deleted %d tokens on %s → %s", got,
+					w2.StateString(s), w2.StateString(succ))
+			}
+		}
+	}
+	if w2.NumTransitions() == 0 {
+		t.Fatal("W2 has no transitions at all")
+	}
+}
+
+// TestTheorem5GrayboxOnRing replays the graybox wrapping theorem on the
+// ring itself, all over BTR's state space: W = W1 (token creation), and
+// W1 is its own convergence refinement, so (BTR [] W1) <] W2 stabilizing
+// plus [C ⪯ BTR] for C = BTR yields the boxed conclusion. The deeper
+// instantiations (W′ = W1″ on the 3-state side) are exercised in
+// btr3_test.go.
+func TestTheorem5GrayboxOnRing(t *testing.T) {
+	b := NewBTR(2)
+	btr := b.System()
+	conv := core.ConvergenceRefinement(btr, btr, nil)
+	if !conv.Holds {
+		t.Fatalf("[BTR ⪯ BTR]: %s", conv.Verdict)
+	}
+	wrapped := core.Stabilizing(b.Wrapped(), btr, nil)
+	if !wrapped.Holds {
+		t.Fatalf("wrapped: %s", wrapped.Verdict)
+	}
+}
+
+func TestNewBTRRejectsTinyRings(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBTR(1)
+}

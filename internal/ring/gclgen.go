@@ -1,0 +1,103 @@
+package ring
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dijkstra3GCL emits Dijkstra's 3-state system for top index n as
+// guarded-command source in the paper's notation, compilable by
+// internal/gcl. The generated automaton is transition-for-transition
+// equal to ThreeState.Dijkstra3 modulo the initial state (the source
+// pins one canonical initial configuration, since the GCL init predicate
+// has no token-counting quantifier); see the cross-validation test.
+func Dijkstra3GCL(n int) string {
+	if n < 2 {
+		panic(fmt.Sprintf("ring: Dijkstra3GCL needs N ≥ 2, got %d", n))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Dijkstra's 3-state token ring, N = %d (%d processes).\n", n, n+1)
+	for j := 0; j <= n; j++ {
+		fmt.Fprintf(&b, "var c%d : 0..2;\n", j)
+	}
+	// Canonical initial state: all equal — the top holds the privilege.
+	b.WriteString("\ninit ")
+	for j := 0; j <= n; j++ {
+		if j > 0 {
+			b.WriteString(" && ")
+		}
+		fmt.Fprintf(&b, "c%d == 0", j)
+	}
+	b.WriteString(";\n\n")
+	fmt.Fprintf(&b, "action bottom: c1 == (c0 + 1) %% 3 -> c0 := (c1 + 1) %% 3;\n")
+	for j := 1; j < n; j++ {
+		fmt.Fprintf(&b, "action up%d: c%d == (c%d + 1) %% 3 -> c%d := c%d;\n", j, j-1, j, j, j-1)
+		fmt.Fprintf(&b, "action dn%d: c%d == (c%d + 1) %% 3 -> c%d := c%d;\n", j, j+1, j, j, j+1)
+	}
+	fmt.Fprintf(&b, "action top: c%d == c0 && (c%d + 1) %% 3 != c%d -> c%d := (c%d + 1) %% 3;\n",
+		n-1, n-1, n, n, n-1)
+	return b.String()
+}
+
+// AggressiveThreeGCL emits the final Section 6 system — C3 with the
+// aggressive W2′ embedded — as guarded-command source, using ternary
+// conditionals for the paper's if-then-else cascades. By the K = 3
+// argument it compiles to the same automaton as Dijkstra3; the
+// cross-validation test checks exactly that.
+func AggressiveThreeGCL(n int) string {
+	if n < 2 {
+		panic(fmt.Sprintf("ring: AggressiveThreeGCL needs N ≥ 2, got %d", n))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Section 6's aggressive 3-state system, N = %d.\n", n)
+	for j := 0; j <= n; j++ {
+		fmt.Fprintf(&b, "var c%d : 0..2;\n", j)
+	}
+	b.WriteString("\ninit ")
+	for j := 0; j <= n; j++ {
+		if j > 0 {
+			b.WriteString(" && ")
+		}
+		fmt.Fprintf(&b, "c%d == 0", j)
+	}
+	b.WriteString(";\n\n")
+	fmt.Fprintf(&b, "action bottom: c1 == (c0 + 1) %% 3 -> c0 := (c1 + 1) %% 3;\n")
+	for j := 1; j < n; j++ {
+		lm, c, rp := j-1, j, j+1
+		fmt.Fprintf(&b,
+			"action up%d: c%d == (c%d + 1) %% 3 -> c%d := (c%d == c%d) ? c%d : ((c%d == (c%d + 1) %% 3) ? c%d : (c%d + 1) %% 3);\n",
+			j, lm, c, c, lm, rp, lm, c, rp, lm, rp)
+		fmt.Fprintf(&b,
+			"action dn%d: c%d == (c%d + 1) %% 3 -> c%d := (c%d == c%d) ? c%d : ((c%d == (c%d + 1) %% 3) ? c%d : (c%d + 1) %% 3);\n",
+			j, rp, c, c, lm, rp, rp, c, lm, rp, lm)
+	}
+	fmt.Fprintf(&b, "action top: c%d == c0 && (c%d + 1) %% 3 != c%d -> c%d := (c%d + 1) %% 3;\n",
+		n-1, n-1, n, n, n-1)
+	return b.String()
+}
+
+// KStateGCL emits Dijkstra's K-state system for top index n and modulus k
+// as guarded-command source.
+func KStateGCL(n, k int) string {
+	if n < 2 || k < 2 {
+		panic(fmt.Sprintf("ring: KStateGCL needs N ≥ 2 and K ≥ 2, got N=%d K=%d", n, k))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Dijkstra's K-state token ring, N = %d, K = %d.\n", n, k)
+	for j := 0; j <= n; j++ {
+		fmt.Fprintf(&b, "var x%d : 0..%d;\n", j, k-1)
+	}
+	b.WriteString("\ninit ")
+	for j := 0; j <= n; j++ {
+		if j > 0 {
+			b.WriteString(" && ")
+		}
+		fmt.Fprintf(&b, "x%d == 0", j)
+	}
+	b.WriteString(";\n\n")
+	fmt.Fprintf(&b, "action bottom: x0 == x%d -> x0 := (x0 + 1) %% %d;\n", n, k)
+	for j := 1; j <= n; j++ {
+		fmt.Fprintf(&b, "action copy%d: x%d != x%d -> x%d := x%d;\n", j, j, j-1, j, j-1)
+	}
+	return b.String()
+}

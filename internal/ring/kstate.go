@@ -1,0 +1,180 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/system"
+)
+
+// UTR models the abstract unidirectional token ring used by the full
+// version of the paper [4] to derive Dijkstra's K-state system: one
+// boolean token t.j per process, circulating 0 → 1 → … → N → 0.
+type UTR struct {
+	// N is the top process index; tokens move j → j+1 mod N+1.
+	N int
+	// Space holds t0..tN.
+	Space *system.Space
+}
+
+// NewUTR builds the unidirectional ring space (n ≥ 2).
+func NewUTR(n int) *UTR {
+	if n < 2 {
+		panic(fmt.Sprintf("ring: UTR needs N ≥ 2, got %d", n))
+	}
+	vars := make([]system.Var, 0, n+1)
+	for j := 0; j <= n; j++ {
+		vars = append(vars, system.Bool(fmt.Sprintf("t%d", j)))
+	}
+	return &UTR{N: n, Space: system.NewSpace(vars...)}
+}
+
+// TokenCount counts the tokens held.
+func (u *UTR) TokenCount(v system.Vals) int {
+	c := 0
+	for _, x := range v {
+		c += x
+	}
+	return c
+}
+
+// UniqueToken is the legitimacy predicate: exactly one token.
+func (u *UTR) UniqueToken(v system.Vals) bool { return u.TokenCount(v) == 1 }
+
+// Actions move each held token one step around the ring; moving onto a
+// process that already holds a token merges the two (the boolean simply
+// stays true).
+func (u *UTR) Actions() []system.Action {
+	var acts []system.Action
+	for j := 0; j <= u.N; j++ {
+		j := j
+		next := (j + 1) % (u.N + 1)
+		acts = append(acts, system.Action{
+			Name:  fmt.Sprintf("pass%d", j),
+			Guard: func(v system.Vals) bool { return v[j] == 1 },
+			Effect: func(v system.Vals) {
+				v[j] = 0
+				v[next] = 1
+			},
+		})
+	}
+	return acts
+}
+
+// System enumerates UTR with unique-token initial states.
+func (u *UTR) System() *system.System {
+	return system.Enumerate(fmt.Sprintf("UTR(N=%d)", u.N), u.Space, u.Actions(), u.UniqueToken)
+}
+
+// WU1 creates a token at the bottom when none exists (the unidirectional
+// analogue of W1).
+func (u *UTR) WU1() *system.System {
+	acts := []system.Action{{
+		Name:   "WU1",
+		Guard:  func(v system.Vals) bool { return u.TokenCount(v) == 0 },
+		Effect: func(v system.Vals) { v[0] = 1 },
+	}}
+	return enumerateWrapper(fmt.Sprintf("WU1(N=%d)", u.N), u.Space, acts)
+}
+
+// WU2 deletes a non-bottom token while the bottom holds one: extra tokens
+// are absorbed when they meet the bottom's. Like W2, it must preempt the
+// ring's own moves (PriorityBox) — otherwise a daemon keeps two tokens
+// chasing each other at a fixed distance forever.
+func (u *UTR) WU2() *system.System {
+	var acts []system.Action
+	for j := 1; j <= u.N; j++ {
+		j := j
+		acts = append(acts, system.Action{
+			Name:   fmt.Sprintf("WU2_%d", j),
+			Guard:  func(v system.Vals) bool { return v[0] == 1 && v[j] == 1 },
+			Effect: func(v system.Vals) { v[j] = 0 },
+		})
+	}
+	return enumerateWrapper(fmt.Sprintf("WU2(N=%d)", u.N), u.Space, acts)
+}
+
+// Wrapped is the stabilized abstract composition (UTR [] WU1) <] WU2.
+func (u *UTR) Wrapped() *system.System {
+	return system.PriorityBox(system.Box(u.System(), u.WU1()), u.WU2())
+}
+
+// KState models Dijkstra's K-state system: x.j ∈ 0..K−1 at every process;
+// the bottom holds the token when x.0 = x.N, any other process when
+// x.j ≠ x.(j−1):
+//
+//	x.0 = x.N       → x.0 := x.0 + 1 mod K    (bottom)
+//	x.j ≠ x.(j−1)   → x.j := x.(j−1)          (j ≠ 0)
+type KState struct {
+	// N is the top process index, K the counter modulus.
+	N, K int
+	// Space holds x0..xN, each over 0..K−1.
+	Space *system.Space
+}
+
+// NewKState builds the K-state space (n ≥ 2, k ≥ 2).
+func NewKState(n, k int) *KState {
+	if n < 2 || k < 2 {
+		panic(fmt.Sprintf("ring: KState needs N ≥ 2 and K ≥ 2, got N=%d K=%d", n, k))
+	}
+	vars := make([]system.Var, 0, n+1)
+	for j := 0; j <= n; j++ {
+		vars = append(vars, system.Int(fmt.Sprintf("x%d", j), k))
+	}
+	return &KState{N: n, K: k, Space: system.NewSpace(vars...)}
+}
+
+// HasToken evaluates the privilege predicate at process j.
+func (ks *KState) HasToken(v system.Vals, j int) bool {
+	if j == 0 {
+		return v[0] == v[ks.N]
+	}
+	return v[j] != v[j-1]
+}
+
+// TokenCount counts privileged processes.
+func (ks *KState) TokenCount(v system.Vals) int {
+	c := 0
+	for j := 0; j <= ks.N; j++ {
+		if ks.HasToken(v, j) {
+			c++
+		}
+	}
+	return c
+}
+
+// Abstraction maps a K-state configuration to the UTR state holding the
+// privilege tokens.
+func (ks *KState) Abstraction(u *UTR) (*system.Abstraction, error) {
+	if u.N != ks.N {
+		return nil, fmt.Errorf("ring: abstraction between N=%d and N=%d", ks.N, u.N)
+	}
+	return system.MapSpaces(ks.Space, u.Space, func(c system.Vals, a system.Vals) {
+		for j := 0; j <= ks.N; j++ {
+			a[j] = boolToInt(ks.HasToken(c, j))
+		}
+	})
+}
+
+// System enumerates the K-state automaton with unique-token initial
+// states.
+func (ks *KState) System() *system.System {
+	acts := []system.Action{{
+		Name:  "bottom",
+		Guard: func(v system.Vals) bool { return v[0] == v[ks.N] },
+		Effect: func(v system.Vals) {
+			v[0] = (v[0] + 1) % ks.K
+		},
+	}}
+	for j := 1; j <= ks.N; j++ {
+		j := j
+		acts = append(acts, system.Action{
+			Name:  fmt.Sprintf("copy%d", j),
+			Guard: func(v system.Vals) bool { return v[j] != v[j-1] },
+			Effect: func(v system.Vals) {
+				v[j] = v[j-1]
+			},
+		})
+	}
+	return system.Enumerate(fmt.Sprintf("KState(N=%d,K=%d)", ks.N, ks.K), ks.Space, acts,
+		func(v system.Vals) bool { return ks.TokenCount(v) == 1 })
+}

@@ -1,0 +1,160 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/system"
+)
+
+func TestUTRShape(t *testing.T) {
+	u := NewUTR(3)
+	sys := u.System()
+	if sys.NumStates() != 16 {
+		t.Fatalf("states = %d", sys.NumStates())
+	}
+	if got := len(sys.InitStates()); got != 4 {
+		t.Fatalf("inits = %d, want 4", got)
+	}
+	if rep := core.SelfStabilizing(sys); rep.Holds {
+		t.Fatal("bare UTR must not be stabilizing (tokenless deadlock)")
+	}
+}
+
+func TestUTRWrappedStabilizing(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		u := NewUTR(n)
+		rep := core.Stabilizing(u.Wrapped(), u.System(), nil)
+		if !rep.Holds {
+			t.Fatalf("N=%d: %s", n, rep.Verdict)
+		}
+		if got := len(rep.Legitimate); got != n+1 {
+			t.Fatalf("N=%d: legitimate = %d, want %d", n, got, n+1)
+		}
+	}
+}
+
+func TestUTRPlainUnionFails(t *testing.T) {
+	// Two tokens chasing each other at a fixed distance never meet the
+	// deletion wrapper under the plain union.
+	u := NewUTR(3)
+	plain := system.BoxAll(u.System(), u.WU1(), u.WU2())
+	rep := core.Stabilizing(plain, u.System(), nil)
+	if rep.Holds {
+		t.Fatalf("plain union unexpectedly stabilizing: %s", rep.Verdict)
+	}
+	if len(rep.WitnessLoop) == 0 {
+		t.Fatal("expected a chasing-loop witness")
+	}
+}
+
+func TestUTRTokenMerging(t *testing.T) {
+	u := NewUTR(2)
+	sys := u.System()
+	// t0 ∧ t1: moving t0 onto t1 merges.
+	from := u.Space.Encode(system.Vals{1, 1, 0})
+	to := u.Space.Encode(system.Vals{0, 1, 0})
+	if !sys.HasTransition(from, to) {
+		t.Fatal("merge transition missing")
+	}
+}
+
+// TestKStateStabilizationThreshold reproduces the classical K-vs-N
+// tradeoff on Dijkstra's K-state system: with N+1 processes, K = N
+// suffices, and K = N − 1 fails (for N ≥ 3 the checker produces the
+// non-converging loop).
+func TestKStateStabilizationThreshold(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want bool
+	}{
+		{2, 2, true},
+		{2, 3, true},
+		{3, 2, false},
+		{3, 3, true},
+		{3, 4, true},
+		{4, 3, false},
+		{4, 4, true},
+		{4, 5, true},
+	}
+	for _, tc := range cases {
+		ks := NewKState(tc.n, tc.k)
+		rep := core.SelfStabilizing(ks.System())
+		if rep.Holds != tc.want {
+			t.Errorf("N=%d K=%d: self-stabilizing = %v, want %v (%s)",
+				tc.n, tc.k, rep.Holds, tc.want, rep.Reason)
+		}
+	}
+}
+
+// TestKStateStabilizesToUTR relates the K-state system to the abstract
+// unidirectional ring through the privilege abstraction.
+func TestKStateStabilizesToUTR(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		u := NewUTR(n)
+		ks := NewKState(n, n+1)
+		ab, err := ks.Abstraction(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := core.Stabilizing(ks.System(), u.System(), ab)
+		if !rep.Holds {
+			t.Fatalf("N=%d K=%d: %s", n, n+1, rep.Verdict)
+		}
+	}
+}
+
+func TestKStateAlwaysPrivileged(t *testing.T) {
+	// Dijkstra's classical observation: at least one process is always
+	// privileged, for any K.
+	for _, k := range []int{2, 3, 4} {
+		ks := NewKState(3, k)
+		v := make(system.Vals, ks.Space.NumVars())
+		for s := 0; s < ks.Space.Size(); s++ {
+			v = ks.Space.Decode(s, v)
+			if ks.TokenCount(v) == 0 {
+				t.Fatalf("K=%d: unprivileged configuration %s", k, ks.Space.StateString(s))
+			}
+		}
+	}
+}
+
+func TestKStateLegitExactlyOnePrivilege(t *testing.T) {
+	ks := NewKState(3, 4)
+	sys := ks.System()
+	rep := core.SelfStabilizing(sys)
+	if !rep.Holds {
+		t.Fatalf("%s", rep.Verdict)
+	}
+	v := make(system.Vals, ks.Space.NumVars())
+	for _, s := range rep.Legitimate {
+		v = ks.Space.Decode(s, v)
+		if ks.TokenCount(v) != 1 {
+			t.Fatalf("legit state %s has %d privileges", sys.StateString(s), ks.TokenCount(v))
+		}
+	}
+	// Legit count: K all-equal configurations (bottom privileged) plus
+	// N boundary positions × K·(K−1) value pairs.
+	if got, want := len(rep.Legitimate), 4+3*4*3; got != want {
+		t.Fatalf("legitimate = %d, want %d", got, want)
+	}
+}
+
+func TestNewKStateValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewKState(1, 3) },
+		func() { NewKState(3, 1) },
+		func() { NewUTR(1) },
+		func() { NewThreeState(1) },
+		func() { NewFourState(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

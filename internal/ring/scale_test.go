@@ -1,0 +1,80 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDijkstra3ScalesToLargerRings pushes the checker to ring sizes the
+// derivation experiments do not cover (3^9..3^11 states). Skipped with
+// -short.
+func TestDijkstra3ScalesToLargerRings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state spaces")
+	}
+	for _, n := range []int{6, 8, 10} {
+		f := NewThreeState(n)
+		d3 := f.Dijkstra3()
+		rep := core.SelfStabilizing(d3)
+		if !rep.Holds {
+			t.Fatalf("N=%d: %s", n, rep.Verdict)
+		}
+		// Legit count grows linearly: 6N states (2N token positions × 3
+		// colorings).
+		if got := len(rep.Legitimate); got != 6*n {
+			t.Fatalf("N=%d: legitimate = %d, want %d", n, got, 6*n)
+		}
+	}
+}
+
+// TestDijkstra4ScalesToLargerRings does the same for the 4-state system
+// (2^2N states).
+func TestDijkstra4ScalesToLargerRings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state spaces")
+	}
+	for _, n := range []int{6, 8} {
+		f := NewFourState(n)
+		d4 := f.Dijkstra4()
+		rep := core.SelfStabilizing(d4)
+		if !rep.Holds {
+			t.Fatalf("N=%d: %s", n, rep.Verdict)
+		}
+		if got := len(rep.Legitimate); got != 4*n {
+			t.Fatalf("N=%d: legitimate = %d, want %d", n, got, 4*n)
+		}
+	}
+}
+
+// TestStabilizationToBTRAtScale checks the cross-space relation at the
+// largest size that stays comfortable (BTR at N=7 has 2^14 states; the
+// 3-state encoding 3^8).
+func TestStabilizationToBTRAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state spaces")
+	}
+	const n = 7
+	b := NewBTR(n)
+	f := NewThreeState(n)
+	ab, err := f.Abstraction(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.Stabilizing(f.Dijkstra3(), b.System(), ab)
+	if !rep.Holds {
+		t.Fatalf("N=%d: %s", n, rep.Verdict)
+	}
+}
+
+// TestKStateScale checks a 16k-state K-state instance.
+func TestKStateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state spaces")
+	}
+	ks := NewKState(6, 6) // 6^7 ≈ 280k states
+	rep := core.SelfStabilizing(ks.System())
+	if !rep.Holds {
+		t.Fatalf("%s", rep.Verdict)
+	}
+}

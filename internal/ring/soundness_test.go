@@ -1,0 +1,138 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestConvergenceRefinementSoundnessOnRuns validates the checker's
+// soundness claim on concrete executions: for random finite runs of C1,
+// stitching the covering paths reported by ConvergenceRefinement yields a
+// BTR path of which the destuttered α-image of the run is a convergence
+// isomorphism — the literal Section 2 definition, checked sequence by
+// sequence with internal/trace.
+func TestConvergenceRefinementSoundnessOnRuns(t *testing.T) {
+	const n = 3
+	b := NewBTR(n)
+	f := NewFourState(n)
+	alpha, err := f.Abstraction(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btr := b.System()
+	c1 := f.C1()
+	rep := core.ConvergenceRefinement(c1, btr, alpha)
+	if !rep.Holds {
+		t.Fatalf("Lemma 7: %s", rep.Verdict)
+	}
+	covers := make(map[[2]int][]int, len(rep.Compressions))
+	for _, cp := range rep.Compressions {
+		covers[[2]int{cp.From, cp.To}] = cp.Cover
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		// Random concrete walk.
+		s := rng.Intn(c1.NumStates())
+		concrete := []int{s}
+		for len(concrete) < 40 {
+			succ := c1.Succ(s)
+			if len(succ) == 0 {
+				break
+			}
+			s = succ[rng.Intn(len(succ))]
+			concrete = append(concrete, s)
+		}
+
+		// Stitch the abstract computation promised by the report.
+		abstract := []int{alpha.Of(concrete[0])}
+		for i := 0; i+1 < len(concrete); i++ {
+			from, to := concrete[i], concrete[i+1]
+			af, at := alpha.Of(from), alpha.Of(to)
+			switch {
+			case af == at:
+				// stutter: contributes nothing
+			case btr.HasTransition(af, at):
+				abstract = append(abstract, at)
+			default:
+				cover, found := covers[[2]int{from, to}]
+				if !found {
+					t.Fatalf("trial %d: step %s → %s neither exact, stutter, nor covered",
+						trial, c1.StateString(from), c1.StateString(to))
+				}
+				abstract = append(abstract, cover[1:]...)
+			}
+		}
+
+		if !trace.IsPathOf(btr, abstract) {
+			t.Fatalf("trial %d: stitched abstract sequence is not a BTR path", trial)
+		}
+		image := trace.Destutter(alpha.MapSeq(concrete))
+		if !trace.ConvergenceIsomorphic(image, abstract) {
+			t.Fatalf("trial %d: image %v is not a convergence isomorphism of %v", trial, image, abstract)
+		}
+		if om, convOK := trace.Omissions(image, abstract); !convOK || om != len(abstract)-len(image) {
+			t.Fatalf("trial %d: omission accounting wrong", trial)
+		}
+	}
+}
+
+// TestStabilizationSoundnessOnRuns validates the stabilization verdict on
+// concrete executions: every sufficiently long run of Dijkstra-3 enters
+// the reported legitimate region and stays there, and its suffix's
+// α-image from that point is a BTR path through BTR-reachable states.
+func TestStabilizationSoundnessOnRuns(t *testing.T) {
+	const n = 3
+	b := NewBTR(n)
+	f := NewThreeState(n)
+	alpha, err := f.Abstraction(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btr := b.System()
+	d3 := f.Dijkstra3()
+	rep := core.Stabilizing(d3, btr, alpha)
+	if !rep.Holds {
+		t.Fatalf("%s", rep.Verdict)
+	}
+	legit := make(map[int]bool, len(rep.Legitimate))
+	for _, s := range rep.Legitimate {
+		legit[s] = true
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		s := rng.Intn(d3.NumStates())
+		run := []int{s}
+		for len(run) < 200 {
+			succ := d3.Succ(s)
+			s = succ[rng.Intn(len(succ))]
+			run = append(run, s)
+		}
+		// Find the entry into the legitimate region.
+		entry := -1
+		for i, st := range run {
+			if legit[st] {
+				entry = i
+				break
+			}
+		}
+		if entry < 0 {
+			t.Fatalf("trial %d: 200-step run never entered the legitimate region", trial)
+		}
+		// Closure: once in, never out.
+		for i := entry; i < len(run); i++ {
+			if !legit[run[i]] {
+				t.Fatalf("trial %d: left the legitimate region at step %d", trial, i)
+			}
+		}
+		// The suffix tracks BTR exactly.
+		suffix := alpha.MapSeq(run[entry:])
+		if !trace.IsPathOf(btr, suffix) {
+			t.Fatalf("trial %d: legitimate suffix is not a BTR path", trial)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// LiveResult summarizes a live (goroutine-per-process) run.
+type LiveResult struct {
+	// Converged reports whether legitimacy was reached within MaxSteps.
+	Converged bool
+	// Steps is the number of moves executed until the first legitimate
+	// configuration (or the budget if not converged).
+	Steps int
+	// Final is the configuration at stop time.
+	Final Config
+}
+
+// LiveRing executes a protocol with one goroutine per process. Each
+// process repeatedly locks the shared configuration, evaluates its own
+// guards against its neighbors' registers, and executes one enabled move.
+// The Go runtime's scheduling order *is* the daemon: an arbitrary,
+// non-deterministic but serial (central-daemon) scheduler, since moves are
+// mutually exclusive under the configuration lock.
+//
+// This is the repository's "real" concurrent ring — the model checker
+// proves stabilization over all schedules, and LiveRing demonstrates it on
+// an actual scheduler.
+type LiveRing struct {
+	// Proto is the protocol to run.
+	Proto Protocol
+	// MaxSteps bounds the total number of moves (required, > 0).
+	MaxSteps int
+}
+
+// Run executes from initial until legitimacy or the step budget, blocking
+// until all process goroutines have exited.
+func (lr *LiveRing) Run(initial Config) (*LiveResult, error) {
+	if lr.MaxSteps <= 0 {
+		return nil, fmt.Errorf("sim: MaxSteps must be positive, got %d", lr.MaxSteps)
+	}
+	if err := Validate(lr.Proto, initial); err != nil {
+		return nil, err
+	}
+
+	procs := lr.Proto.Procs()
+	var (
+		mu     sync.Mutex
+		cur    = initial.Clone()
+		steps  int
+		done   bool
+		result LiveResult
+	)
+	if lr.Proto.Legitimate(cur) {
+		return &LiveResult{Converged: true, Steps: 0, Final: cur}, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for i := 0; i < procs; i++ {
+		go func(i int) {
+			defer wg.Done()
+			left := (i - 1 + procs) % procs
+			right := (i + 1) % procs
+			for {
+				mu.Lock()
+				if done {
+					mu.Unlock()
+					return
+				}
+				moves := lr.Proto.Moves(i, cur[left], cur[i], cur[right])
+				if len(moves) > 0 {
+					cur[i] = moves[0].NewVal
+					steps++
+					if lr.Proto.Legitimate(cur) {
+						done = true
+						result = LiveResult{Converged: true, Steps: steps, Final: cur.Clone()}
+					} else if steps >= lr.MaxSteps {
+						done = true
+						result = LiveResult{Converged: false, Steps: steps, Final: cur.Clone()}
+					}
+				}
+				mu.Unlock()
+				// Let other processes contend for the lock; a disabled
+				// process spinning would otherwise starve the enabled one
+				// on a single-threaded runtime.
+				runtime.Gosched()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return &result, nil
+}

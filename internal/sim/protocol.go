@@ -1,0 +1,102 @@
+// Package sim is the experimental testbed: a ring simulator that executes
+// the derived protocols under pluggable daemons (schedulers) with
+// transient-fault injection, and measures convergence. Where the core
+// package *decides* stabilization by model checking, sim *exercises* it:
+// convergence times, wrapper activity, and token circulation come from
+// here. Protocol rules are written in their natural local form (read both
+// neighbors, write own register); a cross-validation test checks them
+// transition-for-transition against the ring package's automata.
+package sim
+
+import "fmt"
+
+// Protocol describes a ring protocol in local-rule form. Processes are
+// 0..P−1 on a ring; process i reads its own register and the registers of
+// its left ((i−1) mod P) and right ((i+1) mod P) neighbors, and may write
+// only its own register. Process 0 is the "bottom" and process P−1 the
+// "top" where the protocol distinguishes them.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Procs returns P, the number of processes.
+	Procs() int
+	// Domain returns the register domain size of process i (values are
+	// 0..Domain(i)−1).
+	Domain(i int) int
+	// Moves returns the state-changing moves available to process i given
+	// its neighborhood (τ moves that leave the register unchanged are not
+	// reported; a daemon scheduling a no-op is indistinguishable from not
+	// scheduling it).
+	Moves(i, left, own, right int) []Move
+	// Legitimate reports whether the configuration is in the protocol's
+	// legitimate region.
+	Legitimate(config Config) bool
+	// TokenAt reports whether process i holds a token (is privileged) in
+	// the configuration.
+	TokenAt(config Config, i int) bool
+}
+
+// Move is one enabled state change at a process.
+type Move struct {
+	// Proc is the process the move belongs to (filled by the runner).
+	Proc int
+	// Rule names the guarded command that produced the move.
+	Rule string
+	// NewVal is the value written to the process's register.
+	NewVal int
+}
+
+// Config is a ring configuration: one register value per process.
+type Config []int
+
+// Clone copies the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// TokenCount counts privileged processes under the protocol.
+func TokenCount(p Protocol, c Config) int {
+	n := 0
+	for i := 0; i < p.Procs(); i++ {
+		if p.TokenAt(c, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// EnabledMoves collects every process's moves in the configuration, with
+// Proc filled in. The result is deterministic: processes in index order,
+// rules in declaration order.
+func EnabledMoves(p Protocol, c Config) []Move {
+	procs := p.Procs()
+	var out []Move
+	for i := 0; i < procs; i++ {
+		left := c[(i-1+procs)%procs]
+		right := c[(i+1)%procs]
+		for _, m := range p.Moves(i, left, c[i], right) {
+			m.Proc = i
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Validate checks a configuration against the protocol's shape.
+func Validate(p Protocol, c Config) error {
+	if len(c) != p.Procs() {
+		return fmt.Errorf("sim: config has %d registers, protocol %q has %d processes",
+			len(c), p.Name(), p.Procs())
+	}
+	for i, v := range c {
+		if v < 0 || v >= p.Domain(i) {
+			return fmt.Errorf("sim: register %d holds %d, outside domain [0,%d)", i, v, p.Domain(i))
+		}
+	}
+	return nil
+}
+
+// mod3 helpers shared by the 3-state protocols.
+func plus1mod3(x int) int { return (x + 1) % 3 }

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result summarizes one run.
+type Result struct {
+	// Converged reports whether a legitimate configuration was reached
+	// within the step budget.
+	Converged bool
+	// Steps is the number of moves executed before the first legitimate
+	// configuration (or the full budget if not converged).
+	Steps int
+	// Final is the last configuration.
+	Final Config
+	// RuleFires counts executions per rule name over the whole run
+	// (including steps after convergence if RunAfterConvergence is set).
+	RuleFires map[string]int
+	// MaxTokens is the largest token count observed.
+	MaxTokens int
+	// TokenTrace, if requested, records the token count after every step.
+	TokenTrace []int
+	// RuleTrace, if requested, records the fired rule names in order.
+	RuleTrace []string
+}
+
+// Runner executes a protocol under a daemon.
+type Runner struct {
+	// Proto is the protocol under test.
+	Proto Protocol
+	// Daemon schedules moves.
+	Daemon Daemon
+	// MaxSteps bounds the run (required, > 0).
+	MaxSteps int
+	// RunAfterConvergence keeps executing (and counting rule fires) for
+	// the remaining budget after legitimacy is reached — used by the
+	// token-circulation experiments.
+	RunAfterConvergence bool
+	// RecordTokens fills Result.TokenTrace.
+	RecordTokens bool
+	// RecordRules fills Result.RuleTrace.
+	RecordRules bool
+}
+
+// Run executes from the given initial configuration.
+func (r *Runner) Run(initial Config) (*Result, error) {
+	if r.MaxSteps <= 0 {
+		return nil, fmt.Errorf("sim: MaxSteps must be positive, got %d", r.MaxSteps)
+	}
+	if err := Validate(r.Proto, initial); err != nil {
+		return nil, err
+	}
+	cur := initial.Clone()
+	res := &Result{RuleFires: make(map[string]int), Final: cur}
+	res.MaxTokens = TokenCount(r.Proto, cur)
+	converged := r.Proto.Legitimate(cur)
+	if converged {
+		res.Converged = true
+	}
+
+	for step := 0; step < r.MaxSteps; step++ {
+		if converged && !r.RunAfterConvergence {
+			break
+		}
+		moves := EnabledMoves(r.Proto, cur)
+		if len(moves) == 0 {
+			// Deadlock: the derived protocols never deadlock; reaching
+			// here means the protocol or configuration is broken.
+			return nil, fmt.Errorf("sim: deadlock at %v under %s", cur, r.Proto.Name())
+		}
+		if ob, isObserver := r.Daemon.(observer); isObserver {
+			ob.Observe(cur)
+		}
+		m := r.Daemon.Choose(moves)
+		cur[m.Proc] = m.NewVal
+		res.RuleFires[m.Rule]++
+		if r.RecordRules {
+			res.RuleTrace = append(res.RuleTrace, m.Rule)
+		}
+		tokens := TokenCount(r.Proto, cur)
+		if tokens > res.MaxTokens {
+			res.MaxTokens = tokens
+		}
+		if r.RecordTokens {
+			res.TokenTrace = append(res.TokenTrace, tokens)
+		}
+		if !converged {
+			res.Steps = step + 1
+			if r.Proto.Legitimate(cur) {
+				converged = true
+				res.Converged = true
+			}
+		}
+	}
+	res.Final = cur
+	return res, nil
+}
+
+// LegitimateConfig returns a canonical legitimate configuration: all
+// registers zero is legitimate for every protocol in this package except
+// where noted; if not, the zero config is perturbed by running until
+// legitimacy (which for these protocols takes at most a few steps).
+func LegitimateConfig(p Protocol) (Config, error) {
+	c := make(Config, p.Procs())
+	if p.Legitimate(c) {
+		return c, nil
+	}
+	r := &Runner{Proto: p, Daemon: NewRoundRobinDaemon(p.Procs()), MaxSteps: 10 * p.Procs() * p.Procs()}
+	res, err := r.Run(c)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("sim: could not reach a legitimate configuration of %s", p.Name())
+	}
+	return res.Final, nil
+}
+
+// Corrupt returns a copy of c with k registers set to uniformly random
+// in-domain values (the transient-fault model: arbitrary corruption of
+// process states).
+func Corrupt(p Protocol, c Config, k int, rng *rand.Rand) Config {
+	out := c.Clone()
+	procs := p.Procs()
+	if k > procs {
+		k = procs
+	}
+	perm := rng.Perm(procs)
+	for _, i := range perm[:k] {
+		out[i] = rng.Intn(p.Domain(i))
+	}
+	return out
+}
+
+// RandomConfig returns a uniformly random configuration.
+func RandomConfig(p Protocol, rng *rand.Rand) Config {
+	c := make(Config, p.Procs())
+	for i := range c {
+		c[i] = rng.Intn(p.Domain(i))
+	}
+	return c
+}
+
+// ConvergenceStats aggregates steps-to-convergence over many runs.
+type ConvergenceStats struct {
+	// Runs is the number of runs aggregated.
+	Runs int
+	// Converged is how many reached legitimacy in budget.
+	Converged int
+	// MeanSteps and MaxSteps summarize steps-to-legitimacy over converged
+	// runs.
+	MeanSteps float64
+	MaxSteps  int
+}
+
+// MeasureConvergence runs `runs` corrupted starts (k faults from a
+// legitimate configuration) and aggregates. mkDaemon builds a fresh daemon
+// per run (daemons are stateful).
+func MeasureConvergence(p Protocol, mkDaemon func(run int) Daemon, runs, faults, maxSteps int, seed int64) (*ConvergenceStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	legit, err := LegitimateConfig(p)
+	if err != nil {
+		return nil, err
+	}
+	stats := &ConvergenceStats{Runs: runs}
+	total := 0
+	for run := 0; run < runs; run++ {
+		start := Corrupt(p, legit, faults, rng)
+		r := &Runner{Proto: p, Daemon: mkDaemon(run), MaxSteps: maxSteps}
+		res, err := r.Run(start)
+		if err != nil {
+			return nil, err
+		}
+		if res.Converged {
+			stats.Converged++
+			total += res.Steps
+			if res.Steps > stats.MaxSteps {
+				stats.MaxSteps = res.Steps
+			}
+		}
+	}
+	if stats.Converged > 0 {
+		stats.MeanSteps = float64(total) / float64(stats.Converged)
+	}
+	return stats, nil
+}

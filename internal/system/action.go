@@ -1,0 +1,61 @@
+package system
+
+import "fmt"
+
+// Action is one guarded command "guard → effect" in the paper's notation.
+// Guard inspects a decoded state; Effect mutates the decoded state in place
+// to produce the successor. Effects run on a private copy, so they may write
+// any variable — whether a system respects the concrete execution model
+// (write own state only) is a property of how its actions are written, and
+// the ring package enforces it per system.
+type Action struct {
+	Name   string
+	Guard  func(v Vals) bool
+	Effect func(v Vals)
+}
+
+// Enumerate builds the automaton of the guarded-command system with the
+// given actions over sp, under interleaving (central daemon) semantics:
+// each enabled action contributes one transition per state. init selects
+// the initial states; a nil init marks every state initial (wrapper
+// convention).
+//
+// Self-loop transitions produced by an effect that does not change the
+// state are kept: they are the paper's τ (stuttering) steps, which matter
+// for the C3 derivation in Section 6.
+func Enumerate(name string, sp *Space, actions []Action, init func(v Vals) bool) *System {
+	b := NewSpaceBuilder(name, sp)
+	cur := make(Vals, sp.NumVars())
+	next := make(Vals, sp.NumVars())
+	for s := 0; s < sp.Size(); s++ {
+		cur = sp.Decode(s, cur)
+		for _, a := range actions {
+			if a.Guard == nil || a.Effect == nil {
+				panic(fmt.Sprintf("system: action %q of %q missing guard or effect", a.Name, name))
+			}
+			if !a.Guard(cur) {
+				continue
+			}
+			copy(next, cur)
+			a.Effect(next)
+			b.AddTransition(s, sp.Encode(next))
+		}
+		if init == nil || init(cur) {
+			b.AddInit(s)
+		}
+	}
+	return b.Build()
+}
+
+// EnabledActions returns the names of the actions enabled in state s, in
+// declaration order. Useful for traces and the simulator.
+func EnabledActions(sp *Space, actions []Action, s int) []string {
+	cur := sp.Decode(s, nil)
+	var names []string
+	for _, a := range actions {
+		if a.Guard(cur) {
+			names = append(names, a.Name)
+		}
+	}
+	return names
+}

@@ -1,0 +1,79 @@
+package system
+
+import "fmt"
+
+// Box is the paper's [] operator: the union of automata. The transition
+// relation of (A [] W) is T_A ∪ T_W and the initial states are I_A ∪ I_W.
+// Wrappers are built with no initial states of their own, so boxing a
+// wrapper onto a system preserves the system's initial states — exactly
+// the convention Sections 3–6 rely on — while wrapper-to-wrapper
+// convergence refinements [W' ⪯ W] are judged on all computations, their
+// (vacuous) initial-state clause interfering with nothing.
+//
+// Box panics if the systems have different state-space sizes or
+// incompatible structured spaces; composing systems over different spaces
+// is always a modeling bug.
+func Box(a, b *System) *System {
+	if a.n != b.n {
+		panic(fmt.Sprintf("system: Box(%q, %q): |Σ| mismatch %d vs %d", a.name, b.name, a.n, b.n))
+	}
+	if a.space != nil && b.space != nil && !a.space.SameShape(b.space) {
+		panic(fmt.Sprintf("system: Box(%q, %q): incompatible spaces", a.name, b.name))
+	}
+	out := &System{
+		name:  a.name + " [] " + b.name,
+		space: a.space,
+		n:     a.n,
+		succ:  make([][]int, a.n),
+	}
+	if out.space == nil {
+		out.space = b.space
+	}
+	for s := 0; s < a.n; s++ {
+		out.succ[s] = mergeSorted(a.succ[s], b.succ[s])
+		out.nT += len(out.succ[s])
+	}
+	init := a.init.Clone()
+	init.UnionWith(b.init)
+	out.init = init
+	return out
+}
+
+// BoxAll folds Box over one or more systems, left to right.
+func BoxAll(systems ...*System) *System {
+	if len(systems) == 0 {
+		panic("system: BoxAll of zero systems")
+	}
+	out := systems[0]
+	for _, s := range systems[1:] {
+		out = Box(out, s)
+	}
+	return out
+}
+
+// mergeSorted merges two sorted, duplicate-free int slices into a new
+// sorted, duplicate-free slice.
+func mergeSorted(a, b []int) []int {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,39 @@
+package system
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the automaton in Graphviz DOT format, with initial
+// states drawn as double circles. highlight, if non-nil, selects states to
+// fill (e.g. the legitimate states of a stabilization check). Intended for
+// small systems in documentation and debugging; the ring systems at N ≥ 4
+// are too large to draw usefully.
+func WriteDOT(w io.Writer, sys *System, highlight func(s int) bool) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", sys.name); err != nil {
+		return err
+	}
+	for s := 0; s < sys.n; s++ {
+		shape := "circle"
+		if sys.IsInit(s) {
+			shape = "doublecircle"
+		}
+		style := ""
+		if highlight != nil && highlight(s) {
+			style = `, style=filled, fillcolor="#e0e0e0"`
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, shape=%s%s];\n", s, sys.StateString(s), shape, style); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < sys.n; s++ {
+		for _, t := range sys.Succ(s) {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", s, t); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

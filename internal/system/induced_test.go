@@ -1,0 +1,75 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestInduced(t *testing.T) {
+	b := NewBuilder("g", 5)
+	b.AddTransition(0, 1)
+	b.AddTransition(1, 2)
+	b.AddTransition(2, 0)
+	b.AddTransition(3, 4) // dropped
+	b.AddInit(0)
+	b.AddInit(3)
+	sys := b.Build()
+
+	keep := bitset.FromSlice(5, []int{0, 1, 2})
+	sub, oldToNew := Induced(sys, keep)
+	if sub.NumStates() != 3 || sub.NumTransitions() != 3 {
+		t.Fatalf("sub = %s", sub)
+	}
+	if oldToNew[3] != -1 || oldToNew[4] != -1 {
+		t.Fatalf("mapping = %v", oldToNew)
+	}
+	if !sub.HasTransition(oldToNew[0], oldToNew[1]) {
+		t.Fatal("edge lost")
+	}
+	if got := sub.InitStates(); len(got) != 1 || got[0] != oldToNew[0] {
+		t.Fatalf("init = %v", got)
+	}
+}
+
+func TestInducedDropsCrossEdges(t *testing.T) {
+	b := NewBuilder("g", 3)
+	b.AddTransition(0, 1)
+	b.AddTransition(1, 2)
+	sys := b.Build()
+	sub, m := Induced(sys, bitset.FromSlice(3, []int{0, 1}))
+	if sub.NumTransitions() != 1 {
+		t.Fatalf("transitions = %d", sub.NumTransitions())
+	}
+	if !sub.Terminal(m[1]) {
+		t.Fatal("state 1 should be terminal after dropping the cross edge")
+	}
+}
+
+func TestInducedAbstraction(t *testing.T) {
+	ab, err := NewAbstraction(6, 2, func(s int) int { return s % 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder("g", 6)
+	b.AddTransition(2, 3)
+	sys := b.Build()
+	sub, oldToNew := Induced(sys, bitset.FromSlice(6, []int{2, 3, 5}))
+	lifted, err := InducedAbstraction(ab, oldToNew, sub.NumStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifted.Of(oldToNew[2]) != 0 || lifted.Of(oldToNew[3]) != 1 || lifted.Of(oldToNew[5]) != 1 {
+		t.Fatal("lifted abstraction wrong")
+	}
+}
+
+func TestInducedEmptyPanics(t *testing.T) {
+	sys := NewBuilder("g", 2).Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Induced(sys, bitset.New(2))
+}

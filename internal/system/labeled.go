@@ -1,0 +1,132 @@
+package system
+
+import "fmt"
+
+// LabeledEdge is one transition tagged with the guarded command (action)
+// that produced it.
+type LabeledEdge struct {
+	// Action is an index into the owning LabeledSystem's action names.
+	Action int
+	// To is the successor state.
+	To int
+}
+
+// LabeledSystem is an automaton that remembers which action produced each
+// transition. Plain Systems suffice for the Section 2 relations, which
+// are defined purely on state sequences; labels are needed for
+// fairness-aware analysis, where "action α is eventually taken" must be
+// distinguishable from "some transition happens".
+type LabeledSystem struct {
+	base    *System
+	actions []string
+	edges   [][]LabeledEdge
+	enabled [][]bool // enabled[s][a]: action a enabled in state s
+}
+
+// EnumerateLabeled builds a labeled automaton from guarded actions,
+// mirroring Enumerate (including keeping τ self-loops).
+func EnumerateLabeled(name string, sp *Space, actions []Action, init func(v Vals) bool) *LabeledSystem {
+	ls := &LabeledSystem{
+		actions: make([]string, len(actions)),
+		edges:   make([][]LabeledEdge, sp.Size()),
+		enabled: make([][]bool, sp.Size()),
+	}
+	for i, a := range actions {
+		ls.actions[i] = a.Name
+	}
+	b := NewSpaceBuilder(name, sp)
+	cur := make(Vals, sp.NumVars())
+	next := make(Vals, sp.NumVars())
+	for s := 0; s < sp.Size(); s++ {
+		cur = sp.Decode(s, cur)
+		ls.enabled[s] = make([]bool, len(actions))
+		for ai, a := range actions {
+			if !a.Guard(cur) {
+				continue
+			}
+			ls.enabled[s][ai] = true
+			copy(next, cur)
+			a.Effect(next)
+			t := sp.Encode(next)
+			b.AddTransition(s, t)
+			ls.edges[s] = append(ls.edges[s], LabeledEdge{Action: ai, To: t})
+		}
+		if init == nil || init(cur) {
+			b.AddInit(s)
+		}
+	}
+	ls.base = b.Build()
+	return ls
+}
+
+// Base returns the underlying unlabeled automaton.
+func (ls *LabeledSystem) Base() *System { return ls.base }
+
+// NumActions returns the number of distinct actions.
+func (ls *LabeledSystem) NumActions() int { return len(ls.actions) }
+
+// ActionName returns the name of action a.
+func (ls *LabeledSystem) ActionName(a int) string { return ls.actions[a] }
+
+// Edges returns the labeled transitions from s (shared storage; do not
+// modify).
+func (ls *LabeledSystem) Edges(s int) []LabeledEdge { return ls.edges[s] }
+
+// Enabled reports whether action a's guard holds in state s.
+func (ls *LabeledSystem) Enabled(s, a int) bool { return ls.enabled[s][a] }
+
+// BoxLabeled composes labeled systems by unioning actions and
+// transitions; action indices of b are shifted past a's. Initial states
+// are unioned, as with Box.
+func BoxLabeled(a, b *LabeledSystem) *LabeledSystem {
+	if a.base.NumStates() != b.base.NumStates() {
+		panic(fmt.Sprintf("system: BoxLabeled(%q, %q): |Σ| mismatch", a.base.Name(), b.base.Name()))
+	}
+	n := a.base.NumStates()
+	out := &LabeledSystem{
+		actions: append(append([]string(nil), a.actions...), b.actions...),
+		edges:   make([][]LabeledEdge, n),
+		enabled: make([][]bool, n),
+	}
+	shift := len(a.actions)
+	for s := 0; s < n; s++ {
+		out.edges[s] = append(out.edges[s], a.edges[s]...)
+		for _, e := range b.edges[s] {
+			out.edges[s] = append(out.edges[s], LabeledEdge{Action: e.Action + shift, To: e.To})
+		}
+		out.enabled[s] = make([]bool, len(out.actions))
+		copy(out.enabled[s], a.enabled[s])
+		copy(out.enabled[s][shift:], b.enabled[s])
+	}
+	out.base = Box(a.base, b.base)
+	return out
+}
+
+// PriorityBoxLabeled composes base with a preempting labeled wrapper:
+// where the wrapper has an enabled action, only its edges occur.
+func PriorityBoxLabeled(base, pre *LabeledSystem) *LabeledSystem {
+	if base.base.NumStates() != pre.base.NumStates() {
+		panic(fmt.Sprintf("system: PriorityBoxLabeled(%q, %q): |Σ| mismatch", base.base.Name(), pre.base.Name()))
+	}
+	n := base.base.NumStates()
+	out := &LabeledSystem{
+		actions: append(append([]string(nil), base.actions...), pre.actions...),
+		edges:   make([][]LabeledEdge, n),
+		enabled: make([][]bool, n),
+	}
+	shift := len(base.actions)
+	for s := 0; s < n; s++ {
+		out.enabled[s] = make([]bool, len(out.actions))
+		if len(pre.edges[s]) > 0 {
+			for _, e := range pre.edges[s] {
+				out.edges[s] = append(out.edges[s], LabeledEdge{Action: e.Action + shift, To: e.To})
+			}
+			copy(out.enabled[s][shift:], pre.enabled[s])
+			continue
+		}
+		out.edges[s] = append(out.edges[s], base.edges[s]...)
+		copy(out.enabled[s], base.enabled[s])
+	}
+	out.base = PriorityBox(base.base, pre.base)
+	return out
+}

@@ -1,0 +1,104 @@
+package system
+
+import "testing"
+
+func labeledFixture(t *testing.T) (*LabeledSystem, *Space) {
+	t.Helper()
+	sp := NewSpace(Int("x", 3))
+	acts := []Action{
+		{Name: "inc", Guard: func(v Vals) bool { return v[0] < 2 }, Effect: func(v Vals) { v[0]++ }},
+		{Name: "reset", Guard: func(v Vals) bool { return v[0] == 2 }, Effect: func(v Vals) { v[0] = 0 }},
+	}
+	return EnumerateLabeled("counter", sp, acts, func(v Vals) bool { return v[0] == 0 }), sp
+}
+
+func TestEnumerateLabeled(t *testing.T) {
+	ls, _ := labeledFixture(t)
+	if ls.NumActions() != 2 || ls.ActionName(0) != "inc" || ls.ActionName(1) != "reset" {
+		t.Fatal("action registry wrong")
+	}
+	base := ls.Base()
+	if base.NumStates() != 3 || base.NumTransitions() != 3 {
+		t.Fatalf("base = %s", base)
+	}
+	if !ls.Enabled(0, 0) || ls.Enabled(0, 1) || !ls.Enabled(2, 1) {
+		t.Fatal("enabledness wrong")
+	}
+	edges := ls.Edges(2)
+	if len(edges) != 1 || edges[0].Action != 1 || edges[0].To != 0 {
+		t.Fatalf("edges(2) = %+v", edges)
+	}
+	if got := base.InitStates(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("init = %v", got)
+	}
+}
+
+func TestBoxLabeled(t *testing.T) {
+	sp := NewSpace(Int("x", 3))
+	a := EnumerateLabeled("a", sp, []Action{
+		{Name: "up", Guard: func(v Vals) bool { return v[0] == 0 }, Effect: func(v Vals) { v[0] = 1 }},
+	}, nil)
+	b := EnumerateLabeled("b", sp, []Action{
+		{Name: "down", Guard: func(v Vals) bool { return v[0] == 1 }, Effect: func(v Vals) { v[0] = 0 }},
+	}, func(Vals) bool { return false })
+	boxed := BoxLabeled(a, b)
+	if boxed.NumActions() != 2 || boxed.ActionName(1) != "down" {
+		t.Fatal("action shift wrong")
+	}
+	if !boxed.Enabled(1, 1) || boxed.Enabled(1, 0) {
+		t.Fatal("enabledness after box wrong")
+	}
+	if !boxed.Base().HasTransition(0, 1) || !boxed.Base().HasTransition(1, 0) {
+		t.Fatal("base transitions wrong")
+	}
+	// a had all states initial (nil init); the union keeps them.
+	if boxed.Base().Init().Count() != 3 {
+		t.Fatalf("init = %v", boxed.Base().InitStates())
+	}
+}
+
+func TestPriorityBoxLabeled(t *testing.T) {
+	sp := NewSpace(Int("x", 3))
+	base := EnumerateLabeled("base", sp, []Action{
+		{Name: "spin", Guard: func(v Vals) bool { return true }, Effect: func(v Vals) { v[0] = (v[0] + 1) % 3 }},
+	}, nil)
+	pre := EnumerateLabeled("pre", sp, []Action{
+		{Name: "fix", Guard: func(v Vals) bool { return v[0] == 2 }, Effect: func(v Vals) { v[0] = 0 }},
+	}, func(Vals) bool { return false })
+	comp := PriorityBoxLabeled(base, pre)
+	// At x=2 only the wrapper acts.
+	edges := comp.Edges(2)
+	if len(edges) != 1 || comp.ActionName(edges[0].Action) != "fix" {
+		t.Fatalf("edges(2) = %+v", edges)
+	}
+	if comp.Enabled(2, 0) {
+		t.Fatal("preempted action still enabled")
+	}
+	if !comp.Enabled(2, 1) {
+		t.Fatal("wrapper action not enabled")
+	}
+	// Elsewhere the base acts.
+	if got := comp.Edges(0); len(got) != 1 || comp.ActionName(got[0].Action) != "spin" {
+		t.Fatalf("edges(0) = %+v", got)
+	}
+}
+
+func TestLabeledMismatchPanics(t *testing.T) {
+	spA := NewSpace(Int("x", 2))
+	spB := NewSpace(Int("x", 3))
+	a := EnumerateLabeled("a", spA, nil, nil)
+	b := EnumerateLabeled("b", spB, nil, nil)
+	for _, fn := range []func(){
+		func() { BoxLabeled(a, b) },
+		func() { PriorityBoxLabeled(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

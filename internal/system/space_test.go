@@ -1,0 +1,143 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceSize(t *testing.T) {
+	sp := NewSpace(Bool("a"), Int("b", 3), Int("c", 5))
+	if got := sp.Size(); got != 30 {
+		t.Fatalf("Size = %d, want 30", got)
+	}
+	if got := sp.NumVars(); got != 3 {
+		t.Fatalf("NumVars = %d, want 3", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sp := NewSpace(Bool("a"), Int("b", 3), Int("c", 5))
+	var v Vals
+	for s := 0; s < sp.Size(); s++ {
+		v = sp.Decode(s, v)
+		if got := sp.Encode(v); got != s {
+			t.Fatalf("Encode(Decode(%d)) = %d", s, got)
+		}
+	}
+}
+
+func TestEncodeDistinct(t *testing.T) {
+	sp := NewSpace(Int("x", 4), Int("y", 4))
+	seen := make(map[int]bool)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			s := sp.Encode(Vals{x, y})
+			if seen[s] {
+				t.Fatalf("duplicate encoding %d for (%d,%d)", s, x, y)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// Property: Decode(Encode(v)) == v for random valid assignments of a
+// random-shape space.
+func TestQuickEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nv := 1 + r.Intn(6)
+		vars := make([]Var, nv)
+		for i := range vars {
+			vars[i] = Int(string(rune('a'+i)), 1+r.Intn(5))
+		}
+		sp := NewSpace(vars...)
+		v := make(Vals, nv)
+		for i := range v {
+			v[i] = r.Intn(vars[i].Card)
+		}
+		got := sp.Decode(sp.Encode(v), nil)
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rng, MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarIndex(t *testing.T) {
+	sp := NewSpace(Bool("up"), Int("c", 3))
+	if i, ok := sp.VarIndex("c"); !ok || i != 1 {
+		t.Fatalf("VarIndex(c) = %d, %v", i, ok)
+	}
+	if _, ok := sp.VarIndex("missing"); ok {
+		t.Fatal("VarIndex(missing) reported ok")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	sp := NewSpace(Bool("up"), Int("c", 3))
+	s := sp.Encode(Vals{1, 2})
+	if got := sp.StateString(s); got != "up=true c=2" {
+		t.Fatalf("StateString = %q", got)
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	a := NewSpace(Bool("x"), Int("y", 3))
+	b := NewSpace(Bool("x"), Int("y", 3))
+	c := NewSpace(Bool("x"), Int("y", 4))
+	d := NewSpace(Bool("x"))
+	if !a.SameShape(b) {
+		t.Fatal("identical shapes not recognized")
+	}
+	if a.SameShape(c) || a.SameShape(d) {
+		t.Fatal("different shapes reported same")
+	}
+	if !a.SameShape(a) {
+		t.Fatal("space not same shape as itself")
+	}
+}
+
+func TestDuplicateVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpace(Bool("x"), Int("x", 3))
+}
+
+func TestBadCardinalityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpace(Int("x", 0))
+}
+
+func TestEncodeOutOfDomainPanics(t *testing.T) {
+	sp := NewSpace(Int("x", 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sp.Encode(Vals{3})
+}
+
+func TestDecodeReusesBuffer(t *testing.T) {
+	sp := NewSpace(Int("x", 3), Int("y", 3))
+	buf := make(Vals, 2)
+	got := sp.Decode(4, buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("Decode allocated despite sufficient buffer")
+	}
+}

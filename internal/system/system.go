@@ -1,0 +1,247 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// System is the paper's Definition 1: a finite-state automaton (Σ, T, I)
+// where Σ is [0, NumStates()), T is the transition relation, and I is the
+// set of initial states. A computation is a maximal sequence of states
+// related by T (finite computations end in states with no outgoing
+// transition).
+//
+// Systems are immutable once built; construct them with a Builder or with
+// Enumerate.
+type System struct {
+	name  string
+	space *Space // may be nil for raw index-based systems
+	n     int
+	succ  [][]int
+	init  *bitset.Set
+	nT    int
+}
+
+// Builder accumulates transitions and initial states for a System.
+type Builder struct {
+	name  string
+	space *Space
+	n     int
+	succ  []map[int]struct{}
+	init  *bitset.Set
+}
+
+// NewBuilder returns a builder for a system over the raw state space [0, n).
+func NewBuilder(name string, n int) *Builder {
+	if n <= 0 {
+		panic(fmt.Sprintf("system: non-positive state count %d", n))
+	}
+	return &Builder{
+		name: name,
+		n:    n,
+		succ: make([]map[int]struct{}, n),
+		init: bitset.New(n),
+	}
+}
+
+// NewSpaceBuilder returns a builder for a system over the given space.
+func NewSpaceBuilder(name string, sp *Space) *Builder {
+	b := NewBuilder(name, sp.Size())
+	b.space = sp
+	return b
+}
+
+func (b *Builder) checkState(s int) {
+	if s < 0 || s >= b.n {
+		panic(fmt.Sprintf("system: state %d out of [0,%d) in %q", s, b.n, b.name))
+	}
+}
+
+// AddTransition records the transition (s, t). Duplicates are merged.
+func (b *Builder) AddTransition(s, t int) {
+	b.checkState(s)
+	b.checkState(t)
+	if b.succ[s] == nil {
+		b.succ[s] = make(map[int]struct{})
+	}
+	b.succ[s][t] = struct{}{}
+}
+
+// AddInit marks s as an initial state.
+func (b *Builder) AddInit(s int) {
+	b.checkState(s)
+	b.init.Add(s)
+}
+
+// Wrappers add no initial states at all: a Builder with no AddInit calls
+// yields a system with I = ∅, the wrapper convention used by Box.
+
+// Build freezes the builder into an immutable System.
+func (b *Builder) Build() *System {
+	sys := &System{
+		name:  b.name,
+		space: b.space,
+		n:     b.n,
+		succ:  make([][]int, b.n),
+		init:  b.init.Clone(),
+	}
+	for s, set := range b.succ {
+		if len(set) == 0 {
+			continue
+		}
+		ts := make([]int, 0, len(set))
+		for t := range set {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		sys.succ[s] = ts
+		sys.nT += len(ts)
+	}
+	return sys
+}
+
+// Name returns the system's display name.
+func (sys *System) Name() string { return sys.name }
+
+// Space returns the structured state space, or nil for raw systems.
+func (sys *System) Space() *Space { return sys.space }
+
+// NumStates returns |Σ|.
+func (sys *System) NumStates() int { return sys.n }
+
+// NumTransitions returns |T|.
+func (sys *System) NumTransitions() int { return sys.nT }
+
+// Succ returns the successors of s in increasing order. The returned slice
+// is owned by the System and must not be modified; it is shared rather than
+// copied because Succ is the hot path of every reachability sweep.
+func (sys *System) Succ(s int) []int { return sys.succ[s] }
+
+// HasTransition reports whether (s, t) ∈ T.
+func (sys *System) HasTransition(s, t int) bool {
+	ts := sys.succ[s]
+	i := sort.SearchInts(ts, t)
+	return i < len(ts) && ts[i] == t
+}
+
+// Terminal reports whether s has no outgoing transition (computations
+// reaching s are finite and end there).
+func (sys *System) Terminal(s int) bool { return len(sys.succ[s]) == 0 }
+
+// Init returns a copy of the initial-state set.
+func (sys *System) Init() *bitset.Set { return sys.init.Clone() }
+
+// IsInit reports whether s ∈ I.
+func (sys *System) IsInit(s int) bool { return sys.init.Has(s) }
+
+// InitStates returns the initial states in increasing order.
+func (sys *System) InitStates() []int { return sys.init.Members() }
+
+// StateString renders s using the system's space, or as "s<i>" for raw
+// systems.
+func (sys *System) StateString(s int) string {
+	if sys.space != nil {
+		return sys.space.StateString(s)
+	}
+	return fmt.Sprintf("s%d", s)
+}
+
+// String summarizes the automaton.
+func (sys *System) String() string {
+	return fmt.Sprintf("%s: |Σ|=%d |T|=%d |I|=%d", sys.name, sys.n, sys.nT, sys.init.Count())
+}
+
+// Rename returns a shallow copy of sys with a different display name.
+// Sharing the transition storage is safe because systems are immutable.
+func (sys *System) Rename(name string) *System {
+	c := *sys
+	c.name = name
+	return &c
+}
+
+// WithInit returns a copy of sys whose initial states are exactly the given
+// ones. Used when deriving an initialized system from a wrapper-style
+// (all-states-initial) automaton.
+func (sys *System) WithInit(states []int) *System {
+	c := *sys
+	c.init = bitset.FromSlice(sys.n, states)
+	return &c
+}
+
+// StripSelfLoops returns a copy of sys without self-loop transitions.
+// A guarded command whose effect leaves the state unchanged (a τ step,
+// Section 6) contributes the transition (s, s); as a sequence of states,
+// executing it changes nothing, and a daemon spinning on such a no-op
+// forever is indistinguishable from not executing at all. Dropping
+// self-loops models the standard convention that maximal computations are
+// sequences of state *changes*.
+func (sys *System) StripSelfLoops() *System {
+	c := *sys
+	c.succ = make([][]int, sys.n)
+	c.nT = 0
+	for s := 0; s < sys.n; s++ {
+		ts := sys.succ[s]
+		keep := ts
+		for i, t := range ts {
+			if t == s {
+				keep = make([]int, 0, len(ts)-1)
+				keep = append(keep, ts[:i]...)
+				for _, u := range ts[i+1:] {
+					if u != s {
+						keep = append(keep, u)
+					}
+				}
+				break
+			}
+		}
+		c.succ[s] = keep
+		c.nT += len(keep)
+	}
+	return &c
+}
+
+// TransitionsEqual reports whether two systems over the same state space
+// have exactly the same transition relation. Used by the derivations to
+// check claims of the form "the composed system IS Dijkstra's system".
+func TransitionsEqual(a, b *System) bool {
+	if a.n != b.n || a.nT != b.nT {
+		return false
+	}
+	for s := 0; s < a.n; s++ {
+		as, bs := a.succ[s], b.succ[s]
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether two systems have identical state spaces, transition
+// relations, and initial-state sets.
+func Equal(a, b *System) bool {
+	return TransitionsEqual(a, b) && a.init.Equal(b.init)
+}
+
+// DiffTransitions returns up to max transitions present in a but not in b,
+// for diagnostic messages. Pass max <= 0 for all of them.
+func DiffTransitions(a, b *System, max int) [][2]int {
+	var out [][2]int
+	for s := 0; s < a.n; s++ {
+		for _, t := range a.succ[s] {
+			if !b.HasTransition(s, t) {
+				out = append(out, [2]int{s, t})
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package vm
+
+import "fmt"
+
+// Strategy selects how conditions are compiled.
+type Strategy int
+
+// Compilation strategies.
+const (
+	// Naive compiles a comparison by evaluating each operand separately —
+	// a variable compared with itself is loaded twice, as the Java
+	// compiler does in the paper's listing. A fault striking the variable
+	// between the two loads makes the comparison observe two different
+	// values, which is exactly how the compiled program loses the source
+	// program's tolerance.
+	Naive Strategy = iota + 1
+	// ReadOnce loads a variable compared against itself once and
+	// duplicates the value on the stack, so the comparison is between two
+	// copies of a single read. This is the convergence-preserving
+	// strategy: every machine execution then tracks a source execution
+	// modulo stuttering, regardless of variable corruption.
+	ReadOnce
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case ReadOnce:
+		return "read-once"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Compile translates a source program. It returns the machine program and
+// the variable-to-local-slot assignment.
+func Compile(src *SrcProgram, st Strategy) (Program, map[string]int, error) {
+	if st != Naive && st != ReadOnce {
+		return nil, nil, fmt.Errorf("vm: unknown strategy %d", int(st))
+	}
+	c := &compiler{strategy: st, slots: make(map[string]int, len(src.Vars))}
+	for i, v := range src.Vars {
+		c.slots[v.Name] = i
+	}
+	// Initializers.
+	for _, v := range src.Vars {
+		c.emit(Instr{Op: OpIConst, Arg: v.Init})
+		c.emit(Instr{Op: OpIStore, Arg: c.slots[v.Name]})
+	}
+	if err := c.stmts(src.Body); err != nil {
+		return nil, nil, err
+	}
+	c.emit(Instr{Op: OpReturn})
+	if err := Program(c.code).Validate(len(src.Vars)); err != nil {
+		return nil, nil, err
+	}
+	return c.code, c.slots, nil
+}
+
+type compiler struct {
+	strategy Strategy
+	slots    map[string]int
+	code     []Instr
+}
+
+func (c *compiler) emit(in Instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+func (c *compiler) operand(o SrcOperand) {
+	if o.IsVar {
+		c.emit(Instr{Op: OpILoad, Arg: c.slots[o.Name]})
+	} else {
+		c.emit(Instr{Op: OpIConst, Arg: o.Lit})
+	}
+}
+
+func (c *compiler) stmts(ss []SrcStmt) error {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case SrcAssign:
+			c.operand(s.Val)
+			c.emit(Instr{Op: OpIStore, Arg: c.slots[s.Name]})
+		case SrcWhile:
+			if err := c.while(s); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("vm: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+// while lays the loop out like the paper's listing: a goto to the test,
+// the body, then the test branching back to the body when the condition
+// holds.
+func (c *compiler) while(w SrcWhile) error {
+	jumpToTest := c.emit(Instr{Op: OpGoto}) // patched below
+	bodyStart := len(c.code)
+	if err := c.stmts(w.Body); err != nil {
+		return err
+	}
+	testStart := len(c.code)
+	c.code[jumpToTest].Arg = testStart
+
+	sameVar := w.Left.IsVar && w.Right.IsVar && w.Left.Name == w.Right.Name
+	if c.strategy == ReadOnce && sameVar {
+		c.emit(Instr{Op: OpILoad, Arg: c.slots[w.Left.Name]})
+		c.emit(Instr{Op: OpDup})
+	} else {
+		c.operand(w.Left)
+		c.operand(w.Right)
+	}
+	if w.Equal {
+		c.emit(Instr{Op: OpIfICmpEq, Arg: bodyStart})
+	} else {
+		// a != b: equal exits the loop, otherwise loop.
+		branch := c.emit(Instr{Op: OpIfICmpEq}) // patched to after the goto
+		c.emit(Instr{Op: OpGoto, Arg: bodyStart})
+		c.code[branch].Arg = len(c.code)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package vm
+
+import "testing"
+
+// FuzzParseSource asserts the mini-language parser never panics.
+func FuzzParseSource(f *testing.F) {
+	f.Add(paperSource)
+	f.Add("int a = 0; while (a != 1) { a = 1; }")
+	f.Add("int x = 0; while (x == x) { while (x == 0) { x = 0; } }")
+	f.Add("int x")
+	f.Add("while while while")
+	f.Add("}}}{{{")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseSource(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must compile under both strategies.
+		for _, strat := range []Strategy{Naive, ReadOnce} {
+			if _, _, err := Compile(prog, strat); err != nil {
+				t.Fatalf("accepted program failed to compile (%v): %v", strat, err)
+			}
+		}
+	})
+}
+
+// FuzzMachineStep asserts the machine never panics on arbitrary (even
+// inconsistent) configurations of a fixed program.
+func FuzzMachineStep(f *testing.F) {
+	prog, _, err := Compile(mustParseF(paperSource), Naive)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := &Machine{Prog: prog, MaxVal: 2, MaxStack: 2}
+	f.Add(0, 0, 0, 0)
+	f.Add(7, 1, 1, 1)
+	f.Add(-3, 9, -1, 5)
+	f.Fuzz(func(t *testing.T, pc, local, s0, s1 int) {
+		cfg := Config{PC: pc, Locals: []int{local & 1}, Stack: []int{s0 & 1, s1 & 1}}
+		if _, st, _ := m.Run(cfg, 100); st == 0 {
+			t.Fatal("invalid status")
+		}
+	})
+}
+
+// mustParseF is the f.Fatal-free helper used at fuzz-seed time.
+func mustParseF(src string) *SrcProgram {
+	p, err := ParseSource(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

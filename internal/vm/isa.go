@@ -1,0 +1,110 @@
+// Package vm reproduces the paper's Section 1 motivating example as a
+// running artifact: a small stack machine in the image of the JVM, a
+// compiler from a miniature imperative language onto it, and a modeling
+// bridge that turns machine executions into the automata of
+// internal/system so the stabilization checker can decide — exactly as
+// the paper argues informally — that the source program tolerates
+// corruption of x while its naive compilation does not, and that a
+// read-once ("convergence-preserving") compilation strategy restores the
+// tolerance.
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a machine opcode.
+type Op uint8
+
+// The instruction set, mirroring the bytecodes in the paper's listing
+// plus Dup, which the robust compilation strategy uses.
+const (
+	// OpIConst pushes the immediate Arg.
+	OpIConst Op = iota + 1
+	// OpILoad pushes local variable Arg.
+	OpILoad
+	// OpIStore pops into local variable Arg.
+	OpIStore
+	// OpIfICmpEq pops two values and jumps to Arg if they are equal.
+	OpIfICmpEq
+	// OpGoto jumps to Arg.
+	OpGoto
+	// OpDup duplicates the top of the stack.
+	OpDup
+	// OpReturn halts the machine.
+	OpReturn
+)
+
+var opNames = map[Op]string{
+	OpIConst: "iconst", OpILoad: "iload", OpIStore: "istore",
+	OpIfICmpEq: "if_icmpeq", OpGoto: "goto", OpDup: "dup", OpReturn: "return",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if s, okk := opNames[o]; okk {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// hasArg reports whether the opcode carries an operand.
+func (o Op) hasArg() bool {
+	switch o {
+	case OpIConst, OpILoad, OpIStore, OpIfICmpEq, OpGoto:
+		return true
+	default:
+		return false
+	}
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op  Op
+	Arg int
+}
+
+// String renders the instruction.
+func (in Instr) String() string {
+	if in.Op.hasArg() {
+		return fmt.Sprintf("%s %d", in.Op, in.Arg)
+	}
+	return in.Op.String()
+}
+
+// Program is an instruction sequence; jump targets are instruction
+// indices.
+type Program []Instr
+
+// String renders a numbered listing like the paper's.
+func (p Program) String() string {
+	var b strings.Builder
+	for i, in := range p {
+		fmt.Fprintf(&b, "%2d  %s\n", i, in)
+	}
+	return b.String()
+}
+
+// Validate checks jump targets and operand ranges.
+func (p Program) Validate(numLocals int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("vm: empty program")
+	}
+	for i, in := range p {
+		switch in.Op {
+		case OpIfICmpEq, OpGoto:
+			if in.Arg < 0 || in.Arg >= len(p) {
+				return fmt.Errorf("vm: instruction %d jumps to %d, outside [0,%d)", i, in.Arg, len(p))
+			}
+		case OpILoad, OpIStore:
+			if in.Arg < 0 || in.Arg >= numLocals {
+				return fmt.Errorf("vm: instruction %d touches local %d, outside [0,%d)", i, in.Arg, numLocals)
+			}
+		case OpIConst, OpDup, OpReturn:
+		default:
+			return fmt.Errorf("vm: instruction %d has unknown opcode %d", i, in.Op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The miniature source language of the Section 1 example:
+//
+//	int x = 0;
+//	while (x == x) { x = 0; }
+//
+// Statements: declarations with initializers, assignments, and while
+// loops whose condition compares two operands with == or !=. Operands are
+// integer literals or variables.
+
+// SrcProgram is a parsed source program.
+type SrcProgram struct {
+	// Vars lists declared variables in declaration order; the compiler
+	// assigns local slots in this order.
+	Vars []SrcVar
+	// Body is the statement list.
+	Body []SrcStmt
+}
+
+// SrcVar is a declaration "int x = n;".
+type SrcVar struct {
+	Name string
+	Init int
+}
+
+// SrcStmt is either an assignment or a while loop.
+type SrcStmt interface{ srcStmt() }
+
+// SrcAssign is "x = operand;".
+type SrcAssign struct {
+	Name string
+	Val  SrcOperand
+}
+
+// SrcWhile is "while (a ==/!= b) { body }".
+type SrcWhile struct {
+	Left, Right SrcOperand
+	Equal       bool // true for ==, false for !=
+	Body        []SrcStmt
+}
+
+func (SrcAssign) srcStmt() {}
+func (SrcWhile) srcStmt()  {}
+
+// SrcOperand is a literal or a variable reference.
+type SrcOperand struct {
+	IsVar bool
+	Name  string
+	Lit   int
+}
+
+// String renders the operand.
+func (o SrcOperand) String() string {
+	if o.IsVar {
+		return o.Name
+	}
+	return strconv.Itoa(o.Lit)
+}
+
+// ParseSource parses the mini language.
+func ParseSource(src string) (*SrcProgram, error) {
+	toks, err := tokenizeSource(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &srcParser{toks: toks}
+	prog := &SrcProgram{}
+	seen := map[string]bool{}
+	for p.peek() == "int" {
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("vm: variable %q redeclared", name)
+		}
+		seen[name] = true
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		lit, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		prog.Vars = append(prog.Vars, SrcVar{Name: name, Init: lit})
+	}
+	body, err := p.stmts("")
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	if p.peek() != "" {
+		return nil, fmt.Errorf("vm: trailing input at %q", p.peek())
+	}
+	if err := checkSource(prog, seen); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func checkSource(prog *SrcProgram, declared map[string]bool) error {
+	var checkOperand func(o SrcOperand) error
+	checkOperand = func(o SrcOperand) error {
+		if o.IsVar && !declared[o.Name] {
+			return fmt.Errorf("vm: undeclared variable %q", o.Name)
+		}
+		return nil
+	}
+	var checkStmts func(ss []SrcStmt) error
+	checkStmts = func(ss []SrcStmt) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case SrcAssign:
+				if !declared[s.Name] {
+					return fmt.Errorf("vm: assignment to undeclared variable %q", s.Name)
+				}
+				if err := checkOperand(s.Val); err != nil {
+					return err
+				}
+			case SrcWhile:
+				if err := checkOperand(s.Left); err != nil {
+					return err
+				}
+				if err := checkOperand(s.Right); err != nil {
+					return err
+				}
+				if err := checkStmts(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return checkStmts(prog.Body)
+}
+
+type srcParser struct {
+	toks []string
+	i    int
+}
+
+func (p *srcParser) peek() string {
+	if p.i >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.i]
+}
+
+func (p *srcParser) next() string {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func (p *srcParser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("vm: expected %q, found %q", t, got)
+	}
+	return nil
+}
+
+func (p *srcParser) ident() (string, error) {
+	t := p.next()
+	if t == "" || !unicode.IsLetter(rune(t[0])) {
+		return "", fmt.Errorf("vm: expected identifier, found %q", t)
+	}
+	return t, nil
+}
+
+func (p *srcParser) number() (int, error) {
+	t := p.next()
+	n, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("vm: expected number, found %q", t)
+	}
+	return n, nil
+}
+
+func (p *srcParser) operand() (SrcOperand, error) {
+	t := p.peek()
+	if t == "" {
+		return SrcOperand{}, fmt.Errorf("vm: expected operand, found end of input")
+	}
+	if unicode.IsDigit(rune(t[0])) {
+		n, err := p.number()
+		return SrcOperand{Lit: n}, err
+	}
+	name, err := p.ident()
+	return SrcOperand{IsVar: true, Name: name}, err
+}
+
+// stmts parses statements until the closer token ("}" inside a block,
+// end of input at top level).
+func (p *srcParser) stmts(closer string) ([]SrcStmt, error) {
+	var out []SrcStmt
+	for {
+		t := p.peek()
+		if t == closer {
+			return out, nil
+		}
+		switch t {
+		case "while":
+			p.next()
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			left, err := p.operand()
+			if err != nil {
+				return nil, err
+			}
+			op := p.next()
+			if op != "==" && op != "!=" {
+				return nil, fmt.Errorf("vm: expected == or !=, found %q", op)
+			}
+			right, err := p.operand()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmts("}")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			out = append(out, SrcWhile{Left: left, Right: right, Equal: op == "==", Body: body})
+		default:
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			val, err := p.operand()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			out = append(out, SrcAssign{Name: name, Val: val})
+		}
+	}
+}
+
+// tokenizeSource splits the mini language into tokens.
+func tokenizeSource(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case unicode.IsLetter(rune(ch)):
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case unicode.IsDigit(rune(ch)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case strings.HasPrefix(src[i:], "==") || strings.HasPrefix(src[i:], "!="):
+			toks = append(toks, src[i:i+2])
+			i += 2
+		case strings.ContainsRune("=;(){}", rune(ch)):
+			toks = append(toks, string(ch))
+			i++
+		default:
+			return nil, fmt.Errorf("vm: unexpected character %q", ch)
+		}
+	}
+	return toks, nil
+}

@@ -1,0 +1,190 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/system"
+)
+
+// Model is a machine program turned into a finite automaton: one state per
+// configuration (pc, stack, locals), one transition per machine step.
+// Halted and trapped configurations are terminal. Stack slots above the
+// stack pointer are kept at zero so each machine configuration has exactly
+// one encoding.
+type Model struct {
+	// Machine is the modeled machine.
+	Machine *Machine
+	// Space encodes configurations: pc, sp, stack slots, locals.
+	Space *system.Space
+	// Sys is the enumerated automaton; initial state per NewModel's
+	// initial locals.
+	Sys *system.System
+
+	numLocals int
+}
+
+// NewModel enumerates the machine over its finite configuration space.
+// initLocals gives the modeled entry configuration (pc 0, empty stack).
+func NewModel(m *Machine, numLocals int, initLocals []int) (*Model, error) {
+	if err := m.Prog.Validate(numLocals); err != nil {
+		return nil, err
+	}
+	if m.MaxVal < 2 || m.MaxStack < 1 {
+		return nil, fmt.Errorf("vm: model needs MaxVal ≥ 2 and MaxStack ≥ 1, got %d and %d", m.MaxVal, m.MaxStack)
+	}
+	if len(initLocals) != numLocals {
+		return nil, fmt.Errorf("vm: %d initial locals for %d slots", len(initLocals), numLocals)
+	}
+	vars := make([]system.Var, 0, 2+m.MaxStack+numLocals)
+	vars = append(vars, system.Int("pc", len(m.Prog)), system.Int("sp", m.MaxStack+1))
+	for i := 0; i < m.MaxStack; i++ {
+		vars = append(vars, system.Int(fmt.Sprintf("st%d", i), m.MaxVal))
+	}
+	for i := 0; i < numLocals; i++ {
+		vars = append(vars, system.Int(fmt.Sprintf("l%d", i), m.MaxVal))
+	}
+	sp := system.NewSpace(vars...)
+	md := &Model{Machine: m, Space: sp, numLocals: numLocals}
+
+	b := system.NewSpaceBuilder(fmt.Sprintf("vm(%d instrs)", len(m.Prog)), sp)
+	vals := make(system.Vals, sp.NumVars())
+	for s := 0; s < sp.Size(); s++ {
+		vals = sp.Decode(s, vals)
+		cfg, valid := md.configOf(vals)
+		if !valid {
+			continue // non-canonical padding: unreachable encoding
+		}
+		next, st := m.Step(cfg)
+		if st != Running {
+			continue // halted or trapped: terminal
+		}
+		b.AddTransition(s, md.EncodeConfig(next))
+	}
+	init := Config{PC: 0, Locals: append([]int(nil), initLocals...)}
+	b.AddInit(md.EncodeConfig(init))
+	md.Sys = b.Build()
+	return md, nil
+}
+
+// configOf decodes a state; valid is false for non-canonical encodings
+// (stack padding above sp not zeroed).
+func (md *Model) configOf(vals system.Vals) (Config, bool) {
+	m := md.Machine
+	cfg := Config{PC: vals[0]}
+	spDepth := vals[1]
+	for i := spDepth; i < m.MaxStack; i++ {
+		if vals[2+i] != 0 {
+			return Config{}, false
+		}
+	}
+	cfg.Stack = make([]int, spDepth)
+	for i := 0; i < spDepth; i++ {
+		cfg.Stack[i] = vals[2+i]
+	}
+	cfg.Locals = make([]int, md.numLocals)
+	for i := range cfg.Locals {
+		cfg.Locals[i] = vals[2+m.MaxStack+i]
+	}
+	return cfg, true
+}
+
+// EncodeConfig maps a machine configuration to its state index.
+func (md *Model) EncodeConfig(c Config) int {
+	m := md.Machine
+	vals := make(system.Vals, md.Space.NumVars())
+	vals[0] = c.PC
+	vals[1] = len(c.Stack)
+	for i, v := range c.Stack {
+		vals[2+i] = v
+	}
+	for i, v := range c.Locals {
+		vals[2+m.MaxStack+i] = v
+	}
+	return md.Space.Encode(vals)
+}
+
+// LocalAbstraction maps configurations to the value of the watched local,
+// over the abstract space 0..MaxVal−1.
+func (md *Model) LocalAbstraction(watched int) (*system.Abstraction, error) {
+	if watched < 0 || watched >= md.numLocals {
+		return nil, fmt.Errorf("vm: watched local %d outside [0,%d)", watched, md.numLocals)
+	}
+	m := md.Machine
+	vals := make(system.Vals, md.Space.NumVars())
+	return system.NewAbstraction(md.Space.Size(), m.MaxVal, func(s int) int {
+		vals = md.Space.Decode(s, vals)
+		return vals[2+m.MaxStack+watched]
+	})
+}
+
+// LocalFaultStates closes a state set under arbitrary corruption of the
+// local variables (the paper's fault: "the value of x is corrupted"):
+// every combination of local values is substituted into every member.
+func (md *Model) LocalFaultStates(from *bitset.Set) *bitset.Set {
+	m := md.Machine
+	out := bitset.New(md.Space.Size())
+	vals := make(system.Vals, md.Space.NumVars())
+	total := 1
+	for i := 0; i < md.numLocals; i++ {
+		total *= m.MaxVal
+	}
+	from.ForEach(func(s int) {
+		vals = md.Space.Decode(s, vals)
+		for combo := 0; combo < total; combo++ {
+			c := combo
+			for i := 0; i < md.numLocals; i++ {
+				vals[2+m.MaxStack+i] = c % m.MaxVal
+				c /= m.MaxVal
+			}
+			out.Add(md.Space.Encode(vals))
+		}
+	})
+	return out
+}
+
+// CheckLocalFaultStabilization decides whether the compiled program,
+// subject to transient corruption of its locals at any reachable point of
+// execution, is stabilizing to spec (over the watched local's value). It
+// restricts the automaton to the states reachable from the fault-closed
+// reachable set, then runs the Section 2 stabilization check through the
+// local-value abstraction.
+func CheckLocalFaultStabilization(md *Model, spec *system.System, watched int) (*core.StabilizationReport, error) {
+	alpha, err := md.LocalAbstraction(watched)
+	if err != nil {
+		return nil, err
+	}
+	normal := mc.ReachFromInit(md.Sys)
+	faulty := md.LocalFaultStates(normal)
+	relevant := mc.Reach(md.Sys, faulty)
+	sub, oldToNew := system.Induced(md.Sys, relevant)
+	subAlpha, err := system.InducedAbstraction(alpha, oldToNew, sub.NumStates())
+	if err != nil {
+		return nil, err
+	}
+	return core.Stabilizing(sub, spec, subAlpha), nil
+}
+
+// AlwaysZeroSpec is the Section 1 specification B: "x is always 0". Its
+// only behavior is the self-loop at 0; 0 is the only initial state.
+func AlwaysZeroSpec(maxVal int) *system.System {
+	b := system.NewBuilder("B(always x=0)", maxVal)
+	b.AddTransition(0, 0)
+	b.AddInit(0)
+	return b.Build()
+}
+
+// SourceLoopSystem is the source-level semantics A of
+// "while (x == x) { x = 0; }": from any value of x, one loop iteration
+// sets x to 0, forever. A is stabilizing to AlwaysZeroSpec — the source
+// program tolerates corruption of x.
+func SourceLoopSystem(maxVal int) *system.System {
+	b := system.NewBuilder("A(while x==x: x:=0)", maxVal)
+	for v := 0; v < maxVal; v++ {
+		b.AddTransition(v, 0)
+	}
+	b.AddInit(0)
+	return b.Build()
+}

@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+func buildModel(t *testing.T, strategy Strategy) (*Model, map[string]int) {
+	t.Helper()
+	prog, slots, err := Compile(mustParse(t, paperSource), strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Machine{Prog: prog, MaxVal: 2, MaxStack: 2}
+	md, err := NewModel(m, 1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md, slots
+}
+
+func TestSourceProgramIsTolerant(t *testing.T) {
+	// The paper's premise: the source program is "trivially tolerant to
+	// the corruption of x in that it eventually ensures x is always 0".
+	a := SourceLoopSystem(2)
+	b := AlwaysZeroSpec(2)
+	rep := core.Stabilizing(a, b, nil)
+	if !rep.Holds {
+		t.Fatalf("source not stabilizing to spec: %s", rep.Verdict)
+	}
+}
+
+// TestNaiveCompilationLosesTolerance is the Section 1 headline, machine-
+// checked: the naively compiled program, under corruption of x at any
+// reachable configuration, is NOT stabilizing to "x is always 0" — some
+// executions escape the loop and halt.
+func TestNaiveCompilationLosesTolerance(t *testing.T) {
+	md, _ := buildModel(t, Naive)
+	rep, err := CheckLocalFaultStabilization(md, AlwaysZeroSpec(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatalf("naive compilation reported tolerant: %s", rep.Verdict)
+	}
+}
+
+// TestReadOnceCompilationPreservesTolerance: the convergence-preserving
+// strategy keeps the machine inside the loop for every corruption of x,
+// so the compiled program remains stabilizing to the spec.
+func TestReadOnceCompilationPreservesTolerance(t *testing.T) {
+	md, _ := buildModel(t, ReadOnce)
+	rep, err := CheckLocalFaultStabilization(md, AlwaysZeroSpec(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("read-once compilation reported intolerant: %s", rep.Verdict)
+	}
+}
+
+func TestNominalExecutionsAgree(t *testing.T) {
+	// In the absence of faults both compilations refine the source
+	// program: from the initial state, the machine's x-trace destutters
+	// to A's behavior.
+	for _, strat := range []Strategy{Naive, ReadOnce} {
+		md, _ := buildModel(t, strat)
+		alpha, err := md.LocalAbstraction(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := core.RefinementInit(md.Sys, SourceLoopSystem(2), alpha)
+		if !v.Holds {
+			t.Fatalf("%v: nominal refinement fails: %s", strat, v)
+		}
+	}
+}
+
+func TestModelShape(t *testing.T) {
+	md, _ := buildModel(t, Naive)
+	// Nominal execution never traps and loops forever.
+	reach := mc.ReachFromInit(md.Sys)
+	found := false
+	reach.ForEach(func(s int) {
+		if md.Sys.Terminal(s) {
+			found = true
+		}
+	})
+	if found {
+		t.Fatal("nominal execution reaches a terminal configuration")
+	}
+}
+
+func TestEncodeDecodeConfig(t *testing.T) {
+	md, _ := buildModel(t, Naive)
+	cfg := Config{PC: 3, Stack: []int{1}, Locals: []int{1}}
+	s := md.EncodeConfig(cfg)
+	vals := md.Space.Decode(s, nil)
+	got, valid := md.configOf(vals)
+	if !valid || got.PC != 3 || len(got.Stack) != 1 || got.Stack[0] != 1 || got.Locals[0] != 1 {
+		t.Fatalf("round trip = %+v (valid=%v)", got, valid)
+	}
+}
+
+func TestLocalFaultStatesClosure(t *testing.T) {
+	md, _ := buildModel(t, Naive)
+	normal := mc.ReachFromInit(md.Sys)
+	faulty := md.LocalFaultStates(normal)
+	if faulty.Count() != 2*normal.Count() {
+		// One local over {0,1}: the closure doubles every state (x=0 and
+		// x=1 variants).
+		t.Fatalf("faulty = %d, normal = %d", faulty.Count(), normal.Count())
+	}
+	if !normal.SubsetOf(faulty) {
+		t.Fatal("fault closure lost normal states")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	prog := Program{{Op: OpReturn}}
+	if _, err := NewModel(&Machine{Prog: prog, MaxVal: 1, MaxStack: 1}, 1, []int{0}); err == nil {
+		t.Fatal("MaxVal=1 accepted")
+	}
+	if _, err := NewModel(&Machine{Prog: prog, MaxVal: 2, MaxStack: 2}, 1, []int{0, 0}); err == nil {
+		t.Fatal("wrong locals length accepted")
+	}
+	if _, err := NewModel(&Machine{Prog: Program{{Op: OpGoto, Arg: 7}}, MaxVal: 2, MaxStack: 1}, 1, []int{0}); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestLocalAbstractionValidation(t *testing.T) {
+	md, _ := buildModel(t, Naive)
+	if _, err := md.LocalAbstraction(5); err == nil {
+		t.Fatal("bad watched index accepted")
+	}
+}

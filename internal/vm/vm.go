@@ -1,0 +1,139 @@
+package vm
+
+import "fmt"
+
+// Status describes a machine after a step.
+type Status int
+
+// Machine statuses.
+const (
+	// Running means execution can continue.
+	Running Status = iota + 1
+	// Halted means a return was executed.
+	Halted
+	// Trapped means the step was impossible (stack underflow/overflow or
+	// an out-of-range value) — only reachable from corrupted
+	// configurations.
+	Trapped
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Halted:
+		return "halted"
+	case Trapped:
+		return "trapped"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Config is a machine configuration: program counter, local variables,
+// and operand stack (bottom first).
+type Config struct {
+	PC     int
+	Locals []int
+	Stack  []int
+}
+
+// Clone deep-copies the configuration.
+func (c Config) Clone() Config {
+	out := Config{PC: c.PC, Locals: make([]int, len(c.Locals)), Stack: make([]int, len(c.Stack))}
+	copy(out.Locals, c.Locals)
+	copy(out.Stack, c.Stack)
+	return out
+}
+
+// Machine executes a Program over values 0..MaxVal−1 with an operand
+// stack bounded by MaxStack (bounds keep the configuration space finite
+// for model construction; the example programs respect them).
+type Machine struct {
+	Prog     Program
+	MaxVal   int
+	MaxStack int
+}
+
+// Step executes one instruction. The returned status is Running if the
+// machine may continue, Halted on return, Trapped on a machine error;
+// cfg is only advanced when Running.
+func (m *Machine) Step(cfg Config) (Config, Status) {
+	if cfg.PC < 0 || cfg.PC >= len(m.Prog) {
+		return cfg, Trapped
+	}
+	in := m.Prog[cfg.PC]
+	switch in.Op {
+	case OpIConst:
+		if len(cfg.Stack) >= m.MaxStack || in.Arg < 0 || in.Arg >= m.MaxVal {
+			return cfg, Trapped
+		}
+		next := cfg.Clone()
+		next.Stack = append(next.Stack, in.Arg)
+		next.PC++
+		return next, Running
+	case OpILoad:
+		if len(cfg.Stack) >= m.MaxStack {
+			return cfg, Trapped
+		}
+		next := cfg.Clone()
+		next.Stack = append(next.Stack, cfg.Locals[in.Arg])
+		next.PC++
+		return next, Running
+	case OpIStore:
+		if len(cfg.Stack) == 0 {
+			return cfg, Trapped
+		}
+		next := cfg.Clone()
+		next.Locals[in.Arg] = next.Stack[len(next.Stack)-1]
+		next.Stack = next.Stack[:len(next.Stack)-1]
+		next.PC++
+		return next, Running
+	case OpDup:
+		if len(cfg.Stack) == 0 || len(cfg.Stack) >= m.MaxStack {
+			return cfg, Trapped
+		}
+		next := cfg.Clone()
+		next.Stack = append(next.Stack, next.Stack[len(next.Stack)-1])
+		next.PC++
+		return next, Running
+	case OpIfICmpEq:
+		if len(cfg.Stack) < 2 {
+			return cfg, Trapped
+		}
+		next := cfg.Clone()
+		b := next.Stack[len(next.Stack)-1]
+		a := next.Stack[len(next.Stack)-2]
+		next.Stack = next.Stack[:len(next.Stack)-2]
+		if a == b {
+			next.PC = in.Arg
+		} else {
+			next.PC++
+		}
+		return next, Running
+	case OpGoto:
+		next := cfg.Clone()
+		next.PC = in.Arg
+		return next, Running
+	case OpReturn:
+		return cfg, Halted
+	default:
+		return cfg, Trapped
+	}
+}
+
+// Run executes up to fuel steps, returning the final configuration, its
+// status, and the number of steps taken. A Running status after fuel
+// steps means the budget expired mid-execution.
+func (m *Machine) Run(cfg Config, fuel int) (Config, Status, int) {
+	cur := cfg.Clone()
+	for i := 0; i < fuel; i++ {
+		next, st := m.Step(cur)
+		if st != Running {
+			return cur, st, i
+		}
+		cur = next
+	}
+	return cur, Running, fuel
+}
