@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# check is the full gate: formatting, vet, build, and the race-enabled
+# test suite. CI and pre-commit both run exactly this.
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

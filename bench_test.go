@@ -7,7 +7,11 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro"
@@ -15,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mc"
 	"repro/internal/ring"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/system"
 )
@@ -268,5 +273,57 @@ action top: c2 == c0 && (c2 + 1) % 3 != c3 -> c3 := (c2 + 1) % 3;
 		if _, err := repro.CompileGCL("bench", src); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// serviceBenchProgram builds a small GCL program; varying the domain
+// bound yields distinct programs with distinct cache keys.
+func serviceBenchProgram(bound int) []byte {
+	src := fmt.Sprintf("var x : 0..%d;\ninit x == 0;\naction tick: true -> x := (x + 1) %% %d;",
+		bound, bound+1)
+	body, _ := json.Marshal(map[string]string{"source": src})
+	return body
+}
+
+func servicePost(b *testing.B, svc *service.Server, body []byte) {
+	b.Helper()
+	r := httptest.NewRequest(http.MethodPost, "/v1/selfstab", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+}
+
+// BenchmarkServiceCacheHit measures a selfstab request answered from the
+// verdict cache: parse + canonicalize + hash, no enumeration.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	body := serviceBenchProgram(4)
+	servicePost(b, svc, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servicePost(b, svc, body)
+	}
+	if hits, _ := svc.CacheStats(); hits < uint64(b.N) {
+		b.Fatalf("only %d cache hits over %d requests", hits, b.N)
+	}
+}
+
+// BenchmarkServiceCacheMiss is the same request shape against a
+// one-entry cache with two alternating programs, so every request
+// misses and re-runs the full check — the contrast with CacheHit is
+// what the cache buys.
+func BenchmarkServiceCacheMiss(b *testing.B) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 16, CacheEntries: 1})
+	defer svc.Close()
+	bodies := [2][]byte{serviceBenchProgram(4), serviceBenchProgram(5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servicePost(b, svc, bodies[i%2])
+	}
+	if hits, _ := svc.CacheStats(); hits != 0 {
+		b.Fatalf("%d unexpected cache hits", hits)
 	}
 }

@@ -1,0 +1,104 @@
+// Command checkd is the long-running verification service: it serves the
+// repository's decision procedures over HTTP/JSON with a content-addressed
+// verdict cache, a bounded worker pool, and per-request deadlines.
+//
+// Endpoints:
+//
+//	POST /v1/selfstab   {"source": <GCL text>}             self-stabilization battery
+//	POST /v1/refine     {"concrete": ..., "abstract": ...} the gclc refine battery
+//	POST /v1/ringsim    {"family": "dijkstra3", ...}       simulator convergence stats
+//	GET  /healthz                                          liveness
+//	GET  /metrics                                          expvar-style counters
+//
+// Usage:
+//
+//	checkd -addr :8417
+//	checkd -addr :8417 -workers 8 -queue 128 -cache 8192 -timeout 10s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "checkd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until the context behind stop (nil means
+// SIGINT/SIGTERM) is cancelled. Factored out of main for testing.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("checkd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8417", "listen address")
+	workers := fs.Int("workers", 0, "verification worker goroutines (default GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "bounded request queue depth (overflow → 429)")
+	cacheEntries := fs.Int("cache", 4096, "verdict cache capacity in entries")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper bound on requested deadlines")
+	budget := fs.Int64("budget", 50_000_000, "default enumeration step budget per request")
+	maxStates := fs.Int("max-states", 1<<20, "reject programs with larger declared state spaces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultBudget:  *budget,
+		MaxStates:      *maxStates,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(out, "checkd listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	if stop == nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		select {
+		case err := <-errc:
+			return err
+		case <-sigc:
+		}
+	} else {
+		select {
+		case err := <-errc:
+			return err
+		case <-stop:
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "checkd stopped")
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run()'s output while the server goroutine
+// writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunServesAndStops(t *testing.T) {
+	var out syncBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out, stop) }()
+
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never announced its address; output: %q", out.String())
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "checkd stopped") {
+		t.Fatalf("missing shutdown message: %q", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-bogus"}, &out, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-addr", "not-an-address:nope"}, &out, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -33,7 +33,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 2 {
-		return fmt.Errorf("usage: gclc <print|info|selfstab|dot|refine> <file.gcl> [file2.gcl]")
+		return fmt.Errorf("usage: gclc <print|info|selfstab|dot|refine|optimize> <file.gcl> [file2.gcl]")
 	}
 	cmd, path := args[0], args[1]
 

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -171,5 +172,30 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{"info", "/does/not/exist.gcl"}, &b); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestUsageListsEverySubcommand keeps the usage string honest: every
+// subcommand the dispatch switch accepts must be advertised in it.
+func TestUsageListsEverySubcommand(t *testing.T) {
+	err := run(nil, &strings.Builder{})
+	if err == nil {
+		t.Fatal("no-args invocation accepted")
+	}
+	usage := err.Error()
+
+	src, rerr := os.ReadFile("main.go")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	re := regexp.MustCompile(`(?m)^\tcase "(\w+)":`)
+	matches := re.FindAllStringSubmatch(string(src), -1)
+	if len(matches) < 6 {
+		t.Fatalf("found only %d subcommands in main.go's dispatch switch", len(matches))
+	}
+	for _, m := range matches {
+		if !strings.Contains(usage, m[1]) {
+			t.Errorf("usage string omits subcommand %q: %s", m[1], usage)
+		}
 	}
 }

@@ -41,8 +41,14 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *n < 2 {
+		return fmt.Errorf("-n %d: need at least 3 processes in the ring (N ≥ 2)", *n)
+	}
 	if *k == 0 {
 		*k = *n + 1
+	}
+	if *k < 1 {
+		return fmt.Errorf("-k %d: the kstate family needs K ≥ 1", *k)
 	}
 
 	// show prints a verdict; with -witness, failing verdicts also print

@@ -65,3 +65,28 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestRunValidatesSizes checks that degenerate ring sizes are rejected
+// up front with a clear message, before any construction work.
+func TestRunValidatesSizes(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-n", "1"}, "N ≥ 2"},
+		{[]string{"-n", "0"}, "N ≥ 2"},
+		{[]string{"-n", "-3"}, "N ≥ 2"},
+		{[]string{"-family", "kstate", "-n", "3", "-k", "-1"}, "K ≥ 1"},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil {
+			t.Errorf("%v: accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -37,46 +37,69 @@ import (
 // independently per edge, which is the case for every system in this
 // repository; a failure report therefore names a genuinely offending step.
 func ConvergenceRefinement(c, a *system.System, ab *system.Abstraction) *ConvergenceReport {
+	rep, _ := ConvergenceRefinementGas(nil, c, a, ab)
+	return rep
+}
+
+// ConvergenceRefinementGas is ConvergenceRefinement under a meter: the
+// embedded refinement check, the per-edge sweep, and the covering-path
+// searches all tick g, and the check aborts with g's error (cancellation
+// or budget exhaustion) instead of running to completion.
+func ConvergenceRefinementGas(g *mc.Gas, c, a *system.System, ab *system.Abstraction) (*ConvergenceReport, error) {
 	relation := fmt.Sprintf("[%s ⪯ %s]", c.Name(), a.Name())
 	rep := &ConvergenceReport{}
 	alpha, stutterOK, err := alphaOf(c, a, ab)
 	if err != nil {
 		rep.Verdict = fail(relation, err.Error(), nil, nil)
-		return rep
+		return rep, nil
 	}
 
-	rep.RefinementInit = RefinementInit(c, a, ab)
+	rep.RefinementInit, err = RefinementInitGas(g, c, a, ab)
+	if err != nil {
+		return nil, err
+	}
 	if !rep.RefinementInit.Holds {
 		rep.Verdict = fail(relation, "the embedded [C ⊑ A]_init check failed: "+rep.RefinementInit.Reason,
 			rep.RefinementInit.Witness, rep.RefinementInit.WitnessLoop)
-		return rep
+		return rep, nil
 	}
 
 	full := bitset.Full(c.NumStates())
 	// Memoized BFS trees over A, one per needed source.
 	trees := make(map[int]*mc.BFSTree)
-	treeFor := func(src int) *mc.BFSTree {
+	treeFor := func(src int) (*mc.BFSTree, error) {
 		tr, okm := trees[src]
 		if !okm {
-			tr = mc.BFS(a, src, nil)
+			var err error
+			tr, err = mc.BFSGas(g, a, src, nil)
+			if err != nil {
+				return nil, err
+			}
 			trees[src] = tr
 		}
-		return tr
+		return tr, nil
 	}
 	// SCC index of C, computed lazily on the first compression edge: an
 	// edge (s, t) lies on a cycle of C iff s and t share a component.
 	var cComp []int
-	sameSCC := func(s, t int) bool {
+	sameSCC := func(s, t int) (bool, error) {
 		if s == t {
-			return true
+			return true, nil
 		}
 		if cComp == nil {
-			_, cComp = mc.SCCs(c, nil)
+			var err error
+			_, cComp, err = mc.SCCsGas(g, c, nil)
+			if err != nil {
+				return false, err
+			}
 		}
-		return cComp[s] == cComp[t]
+		return cComp[s] == cComp[t], nil
 	}
 
 	for s := 0; s < c.NumStates(); s++ {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		as := alpha.Of(s)
 		if c.Terminal(s) {
 			if !a.Terminal(as) {
@@ -84,11 +107,14 @@ func ConvergenceRefinement(c, a *system.System, ab *system.Abstraction) *Converg
 					fmt.Sprintf("C terminates at %s but α-image %s is not terminal in %s: final states must agree",
 						c.StateString(s), a.StateString(as), a.Name()),
 					[]int{s}, nil)
-				return rep
+				return rep, nil
 			}
 			continue
 		}
 		for _, t := range c.Succ(s) {
+			if err := g.Tick(1); err != nil {
+				return nil, err
+			}
 			at := alpha.Of(t)
 			if as == at {
 				if stutterOK {
@@ -103,28 +129,36 @@ func ConvergenceRefinement(c, a *system.System, ab *system.Abstraction) *Converg
 					fmt.Sprintf("self-loop %s is not a transition of %s (no stutter allowance on a shared state space)",
 						c.StateString(s), a.Name()),
 					[]int{s, t}, nil)
-				return rep
+				return rep, nil
 			}
 			if a.HasTransition(as, at) {
 				rep.ExactEdges++
 				continue
 			}
 			// Candidate compression: need an A-path α(s) →+ α(t).
-			cover := treeFor(as).PathTo(at)
+			tree, err := treeFor(as)
+			if err != nil {
+				return nil, err
+			}
+			cover := tree.PathTo(at)
 			if cover == nil {
 				rep.Verdict = fail(relation,
 					fmt.Sprintf("concrete step %s → %s has no covering path in %s: C departs from A's recovery paths",
 						c.StateString(s), c.StateString(t), a.Name()),
 					[]int{s, t}, nil)
-				return rep
+				return rep, nil
 			}
 			// Finiteness: the compression edge must not lie on a C-cycle.
-			if sameSCC(s, t) {
+			cyclicEdge, err := sameSCC(s, t)
+			if err != nil {
+				return nil, err
+			}
+			if cyclicEdge {
 				rep.Verdict = fail(relation,
 					fmt.Sprintf("compression step %s → %s (omitting %d abstract states) lies on a cycle of C: a computation can traverse it infinitely often, so omissions are not finite",
 						c.StateString(s), c.StateString(t), len(cover)-2),
 					[]int{s, t}, nil)
-				return rep
+				return rep, nil
 			}
 			rep.Compressions = append(rep.Compressions, Compression{
 				From: s, To: t, Omissions: len(cover) - 2, Cover: cover,
@@ -133,9 +167,13 @@ func ConvergenceRefinement(c, a *system.System, ab *system.Abstraction) *Converg
 	}
 
 	if stutterOK {
-		if v, bad := checkStutterCycles(relation, c, a, alpha, full); bad {
+		v, bad, err := checkStutterCycles(g, relation, c, a, alpha, full)
+		if err != nil {
+			return nil, err
+		}
+		if bad {
 			rep.Verdict = v
-			return rep
+			return rep, nil
 		}
 	}
 
@@ -145,5 +183,5 @@ func ConvergenceRefinement(c, a *system.System, ab *system.Abstraction) *Converg
 	}
 	rep.Verdict = ok(relation, fmt.Sprintf("%d exact steps, %d compressions (%d omitted abstract states max per computation), %d stutter steps",
 		rep.ExactEdges, len(rep.Compressions), total, rep.StutterEdges))
-	return rep
+	return rep, nil
 }

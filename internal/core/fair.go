@@ -93,7 +93,7 @@ func FairStabilizing(c *system.LabeledSystem, a *system.System, ab *system.Abstr
 
 	// Violation 3 (conservative): pure-stutter divergence.
 	if stutterOK {
-		if v, bad := checkStutterCycles(relation, base, a, alpha, bitset.Full(base.NumStates())); bad {
+		if v, bad, _ := checkStutterCycles(nil, relation, base, a, alpha, bitset.Full(base.NumStates())); bad {
 			v.Relation = relation
 			rep.Verdict = v
 			return rep

@@ -30,25 +30,42 @@ func alphaOf(c, a *system.System, ab *system.Abstraction) (*system.Abstraction, 
 // the destuttered α-image of every such computation must be a computation
 // of A. ab may be nil when C and A share a state space.
 func RefinementInit(c, a *system.System, ab *system.Abstraction) Verdict {
+	v, _ := RefinementInitGas(nil, c, a, ab)
+	return v
+}
+
+// RefinementInitGas is RefinementInit under a meter: the sweeps tick g and
+// the check aborts with g's error (cancellation or budget exhaustion)
+// instead of running to completion.
+func RefinementInitGas(g *mc.Gas, c, a *system.System, ab *system.Abstraction) (Verdict, error) {
 	relation := fmt.Sprintf("[%s ⊑ %s]_init", c.Name(), a.Name())
 	alpha, stutterOK, err := alphaOf(c, a, ab)
 	if err != nil {
-		return fail(relation, err.Error(), nil, nil)
+		return fail(relation, err.Error(), nil, nil), nil
 	}
-	region := mc.ReachFromInit(c)
-	return refinementOver(relation, c, a, alpha, stutterOK, region)
+	region, err := mc.ReachFromInitGas(g, c)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return refinementOver(g, relation, c, a, alpha, stutterOK, region)
 }
 
 // EverywhereRefinement decides [C ⊑ A]: every computation of C (from any
 // state) is a computation of A. This is the relation of Theorem 0 (from
 // the authors' "Graybox stabilization" paper) restated in Section 2.1.
 func EverywhereRefinement(c, a *system.System, ab *system.Abstraction) Verdict {
+	v, _ := EverywhereRefinementGas(nil, c, a, ab)
+	return v
+}
+
+// EverywhereRefinementGas is EverywhereRefinement under a meter.
+func EverywhereRefinementGas(g *mc.Gas, c, a *system.System, ab *system.Abstraction) (Verdict, error) {
 	relation := fmt.Sprintf("[%s ⊑ %s]", c.Name(), a.Name())
 	alpha, stutterOK, err := alphaOf(c, a, ab)
 	if err != nil {
-		return fail(relation, err.Error(), nil, nil)
+		return fail(relation, err.Error(), nil, nil), nil
 	}
-	return refinementOver(relation, c, a, alpha, stutterOK, bitset.Full(c.NumStates()))
+	return refinementOver(g, relation, c, a, alpha, stutterOK, bitset.Full(c.NumStates()))
 }
 
 // refinementOver checks that, over the given region of concrete states,
@@ -58,13 +75,17 @@ func EverywhereRefinement(c, a *system.System, ab *system.Abstraction) Verdict {
 // this is exactly computation-set inclusion over the region: every path
 // extends to a maximal one, so a single offending step/terminal yields a
 // counterexample computation, and conversely.
-func refinementOver(relation string, c, a *system.System, alpha *system.Abstraction, stutterOK bool, region *bitset.Set) Verdict {
+func refinementOver(g *mc.Gas, relation string, c, a *system.System, alpha *system.Abstraction, stutterOK bool, region *bitset.Set) (Verdict, error) {
 	var stutters, exact int
 	var badEdge [2]int
 	var badTerm = -1
+	var gasErr error
 	foundBadEdge := false
 	region.ForEach(func(s int) {
-		if foundBadEdge || badTerm >= 0 {
+		if foundBadEdge || badTerm >= 0 || gasErr != nil {
+			return
+		}
+		if gasErr = g.Tick(1); gasErr != nil {
 			return
 		}
 		as := alpha.Of(s)
@@ -75,6 +96,9 @@ func refinementOver(relation string, c, a *system.System, alpha *system.Abstract
 			return
 		}
 		for _, t := range c.Succ(s) {
+			if gasErr = g.Tick(1); gasErr != nil {
+				return
+			}
 			at := alpha.Of(t)
 			if as == at {
 				if stutterOK {
@@ -99,27 +123,41 @@ func refinementOver(relation string, c, a *system.System, alpha *system.Abstract
 			return
 		}
 	})
+	if gasErr != nil {
+		return Verdict{}, gasErr
+	}
 	if foundBadEdge {
-		witness := witnessTo(c, region, badEdge[0])
+		witness, err := witnessTo(g, c, region, badEdge[0])
+		if err != nil {
+			return Verdict{}, err
+		}
 		witness = append(witness, badEdge[1])
 		return fail(relation,
 			fmt.Sprintf("concrete step %s → %s maps to a non-transition of %s",
 				c.StateString(badEdge[0]), c.StateString(badEdge[1]), a.Name()),
-			witness, nil)
+			witness, nil), nil
 	}
 	if badTerm >= 0 {
+		witness, err := witnessTo(g, c, region, badTerm)
+		if err != nil {
+			return Verdict{}, err
+		}
 		return fail(relation,
 			fmt.Sprintf("concrete computation terminates at %s but α-image %s is not terminal in %s",
 				c.StateString(badTerm), a.StateString(alpha.Of(badTerm)), a.Name()),
-			witnessTo(c, region, badTerm), nil)
+			witness, nil), nil
 	}
 	if stutterOK {
-		if v, bad := checkStutterCycles(relation, c, a, alpha, region); bad {
-			return v
+		v, bad, err := checkStutterCycles(g, relation, c, a, alpha, region)
+		if err != nil {
+			return Verdict{}, err
+		}
+		if bad {
+			return v, nil
 		}
 	}
 	return ok(relation, fmt.Sprintf("every computation over %d states tracks %s (%d exact steps, %d stutters)",
-		region.Count(), a.Name(), exact, stutters))
+		region.Count(), a.Name(), exact, stutters)), nil
 }
 
 // checkStutterCycles rejects cycles of C inside region consisting solely of
@@ -129,11 +167,18 @@ func refinementOver(relation string, c, a *system.System, alpha *system.Abstract
 // Steps whose image (a, a) is itself a transition of A are not stutters:
 // they realize A's own self-loop, and a cycle of them tracks an infinite
 // A-computation.
-func checkStutterCycles(relation string, c, a *system.System, alpha *system.Abstraction, region *bitset.Set) (Verdict, bool) {
+func checkStutterCycles(g *mc.Gas, relation string, c, a *system.System, alpha *system.Abstraction, region *bitset.Set) (Verdict, bool, error) {
 	// Build the stutter subgraph restricted to region.
 	b := system.NewBuilder("stutter", c.NumStates())
 	any := false
+	var gasErr error
 	region.ForEach(func(s int) {
+		if gasErr != nil {
+			return
+		}
+		if gasErr = g.Tick(1); gasErr != nil {
+			return
+		}
 		as := alpha.Of(s)
 		if a.HasTransition(as, as) {
 			return
@@ -145,20 +190,31 @@ func checkStutterCycles(relation string, c, a *system.System, alpha *system.Abst
 			}
 		}
 	})
+	if gasErr != nil {
+		return Verdict{}, false, gasErr
+	}
 	if !any {
-		return Verdict{}, false
+		return Verdict{}, false, nil
 	}
 	sub := b.Build()
-	if cyc := mc.FindCycleWithin(sub, region); cyc != nil {
+	cyc, err := mc.FindCycleWithinGas(g, sub, region)
+	if err != nil {
+		return Verdict{}, false, err
+	}
+	if cyc != nil {
 		img := alpha.Of(cyc.States[0])
 		if !a.Terminal(img) {
+			witness, err := witnessTo(g, c, region, cyc.States[0])
+			if err != nil {
+				return Verdict{}, false, err
+			}
 			return fail(relation,
 				fmt.Sprintf("pure-stutter cycle at abstract state %s, which is not terminal in %s: the destuttered image of the looping computation is not maximal",
 					a.StateString(img), a.Name()),
-				witnessTo(c, region, cyc.States[0]), cyc.States), true
+				witness, cyc.States), true, nil
 		}
 	}
-	return Verdict{}, false
+	return Verdict{}, false, nil
 }
 
 // witnessTo returns a short path inside the region ending at target. When
@@ -166,9 +222,13 @@ func checkStutterCycles(relation string, c, a *system.System, alpha *system.Abst
 // state; otherwise the target itself is a legal computation start, so the
 // one-state path suffices — but a from-init prefix is more readable when
 // one exists.
-func witnessTo(c *system.System, region *bitset.Set, target int) []int {
-	if p := mc.PathFromInit(c, target); p != nil {
-		return p
+func witnessTo(g *mc.Gas, c *system.System, region *bitset.Set, target int) ([]int, error) {
+	p, err := mc.PathFromInitGas(g, c, target)
+	if err != nil {
+		return nil, err
 	}
-	return []int{target}
+	if p != nil {
+		return p, nil
+	}
+	return []int{target}, nil
 }

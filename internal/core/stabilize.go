@@ -38,16 +38,35 @@ import (
 // Passing A as both arguments (with a nil abstraction) decides
 // self-stabilization, "A is stabilizing to A".
 func Stabilizing(c, a *system.System, ab *system.Abstraction) *StabilizationReport {
-	relation := fmt.Sprintf("%s is stabilizing to %s", c.Name(), a.Name())
-	legit := mc.ReachFromInit(a)
-	rep := suffixTracking(relation, c, a, ab, legit)
-	rep.ReachableLegit = legit.Count()
+	rep, _ := StabilizingGas(nil, c, a, ab)
 	return rep
+}
+
+// StabilizingGas is Stabilizing under a meter: every state-space sweep
+// ticks g, and the check returns g's error (cancellation or budget
+// exhaustion) instead of running to completion.
+func StabilizingGas(g *mc.Gas, c, a *system.System, ab *system.Abstraction) (*StabilizationReport, error) {
+	relation := fmt.Sprintf("%s is stabilizing to %s", c.Name(), a.Name())
+	legit, err := mc.ReachFromInitGas(g, a)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := suffixTracking(g, relation, c, a, ab, legit)
+	if err != nil {
+		return nil, err
+	}
+	rep.ReachableLegit = legit.Count()
+	return rep, nil
 }
 
 // SelfStabilizing decides "A is stabilizing to A".
 func SelfStabilizing(a *system.System) *StabilizationReport {
 	return Stabilizing(a, a, nil)
+}
+
+// SelfStabilizingGas is SelfStabilizing under a meter.
+func SelfStabilizingGas(g *mc.Gas, a *system.System) (*StabilizationReport, error) {
+	return StabilizingGas(g, a, a, nil)
 }
 
 // EverywhereEventuallyRefinement decides the Section 7 relation: C is an
@@ -65,7 +84,7 @@ func EverywhereEventuallyRefinement(c, a *system.System, ab *system.Abstraction)
 	// Same finitely-many-bad-events machinery, but with no reachability
 	// constraint on A's side: the suffix may be a computation of A from
 	// anywhere.
-	rep := suffixTracking(relation, c, a, ab, nil)
+	rep, _ := suffixTracking(nil, relation, c, a, ab, nil)
 	return rep.Verdict
 }
 
@@ -73,12 +92,12 @@ func EverywhereEventuallyRefinement(c, a *system.System, ab *system.Abstraction)
 // legit, when non-nil, restricts valid suffixes to α-images inside it
 // (stabilization); nil means any A state may anchor the suffix
 // (everywhere-eventually refinement).
-func suffixTracking(relation string, c, a *system.System, ab *system.Abstraction, legit *bitset.Set) *StabilizationReport {
+func suffixTracking(g *mc.Gas, relation string, c, a *system.System, ab *system.Abstraction, legit *bitset.Set) (*StabilizationReport, error) {
 	rep := &StabilizationReport{}
 	alpha, stutterOK, err := alphaOf(c, a, ab)
 	if err != nil {
 		rep.Verdict = fail(relation, err.Error(), nil, nil)
-		return rep
+		return rep, nil
 	}
 
 	badState := func(s int) bool {
@@ -94,6 +113,9 @@ func suffixTracking(relation string, c, a *system.System, ab *system.Abstraction
 
 	// Violation 1: bad terminals.
 	for s := 0; s < c.NumStates(); s++ {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		if !c.Terminal(s) {
 			continue
 		}
@@ -103,41 +125,58 @@ func suffixTracking(relation string, c, a *system.System, ab *system.Abstraction
 				fmt.Sprintf("the one-state computation at terminal %s has no valid suffix: α-image %s is %s",
 					c.StateString(s), a.StateString(as), describeBadAnchor(a, as, legit)),
 				[]int{s}, nil)
-			return rep
+			return rep, nil
 		}
 	}
 
 	// Violations 2: bad states / bad steps on cycles. An edge (s, t) lies
 	// on a cycle iff s and t share an SCC; a state lies on a cycle iff its
 	// SCC is cyclic.
-	_, comp := mc.SCCs(c, nil)
+	_, comp, err := mc.SCCsGas(g, c, nil)
+	if err != nil {
+		return nil, err
+	}
 	cyclic := cyclicComponents(c, comp)
 	for s := 0; s < c.NumStates(); s++ {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		if badState(s) && cyclic[comp[s]] {
-			cyc := cycleThrough(c, comp, s)
+			cyc, err := cycleThrough(g, c, comp, s)
+			if err != nil {
+				return nil, err
+			}
 			rep.Verdict = fail(relation,
 				fmt.Sprintf("state %s (α-image outside %s's reachable region) lies on a cycle: a computation revisits it forever and no suffix escapes it",
 					c.StateString(s), a.Name()),
 				[]int{s}, cyc)
-			return rep
+			return rep, nil
 		}
 		for _, t := range c.Succ(s) {
 			if badEdge(s, t) && comp[s] == comp[t] {
+				cyc, err := cycleThrough(g, c, comp, s)
+				if err != nil {
+					return nil, err
+				}
 				rep.Verdict = fail(relation,
 					fmt.Sprintf("step %s → %s does not track %s and lies on a cycle: a computation incurs it infinitely often",
 						c.StateString(s), c.StateString(t), a.Name()),
-					[]int{s, t}, cycleThrough(c, comp, s))
-				return rep
+					[]int{s, t}, cyc)
+				return rep, nil
 			}
 		}
 	}
 
 	// Violation 3: pure-stutter divergence.
 	if stutterOK {
-		if v, bad := checkStutterCycles(relation, c, a, alpha, bitset.Full(c.NumStates())); bad {
+		v, bad, err := checkStutterCycles(g, relation, c, a, alpha, bitset.Full(c.NumStates()))
+		if err != nil {
+			return nil, err
+		}
+		if bad {
 			v.Relation = relation
 			rep.Verdict = v
-			return rep
+			return rep, nil
 		}
 	}
 
@@ -146,6 +185,9 @@ func suffixTracking(relation string, c, a *system.System, ab *system.Abstraction
 	// from these states track A (within the legitimate region) forever.
 	badCore := bitset.New(c.NumStates())
 	for s := 0; s < c.NumStates(); s++ {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		if badState(s) {
 			badCore.Add(s)
 			continue
@@ -157,12 +199,16 @@ func suffixTracking(relation string, c, a *system.System, ab *system.Abstraction
 			}
 		}
 	}
-	g := mc.CanReach(c, badCore).Complement()
-	rep.Legitimate = g.Members()
+	canReachBad, err := mc.CanReachGas(g, c, badCore)
+	if err != nil {
+		return nil, err
+	}
+	gset := canReachBad.Complement()
+	rep.Legitimate = gset.Members()
 	rep.Verdict = ok(relation,
 		fmt.Sprintf("every computation has a suffix tracking %s; %d of %d states are legitimate (no bad event reachable)",
-			a.Name(), g.Count(), c.NumStates()))
-	return rep
+			a.Name(), gset.Count(), c.NumStates()))
+	return rep, nil
 }
 
 // describeBadAnchor explains why an abstract state cannot anchor a valid
@@ -199,15 +245,19 @@ func cyclicComponents(c *system.System, comp []int) map[int]bool {
 }
 
 // cycleThrough extracts a cycle inside s's component, for witness display.
-func cycleThrough(c *system.System, comp []int, s int) []int {
+func cycleThrough(g *mc.Gas, c *system.System, comp []int, s int) ([]int, error) {
 	members := bitset.New(c.NumStates())
 	for t := 0; t < c.NumStates(); t++ {
 		if comp[t] == comp[s] {
 			members.Add(t)
 		}
 	}
-	if cyc := mc.FindCycleWithin(c, members); cyc != nil {
-		return cyc.States
+	cyc, err := mc.FindCycleWithinGas(g, c, members)
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	if cyc != nil {
+		return cyc.States, nil
+	}
+	return nil, nil
 }

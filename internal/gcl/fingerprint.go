@@ -1,0 +1,18 @@
+package gcl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a content address for a program: the SHA-256 (hex)
+// of its canonical printed form. Because the printer normalizes
+// whitespace, comments, and layout, two sources that parse to the same
+// AST share a fingerprint — the property checkd's verdict cache keys on.
+// Structural differences (parenthesization, `x+0` vs `x`) produce
+// distinct ASTs and therefore distinct fingerprints; the cache treats
+// them as different programs and simply recomputes.
+func Fingerprint(prog *Program) string {
+	sum := sha256.Sum256([]byte(prog.String()))
+	return hex.EncodeToString(sum[:])
+}

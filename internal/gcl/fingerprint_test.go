@@ -1,0 +1,43 @@
+package gcl
+
+import "testing"
+
+func TestFingerprintNormalizesFormatting(t *testing.T) {
+	a, err := Parse("var x : 0..2;\ninit x == 0;\naction tick: true -> x := (x + 1) % 3;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same program: extra whitespace, comments, and line breaks.
+	b, err := Parse(`
+// a comment
+var x : 0..2;
+
+init   x == 0;   // trailing comment
+action tick:
+    true -> x := (x + 1) % 3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := Fingerprint(a), Fingerprint(b)
+	if fa != fb {
+		t.Fatalf("formatting changed the fingerprint:\n%s\n%s", fa, fb)
+	}
+	if len(fa) != 64 {
+		t.Fatalf("fingerprint is not a hex SHA-256: %q", fa)
+	}
+}
+
+func TestFingerprintSeparatesPrograms(t *testing.T) {
+	a, err := Parse("var x : 0..2;\naction tick: true -> x := (x + 1) % 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("var x : 0..3;\naction tick: true -> x := (x + 1) % 4;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("distinct programs share a fingerprint")
+	}
+}

@@ -12,16 +12,33 @@ import (
 // all uses in this repository — closure under transitions with side
 // conditions — are monotone.
 func GreatestFixpoint(seed *bitset.Set, keep func(s int, current *bitset.Set) bool) *bitset.Set {
+	cur, _ := GreatestFixpointGas(nil, seed, keep)
+	return cur
+}
+
+// GreatestFixpointGas is GreatestFixpoint under a meter: one tick per
+// keep evaluation, so a budget bounds the total work of the iteration.
+func GreatestFixpointGas(g *Gas, seed *bitset.Set, keep func(s int, current *bitset.Set) bool) (*bitset.Set, error) {
 	cur := seed.Clone()
 	for {
 		var removed []int
+		var err error
 		cur.ForEach(func(s int) {
+			if err != nil {
+				return
+			}
+			if err = g.Tick(1); err != nil {
+				return
+			}
 			if !keep(s, cur) {
 				removed = append(removed, s)
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		if len(removed) == 0 {
-			return cur
+			return cur, nil
 		}
 		for _, s := range removed {
 			cur.Remove(s)

@@ -1,0 +1,88 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExhausted is returned (wrapped) by metered sweeps whose step
+// budget ran out before the analysis finished.
+var ErrBudgetExhausted = errors.New("mc: step budget exhausted")
+
+// gasPollInterval is how many metered steps elapse between context polls.
+// Polling a context is cheap but not free; the hot loops tick once per
+// visited state or edge, so checking every few thousand steps keeps the
+// overhead invisible while still cancelling within microseconds of real
+// work after a deadline fires.
+const gasPollInterval = 4096
+
+// Gas meters the hot enumeration loops of the model checker so that a
+// long-running check can be abandoned mid-flight: it carries an optional
+// context.Context (deadline / cancellation) and an optional step budget
+// (a hard cap on visited states and edges, independent of wall clock).
+//
+// A nil *Gas is valid everywhere and means "unlimited": the non-metered
+// entry points (Reach, SCCs, …) pass nil and can never fail. A Gas is
+// not safe for concurrent use; create one per check.
+type Gas struct {
+	ctx       context.Context
+	limited   bool
+	left      int64
+	sincePoll int64
+	spent     int64
+	err       error
+}
+
+// NewGas builds a meter. ctx may be nil (no cancellation); steps < 0
+// means no step budget.
+func NewGas(ctx context.Context, steps int64) *Gas {
+	return &Gas{ctx: ctx, limited: steps >= 0, left: steps}
+}
+
+// Tick spends n units of budget and occasionally polls the context. It
+// returns a non-nil error — sticky from then on — once the budget is
+// exhausted or the context is done. A nil receiver always returns nil.
+func (g *Gas) Tick(n int) error {
+	if g == nil {
+		return nil
+	}
+	if g.err != nil {
+		return g.err
+	}
+	g.spent += int64(n)
+	if g.limited {
+		g.left -= int64(n)
+		if g.left < 0 {
+			g.err = fmt.Errorf("%w after %d steps", ErrBudgetExhausted, g.spent)
+			return g.err
+		}
+	}
+	g.sincePoll += int64(n)
+	if g.sincePoll >= gasPollInterval {
+		g.sincePoll = 0
+		if g.ctx != nil {
+			if err := g.ctx.Err(); err != nil {
+				g.err = err
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Err reports the sticky failure state without spending budget.
+func (g *Gas) Err() error {
+	if g == nil {
+		return nil
+	}
+	return g.err
+}
+
+// Spent reports how many units have been consumed so far.
+func (g *Gas) Spent() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spent
+}

@@ -3,6 +3,11 @@
 // components, shortest-path witnesses, and cycle detection restricted to a
 // state subset. Everything operates on the automata of internal/system and
 // is deterministic (successors are visited in sorted order).
+//
+// Every sweep comes in two forms: the plain entry point (Reach, SCCs, …),
+// which always runs to completion, and a metered variant (ReachGas,
+// SCCsGas, …) that ticks a Gas each visited state/edge so a server can
+// cancel or budget-bound a check mid-flight.
 package mc
 
 import (
@@ -13,19 +18,31 @@ import (
 // Reach returns the set of states reachable from `from` via zero or more
 // transitions of sys (so `from` itself is included).
 func Reach(sys *system.System, from *bitset.Set) *bitset.Set {
+	seen, _ := ReachGas(nil, sys, from)
+	return seen
+}
+
+// ReachGas is Reach with cancellation: it ticks g once per expanded state
+// plus once per traversed edge and aborts with g's error when the meter
+// trips.
+func ReachGas(g *Gas, sys *system.System, from *bitset.Set) (*bitset.Set, error) {
 	seen := from.Clone()
 	stack := from.Members()
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, t := range sys.Succ(s) {
+		succ := sys.Succ(s)
+		if err := g.Tick(1 + len(succ)); err != nil {
+			return nil, err
+		}
+		for _, t := range succ {
 			if !seen.Has(t) {
 				seen.Add(t)
 				stack = append(stack, t)
 			}
 		}
 	}
-	return seen
+	return seen, nil
 }
 
 // ReachFromInit returns the states reachable from the initial states: the
@@ -34,16 +51,34 @@ func ReachFromInit(sys *system.System) *bitset.Set {
 	return Reach(sys, sys.Init())
 }
 
+// ReachFromInitGas is ReachFromInit under a meter.
+func ReachFromInitGas(g *Gas, sys *system.System) (*bitset.Set, error) {
+	return ReachGas(g, sys, sys.Init())
+}
+
 // CanReach returns the set of states from which some state in `target` is
 // reachable (backward reachability; includes target itself). Backward edges
 // are materialized on the fly by a predecessor index.
 func CanReach(sys *system.System, target *bitset.Set) *bitset.Set {
-	pred := Predecessors(sys)
+	seen, _ := CanReachGas(nil, sys, target)
+	return seen
+}
+
+// CanReachGas is CanReach under a meter (the predecessor-index build is
+// metered too: it alone touches every edge of the system).
+func CanReachGas(g *Gas, sys *system.System, target *bitset.Set) (*bitset.Set, error) {
+	pred, err := predecessorsGas(g, sys)
+	if err != nil {
+		return nil, err
+	}
 	seen := target.Clone()
 	stack := target.Members()
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if err := g.Tick(1 + len(pred[s])); err != nil {
+			return nil, err
+		}
 		for _, p := range pred[s] {
 			if !seen.Has(p) {
 				seen.Add(p)
@@ -51,16 +86,25 @@ func CanReach(sys *system.System, target *bitset.Set) *bitset.Set {
 			}
 		}
 	}
-	return seen
+	return seen, nil
 }
 
 // Predecessors builds the reversed adjacency of sys: pred[t] lists every s
 // with (s, t) ∈ T, in increasing order.
 func Predecessors(sys *system.System) [][]int {
+	pred, _ := predecessorsGas(nil, sys)
+	return pred
+}
+
+func predecessorsGas(g *Gas, sys *system.System) ([][]int, error) {
 	n := sys.NumStates()
 	counts := make([]int, n)
 	for s := 0; s < n; s++ {
-		for _, t := range sys.Succ(s) {
+		succ := sys.Succ(s)
+		if err := g.Tick(len(succ)); err != nil {
+			return nil, err
+		}
+		for _, t := range succ {
 			counts[t]++
 		}
 	}
@@ -75,7 +119,7 @@ func Predecessors(sys *system.System) [][]int {
 			pred[t] = append(pred[t], s)
 		}
 	}
-	return pred
+	return pred, nil
 }
 
 // BFSTree holds the result of a breadth-first search from a single source:
@@ -91,6 +135,12 @@ type BFSTree struct {
 // non-nil the search only traverses states in it (the source must be a
 // member).
 func BFS(sys *system.System, source int, within *bitset.Set) *BFSTree {
+	tr, _ := BFSGas(nil, sys, source, within)
+	return tr
+}
+
+// BFSGas is BFS under a meter.
+func BFSGas(g *Gas, sys *system.System, source int, within *bitset.Set) (*BFSTree, error) {
 	n := sys.NumStates()
 	tr := &BFSTree{Source: source, Dist: make([]int, n), Parent: make([]int, n)}
 	for i := range tr.Dist {
@@ -102,7 +152,11 @@ func BFS(sys *system.System, source int, within *bitset.Set) *BFSTree {
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
-		for _, t := range sys.Succ(s) {
+		succ := sys.Succ(s)
+		if err := g.Tick(1 + len(succ)); err != nil {
+			return nil, err
+		}
+		for _, t := range succ {
 			if within != nil && !within.Has(t) {
 				continue
 			}
@@ -113,7 +167,7 @@ func BFS(sys *system.System, source int, within *bitset.Set) *BFSTree {
 			}
 		}
 	}
-	return tr
+	return tr, nil
 }
 
 // PathTo reconstructs the shortest path from the tree's source to t,
@@ -140,11 +194,29 @@ func ShortestPath(sys *system.System, from, to int) []int {
 // PathFromInit returns a shortest path from some initial state of sys to
 // target, or nil if target is unreachable from I.
 func PathFromInit(sys *system.System, target int) []int {
+	p, _ := PathFromInitGas(nil, sys, target)
+	return p
+}
+
+// PathFromInitGas is PathFromInit under a meter.
+func PathFromInitGas(g *Gas, sys *system.System, target int) ([]int, error) {
 	var best []int
+	var err error
 	sys.Init().ForEach(func(s int) {
-		if p := ShortestPath(sys, s, target); p != nil && (best == nil || len(p) < len(best)) {
+		if err != nil {
+			return
+		}
+		tr, e := BFSGas(g, sys, s, nil)
+		if e != nil {
+			err = e
+			return
+		}
+		if p := tr.PathTo(target); p != nil && (best == nil || len(p) < len(best)) {
 			best = p
 		}
 	})
-	return best
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
 }

@@ -11,6 +11,13 @@ import (
 // natural emission order: a component is emitted only after everything it
 // can reach). comp[s] is the component index of s, or -1 if s ∉ within.
 func SCCs(sys *system.System, within *bitset.Set) (components [][]int, comp []int) {
+	components, comp, _ = SCCsGas(nil, sys, within)
+	return components, comp
+}
+
+// SCCsGas is SCCs under a meter: it ticks g once per discovered state and
+// once per examined edge.
+func SCCsGas(g *Gas, sys *system.System, within *bitset.Set) (components [][]int, comp []int, err error) {
 	n := sys.NumStates()
 	const unvisited = -1
 	index := make([]int, n)
@@ -45,6 +52,9 @@ func SCCs(sys *system.System, within *bitset.Set) (components [][]int, comp []in
 			f := &call[len(call)-1]
 			succ := sys.Succ(f.s)
 			advanced := false
+			if err := g.Tick(1); err != nil {
+				return nil, nil, err
+			}
 			for f.ei < len(succ) {
 				t := succ[f.ei]
 				f.ei++
@@ -92,7 +102,7 @@ func SCCs(sys *system.System, within *bitset.Set) (components [][]int, comp []in
 			}
 		}
 	}
-	return components, comp
+	return components, comp, nil
 }
 
 // Cycle holds a witness cycle: states[0] == states[len-1] is implied (the
@@ -105,17 +115,26 @@ type Cycle struct {
 // nil if the restriction of sys to `within` is acyclic. Self-loops count as
 // cycles.
 func FindCycleWithin(sys *system.System, within *bitset.Set) *Cycle {
-	components, comp := SCCs(sys, within)
+	cyc, _ := FindCycleWithinGas(nil, sys, within)
+	return cyc
+}
+
+// FindCycleWithinGas is FindCycleWithin under a meter.
+func FindCycleWithinGas(g *Gas, sys *system.System, within *bitset.Set) (*Cycle, error) {
+	components, comp, err := SCCsGas(g, sys, within)
+	if err != nil {
+		return nil, err
+	}
 	for _, c := range components {
 		if len(c) > 1 {
-			return traceCycle(sys, within, comp, c)
+			return traceCycle(sys, within, comp, c), nil
 		}
 		s := c[0]
 		if sys.HasTransition(s, s) {
-			return &Cycle{States: []int{s}}
+			return &Cycle{States: []int{s}}, nil
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // traceCycle extracts an explicit cycle from a non-trivial SCC by walking

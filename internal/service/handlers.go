@@ -1,0 +1,387 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gcl"
+	"repro/internal/mc"
+	"repro/internal/service/cache"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+const (
+	kindSelfStab = "selfstab"
+	kindRefine   = "refine"
+	kindRingsim  = "ringsim"
+
+	// maxBodyBytes bounds request bodies; GCL programs are text and the
+	// state-space bound rejects big programs anyway.
+	maxBodyBytes = 1 << 20
+)
+
+// Verdict is the JSON form of one relation check, with the witness
+// rendered in the concrete system's state vocabulary.
+type Verdict struct {
+	Holds       bool     `json:"holds"`
+	Relation    string   `json:"relation"`
+	Reason      string   `json:"reason"`
+	Witness     []string `json:"witness,omitempty"`
+	WitnessLoop []string `json:"witness_loop,omitempty"`
+}
+
+func verdictJSON(v core.Verdict, sys *system.System) Verdict {
+	out := Verdict{Holds: v.Holds, Relation: v.Relation, Reason: v.Reason}
+	for _, st := range v.Witness {
+		out.Witness = append(out.Witness, sys.StateString(st))
+	}
+	for _, st := range v.WitnessLoop {
+		out.WitnessLoop = append(out.WitnessLoop, sys.StateString(st))
+	}
+	return out
+}
+
+// SelfStabRequest is the body of POST /v1/selfstab.
+type SelfStabRequest struct {
+	// Source is the GCL program text.
+	Source string `json:"source"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Budget overrides the server's default enumeration step budget.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// SelfStabResponse is the battery gclc selfstab prints, structured.
+type SelfStabResponse struct {
+	// Program is the content address of the canonicalized program.
+	Program string  `json:"program"`
+	States  int     `json:"states"`
+	Verdict Verdict `json:"verdict"`
+	// LegitimateStates counts states from which every computation tracks
+	// the program's own from-init behavior forever.
+	LegitimateStates int   `json:"legitimate_states"`
+	Cached           bool  `json:"cached"`
+	ElapsedUS        int64 `json:"elapsed_us"`
+}
+
+func (r SelfStabResponse) asCached(elapsed time.Duration) any {
+	r.Cached = true
+	r.ElapsedUS = elapsed.Microseconds()
+	return r
+}
+
+// RefineRequest is the body of POST /v1/refine: a concrete and an
+// abstract program over the same declared state space.
+type RefineRequest struct {
+	Concrete  string `json:"concrete"`
+	Abstract  string `json:"abstract"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Budget    int64  `json:"budget,omitempty"`
+}
+
+// RefineResponse is the four-verdict battery gclc refine prints.
+type RefineResponse struct {
+	Concrete string `json:"concrete"`
+	Abstract string `json:"abstract"`
+	States   int    `json:"states"`
+	// The battery, in gclc refine's order.
+	RefinementInit Verdict `json:"refinement_init"`
+	Everywhere     Verdict `json:"everywhere"`
+	Convergence    Verdict `json:"convergence"`
+	Stabilizing    Verdict `json:"stabilizing"`
+	// Holds is the conjunction of the four verdicts.
+	Holds     bool  `json:"holds"`
+	Cached    bool  `json:"cached"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+func (r RefineResponse) asCached(elapsed time.Duration) any {
+	r.Cached = true
+	r.ElapsedUS = elapsed.Microseconds()
+	return r
+}
+
+// RingsimRequest is the body of POST /v1/ringsim: a protocol family and
+// simulation parameters, mirroring cmd/ringsim's flags.
+type RingsimRequest struct {
+	Family    string `json:"family"`           // dijkstra3 | dijkstra4 | kstate | newthree
+	Procs     int    `json:"procs"`            // number of processes (≥ 3)
+	K         int    `json:"k,omitempty"`      // kstate only; default procs
+	Daemon    string `json:"daemon,omitempty"` // random | roundrobin | greedy (default random)
+	Seed      int64  `json:"seed,omitempty"`
+	Faults    int    `json:"faults,omitempty"` // corrupted registers per run (default 3)
+	Steps     int    `json:"steps,omitempty"`  // step budget per run (default 100000)
+	Runs      int    `json:"runs,omitempty"`   // runs to aggregate (default 10)
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// RingsimResponse aggregates convergence statistics.
+type RingsimResponse struct {
+	Protocol  string  `json:"protocol"`
+	Daemon    string  `json:"daemon"`
+	Runs      int     `json:"runs"`
+	Converged int     `json:"converged"`
+	MeanSteps float64 `json:"mean_steps"`
+	MaxSteps  int     `json:"max_steps"`
+	Faults    int     `json:"faults"`
+	Cached    bool    `json:"cached"`
+	ElapsedUS int64   `json:"elapsed_us"`
+}
+
+func (r RingsimResponse) asCached(elapsed time.Duration) any {
+	r.Cached = true
+	r.ElapsedUS = elapsed.Microseconds()
+	return r
+}
+
+// decodeJSON reads a bounded JSON body, rejecting unknown fields so typos
+// in requests fail loudly instead of silently using defaults.
+func decodeJSON(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// parseProgram parses and admission-checks one GCL source: syntax,
+// semantic checks, and the declared state-space bound — everything cheap
+// enough to do on the request goroutine, before a worker is committed.
+func (s *Server) parseProgram(field, src string) (*gcl.Program, error) {
+	if src == "" {
+		return nil, badRequest("missing %q: expected GCL program text", field)
+	}
+	prog, err := gcl.Parse(src)
+	if err != nil {
+		return nil, badRequest("%s: %v", field, err)
+	}
+	if err := gcl.Check(prog); err != nil {
+		return nil, badRequest("%s: %v", field, err)
+	}
+	if size := gcl.SpaceOf(prog).Size(); size > s.cfg.MaxStates {
+		return nil, badRequest("%s: state space has %d states, above the server's limit of %d",
+			field, size, s.cfg.MaxStates)
+	}
+	return prog, nil
+}
+
+func (s *Server) handleSelfStab(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.metrics.requests[kindSelfStab].Add(1)
+	var req SelfStabRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	prog, err := s.parseProgram("source", req.Source)
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	fp := gcl.Fingerprint(prog)
+	key := cache.Key(kindSelfStab, fp)
+	if s.serveFromCache(w, key, started) {
+		return
+	}
+	budget := s.resolveBudget(req.Budget)
+	s.execute(w, r, kindSelfStab, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		c, err := gcl.CompileProgram("program", prog)
+		if err != nil {
+			return nil, badRequest("source: %v", err)
+		}
+		rep, err := core.SelfStabilizingGas(mc.NewGas(ctx, budget), c.System)
+		if err != nil {
+			return nil, err
+		}
+		return SelfStabResponse{
+			Program:          fp,
+			States:           c.System.NumStates(),
+			Verdict:          verdictJSON(rep.Verdict, c.System),
+			LegitimateStates: len(rep.Legitimate),
+			ElapsedUS:        time.Since(started).Microseconds(),
+		}, nil
+	})
+}
+
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.metrics.requests[kindRefine].Add(1)
+	var req RefineRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	concrete, err := s.parseProgram("concrete", req.Concrete)
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	abstract, err := s.parseProgram("abstract", req.Abstract)
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	fpC, fpA := gcl.Fingerprint(concrete), gcl.Fingerprint(abstract)
+	key := cache.Key(kindRefine, fpC, fpA)
+	if s.serveFromCache(w, key, started) {
+		return
+	}
+	budget := s.resolveBudget(req.Budget)
+	s.execute(w, r, kindRefine, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		cc, err := gcl.CompileProgram("concrete", concrete)
+		if err != nil {
+			return nil, badRequest("concrete: %v", err)
+		}
+		ca, err := gcl.CompileProgram("abstract", abstract)
+		if err != nil {
+			return nil, badRequest("abstract: %v", err)
+		}
+		if !cc.Space.SameShape(ca.Space) {
+			return nil, badRequest("programs declare different state spaces; refine requires a shared space")
+		}
+		g := mc.NewGas(ctx, budget)
+		vInit, err := core.RefinementInitGas(g, cc.System, ca.System, nil)
+		if err != nil {
+			return nil, err
+		}
+		vEvery, err := core.EverywhereRefinementGas(g, cc.System, ca.System, nil)
+		if err != nil {
+			return nil, err
+		}
+		vConv, err := core.ConvergenceRefinementGas(g, cc.System, ca.System, nil)
+		if err != nil {
+			return nil, err
+		}
+		vStab, err := core.StabilizingGas(g, cc.System, ca.System, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp := RefineResponse{
+			Concrete:       fpC,
+			Abstract:       fpA,
+			States:         cc.System.NumStates(),
+			RefinementInit: verdictJSON(vInit, cc.System),
+			Everywhere:     verdictJSON(vEvery, cc.System),
+			Convergence:    verdictJSON(vConv.Verdict, cc.System),
+			Stabilizing:    verdictJSON(vStab.Verdict, cc.System),
+			ElapsedUS:      time.Since(started).Microseconds(),
+		}
+		resp.Holds = vInit.Holds && vEvery.Holds && vConv.Holds && vStab.Holds
+		return resp, nil
+	})
+}
+
+// ringsim admission bounds: a request is a (runs × steps) workload, so
+// both factors are capped to keep one request from monopolizing a worker
+// beyond what its deadline would cut off anyway.
+const (
+	maxRingsimProcs = 10_000
+	maxRingsimRuns  = 100_000
+	maxRingsimSteps = 10_000_000
+)
+
+func (s *Server) handleRingsim(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.metrics.requests[kindRingsim].Add(1)
+	var req RingsimRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	if req.Daemon == "" {
+		req.Daemon = "random"
+	}
+	if req.Faults == 0 {
+		req.Faults = 3
+	}
+	if req.Steps == 0 {
+		req.Steps = 100_000
+	}
+	if req.Runs == 0 {
+		req.Runs = 10
+	}
+	if req.Procs < 3 || req.Procs > maxRingsimProcs {
+		s.writeComputeError(w, badRequest("procs must be in [3, %d], got %d", maxRingsimProcs, req.Procs))
+		return
+	}
+	if req.K == 0 {
+		req.K = req.Procs
+	}
+	if req.K < 1 {
+		s.writeComputeError(w, badRequest("k must be ≥ 1, got %d", req.K))
+		return
+	}
+	if req.Runs < 1 || req.Runs > maxRingsimRuns {
+		s.writeComputeError(w, badRequest("runs must be in [1, %d], got %d", maxRingsimRuns, req.Runs))
+		return
+	}
+	if req.Steps < 1 || req.Steps > maxRingsimSteps {
+		s.writeComputeError(w, badRequest("steps must be in [1, %d], got %d", maxRingsimSteps, req.Steps))
+		return
+	}
+	if req.Faults < 0 || req.Faults > req.Procs {
+		s.writeComputeError(w, badRequest("faults must be in [0, procs], got %d", req.Faults))
+		return
+	}
+
+	var proto sim.Protocol
+	switch req.Family {
+	case "dijkstra3":
+		proto = sim.NewDijkstra3(req.Procs)
+	case "dijkstra4":
+		proto = sim.NewDijkstra4(req.Procs)
+	case "kstate":
+		proto = sim.NewKState(req.Procs, req.K)
+	case "newthree":
+		proto = sim.NewNewThree(req.Procs)
+	default:
+		s.writeComputeError(w, badRequest("unknown family %q (want dijkstra3 | dijkstra4 | kstate | newthree)", req.Family))
+		return
+	}
+	mkDaemon := func(run int) sim.Daemon {
+		switch req.Daemon {
+		case "random":
+			return sim.NewRandomDaemon(req.Seed + int64(run))
+		case "roundrobin":
+			return sim.NewRoundRobinDaemon(proto.Procs())
+		case "greedy":
+			return sim.NewGreedyDaemon(proto)
+		default:
+			return nil
+		}
+	}
+	if mkDaemon(0) == nil {
+		s.writeComputeError(w, badRequest("unknown daemon %q (want random | roundrobin | greedy)", req.Daemon))
+		return
+	}
+
+	key := cache.Key(kindRingsim, req.Family, req.Daemon,
+		fmt.Sprint(req.Procs), fmt.Sprint(req.K), fmt.Sprint(req.Seed),
+		fmt.Sprint(req.Faults), fmt.Sprint(req.Steps), fmt.Sprint(req.Runs))
+	if s.serveFromCache(w, key, started) {
+		return
+	}
+	s.execute(w, r, kindRingsim, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		stats, err := sim.MeasureConvergenceCtx(ctx, proto, mkDaemon,
+			req.Runs, req.Faults, req.Steps, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return RingsimResponse{
+			Protocol:  proto.Name(),
+			Daemon:    req.Daemon,
+			Runs:      stats.Runs,
+			Converged: stats.Converged,
+			MeanSteps: stats.MeanSteps,
+			MaxSteps:  stats.MaxSteps,
+			Faults:    req.Faults,
+			ElapsedUS: time.Since(started).Microseconds(),
+		}, nil
+	})
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsUS are the upper bounds (µs, inclusive) of the latency
+// histogram buckets: 100µs, 1ms, 10ms, 100ms, 1s, 10s, plus an implicit
+// overflow bucket. Verification latencies span five orders of magnitude
+// between a 27-state toy and a budget-bounded sweep, so log-scale buckets
+// are the only shape that stays informative.
+var latencyBucketsUS = [6]int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+// latencyBucketLabels mirror latencyBucketsUS for the JSON snapshot.
+var latencyBucketLabels = [7]string{
+	"le_100us", "le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "gt_10s",
+}
+
+// histogram is a fixed-bucket latency histogram on atomics.
+type histogram struct {
+	counts [7]atomic.Int64
+	sumUS  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for ; i < len(latencyBucketsUS); i++ {
+		if us <= latencyBucketsUS[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumUS.Add(us)
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is the JSON form of one latency histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	MeanUS  float64          `json:"mean_us"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Buckets: make(map[string]int64, len(latencyBucketLabels))}
+	out.Count = h.n.Load()
+	if out.Count > 0 {
+		out.MeanUS = float64(h.sumUS.Load()) / float64(out.Count)
+	}
+	for i, label := range latencyBucketLabels {
+		out.Buckets[label] = h.counts[i].Load()
+	}
+	return out
+}
+
+// metrics is checkd's expvar-style counter set. All fields are atomics;
+// the /metrics handler serializes a consistent-enough point-in-time
+// snapshot without stopping the world.
+type metrics struct {
+	requests map[string]*atomic.Int64 // per kind, fixed keys
+	latency  map[string]*histogram    // per kind, successful checks only
+
+	ok         atomic.Int64
+	badRequest atomic.Int64
+	timeout    atomic.Int64
+	overload   atomic.Int64
+	internal   atomic.Int64
+}
+
+func newMetrics(kinds ...string) *metrics {
+	m := &metrics{
+		requests: make(map[string]*atomic.Int64, len(kinds)),
+		latency:  make(map[string]*histogram, len(kinds)),
+	}
+	for _, k := range kinds {
+		m.requests[k] = &atomic.Int64{}
+		m.latency[k] = &histogram{}
+	}
+	return m
+}
+
+// MetricsSnapshot is the JSON document served by GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      map[string]int64 `json:"requests"`
+	Responses     struct {
+		OK         int64 `json:"ok"`
+		BadRequest int64 `json:"bad_request"`
+		Timeout    int64 `json:"timeout"`
+		Overload   int64 `json:"overload"`
+		Internal   int64 `json:"internal"`
+	} `json:"responses"`
+	Cache struct {
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+		Entries int    `json:"entries"`
+	} `json:"cache"`
+	Queue struct {
+		Depth    int64 `json:"depth"`
+		Capacity int   `json:"capacity"`
+		InFlight int64 `json:"in_flight"`
+		Workers  int   `json:"workers"`
+	} `json:"queue"`
+	Latency map[string]HistogramSnapshot `json:"latency_us"`
+}

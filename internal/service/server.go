@@ -1,0 +1,301 @@
+// Package service is checkd: a long-running HTTP/JSON verification
+// daemon over the repository's decision procedures. It exposes the gclc
+// verdict battery (POST /v1/selfstab, POST /v1/refine), the ring
+// simulator (POST /v1/ringsim), and operational endpoints (GET /healthz,
+// GET /metrics).
+//
+// Three layers sit under the handlers:
+//
+//   - a content-addressed verdict cache (internal/service/cache): the
+//     checks are pure functions of their canonicalized inputs, so the
+//     SHA-256 of the printed program plus the check kind addresses a
+//     verdict exactly;
+//   - a bounded worker pool: a fixed number of verification goroutines
+//     behind a bounded queue, with 429 on overflow — admission control
+//     instead of unbounded memory growth;
+//   - cancellation plumbing: every check runs under an mc.Gas carrying
+//     the request deadline and a step budget, so a timed-out or
+//     abandoned request stops burning CPU mid-sweep.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/service/cache"
+)
+
+// Config sizes the server. Zero values mean "use the default".
+type Config struct {
+	// Workers is the number of verification goroutines
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of requests waiting for a worker;
+	// submissions beyond it are rejected with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the verdict cache (default 4096; < 0 disables
+	// caching).
+	CacheEntries int
+	// DefaultTimeout applies to requests that carry no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms (default 5m).
+	MaxTimeout time.Duration
+	// DefaultBudget is the per-request enumeration step budget when the
+	// request carries no budget (default 50M; < 0 means unlimited).
+	DefaultBudget int64
+	// MaxStates rejects programs whose declared state space exceeds this
+	// size before any enumeration happens (default 1<<20).
+	MaxStates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = 50_000_000
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 1 << 20
+	}
+	return c
+}
+
+// Server is the checkd HTTP handler. Construct with New, dispose with
+// Close.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	cache   *cache.Cache
+	metrics *metrics
+	mux     *http.ServeMux
+	start   time.Time
+
+	// gate, when non-nil, is received from at the start of every
+	// verification job. Tests use it to hold workers busy
+	// deterministically; production servers leave it nil.
+	gate chan struct{}
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		cache:   cache.New(cfg.CacheEntries),
+		metrics: newMetrics(kindSelfStab, kindRefine, kindRingsim),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/selfstab", s.handleSelfStab)
+	s.mux.HandleFunc("POST /v1/refine", s.handleRefine)
+	s.mux.HandleFunc("POST /v1/ringsim", s.handleRingsim)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker pool. In-flight jobs finish first.
+func (s *Server) Close() {
+	s.pool.close()
+}
+
+// CacheStats reports the verdict cache's cumulative hit and miss
+// counters (also available via GET /metrics).
+func (s *Server) CacheStats() (hits, misses uint64) {
+	return s.cache.Stats()
+}
+
+// requestError marks a client mistake (bad syntax, unknown family,
+// oversized state space): a 400, not a 500.
+type requestError struct{ err error }
+
+func (e *requestError) Error() string { return e.err.Error() }
+func (e *requestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &requestError{err: fmt.Errorf(format, args...)}
+}
+
+// errorBody is the JSON shape of every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// resolveTimeout turns a request's timeout_ms into a bounded duration.
+func (s *Server) resolveTimeout(timeoutMS int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// resolveBudget turns a request's budget into the gas step budget.
+func (s *Server) resolveBudget(budget int64) int64 {
+	if budget > 0 && (s.cfg.DefaultBudget < 0 || budget < s.cfg.DefaultBudget) {
+		return budget
+	}
+	return s.cfg.DefaultBudget
+}
+
+// outcome carries a job's result to the waiting handler.
+type outcome struct {
+	val any
+	err error
+}
+
+// execute runs compute on the worker pool under the request's deadline
+// and writes the HTTP response: 200 with the computed value (also cached
+// under key when key != ""), 429 on queue overflow, 504 on deadline, 400
+// on request errors, 422 on budget exhaustion.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, kind, key string,
+	timeoutMS int64, compute func(ctx context.Context) (any, error)) {
+	started := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.resolveTimeout(timeoutMS))
+	defer cancel()
+
+	res := make(chan outcome, 1)
+	j := &job{ctx: ctx, run: func(ctx context.Context) {
+		if s.gate != nil {
+			select {
+			case <-s.gate:
+			case <-ctx.Done():
+				res <- outcome{err: ctx.Err()}
+				return
+			}
+		}
+		v, err := compute(ctx)
+		res <- outcome{val: v, err: err}
+	}}
+	if !s.pool.submit(j) {
+		s.metrics.overload.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error: fmt.Sprintf("verification queue is full (depth %d); retry later", s.cfg.QueueDepth)})
+		return
+	}
+
+	select {
+	case o := <-res:
+		if o.err != nil {
+			s.writeComputeError(w, o.err)
+			return
+		}
+		if key != "" {
+			s.cache.Put(key, o.val)
+		}
+		s.metrics.ok.Add(1)
+		s.metrics.latency[kind].observe(time.Since(started))
+		writeJSON(w, http.StatusOK, o.val)
+	case <-ctx.Done():
+		// The job either never started (skipped by the worker) or is
+		// being cancelled through its gas meter right now.
+		s.metrics.timeout.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{
+			Error: fmt.Sprintf("request did not finish within its deadline: %v", ctx.Err())})
+	}
+}
+
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	var re *requestError
+	switch {
+	case errors.As(err, &re):
+		s.metrics.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: re.Error()})
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.metrics.timeout.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request did not finish within its deadline: " + err.Error()})
+	case errors.Is(err, mc.ErrBudgetExhausted):
+		s.metrics.badRequest.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+	default:
+		s.metrics.internal.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// cachedResponse is implemented by every cacheable response type: it
+// returns a copy marked as served from cache, so the stored value stays
+// immutable.
+type cachedResponse interface {
+	asCached(elapsed time.Duration) any
+}
+
+// serveFromCache answers from the verdict cache if possible.
+func (s *Server) serveFromCache(w http.ResponseWriter, key string, started time.Time) bool {
+	v, ok := s.cache.Get(key)
+	if !ok {
+		return false
+	}
+	s.metrics.ok.Add(1)
+	writeJSON(w, http.StatusOK, v.(cachedResponse).asCached(time.Since(started)))
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap MetricsSnapshot
+	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	snap.Requests = make(map[string]int64, len(s.metrics.requests))
+	for k, c := range s.metrics.requests {
+		snap.Requests[k] = c.Load()
+	}
+	snap.Responses.OK = s.metrics.ok.Load()
+	snap.Responses.BadRequest = s.metrics.badRequest.Load()
+	snap.Responses.Timeout = s.metrics.timeout.Load()
+	snap.Responses.Overload = s.metrics.overload.Load()
+	snap.Responses.Internal = s.metrics.internal.Load()
+	snap.Cache.Hits, snap.Cache.Misses = s.cache.Stats()
+	snap.Cache.Entries = s.cache.Len()
+	snap.Queue.Depth = s.pool.depth.Load()
+	snap.Queue.Capacity = s.cfg.QueueDepth
+	snap.Queue.InFlight = s.pool.inFlight.Load()
+	snap.Queue.Workers = s.cfg.Workers
+	snap.Latency = make(map[string]HistogramSnapshot, len(s.metrics.latency))
+	for k, h := range s.metrics.latency {
+		snap.Latency[k] = h.snapshot()
+	}
+	writeJSON(w, http.StatusOK, snap)
+}

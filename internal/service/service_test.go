@@ -1,0 +1,467 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gcl"
+)
+
+// exampleSources loads the four checked-in GCL example programs.
+func exampleSources(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	dir := filepath.Join("..", "..", "examples", "gcl")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".gcl" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(src)
+	}
+	if len(out) != 4 {
+		t.Fatalf("expected the 4 example programs, found %d", len(out))
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func fetchMetrics(t *testing.T, baseURL string) MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestServiceEndToEnd is the acceptance scenario: the four example
+// programs submitted concurrently from 8 goroutines, verdicts matching
+// what gclc computes (core.SelfStabilizing on the same compiled
+// programs), and identical re-submissions answered from the cache.
+func TestServiceEndToEnd(t *testing.T) {
+	sources := exampleSources(t)
+	svc := New(Config{Workers: 4, QueueDepth: 64, CacheEntries: 128})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Ground truth, computed the way gclc selfstab does.
+	type expected struct {
+		holds      bool
+		reason     string
+		hasWitness bool
+	}
+	want := make(map[string]expected)
+	for name, src := range sources {
+		// The service compiles every submission under the name "program";
+		// match it so the verdict reason strings compare equal.
+		c, err := gcl.Compile("program", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := core.SelfStabilizing(c.System)
+		want[name] = expected{holds: rep.Holds, reason: rep.Reason, hasWitness: len(rep.Witness) > 0}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*len(sources))
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name, src := range sources {
+				raw, err := json.Marshal(SelfStabRequest{Source: src})
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/selfstab", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got SelfStabResponse
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", name, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", name, resp.StatusCode)
+					return
+				}
+				exp := want[name]
+				if got.Verdict.Holds != exp.holds || got.Verdict.Reason != exp.reason {
+					errs <- fmt.Errorf("%s: verdict diverged from gclc: got (%v, %q), want (%v, %q)",
+						name, got.Verdict.Holds, got.Verdict.Reason, exp.holds, exp.reason)
+					return
+				}
+				if (len(got.Verdict.Witness) > 0) != exp.hasWitness {
+					errs <- fmt.Errorf("%s: witness presence diverged", name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Identical re-submission: a cache hit, not a re-enumeration.
+	before := fetchMetrics(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/v1/selfstab", SelfStabRequest{Source: sources["dijkstra3-n2.gcl"]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-submission status %d: %s", resp.StatusCode, body)
+	}
+	var cachedResp SelfStabResponse
+	if err := json.Unmarshal(body, &cachedResp); err != nil {
+		t.Fatal(err)
+	}
+	if !cachedResp.Cached {
+		t.Fatalf("re-submission not served from cache: %s", body)
+	}
+	after := fetchMetrics(t, ts.URL)
+	if after.Cache.Hits <= before.Cache.Hits {
+		t.Fatalf("cache hit counter did not increment: %d → %d", before.Cache.Hits, after.Cache.Hits)
+	}
+	// Reformatting the program (comments, whitespace) still hits: the key
+	// is the canonical form, not the raw text.
+	resp, body = postJSON(t, ts.URL+"/v1/selfstab",
+		SelfStabRequest{Source: "// reformatted\n" + sources["counter.gcl"]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reformatted status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cachedResp); err != nil {
+		t.Fatal(err)
+	}
+	if !cachedResp.Cached {
+		t.Fatalf("canonicalization missed the cache: %s", body)
+	}
+
+	if after.Requests[kindSelfStab] < goroutines*4 {
+		t.Fatalf("request counter undercounts: %d", after.Requests[kindSelfStab])
+	}
+}
+
+// TestServiceRefineBattery checks /v1/refine against the gclc refine
+// battery, including a failing verdict with a witness.
+func TestServiceRefineBattery(t *testing.T) {
+	sources := exampleSources(t)
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// A program refines itself, but broken-reset is not stabilizing to
+	// itself — that verdict must fail and carry a concrete witness.
+	broken := sources["broken-reset.gcl"]
+	resp, body := postJSON(t, ts.URL+"/v1/refine", RefineRequest{Concrete: broken, Abstract: broken})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got RefineResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.RefinementInit.Holds || !got.Everywhere.Holds || !got.Convergence.Holds {
+		t.Fatalf("self-refinement should hold: %s", body)
+	}
+	if got.Stabilizing.Holds {
+		t.Fatalf("broken-reset must not be self-stabilizing: %s", body)
+	}
+	if len(got.Stabilizing.Witness)+len(got.Stabilizing.WitnessLoop) == 0 {
+		t.Fatalf("failing stabilization verdict lacks a witness: %s", body)
+	}
+	if got.Holds {
+		t.Fatal("battery conjunction should be false")
+	}
+
+	// Mismatched state spaces are a client error.
+	resp, body = postJSON(t, ts.URL+"/v1/refine",
+		RefineRequest{Concrete: broken, Abstract: sources["counter.gcl"]})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched spaces: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestServiceRingsim(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	req := RingsimRequest{Family: "dijkstra3", Procs: 5, Runs: 5, Faults: 2, Steps: 50_000, Seed: 7}
+	resp, body := postJSON(t, ts.URL+"/v1/ringsim", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got RingsimResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Converged != got.Runs || got.Runs != 5 {
+		t.Fatalf("dijkstra3 should converge in every run: %s", body)
+	}
+	if got.Cached {
+		t.Fatal("first submission cannot be cached")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/ringsim", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Fatalf("identical simulation not served from cache: %s", body)
+	}
+
+	// Unknown family and degenerate sizes are client errors.
+	for _, bad := range []RingsimRequest{
+		{Family: "nope", Procs: 5},
+		{Family: "dijkstra3", Procs: 2},
+		{Family: "dijkstra3", Procs: 5, Runs: -1},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/ringsim", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d: %s", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestServiceTimeout holds the single worker busy so a request with a
+// tiny deadline expires while queued: the client must get a prompt 504,
+// not a hung connection.
+func TestServiceTimeout(t *testing.T) {
+	sources := exampleSources(t)
+	svc := New(Config{Workers: 1, QueueDepth: 8, CacheEntries: 16})
+	gate := make(chan struct{})
+	svc.gate = gate
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer release() // release held jobs before teardown
+
+	// Occupy the worker with a gated request on a long deadline.
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		postJSON(t, ts.URL+"/v1/selfstab",
+			SelfStabRequest{Source: sources["counter.gcl"], TimeoutMS: 30_000})
+	}()
+	waitFor(t, func() bool { return svc.pool.inFlight.Load() == 1 })
+
+	started := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/selfstab",
+		SelfStabRequest{Source: sources["dijkstra3-n2.gcl"], TimeoutMS: 50})
+	elapsed := time.Since(started)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timeout was not prompt: %v", elapsed)
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("timeout error body malformed: %s", body)
+	}
+
+	release()
+	<-blockerDone
+
+	snap := fetchMetrics(t, ts.URL)
+	if snap.Responses.Timeout == 0 {
+		t.Fatal("timeout counter did not increment")
+	}
+}
+
+// TestServiceOverflow fills the single worker and the one queue slot,
+// then asserts the next submission is rejected with 429 instead of
+// queuing without bound.
+func TestServiceOverflow(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: 16})
+	gate := make(chan struct{})
+	svc.gate = gate
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer release()
+
+	// Two distinct slow requests: one occupies the worker, one the queue.
+	program := func(i int) string {
+		return fmt.Sprintf("var x : 0..%d;\ninit x == 0;\naction tick: true -> x := (x + 1) %% %d;", i+2, i+3)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/selfstab",
+				SelfStabRequest{Source: program(i), TimeoutMS: 30_000})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("held request %d finished with %d", i, resp.StatusCode)
+			}
+		}(i)
+		if i == 0 {
+			waitFor(t, func() bool { return svc.pool.inFlight.Load() == 1 })
+		} else {
+			waitFor(t, func() bool { return svc.pool.depth.Load() == 1 })
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/selfstab",
+		SelfStabRequest{Source: program(2), TimeoutMS: 30_000})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+
+	release()
+	wg.Wait()
+
+	snap := fetchMetrics(t, ts.URL)
+	if snap.Responses.Overload == 0 {
+		t.Fatal("overload counter did not increment")
+	}
+	if snap.Queue.Capacity != 1 || snap.Queue.Workers != 1 {
+		t.Fatalf("queue gauges wrong: %+v", snap.Queue)
+	}
+}
+
+func TestServiceBadRequests(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4, MaxStates: 100})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"syntax error", `{"source": "var x = ;;;"}`},
+		{"empty source", `{"source": ""}`},
+		{"unknown field", `{"sauce": "var x : 0..1;"}`},
+		{"not json", `]]]`},
+		{"state space too big", `{"source": "var a : 0..9;\nvar b : 0..9;\nvar c : 0..9;\naction t: true -> a := a;"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/selfstab", "application/json",
+			bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	snap := fetchMetrics(t, ts.URL)
+	if snap.Responses.BadRequest != int64(len(cases)) {
+		t.Fatalf("bad-request counter = %d, want %d", snap.Responses.BadRequest, len(cases))
+	}
+}
+
+func TestServiceHealthz(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+}
+
+// TestServiceLatencyHistogram checks that successful checks land in the
+// per-kind latency histogram.
+func TestServiceLatencyHistogram(t *testing.T) {
+	sources := exampleSources(t)
+	svc := New(Config{Workers: 2, QueueDepth: 8, CacheEntries: 8})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/selfstab", SelfStabRequest{Source: sources["counter.gcl"]})
+	snap := fetchMetrics(t, ts.URL)
+	hist := snap.Latency[kindSelfStab]
+	if hist.Count != 1 {
+		t.Fatalf("selfstab latency count = %d, want 1", hist.Count)
+	}
+	total := int64(0)
+	for _, n := range hist.Buckets {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("histogram buckets sum to %d, want 1", total)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

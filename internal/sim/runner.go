@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -159,6 +160,14 @@ type ConvergenceStats struct {
 // legitimate configuration) and aggregates. mkDaemon builds a fresh daemon
 // per run (daemons are stateful).
 func MeasureConvergence(p Protocol, mkDaemon func(run int) Daemon, runs, faults, maxSteps int, seed int64) (*ConvergenceStats, error) {
+	return MeasureConvergenceCtx(context.Background(), p, mkDaemon, runs, faults, maxSteps, seed)
+}
+
+// MeasureConvergenceCtx is MeasureConvergence with cancellation: the
+// context is polled between runs, so a long aggregation (checkd's
+// /v1/ringsim workload) stops promptly when its deadline fires instead of
+// finishing the remaining runs.
+func MeasureConvergenceCtx(ctx context.Context, p Protocol, mkDaemon func(run int) Daemon, runs, faults, maxSteps int, seed int64) (*ConvergenceStats, error) {
 	rng := rand.New(rand.NewSource(seed))
 	legit, err := LegitimateConfig(p)
 	if err != nil {
@@ -167,6 +176,9 @@ func MeasureConvergence(p Protocol, mkDaemon func(run int) Daemon, runs, faults,
 	stats := &ConvergenceStats{Runs: runs}
 	total := 0
 	for run := 0; run < runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := Corrupt(p, legit, faults, rng)
 		r := &Runner{Proto: p, Daemon: mkDaemon(run), MaxSteps: maxSteps}
 		res, err := r.Run(start)
