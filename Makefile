@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench lint
 
-# check is the full gate: formatting, vet, build, and the race-enabled
-# test suite. CI and pre-commit both run exactly this.
-check: fmt vet build test
+# check is the full gate: formatting, vet, build, the race-enabled
+# test suite, and the GCL linter over the example programs. CI and
+# pre-commit both run exactly this.
+check: fmt vet build test lint
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -12,14 +13,39 @@ fmt:
 		echo "gofmt needed:"; echo "$$out"; exit 1; \
 	fi
 
+# vet also runs staticcheck when it is installed; offline builds
+# without the tool still pass.
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# lint runs `gclc lint` over every example. lint-demo.gcl is the
+# deliberately defective program and MUST fail; every other example
+# must pass (their expected benign findings are asserted by the tests
+# in cmd/gclc).
+lint:
+	@for f in examples/gcl/*.gcl; do \
+		case "$$f" in \
+		*/lint-demo.gcl) \
+			if $(GO) run ./cmd/gclc lint "$$f" >/dev/null 2>&1; then \
+				echo "lint: $$f should have error diagnostics but passed"; exit 1; \
+			fi; \
+			echo "lint: $$f fails as designed";; \
+		*) \
+			$(GO) run ./cmd/gclc lint "$$f" || exit 1; \
+			echo "lint: $$f ok";; \
+		esac; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRunLintClean(t *testing.T) {
+	path := writeTemp(t, "c.gcl", counterSrc)
+	var b strings.Builder
+	if err := run([]string{"lint", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("clean program produced diagnostics:\n%s", b.String())
+	}
+}
+
+func TestRunLintHumanOutput(t *testing.T) {
+	path := writeTemp(t, "d.gcl", `
+var x : 0..3;
+action dead: x > 9 -> x := 0;
+action live: x < 3 -> x := x + 1;
+`)
+	var b strings.Builder
+	if err := run([]string{"lint", path}, &b); err != nil {
+		t.Fatal(err) // warnings only: exit status must stay 0
+	}
+	out := b.String()
+	if !strings.Contains(out, path+":3:") || !strings.Contains(out, "GCL001") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunLintErrorExit(t *testing.T) {
+	path := writeTemp(t, "e.gcl", `
+var x : 0..3;
+action over: x == 3 -> x := x + 10;
+`)
+	var b strings.Builder
+	err := run([]string{"lint", path}, &b)
+	if err == nil || !strings.Contains(err.Error(), "error diagnostic") {
+		t.Fatalf("error-severity findings must fail the run, got %v", err)
+	}
+}
+
+func TestRunLintJSON(t *testing.T) {
+	path := writeTemp(t, "j.gcl", `
+var x : 0..3;
+action dead: x > 9 -> x := 0;
+action live: x < 3 -> x := x + 1;
+`)
+	var b strings.Builder
+	if err := run([]string{"lint", "-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var rep lintJSON
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, b.String())
+	}
+	if len(rep.Program) != 64 {
+		t.Fatalf("program fingerprint: %q", rep.Program)
+	}
+	if rep.States != 4 || !rep.Exact || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !strings.HasPrefix(rep.AnalyzerVersion, "v1/") {
+		t.Fatalf("analyzer_version: %q", rep.AnalyzerVersion)
+	}
+	if len(rep.Diags) == 0 || rep.Diags[0].Code != "GCL001" {
+		t.Fatalf("diags: %+v", rep.Diags)
+	}
+}
+
+// TestLintDemoGolden pins the exact diagnostic set for
+// examples/gcl/lint-demo.gcl — the file exists to exercise one
+// instance of each code, so any drift here is an analyzer behavior
+// change that must be deliberate.
+func TestLintDemoGolden(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "gcl", "lint-demo.gcl")
+	var b strings.Builder
+	err := run([]string{"lint", "-json", path}, &b)
+	if err == nil || !strings.Contains(err.Error(), "1 error diagnostic") {
+		t.Fatalf("lint-demo must carry exactly one error diagnostic, got %v", err)
+	}
+	var rep lintJSON
+	if jerr := json.Unmarshal([]byte(b.String()), &rep); jerr != nil {
+		t.Fatalf("bad JSON: %v", jerr)
+	}
+	if !rep.Exact {
+		t.Fatal("lint-demo is 64 states; the exact tier must run")
+	}
+	var got []string
+	for _, d := range rep.Diags {
+		got = append(got, fmt.Sprintf("%d:%d %s %s %s", d.Pos.Line, d.Pos.Col, d.Code, d.Severity, d.Confidence))
+	}
+	want := []string{
+		"13:1 GCL006 warning exact",
+		"14:1 GCL005 warning exact",
+		"18:19 GCL001 warning exact",
+		"19:27 GCL003 error exact",
+		"20:1 GCL008 warning exact",
+		"21:1 GCL007 info exact",
+		"21:29 GCL010 info approx",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("diagnostic set drifted:\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	// The escape diagnostic must carry an enumeration witness.
+	for _, d := range rep.Diags {
+		if d.Code == "GCL003" {
+			if len(d.Related) != 1 || !strings.Contains(d.Related[0].Msg, "x=3") {
+				t.Fatalf("GCL003 witness: %+v", d.Related)
+			}
+		}
+	}
+}
+
+// TestLintAllExamples lints every shipped example and asserts its
+// expected findings: the stabilizing examples stay clean or carry only
+// the benign diagnostics listed here, and only lint-demo fails.
+func TestLintAllExamples(t *testing.T) {
+	expect := map[string]struct {
+		codes []string // exact multiset of codes, sorted
+		fails bool
+	}{
+		"aggressive3-n2.gcl": {codes: []string{"GCL007"}},
+		"broken-reset.gcl":   {codes: []string{"GCL004", "GCL008"}},
+		"counter.gcl":        {codes: nil},
+		"dijkstra3-n2.gcl":   {codes: []string{"GCL007"}},
+		"lint-demo.gcl": {codes: []string{
+			"GCL001", "GCL003", "GCL005", "GCL006", "GCL007", "GCL008", "GCL010"}, fails: true},
+	}
+	dir := filepath.Join("..", "..", "examples", "gcl")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".gcl") {
+			continue
+		}
+		want, ok := expect[e.Name()]
+		if !ok {
+			t.Errorf("example %s has no lint expectation; add one here", e.Name())
+			continue
+		}
+		seen++
+		t.Run(e.Name(), func(t *testing.T) {
+			var b strings.Builder
+			err := run([]string{"lint", "-json", filepath.Join(dir, e.Name())}, &b)
+			if want.fails != (err != nil) {
+				t.Fatalf("fails=%v, err=%v", want.fails, err)
+			}
+			var rep lintJSON
+			if jerr := json.Unmarshal([]byte(b.String()), &rep); jerr != nil {
+				t.Fatalf("bad JSON: %v", jerr)
+			}
+			var got []string
+			for _, d := range rep.Diags {
+				got = append(got, string(d.Code))
+			}
+			sort.Strings(got)
+			if strings.Join(got, ",") != strings.Join(want.codes, ",") {
+				t.Fatalf("codes: got %v, want %v", got, want.codes)
+			}
+		})
+	}
+	if seen != len(expect) {
+		t.Fatalf("expected %d examples, saw %d", len(expect), seen)
+	}
+}

@@ -12,15 +12,21 @@
 //	                             C stabilizing to A (shared state space)
 //	gclc optimize prog.gcl       simplify the program and certify the
 //	                             rewrite stabilization preserving
+//	gclc lint [-json] prog.gcl   static analysis: dead guards, domain
+//	                             escapes, stutter actions, … (exit 1 on
+//	                             error-severity diagnostics)
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/gcl"
+	"repro/internal/gcl/analysis"
+	"repro/internal/mc"
 	"repro/internal/system"
 )
 
@@ -31,11 +37,37 @@ func main() {
 	}
 }
 
+// usageError builds a per-command usage failure that names the
+// missing operand, so `gclc print` says what operand it wants instead
+// of dumping the global usage line.
+func usageError(cmd, operands, missing string) error {
+	return fmt.Errorf("usage: gclc %s %s: missing %s operand", cmd, operands, missing)
+}
+
 func run(args []string, out io.Writer) error {
-	if len(args) < 2 {
-		return fmt.Errorf("usage: gclc <print|info|selfstab|dot|refine|optimize> <file.gcl> [file2.gcl]")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: gclc <print|info|selfstab|dot|refine|optimize|lint> <file.gcl> [file2.gcl]")
 	}
-	cmd, path := args[0], args[1]
+	cmd := args[0]
+	args = args[1:]
+
+	// lint takes an optional -json flag before its file operand; the
+	// other commands take plain file operands.
+	jsonOut := false
+	if cmd == "lint" && len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+	if len(args) < 1 {
+		operands := "<file.gcl>"
+		if cmd == "refine" {
+			operands = "<concrete.gcl> <abstract.gcl>"
+		} else if cmd == "lint" {
+			operands = "[-json] <file.gcl>"
+		}
+		return usageError(cmd, operands, "file")
+	}
+	path := args[0]
 
 	compile := func(p string) (*gcl.Compiled, error) {
 		src, err := os.ReadFile(p)
@@ -57,6 +89,9 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, prog)
 		return nil
+
+	case "lint":
+		return runLint(path, jsonOut, out)
 
 	case "info":
 		c, err := compile(path)
@@ -90,14 +125,14 @@ func run(args []string, out io.Writer) error {
 		return system.WriteDOT(out, c.System, nil)
 
 	case "refine":
-		if len(args) < 3 {
-			return fmt.Errorf("usage: gclc refine C.gcl A.gcl")
+		if len(args) < 2 {
+			return usageError("refine", "<concrete.gcl> <abstract.gcl>", "abstract file")
 		}
 		cc, err := compile(path)
 		if err != nil {
 			return err
 		}
-		ca, err := compile(args[2])
+		ca, err := compile(args[1])
 		if err != nil {
 			return err
 		}
@@ -132,4 +167,64 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// lintBudget bounds the exact tier's enumeration so linting a
+// pathological program stays interactive; past the budget the
+// interval tier's approx verdicts are reported instead.
+const lintBudget = 5_000_000
+
+// lintJSON is the machine-readable lint report, shared in shape with
+// the /v1/lint service endpoint.
+type lintJSON struct {
+	Program         string          `json:"program"`
+	States          int             `json:"states"`
+	Exact           bool            `json:"exact"`
+	AnalyzerVersion string          `json:"analyzer_version"`
+	Errors          int             `json:"errors"`
+	Diags           []analysis.Diag `json:"diags"`
+}
+
+func runLint(path string, jsonOut bool, out io.Writer) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := gcl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	res, err := analysis.Analyze(prog, analysis.Options{
+		Exact: true,
+		Gas:   mc.NewGas(nil, lintBudget),
+	})
+	if err != nil {
+		return err
+	}
+	nErrors := analysis.ErrorCount(res.Diags)
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lintJSON{
+			Program:         gcl.Fingerprint(prog),
+			States:          res.States,
+			Exact:           res.Exact,
+			AnalyzerVersion: analysis.Version(),
+			Errors:          nErrors,
+			Diags:           res.Diags,
+		}); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintf(out, "%s:%s\n", path, d)
+			for _, rel := range d.Related {
+				fmt.Fprintf(out, "\t%s:%s: %s\n", path, rel.Pos, rel.Msg)
+			}
+		}
+	}
+	if nErrors > 0 {
+		return fmt.Errorf("%s: %d error diagnostic(s)", path, nErrors)
+	}
+	return nil
 }

@@ -161,17 +161,38 @@ action step: x + 0 < 3 -> x := x + 1;
 
 func TestRunUsageErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"print"}, &b); err == nil {
-		t.Fatal("missing file accepted")
-	}
 	if err := run([]string{"nope", "x"}, &b); err == nil {
 		t.Fatal("unknown subcommand accepted")
 	}
-	if err := run([]string{"refine", "only-one.gcl"}, &b); err == nil {
-		t.Fatal("refine with one file accepted")
-	}
 	if err := run([]string{"info", "/does/not/exist.gcl"}, &b); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestUsageErrorNamesOperand: a command invoked without its operand
+// must say which operand is missing, per command — not dump the global
+// usage line.
+func TestUsageErrorNamesOperand(t *testing.T) {
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"print"}, []string{"gclc print", "missing file operand"}},
+		{[]string{"lint"}, []string{"gclc lint", "[-json]", "missing file operand"}},
+		{[]string{"lint", "-json"}, []string{"gclc lint", "missing file operand"}},
+		{[]string{"refine"}, []string{"gclc refine", "<concrete.gcl> <abstract.gcl>", "missing file operand"}},
+		{[]string{"refine", "only-one.gcl"}, []string{"gclc refine", "missing abstract file operand"}},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, &strings.Builder{})
+		if err == nil {
+			t.Fatalf("%v accepted", tc.args)
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%v: error %q does not mention %q", tc.args, err, w)
+			}
+		}
 	}
 }
 
@@ -190,12 +211,17 @@ func TestUsageListsEverySubcommand(t *testing.T) {
 	}
 	re := regexp.MustCompile(`(?m)^\tcase "(\w+)":`)
 	matches := re.FindAllStringSubmatch(string(src), -1)
-	if len(matches) < 6 {
-		t.Fatalf("found only %d subcommands in main.go's dispatch switch", len(matches))
+	if len(matches) < 7 {
+		t.Fatalf("found only %d subcommands in main.go's dispatch switch; lint missing?", len(matches))
 	}
+	names := make(map[string]bool, len(matches))
 	for _, m := range matches {
+		names[m[1]] = true
 		if !strings.Contains(usage, m[1]) {
 			t.Errorf("usage string omits subcommand %q: %s", m[1], usage)
 		}
+	}
+	if !names["lint"] {
+		t.Error("dispatch switch has no lint subcommand")
 	}
 }

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"repro/internal/gcl"
+)
+
+// env is the abstract state: one interval per declared variable, in
+// source units (range variables span [Lo, Hi]; booleans span [0, 1]).
+type env []Interval
+
+// declaredEnv is the top abstract state: every variable anywhere in
+// its declared domain.
+func declaredEnv(p *gcl.Program) env {
+	e := make(env, len(p.Vars))
+	for i, v := range p.Vars {
+		if v.IsBool {
+			e[i] = ivBool
+		} else {
+			e[i] = Interval{v.Lo, v.Hi}
+		}
+	}
+	return e
+}
+
+func (e env) clone() env { return append(env(nil), e...) }
+
+// evalExpr evaluates a checked expression over the interval domain.
+// The result over-approximates the expression's concrete value set
+// across all states described by e; boolean results embed in [0, 1].
+// An empty result means concrete evaluation yields no value (it
+// errors, e.g. division by a divisor that can only be zero).
+func evalExpr(p *gcl.Program, ex gcl.Expr, e env) Interval {
+	switch ex := ex.(type) {
+	case *gcl.IntLit:
+		return Single(sat(ex.Value))
+	case *gcl.BoolLit:
+		if ex.Value {
+			return ivTrue
+		}
+		return ivFalse
+	case *gcl.Ident:
+		return e[ex.Index]
+	case *gcl.Unary:
+		x := evalExpr(p, ex.X, e)
+		if ex.Op == gcl.KindNot {
+			return boolNot(x)
+		}
+		return x.Neg()
+	case *gcl.Cond:
+		c := evalExpr(p, ex.C, e)
+		switch c {
+		case ivTrue:
+			return evalExpr(p, ex.X, e)
+		case ivFalse:
+			return evalExpr(p, ex.Y, e)
+		default:
+			if c.IsEmpty() {
+				return ivEmpty
+			}
+			return evalExpr(p, ex.X, e).Join(evalExpr(p, ex.Y, e))
+		}
+	case *gcl.Binary:
+		x := evalExpr(p, ex.X, e)
+		// Mirror the concrete evaluator's short-circuiting: when the left
+		// operand decides the result, the right operand is never
+		// evaluated concretely, so its abstract value must not matter.
+		switch ex.Op {
+		case gcl.KindAnd:
+			if x == ivFalse {
+				return ivFalse
+			}
+			return boolAnd(x, evalExpr(p, ex.Y, e))
+		case gcl.KindOr:
+			if x == ivTrue {
+				return ivTrue
+			}
+			return boolOr(x, evalExpr(p, ex.Y, e))
+		}
+		y := evalExpr(p, ex.Y, e)
+		switch ex.Op {
+		case gcl.KindPlus:
+			return x.Add(y)
+		case gcl.KindMinus:
+			return x.Sub(y)
+		case gcl.KindStar:
+			return x.Mul(y)
+		case gcl.KindSlash:
+			return x.Div(y)
+		case gcl.KindPercent:
+			return x.Mod(y)
+		case gcl.KindEq:
+			return x.Eq(y)
+		case gcl.KindNeq:
+			return boolNot(x.Eq(y))
+		case gcl.KindLt:
+			return x.Lt(y)
+		case gcl.KindLe:
+			return x.Le(y)
+		case gcl.KindGt:
+			return y.Lt(x)
+		case gcl.KindGe:
+			return y.Le(x)
+		default:
+			return ivBool
+		}
+	default:
+		// Unknown node: no claim either way.
+		return Interval{-satLimit, satLimit}
+	}
+}
+
+// refineByGuard narrows the abstract state under the assumption that
+// the guard holds, propagating conjuncts of the recognizable shapes
+// (x ⋈ const, const ⋈ x, bare booleans and their negations). It
+// returns ok = false when the constraints are contradictory — an
+// abstract proof that the guard is unsatisfiable.
+func refineByGuard(p *gcl.Program, guard gcl.Expr, e env) (env, bool) {
+	out := e.clone()
+	if !refineInto(p, guard, out) {
+		return out, false
+	}
+	return out, true
+}
+
+func refineInto(p *gcl.Program, guard gcl.Expr, e env) bool {
+	switch g := guard.(type) {
+	case *gcl.Ident:
+		if g.Type() == gcl.TypeBool {
+			return narrow(e, g.Index, ivTrue)
+		}
+	case *gcl.Unary:
+		if g.Op == gcl.KindNot {
+			if id, isIdent := g.X.(*gcl.Ident); isIdent && id.Type() == gcl.TypeBool {
+				return narrow(e, id.Index, ivFalse)
+			}
+		}
+	case *gcl.Binary:
+		switch g.Op {
+		case gcl.KindAnd:
+			return refineInto(p, g.X, e) && refineInto(p, g.Y, e)
+		case gcl.KindEq, gcl.KindNeq, gcl.KindLt, gcl.KindLe, gcl.KindGt, gcl.KindGe:
+			// One side a variable, the other a constant under e.
+			if id, isIdent := g.X.(*gcl.Ident); isIdent {
+				if c := evalExpr(p, g.Y, e); c.IsSingle() {
+					return narrow(e, id.Index, constraintRange(g.Op, c.Lo, e[id.Index], false))
+				}
+			}
+			if id, isIdent := g.Y.(*gcl.Ident); isIdent {
+				if c := evalExpr(p, g.X, e); c.IsSingle() {
+					return narrow(e, id.Index, constraintRange(g.Op, c.Lo, e[id.Index], true))
+				}
+			}
+		}
+	}
+	// Unrecognized shape: no refinement, but the guard may still hold.
+	return true
+}
+
+// constraintRange is the interval of variable values satisfying
+// "x op c" (or "c op x" when mirrored is true), relative to the
+// variable's current interval cur (needed for != at an endpoint).
+func constraintRange(op gcl.TokenKind, c int, cur Interval, mirrored bool) Interval {
+	if mirrored {
+		// c op x  ⇒  x op' c with the comparison flipped.
+		switch op {
+		case gcl.KindLt:
+			op = gcl.KindGt
+		case gcl.KindLe:
+			op = gcl.KindGe
+		case gcl.KindGt:
+			op = gcl.KindLt
+		case gcl.KindGe:
+			op = gcl.KindLe
+		}
+	}
+	switch op {
+	case gcl.KindEq:
+		return Single(c)
+	case gcl.KindNeq:
+		switch {
+		case cur.IsSingle() && cur.Lo == c:
+			return ivEmpty
+		case cur.Lo == c:
+			return Interval{c + 1, cur.Hi}
+		case cur.Hi == c:
+			return Interval{cur.Lo, c - 1}
+		default:
+			return cur
+		}
+	case gcl.KindLt:
+		return Interval{cur.Lo, c - 1}
+	case gcl.KindLe:
+		return Interval{cur.Lo, c}
+	case gcl.KindGt:
+		return Interval{c + 1, cur.Hi}
+	case gcl.KindGe:
+		return Interval{c, cur.Hi}
+	default:
+		return cur
+	}
+}
+
+// narrow intersects variable vi with iv; false means the variable has
+// no possible value left (contradiction).
+func narrow(e env, vi int, iv Interval) bool {
+	e[vi] = e[vi].Intersect(iv)
+	return !e[vi].IsEmpty()
+}
+
+// walkExpr visits every node of an expression tree, parents before
+// children.
+func walkExpr(ex gcl.Expr, visit func(gcl.Expr)) {
+	if ex == nil {
+		return
+	}
+	visit(ex)
+	switch ex := ex.(type) {
+	case *gcl.Unary:
+		walkExpr(ex.X, visit)
+	case *gcl.Binary:
+		walkExpr(ex.X, visit)
+		walkExpr(ex.Y, visit)
+	case *gcl.Cond:
+		walkExpr(ex.C, visit)
+		walkExpr(ex.X, visit)
+		walkExpr(ex.Y, visit)
+	}
+}

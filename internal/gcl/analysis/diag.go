@@ -1,0 +1,267 @@
+// Package analysis is the GCL static-analysis engine: a registry of
+// independent analyzers run over a checked *gcl.Program, reporting
+// stable-coded diagnostics. Two tiers cooperate:
+//
+//   - an abstract-interpretation tier evaluates every expression over
+//     the interval + constant domain induced by the declared variable
+//     ranges — cheap (linear in program size, independent of the state
+//     space) and sound for its "definitely" claims, but incomplete;
+//   - an exact tier enumerates small state spaces under an mc.Gas
+//     budget, confirming or downgrading the interval tier's verdicts,
+//     and adding the diagnostics that need real reachability.
+//
+// The motivation is the paper's Figure 1 trap: a dead guard or an
+// out-of-domain assignment silently shrinks the reachable state space
+// and makes the convergence-refinement battery vacuously pass. Lint
+// verdicts surface such defects before any model checking runs.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/gcl"
+)
+
+// Severity grades a diagnostic. Errors make `gclc lint` exit nonzero;
+// warnings and infos do not.
+type Severity int
+
+// Severity levels, weakest first.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the lowercase name back.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	case "info":
+		*s = SevInfo
+	default:
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	return nil
+}
+
+// Confidence records which tier established a diagnostic. Approx means
+// the interval abstraction; Exact means state-space enumeration
+// confirmed it (mirroring the optimizer's Certificate levels: an
+// abstract proof is sound but a concrete witness is stronger and can
+// carry an example state).
+type Confidence int
+
+// Confidence levels.
+const (
+	ConfApprox Confidence = iota
+	ConfExact
+)
+
+// String names the confidence.
+func (c Confidence) String() string {
+	if c == ConfExact {
+		return "exact"
+	}
+	return "approx"
+}
+
+// MarshalJSON renders the confidence as its lowercase name.
+func (c Confidence) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON parses the lowercase name back.
+func (c *Confidence) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "exact":
+		*c = ConfExact
+	case "approx":
+		*c = ConfApprox
+	default:
+		return fmt.Errorf("unknown confidence %q", name)
+	}
+	return nil
+}
+
+// Code is a stable diagnostic code. Codes are append-only: a released
+// code never changes meaning, so CI suppressions and the verdict cache
+// stay valid across versions.
+type Code string
+
+// The diagnostic codes. docs/diagnostics.md documents each one.
+const (
+	// CodeDeadGuard: an action's guard can never be satisfied.
+	CodeDeadGuard Code = "GCL001"
+	// CodeTautologyGuard: a non-literal guard is always true.
+	CodeTautologyGuard Code = "GCL002"
+	// CodeDomainEscape: an assignment's value can leave the target's
+	// declared domain (compilation would reject the program).
+	CodeDomainEscape Code = "GCL003"
+	// CodeUnreachableAction: the guard is satisfiable, but never in a
+	// state reachable from init.
+	CodeUnreachableAction Code = "GCL004"
+	// CodeUnusedVar: a declared variable is never read or written.
+	CodeUnusedVar Code = "GCL005"
+	// CodeWriteOnlyVar: a variable is assigned but never read.
+	CodeWriteOnlyVar Code = "GCL006"
+	// CodeOverlappingGuards: two actions are simultaneously enabled in
+	// some state and move to different successors.
+	CodeOverlappingGuards Code = "GCL007"
+	// CodeStutterAction: every assignment of an action provably rewrites
+	// the current value — the action is a τ self-loop.
+	CodeStutterAction Code = "GCL008"
+	// CodeInitUnsat: the init predicate is unsatisfiable.
+	CodeInitUnsat Code = "GCL009"
+	// CodeConstCond: a condition subexpression is constant over the
+	// declared domains.
+	CodeConstCond Code = "GCL010"
+)
+
+// Related points at a secondary source location supporting a
+// diagnostic (the other action of an overlap, a witness state, …).
+type Related struct {
+	Pos gcl.Pos
+	Msg string
+}
+
+// relatedWire is the flattened JSON shape of a Related note.
+type relatedWire struct {
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// MarshalJSON renders the related note with flattened position fields.
+func (r Related) MarshalJSON() ([]byte, error) {
+	return json.Marshal(relatedWire{r.Pos.Line, r.Pos.Col, r.Msg})
+}
+
+// UnmarshalJSON parses the flattened form back.
+func (r *Related) UnmarshalJSON(b []byte) error {
+	var w relatedWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Related{Pos: gcl.Pos{Line: w.Line, Col: w.Col}, Msg: w.Msg}
+	return nil
+}
+
+// Diag is one diagnostic.
+type Diag struct {
+	Pos        gcl.Pos
+	Code       Code
+	Severity   Severity
+	Confidence Confidence
+	Msg        string
+	Related    []Related
+}
+
+// String renders the diagnostic in the usual file-less compiler shape:
+// "line:col: severity CODE: msg (confidence)".
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s %s: %s (%s)", d.Pos, d.Severity, d.Code, d.Msg, d.Confidence)
+}
+
+// diagWire is the flattened JSON shape of a Diag.
+type diagWire struct {
+	Line       int        `json:"line"`
+	Col        int        `json:"col"`
+	Code       Code       `json:"code"`
+	Severity   Severity   `json:"severity"`
+	Confidence Confidence `json:"confidence"`
+	Msg        string     `json:"msg"`
+	Related    []Related  `json:"related,omitempty"`
+}
+
+// MarshalJSON is the machine-readable form consumed by `gclc lint
+// -json` and the /v1/lint endpoint.
+func (d Diag) MarshalJSON() ([]byte, error) {
+	return json.Marshal(diagWire{d.Pos.Line, d.Pos.Col, d.Code, d.Severity, d.Confidence, d.Msg, d.Related})
+}
+
+// UnmarshalJSON parses the flattened form back, so API clients can
+// decode a lint report into the same type the analyzer produces.
+func (d *Diag) UnmarshalJSON(b []byte) error {
+	var w diagWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*d = Diag{
+		Pos: gcl.Pos{Line: w.Line, Col: w.Col}, Code: w.Code,
+		Severity: w.Severity, Confidence: w.Confidence, Msg: w.Msg, Related: w.Related,
+	}
+	return nil
+}
+
+// Sort orders diagnostics by position, then code, then message, and
+// drops exact duplicates (same position, code, and message) — two
+// analyzers agreeing on a finding report it once.
+func Sort(diags []Diag) []Diag {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if prev.Pos == d.Pos && prev.Code == d.Code && prev.Msg == d.Msg {
+				// Keep the stronger confidence of the two.
+				if d.Confidence > prev.Confidence {
+					out[len(out)-1] = d
+				}
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// ErrorCount counts error-severity diagnostics; `gclc lint` maps a
+// nonzero count to exit code 1.
+func ErrorCount(diags []Diag) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}

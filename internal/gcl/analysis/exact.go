@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/gcl"
+	"repro/internal/mc"
+	"repro/internal/system"
+)
+
+// The exact tier: a full enumeration of the program's state space
+// under an mc.Gas budget. Where the interval tier over-approximates,
+// enumeration decides — it confirms interval verdicts (upgrading
+// their confidence to exact, often with a witness state), downgrades
+// "may" warnings that no concrete state realizes, and contributes the
+// diagnostics that need real reachability (GCL004) or co-enabledness
+// (GCL007). The sweep mirrors gcl.CompileProgram's loop but tolerates
+// the defects compilation rejects: an out-of-domain assignment
+// becomes a diagnostic with a witness instead of a fatal error.
+
+// exactFacts aggregates everything one sweep learns.
+type exactFacts struct {
+	states int
+	space  *system.Space
+
+	initCount  int
+	enabled    []int       // per action: states where the guard holds
+	reachable  []bool      // per state (only when Init != nil)
+	reachEnab  []int       // per action: enabled states reachable from init
+	stutters   []bool      // per action: identity in every enabled state
+	escapes    []escapeSet // per action
+	guardError []int       // per action: states where guard evaluation errors
+	overlaps   map[[2]int]*overlap
+}
+
+type escapeSet struct {
+	// byAssign maps assignment index -> count and first witness state.
+	count   []int
+	witness []int
+}
+
+type overlap struct {
+	count   int
+	witness int
+}
+
+// runExact enumerates the state space, spending gas per state×action.
+// It returns nil facts when the budget runs out: partial sweeps prove
+// nothing.
+func runExact(prog *gcl.Program, gas *mc.Gas) (*exactFacts, error) {
+	sp := gcl.SpaceOf(prog)
+	n := sp.Size()
+	numA := len(prog.Actions)
+	f := &exactFacts{
+		states:     n,
+		space:      sp,
+		enabled:    make([]int, numA),
+		reachEnab:  make([]int, numA),
+		stutters:   make([]bool, numA),
+		escapes:    make([]escapeSet, numA),
+		guardError: make([]int, numA),
+		overlaps:   make(map[[2]int]*overlap),
+	}
+	for ai := range prog.Actions {
+		f.stutters[ai] = true
+		f.escapes[ai] = escapeSet{
+			count:   make([]int, len(prog.Actions[ai].Assigns)),
+			witness: make([]int, len(prog.Actions[ai].Assigns)),
+		}
+	}
+
+	// Successor lists are needed only for reachability.
+	var succ [][]int32
+	if prog.Init != nil {
+		succ = make([][]int32, n)
+	}
+	initStates := make([]int, 0, 16)
+
+	env := make(system.Vals, len(prog.Vars))
+	next := make(system.Vals, len(prog.Vars))
+	enabledHere := make([]int, 0, numA)
+	nextOf := make([]int, numA) // successor state per enabled action, -1 if escaping
+	for s := 0; s < n; s++ {
+		env = sp.Decode(s, env)
+		if prog.Init != nil {
+			isInit, err := gcl.EvalBool(prog, prog.Init, env)
+			if err == nil && isInit {
+				f.initCount++
+				initStates = append(initStates, s)
+			}
+		}
+		enabledHere = enabledHere[:0]
+		for ai := range prog.Actions {
+			if err := gas.Tick(1); err != nil {
+				return nil, err
+			}
+			a := &prog.Actions[ai]
+			on, err := gcl.EvalBool(prog, a.Guard, env)
+			if err != nil {
+				f.guardError[ai]++
+				continue
+			}
+			if !on {
+				continue
+			}
+			f.enabled[ai]++
+			copy(next, env)
+			identity := true
+			escaped := false
+			for asi, as := range a.Assigns {
+				vi := identIndex(prog, as.Name)
+				decl := prog.Vars[vi]
+				v, err := gcl.Eval(prog, as.Expr, env)
+				if err != nil {
+					// RHS errors (division by zero): no value, no successor.
+					escaped = true
+					identity = false
+					continue
+				}
+				lo, hi := decl.Lo, decl.Hi
+				if decl.IsBool {
+					lo, hi = 0, 1
+				}
+				if v < lo || v > hi {
+					if f.escapes[ai].count[asi] == 0 {
+						f.escapes[ai].witness[asi] = s
+					}
+					f.escapes[ai].count[asi]++
+					escaped = true
+					identity = false // the escaping value differs from the in-domain current one
+					continue
+				}
+				enc := v - lo
+				if enc != env[vi] {
+					identity = false
+				}
+				next[vi] = enc
+			}
+			if !identity {
+				f.stutters[ai] = false
+			}
+			nextOf[ai] = -1
+			if !escaped {
+				ns := sp.Encode(next)
+				nextOf[ai] = ns
+				if succ != nil {
+					succ[s] = append(succ[s], int32(ns))
+				}
+			}
+			enabledHere = append(enabledHere, ai)
+		}
+		// Co-enabled pairs that disagree on the successor state: the
+		// daemon's choice is observable. Pairs with identical successors
+		// (or no successor) are not recorded — they are not a source of
+		// nondeterministic behavior.
+		for x := 0; x < len(enabledHere); x++ {
+			for y := x + 1; y < len(enabledHere); y++ {
+				i, j := enabledHere[x], enabledHere[y]
+				if nextOf[i] == nextOf[j] {
+					continue
+				}
+				key := [2]int{i, j}
+				o := f.overlaps[key]
+				if o == nil {
+					o = &overlap{witness: s}
+					f.overlaps[key] = o
+				}
+				o.count++
+			}
+		}
+	}
+
+	if prog.Init != nil {
+		f.reachable = make([]bool, n)
+		queue := make([]int, 0, len(initStates))
+		for _, s := range initStates {
+			if !f.reachable[s] {
+				f.reachable[s] = true
+				queue = append(queue, s)
+			}
+		}
+		for len(queue) > 0 {
+			s := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, ns := range succ[s] {
+				if err := gas.Tick(1); err != nil {
+					return nil, err
+				}
+				if !f.reachable[ns] {
+					f.reachable[ns] = true
+					queue = append(queue, int(ns))
+				}
+			}
+		}
+		// Second pass over reachable states to count per-action enabled
+		// occurrences within the reachable set.
+		for s := 0; s < n; s++ {
+			if !f.reachable[s] {
+				continue
+			}
+			env = sp.Decode(s, env)
+			for ai := range prog.Actions {
+				if err := gas.Tick(1); err != nil {
+					return nil, err
+				}
+				on, err := gcl.EvalBool(prog, prog.Actions[ai].Guard, env)
+				if err == nil && on {
+					f.reachEnab[ai]++
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// exactDiags converts sweep facts into diagnostics, all carrying
+// exact confidence.
+func exactDiags(prog *gcl.Program, f *exactFacts) []Diag {
+	var diags []Diag
+	state := func(s int) string { return f.space.StateString(s) }
+
+	if prog.Init != nil && f.initCount == 0 {
+		diags = append(diags, Diag{
+			Pos: prog.Init.Position(), Code: CodeInitUnsat, Severity: SevError, Confidence: ConfExact,
+			Msg: fmt.Sprintf("init predicate is unsatisfiable: none of the %d states is initial, so every from-init property holds vacuously", f.states),
+		})
+	}
+	for ai := range prog.Actions {
+		a := &prog.Actions[ai]
+		switch {
+		case f.enabled[ai] == 0:
+			diags = append(diags, Diag{
+				Pos: a.Guard.Position(), Code: CodeDeadGuard, Severity: SevWarning, Confidence: ConfExact,
+				Msg: fmt.Sprintf("guard of action %q holds in none of the %d states; the action is dead", a.Name, f.states),
+			})
+			continue
+		case f.enabled[ai] == f.states:
+			if _, isLit := a.Guard.(*gcl.BoolLit); !isLit {
+				diags = append(diags, Diag{
+					Pos: a.Guard.Position(), Code: CodeTautologyGuard, Severity: SevInfo, Confidence: ConfExact,
+					Msg: fmt.Sprintf("guard of action %q holds in all %d states; write the literal `true`", a.Name, f.states),
+				})
+			}
+		}
+		for asi, as := range a.Assigns {
+			if c := f.escapes[ai].count[asi]; c > 0 {
+				w := f.escapes[ai].witness[asi]
+				diags = append(diags, Diag{
+					Pos: as.Pos, Code: CodeDomainEscape, Severity: SevError, Confidence: ConfExact,
+					Msg: fmt.Sprintf("assignment to %q leaves its domain %s in %d of %d enabled states",
+						as.Name, domainString(prog.Vars[identIndex(prog, as.Name)]), c, f.enabled[ai]),
+					Related: []Related{{Pos: as.Pos, Msg: "witness state " + state(w)}},
+				})
+			}
+		}
+		if f.stutters[ai] {
+			diags = append(diags, Diag{
+				Pos: a.Pos, Code: CodeStutterAction, Severity: SevWarning, Confidence: ConfExact,
+				Msg: fmt.Sprintf("action %q stutters in all %d states where it is enabled (τ self-loop)", a.Name, f.enabled[ai]),
+			})
+		}
+		if prog.Init != nil && f.reachEnab[ai] == 0 {
+			diags = append(diags, Diag{
+				Pos: a.Pos, Code: CodeUnreachableAction, Severity: SevWarning, Confidence: ConfExact,
+				Msg: fmt.Sprintf("action %q is enabled in %d states, none of them reachable from init", a.Name, f.enabled[ai]),
+			})
+		}
+	}
+	for key, o := range f.overlaps {
+		ai, aj := &prog.Actions[key[0]], &prog.Actions[key[1]]
+		diags = append(diags, Diag{
+			Pos: aj.Pos, Code: CodeOverlappingGuards, Severity: SevInfo, Confidence: ConfExact,
+			Msg: fmt.Sprintf("actions %q and %q are co-enabled with different successors in %d states (e.g. %s); the daemon's choice is observable",
+				ai.Name, aj.Name, o.count, state(o.witness)),
+			Related: []Related{{Pos: ai.Pos, Msg: fmt.Sprintf("action %q declared here", ai.Name)}},
+		})
+	}
+	return diags
+}
+
+// mergeExact reconciles the interval tier's diagnostics with the
+// exact tier's. Codes the exact tier decides completely (dead guards,
+// tautologies, escapes, stutters, init, overlap, reachability) are
+// replaced wholesale by the exact findings; interval "may escape"
+// warnings that enumeration did not confirm are downgraded to infos
+// rather than silently dropped, preserving the hint that the abstract
+// domain lost precision there. Purely syntactic or abstract-only
+// findings (unused variables, constant conditions) pass through.
+func mergeExact(approx, exact []Diag) []Diag {
+	decided := map[Code]bool{
+		CodeDeadGuard: true, CodeTautologyGuard: true, CodeDomainEscape: true,
+		CodeUnreachableAction: true, CodeOverlappingGuards: true,
+		CodeStutterAction: true, CodeInitUnsat: true,
+	}
+	confirmed := make(map[string]bool, len(exact))
+	for _, d := range exact {
+		confirmed[string(d.Code)+"@"+d.Pos.String()] = true
+	}
+	out := make([]Diag, 0, len(exact)+len(approx))
+	out = append(out, exact...)
+	for _, d := range approx {
+		if !decided[d.Code] {
+			out = append(out, d)
+			continue
+		}
+		if d.Code == CodeDomainEscape && !confirmed[string(d.Code)+"@"+d.Pos.String()] {
+			d.Severity = SevInfo
+			d.Confidence = ConfExact
+			d.Msg += "; enumeration found no state where the value escapes"
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package analysis
+
+// The interval abstract domain. An Interval over-approximates the set
+// of values an integer expression can take; booleans embed as
+// sub-intervals of [0,1] (false = [0,0], true = [1,1], unknown =
+// [0,1]), which lets one evaluator cover the whole expression
+// language. The empty interval is the bottom element: "no value"
+// (e.g. the result of dividing by an interval that is exactly {0},
+// where concrete evaluation always errors).
+//
+// All claims derived from intervals respect the abstraction's
+// direction: "definitely false/true/out-of-domain" statements are
+// sound proofs, while the converse ("may …") statements need the
+// exact enumeration tier to confirm. Bounds saturate at ±satLimit so
+// nested arithmetic over adversarial literals cannot overflow; a
+// saturated bound simply widens the interval, which keeps the
+// abstraction sound (declared GCL domains are small, so saturation
+// never fires on realistic programs).
+
+const satLimit = 1 << 60
+
+// Interval is the inclusive range [Lo, Hi]; Lo > Hi means empty.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Convenient constants of the boolean embedding.
+var (
+	ivFalse = Single(0)
+	ivTrue  = Single(1)
+	ivBool  = Interval{0, 1}
+	ivEmpty = Interval{1, 0}
+)
+
+// Single is the singleton interval {v}.
+func Single(v int) Interval { return Interval{v, v} }
+
+// IsEmpty reports whether the interval contains no value.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// IsSingle reports whether the interval is a single value.
+func (iv Interval) IsSingle() bool { return iv.Lo == iv.Hi }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Within reports whether every value of iv lies in o. An empty iv is
+// vacuously within anything.
+func (iv Interval) Within(o Interval) bool {
+	return iv.IsEmpty() || (o.Lo <= iv.Lo && iv.Hi <= o.Hi)
+}
+
+// Disjoint reports whether the intervals share no value.
+func (iv Interval) Disjoint(o Interval) bool {
+	return iv.IsEmpty() || o.IsEmpty() || iv.Hi < o.Lo || o.Hi < iv.Lo
+}
+
+// Intersect is the meet: the values in both intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := max(iv.Lo, o.Lo), min(iv.Hi, o.Hi)
+	return Interval{lo, hi}
+}
+
+// Join is the convex hull: the smallest interval containing both.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return iv
+	}
+	return Interval{min(iv.Lo, o.Lo), max(iv.Hi, o.Hi)}
+}
+
+func sat(v int) int {
+	if v > satLimit {
+		return satLimit
+	}
+	if v < -satLimit {
+		return -satLimit
+	}
+	return v
+}
+
+// satAdd adds with saturation; operands are already within ±satLimit,
+// so the int64 sum cannot wrap.
+func satAdd(a, b int) int { return sat(a + b) }
+
+// satMul multiplies with saturation, detecting overflow before it
+// happens.
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > 0 && b > 0 && a > satLimit/b {
+		return satLimit
+	}
+	if a < 0 && b < 0 && a < satLimit/b {
+		return satLimit
+	}
+	if a > 0 && b < 0 && b < -satLimit/a {
+		return -satLimit
+	}
+	if a < 0 && b > 0 && a < -satLimit/b {
+		return -satLimit
+	}
+	return sat(a * b)
+}
+
+// Add is interval addition.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return ivEmpty
+	}
+	return Interval{satAdd(iv.Lo, o.Lo), satAdd(iv.Hi, o.Hi)}
+}
+
+// Sub is interval subtraction.
+func (iv Interval) Sub(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return ivEmpty
+	}
+	return Interval{satAdd(iv.Lo, -o.Hi), satAdd(iv.Hi, -o.Lo)}
+}
+
+// Neg is interval negation.
+func (iv Interval) Neg() Interval {
+	if iv.IsEmpty() {
+		return ivEmpty
+	}
+	return Interval{-iv.Hi, -iv.Lo}
+}
+
+// Mul is interval multiplication: the hull of the four corner
+// products.
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return ivEmpty
+	}
+	p1 := satMul(iv.Lo, o.Lo)
+	p2 := satMul(iv.Lo, o.Hi)
+	p3 := satMul(iv.Hi, o.Lo)
+	p4 := satMul(iv.Hi, o.Hi)
+	return Interval{min(min(p1, p2), min(p3, p4)), max(max(p1, p2), max(p3, p4))}
+}
+
+// Div is floored interval division, considering only the divisor's
+// non-zero values (concrete evaluation errors on zero, producing no
+// value). For a fixed divisor floorDiv is monotone in the dividend,
+// and for a fixed dividend its extremes over a divisor range occur at
+// the range's endpoints or at ±1 — so the hull over those candidate
+// divisors and the dividend endpoints is sound. Empty when the
+// divisor can only be zero.
+func (iv Interval) Div(o Interval) Interval {
+	return iv.divLike(o, floorDiv)
+}
+
+// Mod is floored interval modulo. The result's sign follows the
+// divisor (floorMod semantics): for positive divisors it lies in
+// [0, o.Hi-1], for negative in [o.Lo+1, 0]. When the dividend already
+// fits inside a known positive divisor's window the operation is the
+// identity.
+func (iv Interval) Mod(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() || (o.Lo == 0 && o.Hi == 0) {
+		return ivEmpty
+	}
+	out := ivEmpty
+	if o.Hi > 0 { // positive divisor values up to o.Hi
+		part := Interval{0, o.Hi - 1}
+		if iv.Lo >= 0 && iv.Hi < max(o.Lo, 1) {
+			// Every positive divisor exceeds the dividend: identity.
+			part = iv
+		}
+		out = out.Join(part)
+	}
+	if o.Lo < 0 { // negative divisor values down to o.Lo
+		out = out.Join(Interval{o.Lo + 1, 0})
+	}
+	return out
+}
+
+func (iv Interval) divLike(o Interval, f func(x, y int) int) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return ivEmpty
+	}
+	candidates := make([]int, 0, 4)
+	for _, y := range []int{o.Lo, o.Hi, -1, 1} {
+		if y != 0 && o.Contains(y) {
+			candidates = append(candidates, y)
+		}
+	}
+	if len(candidates) == 0 {
+		return ivEmpty // divisor is exactly {0}
+	}
+	// f is monotone in x for fixed y, so the hull over x endpoints per
+	// candidate divisor covers the whole range.
+	out := ivEmpty
+	for _, y := range candidates {
+		out = out.Join(Single(sat(f(iv.Lo, y))))
+		out = out.Join(Single(sat(f(iv.Hi, y))))
+	}
+	return out
+}
+
+// floorDiv and floorMod mirror the concrete evaluator's floored
+// semantics (internal/gcl/eval.go), so abstract and concrete tiers
+// agree on negative operands.
+func floorDiv(x, y int) int {
+	q := x / y
+	if (x%y != 0) && ((x < 0) != (y < 0)) {
+		q--
+	}
+	return q
+}
+
+func floorMod(x, y int) int {
+	m := x % y
+	if m != 0 && ((x < 0) != (y < 0)) {
+		m += y
+	}
+	return m
+}
+
+// Comparison operators return boolean intervals.
+
+// Lt is the abstract x < y.
+func (iv Interval) Lt(o Interval) Interval {
+	switch {
+	case iv.IsEmpty() || o.IsEmpty():
+		return ivEmpty
+	case iv.Hi < o.Lo:
+		return ivTrue
+	case iv.Lo >= o.Hi:
+		return ivFalse
+	default:
+		return ivBool
+	}
+}
+
+// Le is the abstract x <= y.
+func (iv Interval) Le(o Interval) Interval {
+	switch {
+	case iv.IsEmpty() || o.IsEmpty():
+		return ivEmpty
+	case iv.Hi <= o.Lo:
+		return ivTrue
+	case iv.Lo > o.Hi:
+		return ivFalse
+	default:
+		return ivBool
+	}
+}
+
+// Eq is the abstract x == y.
+func (iv Interval) Eq(o Interval) Interval {
+	switch {
+	case iv.IsEmpty() || o.IsEmpty():
+		return ivEmpty
+	case iv.Disjoint(o):
+		return ivFalse
+	case iv.IsSingle() && o.IsSingle() && iv.Lo == o.Lo:
+		return ivTrue
+	default:
+		return ivBool
+	}
+}
+
+// Boolean connectives over the [0,1] embedding.
+
+func boolNot(iv Interval) Interval {
+	switch iv {
+	case ivTrue:
+		return ivFalse
+	case ivFalse:
+		return ivTrue
+	default:
+		if iv.IsEmpty() {
+			return ivEmpty
+		}
+		return ivBool
+	}
+}
+
+func boolAnd(a, b Interval) Interval {
+	switch {
+	case a.IsEmpty() || b.IsEmpty():
+		return ivEmpty
+	case a == ivFalse || b == ivFalse:
+		return ivFalse
+	case a == ivTrue && b == ivTrue:
+		return ivTrue
+	default:
+		return ivBool
+	}
+}
+
+func boolOr(a, b Interval) Interval {
+	switch {
+	case a.IsEmpty() || b.IsEmpty():
+		return ivEmpty
+	case a == ivTrue || b == ivTrue:
+		return ivTrue
+	case a == ivFalse && b == ivFalse:
+		return ivFalse
+	default:
+		return ivBool
+	}
+}

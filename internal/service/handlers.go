@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gcl"
+	"repro/internal/gcl/analysis"
 	"repro/internal/mc"
 	"repro/internal/service/cache"
 	"repro/internal/sim"
@@ -19,6 +20,7 @@ const (
 	kindSelfStab = "selfstab"
 	kindRefine   = "refine"
 	kindRingsim  = "ringsim"
+	kindLint     = "lint"
 
 	// maxBodyBytes bounds request bodies; GCL programs are text and the
 	// state-space bound rejects big programs anyway.
@@ -101,6 +103,44 @@ type RefineResponse struct {
 }
 
 func (r RefineResponse) asCached(elapsed time.Duration) any {
+	r.Cached = true
+	r.ElapsedUS = elapsed.Microseconds()
+	return r
+}
+
+// LintRequest is the body of POST /v1/lint (alias /lint): one GCL
+// program to statically analyze.
+type LintRequest struct {
+	// Source is the GCL program text.
+	Source string `json:"source"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Budget overrides the server's default step budget for the exact
+	// enumeration tier. An exhausted budget is not an error: the
+	// response simply reports exact = false and approx-confidence
+	// diagnostics.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// LintResponse mirrors `gclc lint -json`: the diagnostics of the
+// analyzer registry for one program.
+type LintResponse struct {
+	// Program is the content address of the canonicalized program.
+	Program string `json:"program"`
+	States  int    `json:"states"`
+	// Exact reports whether the enumeration tier completed.
+	Exact bool `json:"exact"`
+	// AnalyzerVersion identifies the analyzer set that produced the
+	// diagnostics (also part of the verdict-cache key).
+	AnalyzerVersion string `json:"analyzer_version"`
+	// Errors counts error-severity diagnostics.
+	Errors    int             `json:"errors"`
+	Diags     []analysis.Diag `json:"diags"`
+	Cached    bool            `json:"cached"`
+	ElapsedUS int64           `json:"elapsed_us"`
+}
+
+func (r LintResponse) asCached(elapsed time.Duration) any {
 	r.Cached = true
 	r.ElapsedUS = elapsed.Microseconds()
 	return r
@@ -274,6 +314,53 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Holds = vInit.Holds && vEvery.Holds && vConv.Holds && vStab.Holds
 		return resp, nil
+	})
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.metrics.requests[kindLint].Add(1)
+	var req LintRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	prog, err := s.parseProgram("source", req.Source)
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	fp := gcl.Fingerprint(prog)
+	// Unlike the verdict endpoints, lint results depend on the analyzer
+	// set, so the cache key carries its version: upgrading the engine
+	// naturally invalidates stale entries.
+	key := cache.Key(kindLint, fp, analysis.Version())
+	if s.serveFromCache(w, key, started) {
+		return
+	}
+	budget := s.resolveBudget(req.Budget)
+	s.execute(w, r, kindLint, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		res, err := analysis.Analyze(prog, analysis.Options{
+			Exact:           true,
+			ExactStateLimit: s.cfg.MaxStates,
+			Gas:             mc.NewGas(ctx, budget),
+		})
+		if err != nil {
+			return nil, badRequest("source: %v", err)
+		}
+		diags := res.Diags
+		if diags == nil {
+			diags = []analysis.Diag{} // a clean program lints to [], not null
+		}
+		return LintResponse{
+			Program:         fp,
+			States:          res.States,
+			Exact:           res.Exact,
+			AnalyzerVersion: analysis.Version(),
+			Errors:          analysis.ErrorCount(diags),
+			Diags:           diags,
+			ElapsedUS:       time.Since(started).Microseconds(),
+		}, nil
 	})
 }
 

@@ -14,9 +14,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gcl"
+	"repro/internal/gcl/analysis"
 )
 
-// exampleSources loads the four checked-in GCL example programs.
+// exampleSources loads the checked-in GCL example programs that
+// compile cleanly (lint-demo.gcl is deliberately defective — it only
+// exists to exercise the static analyzer and is covered by the lint
+// tests instead).
 func exampleSources(t *testing.T) map[string]string {
 	t.Helper()
 	out := make(map[string]string)
@@ -26,7 +30,7 @@ func exampleSources(t *testing.T) map[string]string {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if filepath.Ext(e.Name()) != ".gcl" {
+		if filepath.Ext(e.Name()) != ".gcl" || e.Name() == "lint-demo.gcl" {
 			continue
 		}
 		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
@@ -452,6 +456,164 @@ func TestServiceLatencyHistogram(t *testing.T) {
 	}
 	if total != 1 {
 		t.Fatalf("histogram buckets sum to %d, want 1", total)
+	}
+}
+
+// TestServiceLint submits the deliberately defective lint-demo example
+// and checks the endpoint agrees with the analysis package (and hence
+// with `gclc lint -json`, which calls the same engine), then that an
+// identical re-submission is a verdict-cache hit.
+func TestServiceLint(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "examples", "gcl", "lint-demo.gcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := string(raw)
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Ground truth, computed the way runLint does.
+	prog, err := gcl.Parse(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := analysis.Analyze(prog, analysis.Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: source})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got LintResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached {
+		t.Fatal("first submission cannot be cached")
+	}
+	if got.Program != gcl.Fingerprint(prog) || got.States != 64 || !got.Exact {
+		t.Fatalf("report header: %+v", got)
+	}
+	if got.AnalyzerVersion != analysis.Version() {
+		t.Fatalf("analyzer version: %q", got.AnalyzerVersion)
+	}
+	if got.Errors != 1 {
+		t.Fatalf("errors = %d: %s", got.Errors, body)
+	}
+	if len(got.Diags) != len(truth.Diags) {
+		t.Fatalf("diag count diverged from the engine: %d vs %d", len(got.Diags), len(truth.Diags))
+	}
+	for i := range got.Diags {
+		g, w := got.Diags[i], truth.Diags[i]
+		if g.Pos != w.Pos || g.Code != w.Code || g.Severity != w.Severity ||
+			g.Confidence != w.Confidence || g.Msg != w.Msg {
+			t.Fatalf("diag %d diverged:\n service: %+v\n engine:  %+v", i, g, w)
+		}
+	}
+
+	// Identical re-submission: served from the verdict cache.
+	before := fetchMetrics(t, ts.URL)
+	resp, body = postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: source})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-submission status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Fatalf("re-submission not served from cache: %s", body)
+	}
+	after := fetchMetrics(t, ts.URL)
+	if after.Cache.Hits <= before.Cache.Hits {
+		t.Fatalf("cache hit counter did not increment: %d → %d", before.Cache.Hits, after.Cache.Hits)
+	}
+
+	// The unversioned /lint alias answers identically (same cache key).
+	resp, body = postJSON(t, ts.URL+"/lint", LintRequest{Source: source})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias status %d: %s", resp.StatusCode, body)
+	}
+	var alias LintResponse
+	if err := json.Unmarshal(body, &alias); err != nil {
+		t.Fatal(err)
+	}
+	if !alias.Cached || alias.Errors != got.Errors || len(alias.Diags) != len(got.Diags) {
+		t.Fatalf("alias diverged: %s", body)
+	}
+
+	if after.Requests[kindLint] < 2 {
+		t.Fatalf("lint request counter undercounts: %d", after.Requests[kindLint])
+	}
+}
+
+// TestServiceLintClean: a well-formed program lints to an empty (not
+// null) diagnostics array with zero errors.
+func TestServiceLintClean(t *testing.T) {
+	sources := exampleSources(t)
+	svc := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: sources["counter.gcl"]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"diags":[]`)) {
+		t.Fatalf("clean lint must serialize diags as [], not null: %s", body)
+	}
+	var got LintResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Errors != 0 || len(got.Diags) != 0 {
+		t.Fatalf("counter.gcl should lint clean: %s", body)
+	}
+
+	// A syntactically broken program is a 400, same as the other kinds.
+	resp, _ = postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: "var x = ;;;"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("syntax error: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServiceLintBudget: a budget too small for the exact tier is not
+// an error — the response reports exact=false with approx verdicts.
+func TestServiceLintBudget(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: -1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/lint", LintRequest{
+		Source: "var x : 0..3;\naction dead: x > 9 -> x := 0;\naction live: x < 3 -> x := x + 1;",
+		Budget: 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got LintResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Exact {
+		t.Fatalf("2 gas cannot finish a 4-state sweep: %s", body)
+	}
+	found := false
+	for _, d := range got.Diags {
+		if d.Code == analysis.CodeDeadGuard {
+			found = true
+			if d.Confidence != analysis.ConfApprox {
+				t.Fatalf("budget-starved lint must report approx confidence: %s", body)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("interval-tier dead guard missing: %s", body)
 	}
 }
 
