@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench lint
+.PHONY: check fmt vet build test bench lint cluster-race cluster-demo
 
 # check is the full gate: formatting, vet, build, the race-enabled
 # test suite, and the GCL linter over the example programs. CI and
@@ -49,3 +49,16 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# cluster-race gives the message-passing runtime a dedicated
+# race-detector pass: it is the most concurrent code in the repository
+# (actor goroutines, TCP read loops, the free-running collector).
+cluster-race:
+	$(GO) test -race -count=2 ./internal/cluster/...
+
+# cluster-demo runs a 5-node dijkstra3 ring in-proc, injects one
+# register corruption mid-run, and prints the monitor's convergence
+# events: fault at step 40, re-stabilization a few dozen steps later.
+cluster-demo:
+	$(GO) run ./cmd/ringsim cluster -protocol dijkstra3 -p 5 -seed 6 \
+		-faults 0 -schedule "corrupt@40:node=1,val=0" -snapshot-every 20

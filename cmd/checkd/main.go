@@ -7,6 +7,8 @@
 //	POST /v1/selfstab   {"source": <GCL text>}             self-stabilization battery
 //	POST /v1/refine     {"concrete": ..., "abstract": ...} the gclc refine battery
 //	POST /v1/ringsim    {"family": "dijkstra3", ...}       simulator convergence stats
+//	POST /v1/cluster    {"family": "dijkstra3", ...}       message-passing cluster episode
+//	POST /v1/lint       {"source": <GCL text>}             static analyzer diagnostics
 //	GET  /healthz                                          liveness
 //	GET  /metrics                                          expvar-style counters
 //

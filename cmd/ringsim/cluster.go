@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// runCluster implements `ringsim cluster`: one episode of the
+// message-passing runtime with a fault schedule and the online
+// convergence monitor's event stream as output.
+func runCluster(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringsim cluster", flag.ContinueOnError)
+	fs.SetOutput(out)
+	protoName := fs.String("protocol", "dijkstra3", "dijkstra3 | dijkstra4 | kstate | newthree")
+	p := fs.Int("p", 5, "number of processes (≥ 3)")
+	k := fs.Int("k", 0, "K for kstate (default: number of processes)")
+	transport := fs.String("transport", "chan", "chan (in-proc, deterministic) | tcp (loopback sockets)")
+	seed := fs.Int64("seed", 1, "seed for the scheduler, node move choices, and corruption values")
+	steps := fs.Int("steps", 10_000, "step budget for the episode")
+	faults := fs.Int("faults", 2, "registers corrupted in the initial configuration")
+	schedule := fs.String("schedule", "", `fault schedule, e.g. "corrupt@40:node=1,val=0; drop@60:from=2,to=3,count=2"`)
+	snapshotEvery := fs.Int("snapshot-every", 0, "emit a tokens-over-time snapshot event every N steps (0 = none)")
+	recordMoves := fs.Bool("moves", false, "add one event per executed move to the stream")
+	timeout := fs.Duration("timeout", 60*time.Second, "wall-clock bound (matters for -transport tcp)")
+	jsonOut := fs.Bool("json", false, "print the full result as JSON instead of the event log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *p < 3 {
+		return fmt.Errorf("-p %d: a ring needs at least 3 processes", *p)
+	}
+	if *k == 0 {
+		*k = *p
+	}
+	if *k < 1 {
+		return fmt.Errorf("-k %d: the kstate domain must have at least 1 value", *k)
+	}
+	if *steps <= 0 {
+		return fmt.Errorf("-steps %d: the step budget must be positive", *steps)
+	}
+	if *faults < 0 {
+		return fmt.Errorf("-faults %d: cannot corrupt a negative number of registers", *faults)
+	}
+	proto, err := buildProtocol(*protoName, *p, *k)
+	if err != nil {
+		return err
+	}
+	sched, err := cluster.ParseSchedule(*schedule)
+	if err != nil {
+		return fmt.Errorf("-schedule: %v", err)
+	}
+
+	legit, err := sim.LegitimateConfig(proto)
+	if err != nil {
+		return err
+	}
+	start := sim.Corrupt(proto, legit, *faults, rand.New(rand.NewSource(*seed)))
+
+	opts := cluster.Options{
+		Proto:          proto,
+		Seed:           *seed,
+		MaxSteps:       *steps,
+		Schedule:       sched,
+		SnapshotEvery:  *snapshotEvery,
+		RecordMoves:    *recordMoves,
+		StopWhenStable: true,
+	}
+	switch *transport {
+	case "chan":
+		// nil Transport: Run owns a fresh in-proc ChanTransport.
+	case "tcp":
+		tr, err := cluster.NewTCPTransport(proto.Procs())
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		opts.Transport = tr
+	default:
+		return fmt.Errorf("-transport %q: want chan or tcp", *transport)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := cluster.Run(ctx, opts, start)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(out, "%s over %s transport, %d nodes, seed %d, start %v\n",
+		res.Protocol, res.Transport, res.Procs, res.Seed, start)
+	for _, ev := range res.Events {
+		fmt.Fprintf(out, "%6d  %s\n", ev.Step, formatEvent(ev))
+	}
+	fmt.Fprintf(out, "converged=%v steps=%d moves=%d moves/node=%v final=%v\n",
+		res.Converged, res.Steps, res.Moves, res.MovesPerNode, res.Final)
+	for _, st := range res.Stabilizations {
+		fmt.Fprintf(out, "stabilization: broken at step %d, legitimate at step %d (%d steps)\n",
+			st.BrokenAt, st.StableAt, st.Steps)
+	}
+	return nil
+}
+
+// formatEvent renders one monitor event as a log line.
+func formatEvent(ev cluster.Event) string {
+	var b strings.Builder
+	b.WriteString(ev.Kind)
+	if ev.Node >= 0 {
+		fmt.Fprintf(&b, " node=%d", ev.Node)
+	}
+	if ev.Rule != "" {
+		fmt.Fprintf(&b, " rule=%s", ev.Rule)
+	}
+	if ev.Fault != "" {
+		fmt.Fprintf(&b, " fault=%q", ev.Fault)
+	}
+	if ev.Kind == "stabilized" && ev.After > 0 {
+		fmt.Fprintf(&b, " after=%d", ev.After)
+	}
+	fmt.Fprintf(&b, " tokens=%d", ev.Tokens)
+	if len(ev.Config) > 0 {
+		fmt.Fprintf(&b, " view=%v", ev.Config)
+	}
+	return b.String()
+}

@@ -6,6 +6,11 @@
 //	ringsim -protocol dijkstra3 -p 8 -faults 4 -runs 50
 //	ringsim -protocol kstate -p 6 -k 6 -daemon roundrobin -trace
 //	ringsim -protocol dijkstra4 -p 7 -live
+//	ringsim cluster -protocol dijkstra3 -p 5 -schedule "corrupt@40:node=1"
+//
+// The cluster subcommand runs the message-passing runtime
+// (internal/cluster) instead of the shared-memory simulator; see
+// `ringsim cluster -h`.
 package main
 
 import (
@@ -26,6 +31,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "cluster" {
+		return runCluster(args[1:], out)
+	}
 	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	protoName := fs.String("protocol", "dijkstra3", "dijkstra3 | dijkstra4 | kstate | newthree")
@@ -43,21 +51,30 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Validate every numeric flag up front, naming the flag, before any
+	// protocol construction: a bad value fails loudly here instead of
+	// panicking or spinning deep inside the simulator.
+	if *p < 3 {
+		return fmt.Errorf("-p %d: a ring needs at least 3 processes", *p)
+	}
 	if *k == 0 {
 		*k = *p
 	}
-	var proto sim.Protocol
-	switch *protoName {
-	case "dijkstra3":
-		proto = sim.NewDijkstra3(*p)
-	case "dijkstra4":
-		proto = sim.NewDijkstra4(*p)
-	case "kstate":
-		proto = sim.NewKState(*p, *k)
-	case "newthree":
-		proto = sim.NewNewThree(*p)
-	default:
-		return fmt.Errorf("unknown protocol %q", *protoName)
+	if *k < 1 {
+		return fmt.Errorf("-k %d: the kstate domain must have at least 1 value", *k)
+	}
+	if *steps <= 0 {
+		return fmt.Errorf("-steps %d: the step budget must be positive", *steps)
+	}
+	if *runs <= 0 {
+		return fmt.Errorf("-runs %d: need at least one run", *runs)
+	}
+	if *faults < 0 {
+		return fmt.Errorf("-faults %d: cannot corrupt a negative number of registers", *faults)
+	}
+	proto, err := buildProtocol(*protoName, *p, *k)
+	if err != nil {
+		return err
 	}
 
 	mkDaemon := func(run int) sim.Daemon {
@@ -98,12 +115,13 @@ func run(args []string, out io.Writer) error {
 	if *live {
 		start := sim.Corrupt(proto, legit, *faults, rng)
 		fmt.Fprintf(out, "%s live run from %v (%d corrupted registers)\n", proto.Name(), start, *faults)
-		lr := &sim.LiveRing{Proto: proto, MaxSteps: *steps}
+		lr := &sim.LiveRing{Proto: proto, MaxSteps: *steps, Seed: *seed}
 		res, err := lr.Run(start)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "converged=%v steps=%d final=%v\n", res.Converged, res.Steps, res.Final)
+		fmt.Fprintf(out, "converged=%v steps=%d final=%v moves=%v\n",
+			res.Converged, res.Steps, res.Final, res.Moves)
 		return nil
 	}
 
@@ -136,4 +154,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "converged %d/%d  mean steps %.1f  max steps %d\n",
 		stats.Converged, stats.Runs, stats.MeanSteps, stats.MaxSteps)
 	return nil
+}
+
+// buildProtocol constructs a protocol family by CLI name.
+func buildProtocol(name string, p, k int) (sim.Protocol, error) {
+	switch name {
+	case "dijkstra3":
+		return sim.NewDijkstra3(p), nil
+	case "dijkstra4":
+		return sim.NewDijkstra4(p), nil
+	case "kstate":
+		return sim.NewKState(p, k), nil
+	case "newthree":
+		return sim.NewNewThree(p), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
 }

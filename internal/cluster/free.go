@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// resume is a pending un-stall for the free-running engine.
+type resume struct {
+	step int
+	node int
+}
+
+// runFree is the concurrent engine: nodes drive themselves, the
+// collector goroutine (this function) folds their move reports into
+// the Monitor, applies due faults, and decides when the episode ends.
+// "Step" here is the global count of executed moves — the only
+// cluster-wide clock a free-running system has.
+func runFree(ctx context.Context, opts Options, inj *injector, initial sim.Config) (*Result, error) {
+	proto := opts.Proto
+	procs := proto.Procs()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	reports := make(chan moveReport, 256)
+	nodes := make([]*node, procs)
+	for i := range nodes {
+		nodes[i] = newNode(i, proto, inj, nodeSeed(opts.Seed, i), initial[i])
+		nodes[i].reports = reports
+	}
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			n.freeLoop(runCtx)
+		}(n)
+	}
+	stop := func() {
+		cancel()
+		wg.Wait()
+	}
+
+	// tell sends a command without waiting for a reply; node command
+	// buffers absorb it even when the node is mid-report.
+	tell := func(i int, c command) {
+		select {
+		case nodes[i].cmds <- c:
+		case <-runCtx.Done():
+		}
+	}
+
+	mon := newMonitor(proto, initial, opts.RecordMoves)
+	pending := sortedSchedule(opts.Schedule)
+	var resumes []resume
+	movesPerNode := make([]int, procs)
+	moves := 0
+
+	for {
+		select {
+		case <-ctx.Done():
+			stop()
+			return nil, ctx.Err()
+		case r := <-reports:
+			moves++
+			inj.advance(moves)
+			movesPerNode[r.Node]++
+			mon.ObserveMove(moves, r.Node, r.Rule, r.Val)
+			for len(pending) > 0 && pending[0].Step <= moves {
+				f := pending[0]
+				pending = pending[1:]
+				switch f.Kind {
+				case FaultCorrupt:
+					if f.Val < 0 {
+						f.Val = rng.Intn(proto.Domain(f.Node))
+					}
+					tell(f.Node, command{kind: cmdCorrupt, val: f.Val})
+					mon.ObserveFault(moves, f, f.Val)
+				case FaultRestart:
+					tell(f.Node, command{kind: cmdRestart})
+					mon.ObserveFault(moves, f, 0)
+				case FaultStall:
+					tell(f.Node, command{kind: cmdStall})
+					resumes = append(resumes, resume{step: moves + f.Count, node: f.Node})
+					mon.ObserveFault(moves, f, 0)
+				default: // drop | dup | delay
+					inj.arm(f)
+					mon.ObserveFault(moves, f, 0)
+				}
+			}
+			keep := resumes[:0]
+			for _, rs := range resumes {
+				if rs.step <= moves {
+					tell(rs.node, command{kind: cmdResume})
+				} else {
+					keep = append(keep, rs)
+				}
+			}
+			resumes = keep
+			if opts.SnapshotEvery > 0 && moves%opts.SnapshotEvery == 0 {
+				mon.Snapshot(moves)
+			}
+			done := moves >= opts.MaxSteps ||
+				(opts.StopWhenStable && mon.Legitimate() && len(pending) == 0 && len(resumes) == 0)
+			if done {
+				stop()
+				mon.Finish(moves)
+				return assemble(opts, inj, mon, moves, moves, movesPerNode), nil
+			}
+		}
+	}
+}

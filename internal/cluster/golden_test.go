@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenEventStream pins the JSON event stream of the seeded
+// in-proc fault episode byte-for-byte, the way the lint-demo golden
+// test pins the analyzer's diagnostic set: any change to the event
+// shapes, the monitor's transition logic, the scheduler's seeding, or
+// the fault model shows up as a diff here.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/cluster -run TestGoldenEventStream -update
+func TestGoldenEventStream(t *testing.T) {
+	opts, start := faultEpisode()
+	res, err := Run(context.Background(), opts, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(res.Events, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "cluster_events.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("event stream diverged from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Event is one structured convergence event from the online Monitor.
+// The stream is the runtime's observable story of a run: faults as
+// they are applied, legitimacy transitions as the global snapshot view
+// crosses the legitimate region's boundary, and periodic token-count
+// snapshots (tokens-over-time).
+type Event struct {
+	// Step is the scheduler step the event was observed at.
+	Step int `json:"step"`
+	// Kind is one of "start", "move", "fault", "destabilized",
+	// "stabilized", "snapshot", "finish".
+	Kind string `json:"kind"`
+	// Node is the process a move/fault targets; -1 on events that are
+	// not node-specific (kept explicit so node 0 is unambiguous).
+	Node int `json:"node"`
+	// Rule names the guarded command behind a move event.
+	Rule string `json:"rule,omitempty"`
+	// Fault renders the applied fault in schedule syntax.
+	Fault string `json:"fault,omitempty"`
+	// Tokens is the privilege count of the monitor's view.
+	Tokens int `json:"tokens"`
+	// Config is the monitor's view, included on start / snapshot /
+	// stabilized / finish events.
+	Config []int `json:"config,omitempty"`
+	// After is the number of steps between losing and regaining
+	// legitimacy (stabilized events only).
+	After int `json:"after,omitempty"`
+}
+
+// Stabilization records one convergence episode: the view left the
+// legitimate region at BrokenAt (0 for a perturbed start) and returned
+// to it at StableAt.
+type Stabilization struct {
+	BrokenAt int `json:"broken_at"`
+	StableAt int `json:"stable_at"`
+	Steps    int `json:"steps"`
+}
+
+// Monitor watches a cluster run online. It maintains a global snapshot
+// view of the true register values (fed by the engines from move
+// reports and applied state faults — not from the lossy messages), and
+// emits structured convergence events. It also records the view
+// sequence in a trace.Recorder so runs can be classified with the
+// sequence relations of internal/trace.
+//
+// Monitor is not goroutine-safe; the stepped engine calls it from the
+// scheduler loop and the free-running engine from its single collector
+// goroutine.
+type Monitor struct {
+	proto       sim.Protocol
+	view        sim.Config
+	legit       bool
+	brokenAt    int
+	events      []Event
+	stabs       []Stabilization
+	recordMoves bool
+
+	rec    trace.Recorder
+	radix  []int
+	encode bool // state space small enough to encode into ints
+}
+
+// newMonitor starts monitoring from the initial configuration,
+// emitting the "start" event.
+func newMonitor(p sim.Protocol, initial sim.Config, recordMoves bool) *Monitor {
+	m := &Monitor{proto: p, view: initial.Clone(), recordMoves: recordMoves}
+	m.radix = make([]int, p.Procs())
+	size := 1
+	m.encode = true
+	for i := range m.radix {
+		m.radix[i] = p.Domain(i)
+		if size > (1<<31)/m.radix[i] {
+			m.encode = false
+		} else {
+			size *= m.radix[i]
+		}
+	}
+	m.legit = p.Legitimate(m.view)
+	m.observeState()
+	ev := Event{Step: 0, Kind: "start", Node: -1, Tokens: sim.TokenCount(p, m.view), Config: m.view.Clone()}
+	m.events = append(m.events, ev)
+	return m
+}
+
+// observeState records the current view in the trace recorder.
+func (m *Monitor) observeState() {
+	if !m.encode {
+		return
+	}
+	s := 0
+	for i, v := range m.view {
+		s = s*m.radix[i] + v
+	}
+	m.rec.Observe(s)
+}
+
+// checkTransition emits destabilized/stabilized events when the view
+// crosses the legitimacy boundary.
+func (m *Monitor) checkTransition(step int) {
+	now := m.proto.Legitimate(m.view)
+	tokens := sim.TokenCount(m.proto, m.view)
+	switch {
+	case now && !m.legit:
+		m.legit = true
+		stab := Stabilization{BrokenAt: m.brokenAt, StableAt: step, Steps: step - m.brokenAt}
+		m.stabs = append(m.stabs, stab)
+		m.events = append(m.events, Event{Step: step, Kind: "stabilized", Node: -1,
+			Tokens: tokens, Config: m.view.Clone(), After: stab.Steps})
+	case !now && m.legit:
+		m.legit = false
+		m.brokenAt = step
+		m.events = append(m.events, Event{Step: step, Kind: "destabilized", Node: -1, Tokens: tokens})
+	}
+}
+
+// ObserveMove folds one executed move into the view.
+func (m *Monitor) ObserveMove(step, node int, rule string, val int) {
+	m.view[node] = val
+	m.observeState()
+	if m.recordMoves {
+		m.events = append(m.events, Event{Step: step, Kind: "move", Node: node, Rule: rule,
+			Tokens: sim.TokenCount(m.proto, m.view)})
+	}
+	m.checkTransition(step)
+}
+
+// ObserveFault records an applied fault. For state faults (corrupt,
+// restart) val is the register value the fault wrote and the view is
+// updated; link and stall faults leave the view untouched.
+func (m *Monitor) ObserveFault(step int, f Fault, val int) {
+	switch f.Kind {
+	case FaultCorrupt, FaultRestart:
+		m.view[f.Node] = val
+		m.observeState()
+	}
+	m.events = append(m.events, Event{Step: step, Kind: "fault", Node: f.Node, Fault: f.String(),
+		Tokens: sim.TokenCount(m.proto, m.view)})
+	m.checkTransition(step)
+}
+
+// Snapshot emits a periodic tokens-over-time event.
+func (m *Monitor) Snapshot(step int) {
+	m.events = append(m.events, Event{Step: step, Kind: "snapshot", Node: -1,
+		Tokens: sim.TokenCount(m.proto, m.view), Config: m.view.Clone()})
+}
+
+// Finish closes the stream.
+func (m *Monitor) Finish(step int) {
+	m.events = append(m.events, Event{Step: step, Kind: "finish", Node: -1,
+		Tokens: sim.TokenCount(m.proto, m.view), Config: m.view.Clone()})
+}
+
+// Legitimate reports whether the current view is in the legitimate
+// region.
+func (m *Monitor) Legitimate() bool { return m.legit }
+
+// Events returns the event stream recorded so far.
+func (m *Monitor) Events() []Event { return m.events }
+
+// Stabilizations returns the completed convergence episodes.
+func (m *Monitor) Stabilizations() []Stabilization { return m.stabs }
+
+// View returns a copy of the monitor's global snapshot view.
+func (m *Monitor) View() sim.Config { return m.view.Clone() }
+
+// ViewTrace returns the recorded view sequence as encoded states
+// (mixed-radix over the register domains), or nil when the state space
+// is too large to encode. trace.Destutter and the other relations of
+// internal/trace apply directly.
+func (m *Monitor) ViewTrace() []int {
+	if !m.encode {
+		return nil
+	}
+	return m.rec.Seq()
+}

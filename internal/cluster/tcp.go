@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrameBytes bounds one wire frame; state messages are tiny, so
+// anything larger is a corrupt or hostile peer.
+const maxFrameBytes = 1 << 16
+
+// TCPTransport connects the ring over real sockets: one net.Listener
+// per node on 127.0.0.1, length-prefixed JSON frames, lazily dialed
+// persistent outbound connections. Nodes sharing this process is a
+// convenience for tests — the wire protocol carries everything, so the
+// same frames would cross OS processes (or hosts) unchanged.
+//
+// TCP delivery crosses socket buffers and reader goroutines, so the
+// transport is not stepped: episodes over it free-run.
+type TCPTransport struct {
+	listeners []net.Listener
+	addrs     []string
+	inboxes   []chan Message
+
+	mu    sync.Mutex
+	conns map[int]*outConn
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// outConn is one outbound connection with its write lock (several
+// nodes in this process may share the path to one destination).
+type outConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCPTransport listens on procs loopback ports and starts the
+// accept/reader goroutines. Close releases everything.
+func NewTCPTransport(procs int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		listeners: make([]net.Listener, procs),
+		addrs:     make([]string, procs),
+		inboxes:   make([]chan Message, procs),
+		conns:     make(map[int]*outConn),
+		done:      make(chan struct{}),
+	}
+	for i := 0; i < procs; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("cluster: listen for node %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.inboxes[i] = make(chan Message, chanInboxDepth)
+		t.wg.Add(1)
+		go t.accept(i, ln)
+	}
+	return t, nil
+}
+
+// Name implements Transport.
+func (t *TCPTransport) Name() string { return "tcp" }
+
+// Procs implements Transport.
+func (t *TCPTransport) Procs() int { return len(t.inboxes) }
+
+// Addr returns the listen address of node i (useful for logs and for
+// wiring rings that span processes).
+func (t *TCPTransport) Addr(i int) string { return t.addrs[i] }
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(node int) <-chan Message { return t.inboxes[node] }
+
+// accept runs one node's listener.
+func (t *TCPTransport) accept(node int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(node, c)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the node's
+// inbox. A full inbox drops the frame — the lossy-fabric contract.
+func (t *TCPTransport) readLoop(node int, c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrameBytes {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		var m Message
+		if err := json.Unmarshal(buf, &m); err != nil {
+			return
+		}
+		select {
+		case t.inboxes[node] <- m:
+		case <-t.done:
+			return
+		default:
+		}
+	}
+}
+
+// conn returns (dialing if needed) the outbound connection to node to.
+func (t *TCPTransport) conn(to int) (*outConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if oc, ok := t.conns[to]; ok {
+		return oc, nil
+	}
+	select {
+	case <-t.done:
+		return nil, fmt.Errorf("cluster: transport closed")
+	default:
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, err
+	}
+	oc := &outConn{c: c}
+	t.conns[to] = oc
+	return oc, nil
+}
+
+// Send implements Transport: marshal, frame, write. A failed write
+// tears the connection down so the next Send redials; the message is
+// lost, which the protocols tolerate.
+func (t *TCPTransport) Send(m Message) error {
+	if m.To < 0 || m.To >= len(t.addrs) {
+		return fmt.Errorf("cluster: send to node %d of %d", m.To, len(t.addrs))
+	}
+	oc, err := t.conn(m.To)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	oc.mu.Lock()
+	_, werr := oc.c.Write(frame)
+	oc.mu.Unlock()
+	if werr != nil {
+		t.mu.Lock()
+		if t.conns[m.To] == oc {
+			delete(t.conns, m.To)
+		}
+		t.mu.Unlock()
+		_ = oc.c.Close()
+	}
+	return werr
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		return nil
+	default:
+		close(t.done)
+	}
+	conns := t.conns
+	t.conns = map[int]*outConn{}
+	t.mu.Unlock()
+	for _, ln := range t.listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+	for _, oc := range conns {
+		_ = oc.c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

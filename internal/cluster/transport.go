@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Message is one neighbor-state announcement: node From tells node To
+// the current value of From's register. It is the *only* thing nodes
+// exchange — there is no shared memory in this runtime, so a node's
+// knowledge of its neighbors is exactly the messages it has received.
+type Message struct {
+	// From and To are ring process indices.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Val is From's register value at send time.
+	Val int `json:"val"`
+	// Seq is From's per-sender sequence number (monotone; duplicates
+	// injected by the fault layer share the original's Seq).
+	Seq int `json:"seq"`
+	// Probe asks the receiver to announce its own current value back to
+	// From unconditionally. Restarted nodes use it to refill their
+	// neighbor views, since neighbors only announce on change.
+	Probe bool `json:"probe,omitempty"`
+}
+
+// Transport moves Messages between the nodes of one cluster. Send must
+// be safe for concurrent use; Recv(i) returns node i's inbox channel.
+// A Transport is a lossy datagram fabric by contract: Send may drop a
+// message (full inbox, broken connection) without error — the protocols
+// under test are self-stabilizing and must tolerate it.
+type Transport interface {
+	// Name identifies the transport in reports ("chan", "tcp").
+	Name() string
+	// Procs returns the number of nodes the transport connects.
+	Procs() int
+	// Send delivers (or drops) one message.
+	Send(m Message) error
+	// Recv returns the inbox channel of node i.
+	Recv(node int) <-chan Message
+	// Close releases listeners, connections, and reader goroutines.
+	Close() error
+}
+
+// stepped marks transports whose Send enqueues synchronously into the
+// destination inbox, so a seeded single-threaded scheduler over them is
+// deterministic. The TCP transport is not stepped: delivery crosses
+// socket buffers and reader goroutines.
+type stepped interface {
+	stepped()
+}
+
+// chanInboxDepth bounds each in-proc inbox. Ring nodes announce to two
+// neighbors and drain their inbox on every activation, so the steady
+// state is a handful of messages; the depth only matters under
+// injected delay faults releasing bursts.
+const chanInboxDepth = 1024
+
+// ChanTransport is the in-process transport: one buffered channel per
+// node. It is deterministic under the stepped engine (Send completes
+// delivery before returning) and is the default for `ringsim cluster`
+// and the checkd /v1/cluster endpoint.
+type ChanTransport struct {
+	inboxes []chan Message
+	dropped atomic.Int64
+}
+
+// NewChanTransport builds the in-proc fabric for procs nodes.
+func NewChanTransport(procs int) *ChanTransport {
+	t := &ChanTransport{inboxes: make([]chan Message, procs)}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Message, chanInboxDepth)
+	}
+	return t
+}
+
+// Name implements Transport.
+func (t *ChanTransport) Name() string { return "chan" }
+
+// Procs implements Transport.
+func (t *ChanTransport) Procs() int { return len(t.inboxes) }
+
+// Send implements Transport. A full inbox drops the message (counted),
+// matching the lossy-fabric contract instead of deadlocking the
+// scheduler.
+func (t *ChanTransport) Send(m Message) error {
+	if m.To < 0 || m.To >= len(t.inboxes) {
+		return fmt.Errorf("cluster: send to node %d of %d", m.To, len(t.inboxes))
+	}
+	select {
+	case t.inboxes[m.To] <- m:
+	default:
+		t.dropped.Add(1)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(node int) <-chan Message { return t.inboxes[node] }
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error { return nil }
+
+// Dropped reports messages discarded on full inboxes.
+func (t *ChanTransport) Dropped() int64 { return t.dropped.Load() }
+
+func (t *ChanTransport) stepped() {}

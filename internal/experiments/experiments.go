@@ -1,6 +1,6 @@
 // Package experiments regenerates every result of the paper as a
 // structured report: one experiment per figure, listing, lemma, and
-// theorem (E1–E13, indexed in DESIGN.md) plus two extension experiments (E14–E15). The cmd/experiments binary
+// theorem (E1–E13, indexed in DESIGN.md) plus three extension experiments (E14–E16). The cmd/experiments binary
 // prints the reports, the repository benchmarks time them, and
 // EXPERIMENTS.md records their output. Each row carries an expectation:
 // a row "passes" when the mechanized outcome matches the recorded
@@ -25,7 +25,7 @@ type Row struct {
 
 // Report is one experiment's outcome.
 type Report struct {
-	// ID is the experiment index (E1..E15).
+	// ID is the experiment index (E1..E16).
 	ID string
 	// Title summarizes the experiment.
 	Title string
@@ -93,5 +93,6 @@ func All() []func() *Report {
 		E13RefinementHierarchy,
 		E14SynchronousDaemon,
 		E15FairDaemon,
+		E16ClusterRecovery,
 	}
 }

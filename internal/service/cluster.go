@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service/cache"
+	"repro/internal/sim"
+)
+
+const kindCluster = "cluster"
+
+// cluster admission bounds. Every process is a live goroutine and every
+// step a scheduler round-trip, so the caps are far below ringsim's: a
+// cluster request simulates one episode in real actor machinery, not a
+// batch of array updates.
+const (
+	maxClusterProcs    = 512
+	maxClusterSteps    = 1_000_000
+	maxClusterSchedule = 256
+)
+
+// ClusterRequest is the body of POST /v1/cluster: one episode of the
+// message-passing runtime (internal/cluster) over the deterministic
+// in-proc transport, mirroring `ringsim cluster`'s flags.
+type ClusterRequest struct {
+	Family string `json:"family"`      // dijkstra3 | dijkstra4 | kstate | newthree
+	Procs  int    `json:"procs"`       // number of processes (≥ 3)
+	K      int    `json:"k,omitempty"` // kstate only; default procs
+	Seed   int64  `json:"seed,omitempty"`
+	// Faults is the number of registers corrupted in the initial
+	// configuration (0 = start from the legitimate configuration).
+	Faults int `json:"faults,omitempty"`
+	// Steps is the scheduler step budget (default 10000).
+	Steps int `json:"steps,omitempty"`
+	// Schedule is a fault schedule in the cluster syntax, e.g.
+	// "corrupt@40:node=1,val=0; drop@60:from=2,to=3,count=2".
+	Schedule string `json:"schedule,omitempty"`
+	// SnapshotEvery emits a tokens-over-time snapshot event every N
+	// steps (0 = none).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// RecordMoves adds one event per executed move to the stream.
+	RecordMoves bool  `json:"record_moves,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+}
+
+// ClusterResponse is the episode's result: the cluster.Result fields
+// plus the derived start configuration and the cache envelope.
+type ClusterResponse struct {
+	Protocol       string                  `json:"protocol"`
+	Transport      string                  `json:"transport"`
+	Procs          int                     `json:"procs"`
+	Seed           int64                   `json:"seed"`
+	Start          []int                   `json:"start"`
+	Steps          int                     `json:"steps"`
+	Moves          int                     `json:"moves"`
+	Converged      bool                    `json:"converged"`
+	Final          []int                   `json:"final"`
+	Stabilizations []cluster.Stabilization `json:"stabilizations,omitempty"`
+	MovesPerNode   []int                   `json:"moves_per_node"`
+	Links          []cluster.LinkStats     `json:"links,omitempty"`
+	Events         []cluster.Event         `json:"events"`
+	Cached         bool                    `json:"cached"`
+	ElapsedUS      int64                   `json:"elapsed_us"`
+}
+
+func (r ClusterResponse) asCached(elapsed time.Duration) any {
+	r.Cached = true
+	r.ElapsedUS = elapsed.Microseconds()
+	return r
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.metrics.requests[kindCluster].Add(1)
+	var req ClusterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	if req.Steps == 0 {
+		req.Steps = 10_000
+	}
+	if req.Procs < 3 || req.Procs > maxClusterProcs {
+		s.writeComputeError(w, badRequest("procs must be in [3, %d], got %d", maxClusterProcs, req.Procs))
+		return
+	}
+	if req.K == 0 {
+		req.K = req.Procs
+	}
+	if req.K < 1 {
+		s.writeComputeError(w, badRequest("k must be ≥ 1, got %d", req.K))
+		return
+	}
+	if req.Steps < 1 || req.Steps > maxClusterSteps {
+		s.writeComputeError(w, badRequest("steps must be in [1, %d], got %d", maxClusterSteps, req.Steps))
+		return
+	}
+	if req.Faults < 0 || req.Faults > req.Procs {
+		s.writeComputeError(w, badRequest("faults must be in [0, procs], got %d", req.Faults))
+		return
+	}
+	if req.SnapshotEvery < 0 {
+		s.writeComputeError(w, badRequest("snapshot_every must be ≥ 0, got %d", req.SnapshotEvery))
+		return
+	}
+
+	var proto sim.Protocol
+	switch req.Family {
+	case "dijkstra3":
+		proto = sim.NewDijkstra3(req.Procs)
+	case "dijkstra4":
+		proto = sim.NewDijkstra4(req.Procs)
+	case "kstate":
+		proto = sim.NewKState(req.Procs, req.K)
+	case "newthree":
+		proto = sim.NewNewThree(req.Procs)
+	default:
+		s.writeComputeError(w, badRequest("unknown family %q (want dijkstra3 | dijkstra4 | kstate | newthree)", req.Family))
+		return
+	}
+	sched, err := cluster.ParseSchedule(req.Schedule)
+	if err != nil {
+		s.writeComputeError(w, badRequest("schedule: %v", err))
+		return
+	}
+	if len(sched) > maxClusterSchedule {
+		s.writeComputeError(w, badRequest("schedule has %d entries, above the limit of %d",
+			len(sched), maxClusterSchedule))
+		return
+	}
+	if err := cluster.ValidateSchedule(proto, sched); err != nil {
+		s.writeComputeError(w, badRequest("schedule: %v", err))
+		return
+	}
+
+	// An in-proc episode is a pure function of its parameters (the
+	// stepped engine is deterministic), so the verdict cache applies.
+	// The schedule is keyed in canonical form: parse-equivalent texts
+	// share an entry.
+	canon := make([]string, len(sched))
+	for i, f := range sched {
+		canon[i] = f.String()
+	}
+	key := cache.Key(kindCluster, req.Family,
+		fmt.Sprint(req.Procs), fmt.Sprint(req.K), fmt.Sprint(req.Seed),
+		fmt.Sprint(req.Faults), fmt.Sprint(req.Steps),
+		strings.Join(canon, ";"),
+		fmt.Sprint(req.SnapshotEvery), fmt.Sprint(req.RecordMoves))
+	if s.serveFromCache(w, key, started) {
+		return
+	}
+	s.execute(w, r, kindCluster, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		legit, err := sim.LegitimateConfig(proto)
+		if err != nil {
+			return nil, badRequest("family: %v", err)
+		}
+		start := sim.Corrupt(proto, legit, req.Faults, rand.New(rand.NewSource(req.Seed)))
+		res, err := cluster.Run(ctx, cluster.Options{
+			Proto:          proto,
+			Seed:           req.Seed,
+			MaxSteps:       req.Steps,
+			Schedule:       sched,
+			SnapshotEvery:  req.SnapshotEvery,
+			RecordMoves:    req.RecordMoves,
+			StopWhenStable: true,
+		}, start)
+		if err != nil {
+			return nil, err
+		}
+		return ClusterResponse{
+			Protocol:       res.Protocol,
+			Transport:      res.Transport,
+			Procs:          res.Procs,
+			Seed:           res.Seed,
+			Start:          start,
+			Steps:          res.Steps,
+			Moves:          res.Moves,
+			Converged:      res.Converged,
+			Final:          res.Final,
+			Stabilizations: res.Stabilizations,
+			MovesPerNode:   res.MovesPerNode,
+			Links:          res.Links,
+			Events:         res.Events,
+			ElapsedUS:      time.Since(started).Microseconds(),
+		}, nil
+	})
+}

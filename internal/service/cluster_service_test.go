@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestServiceCluster submits the golden fault episode over HTTP: the
+// run converges, records both stabilizations (perturbed start and the
+// injected corruption), and an identical resubmission is answered from
+// the verdict cache.
+func TestServiceCluster(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	req := ClusterRequest{Family: "dijkstra3", Procs: 5, Seed: 6, Steps: 2000,
+		Schedule: "corrupt@40:node=1,val=0", SnapshotEvery: 20}
+	resp, body := postJSON(t, ts.URL+"/v1/cluster", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ClusterResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Converged {
+		t.Fatalf("episode did not converge: %s", body)
+	}
+	if got.Transport != "chan" {
+		t.Fatalf("transport %q, want chan", got.Transport)
+	}
+	if len(got.Stabilizations) == 0 {
+		t.Fatalf("no stabilizations recorded: %s", body)
+	}
+	sawFault := false
+	for _, ev := range got.Events {
+		if ev.Kind == "fault" && ev.Node == 1 {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatalf("fault event missing from stream: %s", body)
+	}
+	if got.Cached {
+		t.Fatal("first submission cannot be cached")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/cluster", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var again ClusterResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("identical episode not served from cache: %s", body)
+	}
+	if again.Steps != got.Steps || again.Moves != got.Moves {
+		t.Fatalf("cached result diverges: %+v vs %+v", again, got)
+	}
+}
+
+// TestServiceClusterBadRequests: malformed parameters and schedules are
+// client errors, rejected before a worker is committed.
+func TestServiceClusterBadRequests(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  ClusterRequest
+	}{
+		{"unknown family", ClusterRequest{Family: "nope", Procs: 5}},
+		{"too few procs", ClusterRequest{Family: "dijkstra3", Procs: 2}},
+		{"too many procs", ClusterRequest{Family: "dijkstra3", Procs: maxClusterProcs + 1}},
+		{"negative steps", ClusterRequest{Family: "dijkstra3", Procs: 5, Steps: -1}},
+		{"negative faults", ClusterRequest{Family: "dijkstra3", Procs: 5, Faults: -1}},
+		{"faults above procs", ClusterRequest{Family: "dijkstra3", Procs: 5, Faults: 6}},
+		{"negative snapshot", ClusterRequest{Family: "dijkstra3", Procs: 5, SnapshotEvery: -1}},
+		{"bad schedule syntax", ClusterRequest{Family: "dijkstra3", Procs: 5, Schedule: "meteor@9"}},
+		{"schedule node out of range", ClusterRequest{Family: "dijkstra3", Procs: 5, Schedule: "corrupt@10:node=7"}},
+		{"bad kstate domain", ClusterRequest{Family: "kstate", Procs: 5, K: -1}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/cluster", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+	}
+	snap := fetchMetrics(t, ts.URL)
+	if snap.Responses.BadRequest != int64(len(cases)) {
+		t.Fatalf("bad-request counter = %d, want %d", snap.Responses.BadRequest, len(cases))
+	}
+}
+
+// TestServiceClusterOverflow mirrors TestServiceOverflow for the
+// cluster endpoint: with the single worker and the one queue slot held,
+// the next episode is rejected with 429 instead of queuing unboundedly.
+func TestServiceClusterOverflow(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: 16})
+	gate := make(chan struct{})
+	svc.gate = gate
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer release()
+
+	// Distinct seeds keep the held requests from colliding in the cache.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/cluster",
+				ClusterRequest{Family: "dijkstra3", Procs: 4, Seed: int64(i), Faults: 2, TimeoutMS: 30_000})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("held request %d finished with %d", i, resp.StatusCode)
+			}
+		}(i)
+		if i == 0 {
+			waitFor(t, func() bool { return svc.pool.inFlight.Load() == 1 })
+		} else {
+			waitFor(t, func() bool { return svc.pool.depth.Load() == 1 })
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/cluster",
+		ClusterRequest{Family: "dijkstra3", Procs: 4, Seed: 99, Faults: 2, TimeoutMS: 30_000})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+
+	release()
+	wg.Wait()
+
+	snap := fetchMetrics(t, ts.URL)
+	if snap.Responses.Overload == 0 {
+		t.Fatal("overload counter did not increment")
+	}
+}
+
+// TestServiceClusterTimeout mirrors TestServiceTimeout: a cluster
+// request with a tiny deadline behind a held worker gets a prompt 504 —
+// the episode's context is cancelled, it does not burn the budget.
+func TestServiceClusterTimeout(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 8, CacheEntries: 16})
+	gate := make(chan struct{})
+	svc.gate = gate
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer release()
+
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		postJSON(t, ts.URL+"/v1/cluster",
+			ClusterRequest{Family: "dijkstra3", Procs: 4, Seed: 1, Faults: 2, TimeoutMS: 30_000})
+	}()
+	waitFor(t, func() bool { return svc.pool.inFlight.Load() == 1 })
+
+	resp, body := postJSON(t, ts.URL+"/v1/cluster",
+		ClusterRequest{Family: "dijkstra3", Procs: 4, Seed: 2, Faults: 2, TimeoutMS: 50})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("timeout error body malformed: %s", body)
+	}
+
+	release()
+	<-blockerDone
+
+	snap := fetchMetrics(t, ts.URL)
+	if snap.Responses.Timeout == 0 {
+		t.Fatal("timeout counter did not increment")
+	}
+}

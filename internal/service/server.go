@@ -1,8 +1,9 @@
 // Package service is checkd: a long-running HTTP/JSON verification
 // daemon over the repository's decision procedures. It exposes the gclc
 // verdict battery (POST /v1/selfstab, POST /v1/refine), the ring
-// simulator (POST /v1/ringsim), the static analyzer (POST /v1/lint),
-// and operational endpoints (GET /healthz, GET /metrics).
+// simulator (POST /v1/ringsim), the message-passing cluster runtime
+// (POST /v1/cluster), the static analyzer (POST /v1/lint), and
+// operational endpoints (GET /healthz, GET /metrics).
 //
 // Three layers sit under the handlers:
 //
@@ -103,13 +104,14 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		cache:   cache.New(cfg.CacheEntries),
-		metrics: newMetrics(kindSelfStab, kindRefine, kindRingsim, kindLint),
+		metrics: newMetrics(kindSelfStab, kindRefine, kindRingsim, kindCluster, kindLint),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/selfstab", s.handleSelfStab)
 	s.mux.HandleFunc("POST /v1/refine", s.handleRefine)
 	s.mux.HandleFunc("POST /v1/ringsim", s.handleRingsim)
+	s.mux.HandleFunc("POST /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /lint", s.handleLint) // unversioned alias
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 )
@@ -15,6 +16,10 @@ type LiveResult struct {
 	Steps int
 	// Final is the configuration at stop time.
 	Final Config
+	// Moves counts executed moves per process over the whole run
+	// (including steps after convergence when RunAfterConvergence is
+	// set).
+	Moves []int
 }
 
 // LiveRing executes a protocol with one goroutine per process. Each
@@ -24,14 +29,28 @@ type LiveResult struct {
 // non-deterministic but serial (central-daemon) scheduler, since moves are
 // mutually exclusive under the configuration lock.
 //
+// When a process has several enabled moves it picks one with its own
+// seeded RNG — always taking the first would silently bias the schedule
+// toward "up" rules and away from the move interleavings the model
+// checker quantifies over.
+//
 // This is the repository's "real" concurrent ring — the model checker
 // proves stabilization over all schedules, and LiveRing demonstrates it on
-// an actual scheduler.
+// an actual scheduler. internal/cluster goes one step further and drops
+// the shared configuration entirely in favor of message passing.
 type LiveRing struct {
 	// Proto is the protocol to run.
 	Proto Protocol
 	// MaxSteps bounds the total number of moves (required, > 0).
 	MaxSteps int
+	// Seed drives each process's move choice (process i uses a source
+	// derived from Seed and i).
+	Seed int64
+	// RunAfterConvergence keeps the ring running (and counting moves)
+	// for the remaining budget after legitimacy is reached — in the
+	// legitimate region the token keeps circulating, so this is how
+	// every process gets to move.
+	RunAfterConvergence bool
 }
 
 // Run executes from initial until legitimacy or the step budget, blocking
@@ -46,14 +65,19 @@ func (lr *LiveRing) Run(initial Config) (*LiveResult, error) {
 
 	procs := lr.Proto.Procs()
 	var (
-		mu     sync.Mutex
-		cur    = initial.Clone()
-		steps  int
-		done   bool
-		result LiveResult
+		mu           sync.Mutex
+		cur          = initial.Clone()
+		steps        int
+		stepsToLegit int
+		converged    bool
+		done         bool
+		moveCount    = make([]int, procs)
 	)
 	if lr.Proto.Legitimate(cur) {
-		return &LiveResult{Converged: true, Steps: 0, Final: cur}, nil
+		converged = true
+		if !lr.RunAfterConvergence {
+			return &LiveResult{Converged: true, Steps: 0, Final: cur, Moves: moveCount}, nil
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -61,6 +85,7 @@ func (lr *LiveRing) Run(initial Config) (*LiveResult, error) {
 	for i := 0; i < procs; i++ {
 		go func(i int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(lr.Seed + int64(i)*7919 + 1))
 			left := (i - 1 + procs) % procs
 			right := (i + 1) % procs
 			for {
@@ -71,14 +96,16 @@ func (lr *LiveRing) Run(initial Config) (*LiveResult, error) {
 				}
 				moves := lr.Proto.Moves(i, cur[left], cur[i], cur[right])
 				if len(moves) > 0 {
-					cur[i] = moves[0].NewVal
+					m := moves[rng.Intn(len(moves))]
+					cur[i] = m.NewVal
 					steps++
-					if lr.Proto.Legitimate(cur) {
+					moveCount[i]++
+					if !converged && lr.Proto.Legitimate(cur) {
+						converged = true
+						stepsToLegit = steps
+					}
+					if (converged && !lr.RunAfterConvergence) || steps >= lr.MaxSteps {
 						done = true
-						result = LiveResult{Converged: true, Steps: steps, Final: cur.Clone()}
-					} else if steps >= lr.MaxSteps {
-						done = true
-						result = LiveResult{Converged: false, Steps: steps, Final: cur.Clone()}
 					}
 				}
 				mu.Unlock()
@@ -90,5 +117,12 @@ func (lr *LiveRing) Run(initial Config) (*LiveResult, error) {
 		}(i)
 	}
 	wg.Wait()
-	return &result, nil
+
+	res := &LiveResult{Converged: converged, Final: cur, Moves: moveCount}
+	if converged {
+		res.Steps = stepsToLegit
+	} else {
+		res.Steps = steps
+	}
+	return res, nil
 }
