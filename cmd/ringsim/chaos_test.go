@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster/chaos"
+)
+
+func chaosArgs(extra ...string) []string {
+	base := []string{"chaos", "-protocol", "dijkstra3", "-p", "5", "-seed", "7",
+		"-episodes", "4", "-steps", "4000", "-kinds", "corrupt,restart,partition", "-faults", "3"}
+	return append(base, extra...)
+}
+
+// TestRunChaos runs a small campaign end to end and checks the JSON
+// report shape.
+func TestRunChaos(t *testing.T) {
+	var b strings.Builder
+	if err := run(chaosArgs(), &b); err != nil {
+		t.Fatal(err)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("output is not a report: %v\n%s", err, b.String())
+	}
+	if !rep.Pass || rep.Passed != 4 || rep.Transport != "chan" {
+		t.Fatalf("campaign %+v", rep)
+	}
+	if rep.MTTR.N == 0 || len(rep.Kinds) == 0 {
+		t.Fatalf("summary empty: mttr=%+v kinds=%v", rep.MTTR, rep.Kinds)
+	}
+}
+
+// TestRunChaosDeterministic is the reproducibility acceptance check at
+// the CLI level: the same seeded invocation prints byte-identical JSON.
+func TestRunChaosDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(chaosArgs(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(chaosArgs(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different reports:\n%s\n%s", a.String(), b.String())
+	}
+	var c strings.Builder
+	if err := run(chaosArgs("-seed", "8"), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.String() == a.String() {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestRunChaosSLOExit is the violation acceptance check: with the
+// recovery budget deliberately set below the measured worst case, the
+// command still prints the report but returns an error (non-zero exit).
+func TestRunChaosSLOExit(t *testing.T) {
+	var probe strings.Builder
+	if err := run(chaosArgs(), &probe); err != nil {
+		t.Fatal(err)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal([]byte(probe.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.MTTR.Max < 2 {
+		t.Fatalf("campaign too tame for the violation check: %+v", rep.MTTR)
+	}
+	var b strings.Builder
+	err := run(chaosArgs("-recovery-slo", strconv.Itoa(rep.MTTR.Max-1)), &b)
+	if err == nil {
+		t.Fatal("budget below measured worst case but exit was clean")
+	}
+	if !strings.Contains(err.Error(), "SLO violated") {
+		t.Fatalf("error %q does not name the SLO", err)
+	}
+	if !strings.Contains(b.String(), "violations") {
+		t.Fatalf("report does not carry violations:\n%s", b.String())
+	}
+}
+
+// TestRunChaosSweep: a comma-separated gap list runs one campaign per
+// gap and reports them together.
+func TestRunChaosSweep(t *testing.T) {
+	var b strings.Builder
+	if err := run(chaosArgs("-gap", "60,30"), &b); err != nil {
+		t.Fatal(err)
+	}
+	var sw chaos.SweepReport
+	if err := json.Unmarshal([]byte(b.String()), &sw); err != nil {
+		t.Fatalf("output is not a sweep report: %v\n%s", err, b.String())
+	}
+	if len(sw.Configs) != 2 || !sw.Pass {
+		t.Fatalf("sweep %+v", sw)
+	}
+	if !strings.Contains(sw.Configs[0].Template, "gap=60") || !strings.Contains(sw.Configs[1].Template, "gap=30") {
+		t.Fatalf("sweep templates wrong: %q %q", sw.Configs[0].Template, sw.Configs[1].Template)
+	}
+}
+
+func TestRunChaosErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"too few processes", []string{"chaos", "-p", "2"}, "-p"},
+		{"unknown transport", chaosArgs("-transport", "pigeon"), "-transport"},
+		{"unknown kind", chaosArgs("-kinds", "corrupt,melt"), "unknown fault kind"},
+		{"bad gap", chaosArgs("-gap", "x"), "-gap"},
+		{"no cut duration", chaosArgs("-cut-duration", "0"), "cut duration"},
+		{"unknown protocol", []string{"chaos", "-protocol", "nope"}, "unknown protocol"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			err := run(tc.args, &b)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

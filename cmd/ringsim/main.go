@@ -7,10 +7,13 @@
 //	ringsim -protocol kstate -p 6 -k 6 -daemon roundrobin -trace
 //	ringsim -protocol dijkstra4 -p 7 -live
 //	ringsim cluster -protocol dijkstra3 -p 5 -schedule "corrupt@40:node=1"
+//	ringsim chaos -protocol dijkstra3 -p 5 -episodes 20 -recovery-slo 400
 //
 // The cluster subcommand runs the message-passing runtime
-// (internal/cluster) instead of the shared-memory simulator; see
-// `ringsim cluster -h`.
+// (internal/cluster) instead of the shared-memory simulator; the chaos
+// subcommand runs a seeded campaign of fault episodes judged against a
+// recovery SLO, exiting non-zero on violation. See `ringsim cluster -h`
+// and `ringsim chaos -h`.
 package main
 
 import (
@@ -33,6 +36,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	if len(args) > 0 && args[0] == "cluster" {
 		return runCluster(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "chaos" {
+		return runChaos(args[1:], out)
 	}
 	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
 	fs.SetOutput(out)

@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func baseOptions() Options {
+	return Options{
+		Proto:    sim.NewDijkstra3(5),
+		Seed:     42,
+		Episodes: 6,
+		MaxSteps: 5000,
+		Template: Template{
+			Kinds:       []cluster.FaultKind{cluster.FaultCorrupt, cluster.FaultRestart, cluster.FaultPartition, cluster.FaultIsolate},
+			Faults:      4,
+			Gap:         60,
+			Start:       30,
+			CutDuration: 40,
+		},
+	}
+}
+
+func TestCampaignConverges(t *testing.T) {
+	rep, err := Run(context.Background(), baseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Failed != 0 || rep.Passed != 6 {
+		t.Fatalf("campaign failed: passed=%d failed=%d %+v", rep.Passed, rep.Failed, rep.EpisodeResults)
+	}
+	if rep.Transport != "chan" {
+		t.Fatalf("transport %q, want chan", rep.Transport)
+	}
+	if rep.MTTR.N == 0 {
+		t.Fatal("no recoveries measured — faults never destabilized the ring?")
+	}
+	if rep.MTTR.Max < rep.MTTR.P50 || rep.Worst == nil || rep.Worst.Steps != rep.MTTR.Max {
+		t.Fatalf("summary inconsistent: mttr=%+v worst=%+v", rep.MTTR, rep.Worst)
+	}
+	if len(rep.Kinds) == 0 {
+		t.Fatal("no per-kind recovery stats")
+	}
+	for k, ks := range rep.Kinds {
+		if ks.Recoveries == 0 || ks.WorstSteps < 0 {
+			t.Fatalf("kind %s stats %+v", k, ks)
+		}
+	}
+	// Every episode carries a generated schedule that the cluster layer
+	// can re-parse (the service keys its cache on this rendering).
+	for _, ep := range rep.EpisodeResults {
+		sched, err := cluster.ParseSchedule(ep.Schedule)
+		if err != nil {
+			t.Fatalf("episode %d schedule %q does not re-parse: %v", ep.Index, ep.Schedule, err)
+		}
+		if len(sched) != 4 {
+			t.Fatalf("episode %d has %d faults, want 4", ep.Index, len(sched))
+		}
+	}
+}
+
+// TestCampaignDeterministic is the reproducibility acceptance check:
+// on the stepped transport the same seed produces a byte-identical
+// JSON report, and a different seed produces a different campaign.
+func TestCampaignDeterministic(t *testing.T) {
+	render := func(seed int64) string {
+		o := baseOptions()
+		o.Seed = seed
+		rep, err := Run(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := render(42), render(42)
+	if a != b {
+		t.Fatalf("same seed, different reports:\n%s\n%s", a, b)
+	}
+	if render(43) == a {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+}
+
+// TestCampaignSLOViolation sets the budget deliberately below the
+// measured worst case and expects the campaign to fail with named
+// violations.
+func TestCampaignSLOViolation(t *testing.T) {
+	o := baseOptions()
+	probe, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.MTTR.Max < 2 {
+		t.Fatalf("campaign too tame to test SLO violation: mttr=%+v", probe.MTTR)
+	}
+	o.SLO = SLO{RecoverySteps: probe.MTTR.Max - 1}
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Failed == 0 {
+		t.Fatalf("budget below worst case but campaign passed: %+v", rep.MTTR)
+	}
+	found := false
+	for _, ep := range rep.EpisodeResults {
+		for _, v := range ep.Violations {
+			if strings.Contains(v, "budget") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no violation names the budget")
+	}
+}
+
+func TestCampaignMaxTokensSLO(t *testing.T) {
+	o := baseOptions()
+	o.SLO = SLO{MaxTokens: 1} // a ring under faults always exceeds one token
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("token budget of 1 passed under corruption faults")
+	}
+}
+
+func TestCampaignOverTCP(t *testing.T) {
+	o := baseOptions()
+	o.Episodes = 2
+	o.MaxSteps = 500_000
+	o.Template.Gap = 100
+	o.Template.CutDuration = 200
+	o.NewTransport = func(procs int) (cluster.Transport, error) {
+		return cluster.NewTCPTransport(procs)
+	}
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transport != "tcp" {
+		t.Fatalf("transport %q, want tcp", rep.Transport)
+	}
+	if !rep.Pass {
+		t.Fatalf("TCP campaign failed: %+v", rep.EpisodeResults)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	o := baseOptions()
+	o.Episodes = 3
+	base := o.Template
+	var templates []Template
+	for _, gap := range []int{80, 40} {
+		tpl := base
+		tpl.Gap = gap
+		templates = append(templates, tpl)
+	}
+	sw, err := RunSweep(context.Background(), o, templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Configs) != 2 || !sw.Pass {
+		t.Fatalf("sweep %+v", sw)
+	}
+	if sw.Configs[0].Template == sw.Configs[1].Template {
+		t.Fatal("sweep configs share a template rendering")
+	}
+}
+
+func TestTemplateValidate(t *testing.T) {
+	p := sim.NewDijkstra3(5)
+	bad := []Template{
+		{},
+		{Kinds: []cluster.FaultKind{"melt"}, Faults: 1, Gap: 1, Start: 1},
+		{Kinds: []cluster.FaultKind{cluster.FaultCorrupt}, Faults: 0, Gap: 1, Start: 1},
+		{Kinds: []cluster.FaultKind{cluster.FaultCorrupt}, Faults: 1, Gap: 0, Start: 1},
+		{Kinds: []cluster.FaultKind{cluster.FaultPartition}, Faults: 1, Gap: 1, Start: 1}, // no cut duration
+	}
+	for i, tpl := range bad {
+		if err := tpl.validate(p); err == nil {
+			t.Errorf("template %d (%+v) accepted", i, tpl)
+		}
+	}
+	// Generated schedules always validate against the protocol.
+	good := Template{
+		Kinds: []cluster.FaultKind{cluster.FaultCorrupt, cluster.FaultDrop, cluster.FaultDup,
+			cluster.FaultDelay, cluster.FaultStall, cluster.FaultRestart,
+			cluster.FaultPartition, cluster.FaultIsolate},
+		Faults: 20, Gap: 10, Start: 5, CutDuration: 15,
+	}
+	if err := good.validate(p); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		sched := good.instantiate(p, schedRNG(seed))
+		if err := cluster.ValidateSchedule(p, sched); err != nil {
+			t.Fatalf("seed %d generated invalid schedule: %v", seed, err)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if p := percentiles(nil); p.N != 0 {
+		t.Fatalf("empty sample %+v", p)
+	}
+	p := percentiles([]int{5, 1, 9, 3, 7, 2, 8, 4, 6, 10})
+	if p.N != 10 || p.P50 != 5 || p.P90 != 9 || p.P99 != 10 || p.Max != 10 {
+		t.Fatalf("percentiles %+v", p)
+	}
+	one := percentiles([]int{4})
+	if one.P50 != 4 || one.P99 != 4 || one.Max != 4 {
+		t.Fatalf("single sample %+v", one)
+	}
+}

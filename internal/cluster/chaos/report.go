@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Percentiles summarizes a recovery-time distribution (MTTR, measured
+// in engine steps) by nearest-rank percentiles over every completed
+// recovery in the campaign.
+type Percentiles struct {
+	N   int `json:"n"`
+	P50 int `json:"p50"`
+	P90 int `json:"p90"`
+	P99 int `json:"p99"`
+	Max int `json:"max"`
+}
+
+// KindStats aggregates recoveries attributed to one fault kind.
+type KindStats struct {
+	Recoveries int     `json:"recoveries"`
+	MeanSteps  float64 `json:"mean_steps"`
+	WorstSteps int     `json:"worst_steps"`
+}
+
+// WorstEpisode points at the campaign's worst single recovery.
+type WorstEpisode struct {
+	Index    int    `json:"index"`
+	Seed     int64  `json:"seed"`
+	Schedule string `json:"schedule"`
+	Steps    int    `json:"steps"` // the worst single recovery, in steps
+	Kind     string `json:"kind"`  // the fault kind it was attributed to
+}
+
+// Report is one campaign's full result. For stepped transports it is a
+// pure function of (protocol, template, SLO, seed, episodes) and
+// contains no wall-clock fields, so serialized reports compare
+// byte-for-byte across runs.
+type Report struct {
+	Protocol  string `json:"protocol"`
+	Transport string `json:"transport"`
+	Procs     int    `json:"procs"`
+	Seed      int64  `json:"seed"`
+	Episodes  int    `json:"episodes"`
+	Template  string `json:"template"`
+	SLO       SLO    `json:"slo"`
+
+	// Passed / Failed count episodes against the SLO; Pass is the
+	// campaign verdict (every episode passed).
+	Passed int  `json:"passed"`
+	Failed int  `json:"failed"`
+	Pass   bool `json:"pass"`
+
+	// MTTR is the recovery-time distribution across all episodes.
+	MTTR Percentiles `json:"mttr"`
+	// Kinds breaks recoveries down by the fault kind they were
+	// attributed to (map keys serialize sorted, keeping reports
+	// deterministic).
+	Kinds map[string]KindStats `json:"kinds,omitempty"`
+	// Worst is the single slowest recovery anywhere in the campaign.
+	Worst *WorstEpisode `json:"worst,omitempty"`
+
+	// EpisodeResults are the per-episode judgments.
+	EpisodeResults []Episode `json:"episode_results"`
+}
+
+// aggregate fills the campaign-level summary from the judged episodes.
+func (r *Report) aggregate() {
+	var steps []int
+	type acc struct{ n, total, worst int }
+	kinds := map[string]*acc{}
+	for i := range r.EpisodeResults {
+		ep := &r.EpisodeResults[i]
+		if ep.Pass() {
+			r.Passed++
+		} else {
+			r.Failed++
+		}
+		for _, rec := range ep.Recoveries {
+			steps = append(steps, rec.Steps)
+			a := kinds[rec.Kind]
+			if a == nil {
+				a = &acc{}
+				kinds[rec.Kind] = a
+			}
+			a.n++
+			a.total += rec.Steps
+			if rec.Steps > a.worst {
+				a.worst = rec.Steps
+			}
+			if r.Worst == nil || rec.Steps > r.Worst.Steps {
+				r.Worst = &WorstEpisode{
+					Index: ep.Index, Seed: ep.Seed, Schedule: ep.Schedule,
+					Steps: rec.Steps, Kind: rec.Kind,
+				}
+			}
+		}
+	}
+	r.Pass = r.Failed == 0
+	r.MTTR = percentiles(steps)
+	if len(kinds) > 0 {
+		r.Kinds = make(map[string]KindStats, len(kinds))
+		for k, a := range kinds {
+			r.Kinds[k] = KindStats{
+				Recoveries: a.n,
+				MeanSteps:  float64(a.total) / float64(a.n),
+				WorstSteps: a.worst,
+			}
+		}
+	}
+}
+
+// percentiles computes nearest-rank percentiles of a sample.
+func percentiles(sample []int) Percentiles {
+	if len(sample) == 0 {
+		return Percentiles{}
+	}
+	s := append([]int(nil), sample...)
+	sort.Ints(s)
+	rank := func(p int) int {
+		// Nearest-rank: the smallest value with at least p% of the
+		// sample at or below it.
+		i := (p*len(s) + 99) / 100
+		return s[i-1]
+	}
+	return Percentiles{N: len(s), P50: rank(50), P90: rank(90), P99: rank(99), Max: s[len(s)-1]}
+}
+
+// schedRNG derives the schedule-generation RNG for one episode,
+// independent of the cluster engine's scheduler stream.
+func schedRNG(episodeSeed int64) *rand.Rand {
+	return rand.New(rand.NewSource(episodeSeed*6_700_417 + 99))
+}
+
+// SweepReport is the result of running the same campaign options over
+// several templates — the density / kind-mix / gap sweep.
+type SweepReport struct {
+	Protocol  string    `json:"protocol"`
+	Transport string    `json:"transport"`
+	Seed      int64     `json:"seed"`
+	Episodes  int       `json:"episodes"`
+	Pass      bool      `json:"pass"`
+	Configs   []*Report `json:"configs"`
+}
+
+// RunSweep runs one campaign per template, holding everything else in
+// opts fixed (opts.Template is ignored). The sweep passes only if every
+// configuration passes.
+func RunSweep(ctx context.Context, opts Options, templates []Template) (*SweepReport, error) {
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("chaos: sweep needs at least one template")
+	}
+	sw := &SweepReport{Seed: opts.Seed, Episodes: opts.Episodes, Pass: true}
+	for _, t := range templates {
+		o := opts
+		o.Template = t
+		rep, err := Run(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		sw.Protocol = rep.Protocol
+		sw.Transport = rep.Transport
+		sw.Pass = sw.Pass && rep.Pass
+		sw.Configs = append(sw.Configs, rep)
+	}
+	return sw, nil
+}

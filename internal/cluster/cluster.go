@@ -5,7 +5,8 @@
 // LiveRing exercise the protocols under shared-memory daemons, cluster
 // is the paper's fault model made operational: a FaultInjector applies
 // seeded schedules of transient register corruption, message
-// drop/duplicate/delay, and node stall/restart, while an online
+// drop/duplicate/delay, node stall/restart, and link cuts
+// (partition/isolate with timed heal), while an online
 // Monitor detects legitimacy via global snapshots and emits structured
 // convergence events (fault applied at step s, re-stabilized after k
 // steps, tokens-over-time).
@@ -43,8 +44,8 @@ type Options struct {
 	// and random corruption values.
 	Seed int64
 	// MaxSteps bounds the episode: scheduler activations under the
-	// stepped engine, executed moves under the free-running engine
-	// (required, > 0).
+	// stepped engine, collector clock ticks (moves plus idle heartbeats)
+	// under the free-running engine (required, > 0).
 	MaxSteps int
 	// Schedule is the fault schedule (see ParseSchedule), applied at
 	// the step each fault names.
@@ -54,9 +55,14 @@ type Options struct {
 	SnapshotEvery int
 	// RecordMoves adds one event per executed move to the stream.
 	RecordMoves bool
+	// RefreshEvery triggers a periodic anti-entropy round every so many
+	// steps (0 = none): each node re-announces its register and probes
+	// its neighbors, repairing views staled by lost messages. Partition
+	// heals always trigger one round regardless of this setting.
+	RefreshEvery int
 	// StopWhenStable ends the episode once the Monitor's view is
-	// legitimate and no scheduled faults remain, instead of running
-	// the full budget.
+	// legitimate, no scheduled faults remain, and no partition is still
+	// open, instead of running the full budget.
 	StopWhenStable bool
 }
 
@@ -68,7 +74,7 @@ type Result struct {
 	Procs     int    `json:"procs"`
 	Seed      int64  `json:"seed"`
 	// Steps is the number of scheduler steps consumed (stepped) or
-	// moves executed (free-running).
+	// collector clock ticks elapsed (free-running).
 	Steps int `json:"steps"`
 	// Moves is the total number of protocol moves executed.
 	Moves int `json:"moves"`
@@ -139,6 +145,13 @@ func Run(ctx context.Context, opts Options, initial sim.Config) (*Result, error)
 	return runFree(ctx, opts, inj, initial)
 }
 
+// heal is a pending partition/isolation expiry: at step `at` the cut is
+// gone and the engine emits the heal event plus an anti-entropy round.
+type heal struct {
+	at int
+	f  Fault
+}
+
 // sortedSchedule clones and sorts the schedule by step, preserving
 // entry order within a step.
 func sortedSchedule(schedule []Fault) []Fault {
@@ -200,9 +213,21 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 
 	mon := newMonitor(proto, initial, opts.RecordMoves)
 	pending := sortedSchedule(opts.Schedule)
+	var heals []heal
 	stalledUntil := make([]int, procs)
 	movesPerNode := make([]int, procs)
 	moves, lastStep := 0, 0
+
+	// refresh runs one anti-entropy round, node by node so message
+	// arrival order stays deterministic.
+	refresh := func() bool {
+		for _, n := range nodes {
+			if _, ok := ask(n, command{kind: cmdRefresh}); !ok {
+				return false
+			}
+		}
+		return true
+	}
 
 	for step := 1; step <= opts.MaxSteps; step++ {
 		if err := ctx.Err(); err != nil {
@@ -230,9 +255,29 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 			case FaultStall:
 				stalledUntil[f.Node] = step + f.Count
 				mon.ObserveFault(step, f, 0)
+			case FaultPartition, FaultIsolate:
+				inj.arm(f)
+				heals = append(heals, heal{at: step + f.Count, f: f})
+				mon.ObserveFault(step, f, 0)
 			default: // drop | dup | delay
 				inj.arm(f)
 				mon.ObserveFault(step, f, 0)
+			}
+		}
+		healed := false
+		keep := heals[:0]
+		for _, h := range heals {
+			if h.at <= step {
+				mon.ObserveHeal(step, h.f)
+				healed = true
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		heals = keep
+		if healed || (opts.RefreshEvery > 0 && step%opts.RefreshEvery == 0) {
+			if !refresh() {
+				return nil, ctx.Err()
 			}
 		}
 		var runnable []int
@@ -256,7 +301,7 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 		if opts.SnapshotEvery > 0 && step%opts.SnapshotEvery == 0 {
 			mon.Snapshot(step)
 		}
-		if opts.StopWhenStable && mon.Legitimate() && len(pending) == 0 {
+		if opts.StopWhenStable && mon.Legitimate() && len(pending) == 0 && len(heals) == 0 {
 			break
 		}
 	}

@@ -88,7 +88,8 @@ func TestSteppedFaultRecovery(t *testing.T) {
 // including link faults so the injector is on the deterministic path —
 // and requires byte-identical full results.
 func TestSteppedDeterministic(t *testing.T) {
-	sched, err := ParseSchedule("drop@10:link=0>1,count=2;corrupt@40:node=1,val=0;delay@50:link=4>0,count=8;dup@60:link=2>3")
+	sched, err := ParseSchedule("drop@10:link=0>1,count=2;corrupt@40:node=1,val=0;delay@50:link=4>0,count=8;dup@60:link=2>3;" +
+		"partition@70:cut=0+1|2+3+4,count=30;isolate@130:node=3,count=20")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,6 +117,89 @@ func TestSteppedDeterministic(t *testing.T) {
 	}
 	if string(runs[0]) != string(runs[1]) {
 		t.Fatalf("seeded stepped runs diverged:\n%s\nvs\n%s", runs[0], runs[1])
+	}
+}
+
+// TestSteppedPartitionHeal opens a partition across the ring, corrupts
+// a register while the cut is active, and requires the monitor to see
+// the heal event and the ring to re-stabilize afterwards. Messages
+// crossing the cut must show up as drops in the link statistics.
+func TestSteppedPartitionHeal(t *testing.T) {
+	sched, err := ParseSchedule("partition@30:cut=0+1|2+3+4,count=60;corrupt@35:node=2,val=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		Proto:          sim.NewDijkstra3(5),
+		Seed:           3,
+		MaxSteps:       5000,
+		Schedule:       sched,
+		StopWhenStable: true,
+	}, sim.Config{0, 1, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("ring did not re-stabilize after partition heal: final %v", res.Final)
+	}
+	var healStep int
+	for _, ev := range res.Events {
+		if ev.Kind == "heal" {
+			healStep = ev.Step
+			if ev.Fault != "partition@30:cut=0+1|2+3+4,count=60" {
+				t.Fatalf("heal names the wrong fault: %+v", ev)
+			}
+		}
+	}
+	if healStep != 90 {
+		t.Fatalf("heal at step %d, want 90", healStep)
+	}
+	// The episode may not end while the cut is open.
+	if res.Steps < healStep {
+		t.Fatalf("episode ended at step %d, before the heal at %d", res.Steps, healStep)
+	}
+	crossDrops := 0
+	for _, st := range res.Links {
+		cross := (st.From <= 1) != (st.To <= 1)
+		if cross {
+			crossDrops += st.Dropped
+		} else if st.Dropped != 0 {
+			t.Fatalf("same-side link %d>%d recorded drops: %+v", st.From, st.To, st)
+		}
+	}
+	if crossDrops == 0 {
+		t.Fatal("no cross-cut messages were dropped; was the partition active?")
+	}
+}
+
+// TestSteppedIsolateRecovers cuts one node off mid-run; after the heal
+// the anti-entropy refresh must let the ring converge again.
+func TestSteppedIsolateRecovers(t *testing.T) {
+	sched, err := ParseSchedule("isolate@20:node=1,count=50;corrupt@25:node=1,val=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		Proto:          sim.NewDijkstra3(5),
+		Seed:           7,
+		MaxSteps:       5000,
+		Schedule:       sched,
+		StopWhenStable: true,
+	}, sim.Config{0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("ring did not recover from isolation: final %v", res.Final)
+	}
+	sawHeal := false
+	for _, ev := range res.Events {
+		if ev.Kind == "heal" && ev.Node == 1 {
+			sawHeal = true
+		}
+	}
+	if !sawHeal {
+		t.Fatal("isolate heal event missing from stream")
 	}
 }
 

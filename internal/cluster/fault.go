@@ -30,6 +30,14 @@ const (
 	// FaultRestart resets a node: register to zero, neighbor views
 	// forgotten, probes sent to refill them.
 	FaultRestart FaultKind = "restart"
+	// FaultPartition severs every link between node sets A and B for
+	// Count steps: messages crossing the cut are dropped in both
+	// directions. When the partition heals, the engine triggers an
+	// anti-entropy refresh so stale neighbor views cannot wedge the ring.
+	FaultPartition FaultKind = "partition"
+	// FaultIsolate severs every link touching one node for Count steps —
+	// the degenerate partition {Node} | rest.
+	FaultIsolate FaultKind = "isolate"
 )
 
 // Fault is one scheduled fault. Step is the scheduler step (stepped
@@ -47,8 +55,21 @@ type Fault struct {
 	From int `json:"from,omitempty"`
 	To   int `json:"to,omitempty"`
 	// Count is the number of messages affected (drop, dup), or the
-	// number of steps (stall, delay hold time).
+	// number of steps (stall, delay hold time, partition and isolate
+	// duration).
 	Count int `json:"count,omitempty"`
+	// A and B name the two node sets a partition severs.
+	A []int `json:"a,omitempty"`
+	B []int `json:"b,omitempty"`
+}
+
+// nodeList renders a partition side in schedule syntax ("0+1+2").
+func nodeList(nodes []int) string {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, "+")
 }
 
 // String renders the fault in schedule syntax.
@@ -60,6 +81,10 @@ func (f Fault) String() string {
 		return fmt.Sprintf("stall@%d:node=%d,count=%d", f.Step, f.Node, f.Count)
 	case FaultRestart:
 		return fmt.Sprintf("restart@%d:node=%d", f.Step, f.Node)
+	case FaultPartition:
+		return fmt.Sprintf("partition@%d:cut=%s|%s,count=%d", f.Step, nodeList(f.A), nodeList(f.B), f.Count)
+	case FaultIsolate:
+		return fmt.Sprintf("isolate@%d:node=%d,count=%d", f.Step, f.Node, f.Count)
 	default:
 		return fmt.Sprintf("%s@%d:link=%d>%d,count=%d", f.Kind, f.Step, f.From, f.To, f.Count)
 	}
@@ -73,6 +98,8 @@ func (f Fault) String() string {
 //	delay@60:link=2>3,count=10
 //	stall@100:node=3,count=40
 //	restart@150:node=4
+//	partition@200:cut=0+1|2+3+4,count=50
+//	isolate@260:node=2,count=30
 //
 // corrupt without val corrupts to a seeded-random in-domain value.
 // The result is sorted by Step (stable, preserving entry order within
@@ -125,13 +152,24 @@ func ParseSchedule(s string) ([]Fault, error) {
 						return nil, fmt.Errorf("cluster: fault %q: link=%q wants integer endpoints", part, val)
 					}
 					f.From, f.To = from, to
+				case "cut":
+					aStr, bStr, ok := strings.Cut(val, "|")
+					if !ok {
+						return nil, fmt.Errorf("cluster: fault %q: cut=%q wants a|b node sets", part, val)
+					}
+					a, err1 := parseNodeList(aStr)
+					b, err2 := parseNodeList(bStr)
+					if err1 != nil || err2 != nil {
+						return nil, fmt.Errorf("cluster: fault %q: cut=%q wants +-separated integer node sets", part, val)
+					}
+					f.A, f.B = a, b
 				default:
 					return nil, fmt.Errorf("cluster: fault %q: unknown parameter %q", part, key)
 				}
 			}
 		}
 		switch f.Kind {
-		case FaultCorrupt, FaultStall, FaultRestart:
+		case FaultCorrupt, FaultStall, FaultRestart, FaultIsolate:
 			if f.Node < 0 {
 				return nil, fmt.Errorf("cluster: fault %q: %s needs node=<i>", part, f.Kind)
 			}
@@ -139,8 +177,12 @@ func ParseSchedule(s string) ([]Fault, error) {
 			if f.From < 0 || f.To < 0 {
 				return nil, fmt.Errorf("cluster: fault %q: %s needs link=<from>><to>", part, f.Kind)
 			}
+		case FaultPartition:
+			if len(f.A) == 0 || len(f.B) == 0 {
+				return nil, fmt.Errorf("cluster: fault %q: partition needs cut=<a>|<b>", part)
+			}
 		default:
-			return nil, fmt.Errorf("cluster: fault %q: unknown kind %q (want corrupt|drop|dup|delay|stall|restart)", part, kindStr)
+			return nil, fmt.Errorf("cluster: fault %q: unknown kind %q (want corrupt|drop|dup|delay|stall|restart|partition|isolate)", part, kindStr)
 		}
 		if f.Count < 1 {
 			return nil, fmt.Errorf("cluster: fault %q: count must be ≥ 1", part)
@@ -148,6 +190,19 @@ func ParseSchedule(s string) ([]Fault, error) {
 		out = append(out, f)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out, nil
+}
+
+// parseNodeList parses one side of a partition cut ("0+1+2").
+func parseNodeList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, "+") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
 	return out, nil
 }
 
@@ -167,6 +222,29 @@ func ValidateSchedule(p sim.Protocol, schedule []Fault) error {
 		case FaultDrop, FaultDup, FaultDelay:
 			if f.From < 0 || f.From >= procs || f.To < 0 || f.To >= procs {
 				return fmt.Errorf("cluster: %s: link outside [0,%d)", f, procs)
+			}
+		case FaultIsolate:
+			if f.Node < 0 || f.Node >= procs {
+				return fmt.Errorf("cluster: %s: node %d outside [0,%d)", f, f.Node, procs)
+			}
+		case FaultPartition:
+			if len(f.A) == 0 || len(f.B) == 0 {
+				return fmt.Errorf("cluster: %s: both partition sides must be non-empty", f)
+			}
+			seen := make(map[int]string, len(f.A)+len(f.B))
+			for side, nodes := range map[string][]int{"a": f.A, "b": f.B} {
+				for _, n := range nodes {
+					if n < 0 || n >= procs {
+						return fmt.Errorf("cluster: %s: node %d outside [0,%d)", f, n, procs)
+					}
+					if prev, dup := seen[n]; dup {
+						if prev != side {
+							return fmt.Errorf("cluster: %s: node %d appears on both sides of the cut", f, n)
+						}
+						return fmt.Errorf("cluster: %s: node %d repeated in the cut", f, n)
+					}
+					seen[n] = side
+				}
 			}
 		}
 	}
@@ -190,6 +268,30 @@ type parked struct {
 	releaseAt int
 }
 
+// cut is one active partition or isolation: messages crossing it are
+// dropped until the injector's step clock reaches until.
+type cut struct {
+	f     Fault
+	until int
+	a, b  map[int]bool // partition sides; unused for isolate
+}
+
+// blocks reports whether a message from→to crosses the cut.
+func (c *cut) blocks(from, to int) bool {
+	if c.f.Kind == FaultIsolate {
+		return from == c.f.Node || to == c.f.Node
+	}
+	return (c.a[from] && c.b[to]) || (c.b[from] && c.a[to])
+}
+
+func toSet(nodes []int) map[int]bool {
+	s := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		s[n] = true
+	}
+	return s
+}
+
 // injector sits between the nodes and the real transport, applying
 // armed link faults to every Send. It is itself a Transport, so nodes
 // are oblivious to it. Node-level faults (corrupt, stall, restart) are
@@ -201,6 +303,7 @@ type injector struct {
 	mu     sync.Mutex
 	step   int
 	armed  []*Fault // link faults with remaining Count
+	cuts   []*cut   // active partitions / isolations
 	parked []parked
 	links  map[[2]int]*LinkStats
 }
@@ -221,21 +324,39 @@ func (in *injector) Recv(node int) <-chan Message { return in.inner.Recv(node) }
 // Close implements Transport.
 func (in *injector) Close() error { return in.inner.Close() }
 
-// arm activates one link fault. Engines call it when the schedule
-// reaches the fault's step.
+// arm activates one link fault (or partition/isolation cut). Engines
+// call it when the schedule reaches the fault's step; cuts stay active
+// for f.Count steps of the injector's clock.
 func (in *injector) arm(f Fault) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	cp := f
-	in.armed = append(in.armed, &cp)
+	switch f.Kind {
+	case FaultPartition, FaultIsolate:
+		c := &cut{f: f, until: in.step + f.Count}
+		if f.Kind == FaultPartition {
+			c.a, c.b = toSet(f.A), toSet(f.B)
+		}
+		in.cuts = append(in.cuts, c)
+	default:
+		cp := f
+		in.armed = append(in.armed, &cp)
+	}
 }
 
-// advance tells the injector the current scheduler step and releases
-// any delayed messages that have served their hold time.
+// advance tells the injector the current scheduler step, expires healed
+// cuts, and releases any delayed messages that have served their hold
+// time.
 func (in *injector) advance(step int) {
 	in.mu.Lock()
 	var due []Message
 	in.step = step
+	alive := in.cuts[:0]
+	for _, c := range in.cuts {
+		if c.until > step {
+			alive = append(alive, c)
+		}
+	}
+	in.cuts = alive
 	rest := in.parked[:0]
 	for _, p := range in.parked {
 		if p.releaseAt <= step {
@@ -262,11 +383,19 @@ func (in *injector) statsFor(from, to int) *LinkStats {
 	return st
 }
 
-// Send implements Transport, applying the first matching armed fault.
+// Send implements Transport, applying active cuts first and then the
+// first matching armed link fault.
 func (in *injector) Send(m Message) error {
 	in.mu.Lock()
 	st := in.statsFor(m.From, m.To)
 	st.Sent++
+	for _, c := range in.cuts {
+		if in.step < c.until && c.blocks(m.From, m.To) {
+			st.Dropped++
+			in.mu.Unlock()
+			return nil
+		}
+	}
 	var action FaultKind
 	var hold int
 	for i, f := range in.armed {

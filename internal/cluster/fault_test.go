@@ -50,6 +50,57 @@ func TestParseSchedule(t *testing.T) {
 	}
 }
 
+func TestParseScheduleCuts(t *testing.T) {
+	sched, err := ParseSchedule("partition@200:cut=0+1|2+3+4,count=50; isolate@260:node=2,count=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 2 {
+		t.Fatalf("want 2 faults, got %d", len(sched))
+	}
+	p := sched[0]
+	if p.Kind != FaultPartition || len(p.A) != 2 || len(p.B) != 3 || p.Count != 50 {
+		t.Fatalf("partition parsed as %+v", p)
+	}
+	// String renders back to canonical schedule syntax, and the render
+	// re-parses to the same fault (the service cache keys on this).
+	for i, want := range []string{
+		"partition@200:cut=0+1|2+3+4,count=50",
+		"isolate@260:node=2,count=30",
+	} {
+		got := sched[i].String()
+		if got != want {
+			t.Errorf("fault %d renders %q, want %q", i, got, want)
+		}
+		again, err := ParseSchedule(got)
+		if err != nil || len(again) != 1 || again[0].String() != got {
+			t.Errorf("render %q does not round-trip: %v %v", got, again, err)
+		}
+	}
+}
+
+func TestParseScheduleCutErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"partition without cut", "partition@5:count=3", "needs cut"},
+		{"cut without separator", "partition@5:cut=0+1", "a|b node sets"},
+		{"cut with bad node", "partition@5:cut=0+x|1", "integer node sets"},
+		{"isolate without node", "isolate@5:count=3", "needs node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSchedule(tc.in)
+			if err == nil {
+				t.Fatalf("ParseSchedule(%q) succeeded", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
 func TestParseScheduleErrors(t *testing.T) {
 	cases := []struct {
 		name, in, wantSub string
@@ -90,9 +141,13 @@ func TestValidateSchedule(t *testing.T) {
 		t.Fatalf("valid schedule rejected: %v", err)
 	}
 	bad := []string{
-		"corrupt@5:node=9",       // node out of range
-		"corrupt@5:node=1,val=3", // value outside mod-3 domain
-		"drop@5:link=0>7",        // link endpoint out of range
+		"corrupt@5:node=9",                // node out of range
+		"corrupt@5:node=1,val=3",          // value outside mod-3 domain
+		"drop@5:link=0>7",                 // link endpoint out of range
+		"partition@5:cut=0+1|2+9,count=3", // partition node out of range
+		"partition@5:cut=0+1|1+2,count=3", // node on both sides
+		"partition@5:cut=0+0|1+2,count=3", // node repeated within a side
+		"isolate@5:node=7,count=3",        // isolate node out of range
 	}
 	for _, in := range bad {
 		sched, err := ParseSchedule(in)
@@ -158,6 +213,67 @@ func TestInjectorDup(t *testing.T) {
 	}
 	if _, ok := recvOrNone(tr, 2); ok {
 		t.Fatal("follow-up message duplicated")
+	}
+}
+
+// TestInjectorPartition arms a cut and asserts messages crossing it are
+// dropped in both directions, same-side traffic flows, and the cut
+// heals at its expiry step.
+func TestInjectorPartition(t *testing.T) {
+	tr := NewChanTransport(4)
+	in := newInjector(tr)
+	in.advance(10)
+	in.arm(Fault{Kind: FaultPartition, A: []int{0, 1}, B: []int{2, 3}, Count: 5})
+	crossing := []Message{{From: 1, To: 2, Val: 1}, {From: 2, To: 1, Val: 2}}
+	for _, m := range crossing {
+		if err := in.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := recvOrNone(tr, m.To); ok {
+			t.Fatalf("message crossed an active cut: %+v", got)
+		}
+	}
+	// Same-side traffic is untouched.
+	if err := in.Send(Message{From: 0, To: 1, Val: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOrNone(tr, 1); !ok {
+		t.Fatal("same-side message dropped")
+	}
+	// At step 15 the cut heals.
+	in.advance(15)
+	if err := in.Send(Message{From: 1, To: 2, Val: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := recvOrNone(tr, 2); !ok || m.Val != 4 {
+		t.Fatalf("post-heal message lost: %+v ok=%v", m, ok)
+	}
+	st := in.linkStats()
+	for _, s := range st {
+		if s.From == 1 && s.To == 2 && s.Dropped != 1 {
+			t.Fatalf("cut drops miscounted: %+v", st)
+		}
+	}
+}
+
+// TestInjectorIsolate cuts every link touching one node.
+func TestInjectorIsolate(t *testing.T) {
+	tr := NewChanTransport(3)
+	in := newInjector(tr)
+	in.arm(Fault{Kind: FaultIsolate, Node: 1, Count: 10})
+	for _, m := range []Message{{From: 0, To: 1}, {From: 1, To: 2}} {
+		if err := in.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := recvOrNone(tr, m.To); ok {
+			t.Fatalf("message touching isolated node delivered: %+v", m)
+		}
+	}
+	if err := in.Send(Message{From: 2, To: 0, Val: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOrNone(tr, 0); !ok {
+		t.Fatal("unrelated link severed by isolate")
 	}
 }
 

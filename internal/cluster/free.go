@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -14,11 +15,19 @@ type resume struct {
 	node int
 }
 
+// freeTickInterval is the idle heartbeat of the free-running collector.
+// The engine's clock advances on every executed move AND on every tick,
+// so scheduled faults fire, stalls resume, and partitions heal even
+// while the ring is quiescent — a partitioned ring makes no moves, and
+// without the heartbeat its heal step would never arrive.
+const freeTickInterval = time.Millisecond
+
 // runFree is the concurrent engine: nodes drive themselves, the
 // collector goroutine (this function) folds their move reports into
 // the Monitor, applies due faults, and decides when the episode ends.
-// "Step" here is the global count of executed moves — the only
-// cluster-wide clock a free-running system has.
+// "Step" here is the collector's clock: the count of executed moves
+// plus idle heartbeats — the only cluster-wide clock a free-running
+// system has.
 func runFree(ctx context.Context, opts Options, inj *injector, initial sim.Config) (*Result, error) {
 	proto := opts.Proto
 	procs := proto.Procs()
@@ -56,8 +65,75 @@ func runFree(ctx context.Context, opts Options, inj *injector, initial sim.Confi
 	mon := newMonitor(proto, initial, opts.RecordMoves)
 	pending := sortedSchedule(opts.Schedule)
 	var resumes []resume
+	var heals []heal
 	movesPerNode := make([]int, procs)
-	moves := 0
+	clock, moves := 0, 0
+
+	ticker := time.NewTicker(freeTickInterval)
+	defer ticker.Stop()
+
+	// advanceClock runs the per-step bookkeeping shared by the move and
+	// heartbeat paths: due faults, heals, resumes, anti-entropy,
+	// snapshots, and the stop decision.
+	advanceClock := func() (done bool) {
+		for len(pending) > 0 && pending[0].Step <= clock {
+			f := pending[0]
+			pending = pending[1:]
+			switch f.Kind {
+			case FaultCorrupt:
+				if f.Val < 0 {
+					f.Val = rng.Intn(proto.Domain(f.Node))
+				}
+				tell(f.Node, command{kind: cmdCorrupt, val: f.Val})
+				mon.ObserveFault(clock, f, f.Val)
+			case FaultRestart:
+				tell(f.Node, command{kind: cmdRestart})
+				mon.ObserveFault(clock, f, 0)
+			case FaultStall:
+				tell(f.Node, command{kind: cmdStall})
+				resumes = append(resumes, resume{step: clock + f.Count, node: f.Node})
+				mon.ObserveFault(clock, f, 0)
+			case FaultPartition, FaultIsolate:
+				inj.arm(f)
+				heals = append(heals, heal{at: clock + f.Count, f: f})
+				mon.ObserveFault(clock, f, 0)
+			default: // drop | dup | delay
+				inj.arm(f)
+				mon.ObserveFault(clock, f, 0)
+			}
+		}
+		healed := false
+		keepHeals := heals[:0]
+		for _, h := range heals {
+			if h.at <= clock {
+				mon.ObserveHeal(clock, h.f)
+				healed = true
+			} else {
+				keepHeals = append(keepHeals, h)
+			}
+		}
+		heals = keepHeals
+		keep := resumes[:0]
+		for _, rs := range resumes {
+			if rs.step <= clock {
+				tell(rs.node, command{kind: cmdResume})
+			} else {
+				keep = append(keep, rs)
+			}
+		}
+		resumes = keep
+		if healed || (opts.RefreshEvery > 0 && clock%opts.RefreshEvery == 0) {
+			for i := range nodes {
+				tell(i, command{kind: cmdRefresh})
+			}
+		}
+		if opts.SnapshotEvery > 0 && clock%opts.SnapshotEvery == 0 {
+			mon.Snapshot(clock)
+		}
+		return clock >= opts.MaxSteps ||
+			(opts.StopWhenStable && mon.Legitimate() &&
+				len(pending) == 0 && len(resumes) == 0 && len(heals) == 0)
+	}
 
 	for {
 		select {
@@ -65,51 +141,19 @@ func runFree(ctx context.Context, opts Options, inj *injector, initial sim.Confi
 			stop()
 			return nil, ctx.Err()
 		case r := <-reports:
+			clock++
 			moves++
-			inj.advance(moves)
+			inj.advance(clock)
 			movesPerNode[r.Node]++
-			mon.ObserveMove(moves, r.Node, r.Rule, r.Val)
-			for len(pending) > 0 && pending[0].Step <= moves {
-				f := pending[0]
-				pending = pending[1:]
-				switch f.Kind {
-				case FaultCorrupt:
-					if f.Val < 0 {
-						f.Val = rng.Intn(proto.Domain(f.Node))
-					}
-					tell(f.Node, command{kind: cmdCorrupt, val: f.Val})
-					mon.ObserveFault(moves, f, f.Val)
-				case FaultRestart:
-					tell(f.Node, command{kind: cmdRestart})
-					mon.ObserveFault(moves, f, 0)
-				case FaultStall:
-					tell(f.Node, command{kind: cmdStall})
-					resumes = append(resumes, resume{step: moves + f.Count, node: f.Node})
-					mon.ObserveFault(moves, f, 0)
-				default: // drop | dup | delay
-					inj.arm(f)
-					mon.ObserveFault(moves, f, 0)
-				}
-			}
-			keep := resumes[:0]
-			for _, rs := range resumes {
-				if rs.step <= moves {
-					tell(rs.node, command{kind: cmdResume})
-				} else {
-					keep = append(keep, rs)
-				}
-			}
-			resumes = keep
-			if opts.SnapshotEvery > 0 && moves%opts.SnapshotEvery == 0 {
-				mon.Snapshot(moves)
-			}
-			done := moves >= opts.MaxSteps ||
-				(opts.StopWhenStable && mon.Legitimate() && len(pending) == 0 && len(resumes) == 0)
-			if done {
-				stop()
-				mon.Finish(moves)
-				return assemble(opts, inj, mon, moves, moves, movesPerNode), nil
-			}
+			mon.ObserveMove(clock, r.Node, r.Rule, r.Val)
+		case <-ticker.C:
+			clock++
+			inj.advance(clock)
+		}
+		if advanceClock() {
+			stop()
+			mon.Finish(clock)
+			return assemble(opts, inj, mon, clock, moves, movesPerNode), nil
 		}
 	}
 }

@@ -13,7 +13,7 @@ import (
 type Event struct {
 	// Step is the scheduler step the event was observed at.
 	Step int `json:"step"`
-	// Kind is one of "start", "move", "fault", "destabilized",
+	// Kind is one of "start", "move", "fault", "heal", "destabilized",
 	// "stabilized", "snapshot", "finish".
 	Kind string `json:"kind"`
 	// Node is the process a move/fault targets; -1 on events that are
@@ -142,6 +142,23 @@ func (m *Monitor) ObserveFault(step int, f Fault, val int) {
 	m.events = append(m.events, Event{Step: step, Kind: "fault", Node: f.Node, Fault: f.String(),
 		Tokens: sim.TokenCount(m.proto, m.view)})
 	m.checkTransition(step)
+}
+
+// ObserveHeal records the expiry of a partition or isolation: the cut
+// is gone and messages flow again. The view is untouched — healing
+// restores communication, not state.
+func (m *Monitor) ObserveHeal(step int, f Fault) {
+	m.events = append(m.events, Event{Step: step, Kind: "heal", Node: healNode(f), Fault: f.String(),
+		Tokens: sim.TokenCount(m.proto, m.view)})
+}
+
+// healNode mirrors the fault event's node attribution: isolate names
+// its node, a partition is not node-specific.
+func healNode(f Fault) int {
+	if f.Kind == FaultIsolate {
+		return f.Node
+	}
+	return -1
 }
 
 // Snapshot emits a periodic tokens-over-time event.

@@ -25,6 +25,11 @@ const (
 	cmdStall
 	// cmdResume lifts a stall.
 	cmdResume
+	// cmdRefresh is one anti-entropy round: re-announce the register
+	// unconditionally and probe both neighbors. Engines trigger it when a
+	// partition heals (and optionally on a period), because messages lost
+	// to a cut are never re-sent by the announce-on-change discipline.
+	cmdRefresh
 )
 
 // command is one control message from engine to node actor.
@@ -184,6 +189,11 @@ func (n *node) handle(c command) stepReport {
 		n.stalled = true
 	case cmdResume:
 		n.stalled = false
+	case cmdRefresh:
+		n.drain()
+		n.lastSent = -1
+		n.announce()
+		n.probe()
 	}
 	return stepReport{Val: n.val}
 }

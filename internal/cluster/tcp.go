@@ -5,13 +5,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrameBytes bounds one wire frame; state messages are tiny, so
 // anything larger is a corrupt or hostile peer.
 const maxFrameBytes = 1 << 16
+
+// Dial backoff bounds: after a failed dial the transport refuses to
+// redial the same destination until a backoff window (exponential in
+// the consecutive-failure count, with jitter so a restarted peer is not
+// hit by a synchronized thundering herd) has passed. Sends inside the
+// window fail fast — the lossy-fabric contract — instead of burning a
+// dial timeout per message.
+const (
+	dialBackoffBase = 5 * time.Millisecond
+	dialBackoffMax  = 500 * time.Millisecond
+)
 
 // TCPTransport connects the ring over real sockets: one net.Listener
 // per node on 127.0.0.1, length-prefixed JSON frames, lazily dialed
@@ -19,17 +32,26 @@ const maxFrameBytes = 1 << 16
 // convenience for tests — the wire protocol carries everything, so the
 // same frames would cross OS processes (or hosts) unchanged.
 //
+// The transport is self-healing: a failed write evicts the cached
+// outbound connection so the next Send redials, failed dials back off
+// exponentially with jitter, and a peer whose listener restarts
+// (StopNode/StartNode) is re-reached automatically. Messages in flight
+// during a failure are lost — the protocols under test tolerate that.
+//
 // TCP delivery crosses socket buffers and reader goroutines, so the
 // transport is not stepped: episodes over it free-run.
 type TCPTransport struct {
-	listeners []net.Listener
-	addrs     []string
-	inboxes   []chan Message
+	addrs   []string
+	inboxes []chan Message
 
-	mu    sync.Mutex
-	conns map[int]*outConn
-	done  chan struct{}
-	wg    sync.WaitGroup
+	mu        sync.Mutex
+	listeners []net.Listener
+	inConns   map[int]map[net.Conn]bool // established inbound conns per node
+	conns     map[int]*outConn
+	backoff   map[int]*dialBackoff
+	rng       *rand.Rand // jitter; guarded by mu
+	done      chan struct{}
+	wg        sync.WaitGroup
 }
 
 // outConn is one outbound connection with its write lock (several
@@ -39,6 +61,12 @@ type outConn struct {
 	c  net.Conn
 }
 
+// dialBackoff tracks consecutive dial failures to one destination.
+type dialBackoff struct {
+	fails int
+	until time.Time
+}
+
 // NewTCPTransport listens on procs loopback ports and starts the
 // accept/reader goroutines. Close releases everything.
 func NewTCPTransport(procs int) (*TCPTransport, error) {
@@ -46,7 +74,10 @@ func NewTCPTransport(procs int) (*TCPTransport, error) {
 		listeners: make([]net.Listener, procs),
 		addrs:     make([]string, procs),
 		inboxes:   make([]chan Message, procs),
+		inConns:   make(map[int]map[net.Conn]bool),
 		conns:     make(map[int]*outConn),
+		backoff:   make(map[int]*dialBackoff),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 		done:      make(chan struct{}),
 	}
 	for i := 0; i < procs; i++ {
@@ -85,16 +116,37 @@ func (t *TCPTransport) accept(node int, ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		select {
+		case <-t.done:
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		default:
+		}
+		if t.inConns[node] == nil {
+			t.inConns[node] = make(map[net.Conn]bool)
+		}
+		t.inConns[node][c] = true
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readLoop(node, c)
 	}
 }
 
 // readLoop decodes frames from one inbound connection into the node's
-// inbox. A full inbox drops the frame — the lossy-fabric contract.
+// inbox. A full inbox drops the frame — the lossy-fabric contract. Any
+// malformed frame (oversized, truncated, non-JSON) closes the
+// connection and ends the loop: a hostile or corrupt peer costs its
+// connection, never a wedged node or a leaked goroutine.
 func (t *TCPTransport) readLoop(node int, c net.Conn) {
 	defer t.wg.Done()
-	defer c.Close()
+	defer func() {
+		_ = c.Close()
+		t.mu.Lock()
+		delete(t.inConns[node], c)
+		t.mu.Unlock()
+	}()
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
@@ -121,7 +173,8 @@ func (t *TCPTransport) readLoop(node int, c net.Conn) {
 	}
 }
 
-// conn returns (dialing if needed) the outbound connection to node to.
+// conn returns (dialing if needed) the outbound connection to node to,
+// honoring the destination's dial-backoff window.
 func (t *TCPTransport) conn(to int) (*outConn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -133,10 +186,27 @@ func (t *TCPTransport) conn(to int) (*outConn, error) {
 		return nil, fmt.Errorf("cluster: transport closed")
 	default:
 	}
+	if b := t.backoff[to]; b != nil && time.Now().Before(b.until) {
+		return nil, fmt.Errorf("cluster: dial to node %d backing off after %d failures", to, b.fails)
+	}
 	c, err := net.Dial("tcp", t.addrs[to])
 	if err != nil {
+		b := t.backoff[to]
+		if b == nil {
+			b = &dialBackoff{}
+			t.backoff[to] = b
+		}
+		b.fails++
+		d := dialBackoffBase << uint(min(b.fails-1, 20))
+		if d > dialBackoffMax {
+			d = dialBackoffMax
+		}
+		// Jitter in [0.5d, 1.5d).
+		d = d/2 + time.Duration(t.rng.Int63n(int64(d)))
+		b.until = time.Now().Add(d)
 		return nil, err
 	}
+	delete(t.backoff, to)
 	oc := &outConn{c: c}
 	t.conns[to] = oc
 	return oc, nil
@@ -155,6 +225,7 @@ func (t *TCPTransport) Send(m Message) error {
 	}
 	payload, err := json.Marshal(m)
 	if err != nil {
+		t.evict(m.To, oc)
 		return err
 	}
 	frame := make([]byte, 4+len(payload))
@@ -164,14 +235,71 @@ func (t *TCPTransport) Send(m Message) error {
 	_, werr := oc.c.Write(frame)
 	oc.mu.Unlock()
 	if werr != nil {
-		t.mu.Lock()
-		if t.conns[m.To] == oc {
-			delete(t.conns, m.To)
-		}
-		t.mu.Unlock()
-		_ = oc.c.Close()
+		t.evict(m.To, oc)
 	}
 	return werr
+}
+
+// evict drops a cached outbound connection after a write or encode
+// error, so the next Send redials instead of failing forever on a dead
+// socket.
+func (t *TCPTransport) evict(to int, oc *outConn) {
+	t.mu.Lock()
+	if t.conns[to] == oc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = oc.c.Close()
+}
+
+// StopNode simulates a peer crash: node i's listener and every
+// established inbound connection to it are closed. Peers with cached
+// connections to i see write errors, evict them, and back off dialing
+// until StartNode brings the peer back.
+func (t *TCPTransport) StopNode(i int) error {
+	if i < 0 || i >= len(t.addrs) {
+		return fmt.Errorf("cluster: stop node %d of %d", i, len(t.addrs))
+	}
+	t.mu.Lock()
+	ln := t.listeners[i]
+	t.listeners[i] = nil
+	conns := t.inConns[i]
+	t.inConns[i] = nil
+	t.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}
+
+// StartNode restarts a stopped peer on its original address, so cached
+// routes elsewhere in the cluster keep working once their backoff
+// windows expire.
+func (t *TCPTransport) StartNode(i int) error {
+	if i < 0 || i >= len(t.addrs) {
+		return fmt.Errorf("cluster: start node %d of %d", i, len(t.addrs))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.done:
+		return fmt.Errorf("cluster: transport closed")
+	default:
+	}
+	if t.listeners[i] != nil {
+		return fmt.Errorf("cluster: node %d is already listening", i)
+	}
+	ln, err := net.Listen("tcp", t.addrs[i])
+	if err != nil {
+		return fmt.Errorf("cluster: relisten for node %d: %w", i, err)
+	}
+	t.listeners[i] = ln
+	t.wg.Add(1)
+	go t.accept(i, ln)
+	return nil
 }
 
 // Close implements Transport.
@@ -186,14 +314,26 @@ func (t *TCPTransport) Close() error {
 	}
 	conns := t.conns
 	t.conns = map[int]*outConn{}
+	listeners := t.listeners
+	t.listeners = make([]net.Listener, len(t.addrs))
+	var inbound []net.Conn
+	for _, m := range t.inConns {
+		for c := range m {
+			inbound = append(inbound, c)
+		}
+	}
+	t.inConns = map[int]map[net.Conn]bool{}
 	t.mu.Unlock()
-	for _, ln := range t.listeners {
+	for _, ln := range listeners {
 		if ln != nil {
 			_ = ln.Close()
 		}
 	}
 	for _, oc := range conns {
 		_ = oc.c.Close()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
 	}
 	t.wg.Wait()
 	return nil

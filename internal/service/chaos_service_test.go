@@ -1,0 +1,119 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestServiceChaos submits a small campaign over HTTP: every episode
+// recovers, the report carries MTTR percentiles and per-kind stats, and
+// an identical resubmission is answered from the verdict cache.
+func TestServiceChaos(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	req := ChaosRequest{Family: "dijkstra3", Procs: 5, Seed: 7, Episodes: 4, Steps: 4000}
+	resp, body := postJSON(t, ts.URL+"/v1/chaos", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ChaosResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Pass || got.Passed != 4 || got.Failed != 0 {
+		t.Fatalf("campaign failed: %s", body)
+	}
+	if got.Transport != "chan" {
+		t.Fatalf("transport %q, want chan", got.Transport)
+	}
+	if got.MTTR.N == 0 || len(got.Kinds) == 0 || got.Worst == nil {
+		t.Fatalf("summary incomplete: %s", body)
+	}
+	if got.Cached {
+		t.Fatal("first submission cannot be cached")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/chaos", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var again ChaosResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("identical campaign not served from cache: %s", body)
+	}
+	if again.MTTR != got.MTTR || again.Passed != got.Passed {
+		t.Fatalf("cached report diverges: %+v vs %+v", again.MTTR, got.MTTR)
+	}
+}
+
+// TestServiceChaosSLO: a budget below the measured worst case turns the
+// verdict into a failing report — still a 200, the campaign ran; the
+// verdict lives in the body.
+func TestServiceChaosSLO(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	req := ChaosRequest{Family: "dijkstra3", Procs: 5, Seed: 7, Episodes: 4, Steps: 4000}
+	_, body := postJSON(t, ts.URL+"/v1/chaos", req)
+	var probe ChaosResponse
+	if err := json.Unmarshal(body, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.MTTR.Max < 2 {
+		t.Fatalf("campaign too tame: %+v", probe.MTTR)
+	}
+
+	req.RecoverySteps = probe.MTTR.Max - 1
+	resp, body := postJSON(t, ts.URL+"/v1/chaos", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ChaosResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Pass || got.Failed == 0 {
+		t.Fatalf("budget below worst case but campaign passed: %s", body)
+	}
+}
+
+// TestServiceChaosBadRequests: malformed campaigns are client errors,
+// rejected before a worker is committed.
+func TestServiceChaosBadRequests(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  ChaosRequest
+	}{
+		{"unknown family", ChaosRequest{Family: "nope", Procs: 5}},
+		{"too few procs", ChaosRequest{Family: "dijkstra3", Procs: 2}},
+		{"too many episodes", ChaosRequest{Family: "dijkstra3", Procs: 5, Episodes: maxChaosEpisodes + 1}},
+		{"too many steps", ChaosRequest{Family: "dijkstra3", Procs: 5, Steps: maxChaosSteps + 1}},
+		{"campaign budget", ChaosRequest{Family: "dijkstra3", Procs: 5, Episodes: maxChaosEpisodes, Steps: maxChaosSteps}},
+		{"too many faults", ChaosRequest{Family: "dijkstra3", Procs: 5, Faults: maxChaosFaults + 1}},
+		{"unknown kind", ChaosRequest{Family: "dijkstra3", Procs: 5, Kinds: []string{"melt"}}},
+		{"negative slo", ChaosRequest{Family: "dijkstra3", Procs: 5, RecoverySteps: -1}},
+		{"cuts without duration", ChaosRequest{Family: "dijkstra3", Procs: 5,
+			Kinds: []string{"partition"}, CutDuration: -1}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/chaos", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+	}
+}

@@ -103,6 +103,7 @@ type MetricsSnapshot struct {
 		Capacity int   `json:"capacity"`
 		InFlight int64 `json:"in_flight"`
 		Workers  int   `json:"workers"`
+		Panics   int64 `json:"panics"`
 	} `json:"queue"`
 	Latency map[string]HistogramSnapshot `json:"latency_us"`
 }

@@ -24,6 +24,7 @@ type pool struct {
 	wg       sync.WaitGroup
 	depth    atomic.Int64 // jobs queued, not yet picked up
 	inFlight atomic.Int64 // jobs executing right now
+	panics   atomic.Int64 // jobs that panicked past their own recovery
 }
 
 func newPool(workers, queueDepth int) *pool {
@@ -43,9 +44,23 @@ func (p *pool) worker() {
 			continue
 		}
 		p.inFlight.Add(1)
-		j.run(j.ctx)
+		p.runOne(j)
 		p.inFlight.Add(-1)
 	}
+}
+
+// runOne is the worker's panic backstop. Jobs recover their own panics
+// (safeCompute) and answer the waiting handler; anything that escapes
+// past that — a bug in the job plumbing itself — is counted and
+// contained here so one bad job cannot kill a pool worker for the rest
+// of the process's life.
+func (p *pool) runOne(j *job) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panics.Add(1)
+		}
+	}()
+	j.run(j.ctx)
 }
 
 // submit enqueues without blocking. false means the queue is full.

@@ -2,8 +2,9 @@
 // daemon over the repository's decision procedures. It exposes the gclc
 // verdict battery (POST /v1/selfstab, POST /v1/refine), the ring
 // simulator (POST /v1/ringsim), the message-passing cluster runtime
-// (POST /v1/cluster), the static analyzer (POST /v1/lint), and
-// operational endpoints (GET /healthz, GET /metrics).
+// (POST /v1/cluster), the chaos campaign engine (POST /v1/chaos), the
+// static analyzer (POST /v1/lint), and operational endpoints
+// (GET /healthz, GET /metrics).
 //
 // Three layers sit under the handlers:
 //
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mc"
@@ -90,6 +92,7 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	start   time.Time
+	reqSeq  atomic.Uint64 // request-id sequence
 
 	// gate, when non-nil, is received from at the start of every
 	// verification job. Tests use it to hold workers busy
@@ -104,7 +107,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		cache:   cache.New(cfg.CacheEntries),
-		metrics: newMetrics(kindSelfStab, kindRefine, kindRingsim, kindCluster, kindLint),
+		metrics: newMetrics(kindSelfStab, kindRefine, kindRingsim, kindCluster, kindChaos, kindLint),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
@@ -112,6 +115,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/refine", s.handleRefine)
 	s.mux.HandleFunc("POST /v1/ringsim", s.handleRingsim)
 	s.mux.HandleFunc("POST /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /lint", s.handleLint) // unversioned alias
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -119,8 +123,34 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ctxKey keys values this package stores in request contexts.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// requestIDFrom returns the request id stamped by ServeHTTP, or "" for
+// contexts that never passed through it.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// ServeHTTP implements http.Handler. Every request gets a unique id
+// (echoed in the X-Request-Id header and attached to error bodies, so a
+// failure report can be matched to a server log line), and a panicking
+// handler becomes a 500 JSON error carrying that id instead of a
+// severed connection.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("req-%x-%d", s.start.UnixNano()&0xffffff, s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", id)
+	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.internal.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorBody{
+				Error: fmt.Sprintf("internal error in request %s: %v", id, v)})
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -205,11 +235,15 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, kind, key strin
 				return
 			}
 		}
-		v, err := compute(ctx)
+		v, err := safeCompute(ctx, compute)
 		res <- outcome{val: v, err: err}
 	}}
 	if !s.pool.submit(j) {
 		s.metrics.overload.Add(1)
+		// Queue overflow is transient by construction — in-flight checks
+		// finish in seconds — so tell well-behaved clients when to come
+		// back instead of letting them hammer the queue.
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{
 			Error: fmt.Sprintf("verification queue is full (depth %d); retry later", s.cfg.QueueDepth)})
 		return
@@ -234,6 +268,18 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, kind, key strin
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{
 			Error: fmt.Sprintf("request did not finish within its deadline: %v", ctx.Err())})
 	}
+}
+
+// safeCompute runs one check, converting a panic into an error so a
+// buggy checker costs its request a 500 — carrying the request id for
+// log correlation — instead of the whole process.
+func safeCompute(ctx context.Context, compute func(ctx context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("check panicked: %v (request %s)", p, requestIDFrom(ctx))
+		}
+	}()
+	return compute(ctx)
 }
 
 func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
@@ -297,6 +343,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Queue.Capacity = s.cfg.QueueDepth
 	snap.Queue.InFlight = s.pool.inFlight.Load()
 	snap.Queue.Workers = s.cfg.Workers
+	snap.Queue.Panics = s.pool.panics.Load()
 	snap.Latency = make(map[string]HistogramSnapshot, len(s.metrics.latency))
 	for k, h := range s.metrics.latency {
 		snap.Latency[k] = h.snapshot()

@@ -369,6 +369,9 @@ func TestServiceOverflow(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 without a usable Retry-After header: %q", ra)
+	}
 
 	release()
 	wg.Wait()
