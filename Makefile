@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench lint cluster-race cluster-demo chaos
+.PHONY: check fmt vet build test bench lint cluster-race cluster-demo chaos crash-demo
 
 # check is the full gate: formatting, vet, build, the race-enabled
 # test suite, and the GCL linter over the example programs. CI and
@@ -57,13 +57,28 @@ cluster-race:
 	$(GO) test -race -count=2 ./internal/cluster/...
 
 # chaos runs a short seeded campaign under the race detector and fails
-# when any episode misses the recovery SLO. On the stepped chan
-# transport the campaign is deterministic: the measured worst recovery
-# for this seed is 41 steps, so the 200-step budget only trips if a
-# code change genuinely slows recovery (or breaks re-stabilization).
+# when any episode misses the recovery SLO. The mix includes crash
+# faults recovering through the snapshot store, with a storage-fault
+# injector corrupting every 5th snapshot write so both recovery paths
+# (validated restore and arbitrary resume) are exercised. On the
+# stepped chan transport the campaign is deterministic: the measured
+# worst recovery for this seed is 23 steps, so the 200-step budget only
+# trips if a code change genuinely slows recovery (or breaks
+# re-stabilization).
 chaos:
 	$(GO) run -race ./cmd/ringsim chaos -protocol dijkstra3 -p 5 -seed 7 \
-		-episodes 10 -kinds corrupt,restart,partition -recovery-slo 200
+		-episodes 10 -kinds corrupt,restart,partition,crash \
+		-persist -persist-every 2 -storage-fault-every 5 -recovery-slo 200
+
+# crash-demo crashes two nodes of a 5-node ring with snapshot
+# persistence on a hostile store (every 7th write faulted). For this
+# seed, node 1's snapshot is corrupted so it resumes from an arbitrary
+# register (recovered from=arbitrary) while node 3 restores its
+# validated snapshot (from=snapshot) — both re-stabilize either way.
+crash-demo:
+	$(GO) run ./cmd/ringsim cluster -protocol dijkstra3 -p 5 -seed 6 \
+		-faults 0 -schedule "crash@40:node=1; crash@120:node=3" \
+		-persist -persist-every 4 -storage-fault-every 7
 
 # cluster-demo runs a 5-node dijkstra3 ring in-proc, injects one
 # register corruption mid-run, and prints the monitor's convergence

@@ -63,6 +63,9 @@ func BenchmarkE16ClusterRecovery(b *testing.B) {
 func BenchmarkE17ChaosCampaign(b *testing.B) {
 	benchExperiment(b, experiments.E17ChaosCampaign)
 }
+func BenchmarkE18CrashRecovery(b *testing.B) {
+	benchExperiment(b, experiments.E18CrashRecovery)
+}
 
 // BenchmarkFairStabilizationCheck measures the weak-fairness decision
 // procedure on the Lemma 9 composition.

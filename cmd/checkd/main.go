@@ -10,12 +10,18 @@
 //	POST /v1/cluster    {"family": "dijkstra3", ...}       message-passing cluster episode
 //	POST /v1/lint       {"source": <GCL text>}             static analyzer diagnostics
 //	GET  /healthz                                          liveness
+//	GET  /readyz                                           readiness (503 while draining or saturated)
 //	GET  /metrics                                          expvar-style counters
+//
+// With -cache-path the verdict cache survives restarts: it is snapshotted
+// to the file periodically and on graceful shutdown, and reloaded on
+// boot (corrupt entries are skipped and counted in /metrics).
 //
 // Usage:
 //
 //	checkd -addr :8417
 //	checkd -addr :8417 -workers 8 -queue 128 -cache 8192 -timeout 10s
+//	checkd -addr :8417 -cache-path /var/lib/checkd/cache.snap
 package main
 
 import (
@@ -54,18 +60,22 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper bound on requested deadlines")
 	budget := fs.Int64("budget", 50_000_000, "default enumeration step budget per request")
 	maxStates := fs.Int("max-states", 1<<20, "reject programs with larger declared state spaces")
+	cachePath := fs.String("cache-path", "", "persist the verdict cache to this file (empty = in-memory only)")
+	cacheSnapshotInterval := fs.Duration("cache-snapshot-interval", 30*time.Second, "background cache snapshot period (with -cache-path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultBudget:  *budget,
-		MaxStates:      *maxStates,
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		CacheEntries:          *cacheEntries,
+		DefaultTimeout:        *timeout,
+		MaxTimeout:            *maxTimeout,
+		DefaultBudget:         *budget,
+		MaxStates:             *maxStates,
+		CachePath:             *cachePath,
+		CacheSnapshotInterval: *cacheSnapshotInterval,
 	})
 	defer svc.Close()
 
@@ -96,6 +106,10 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		}
 	}
 
+	// Drain order: flip /readyz to 503 first so balancers stop routing,
+	// then stop the listener and wait out in-flight requests; the deferred
+	// Close then takes the final cache snapshot with no requests racing it.
+	svc.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -67,6 +69,79 @@ func TestRunServesAndStops(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "checkd stopped") {
 		t.Fatalf("missing shutdown message: %q", out.String())
+	}
+}
+
+// startCheckd runs checkd with the given extra flags and returns its
+// base URL plus a shutdown function that waits for a clean exit.
+func startCheckd(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	var out syncBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extra...)
+	go func() { done <- run(args, &out, stop) }()
+
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never announced its address; output: %q", out.String())
+	}
+	return "http://" + addr, func() {
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+}
+
+// TestRunCachePersistsAcrossRestart: the issue's acceptance path at the
+// binary level. A checkd with -cache-path computes one verdict, shuts
+// down gracefully, and a second checkd on the same path answers the
+// identical request from the persisted cache.
+func TestRunCachePersistsAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	req := `{"family":"dijkstra3","procs":5,"seed":3,"runs":3,"steps":5000}`
+
+	post := func(base string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/ringsim", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %v", resp.StatusCode, m)
+		}
+		return m
+	}
+
+	base, shutdown := startCheckd(t, "-cache-path", path)
+	if m := post(base); m["cached"] != false {
+		t.Fatalf("first submission cannot be cached: %v", m)
+	}
+	shutdown()
+
+	base, shutdown = startCheckd(t, "-cache-path", path)
+	defer shutdown()
+	if m := post(base); m["cached"] != true {
+		t.Fatalf("restarted checkd recomputed instead of serving the persisted verdict: %v", m)
 	}
 }
 

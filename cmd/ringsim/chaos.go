@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cluster/chaos"
+	"repro/internal/cluster/store"
 )
 
 // runChaos implements `ringsim chaos`: a seeded campaign of fault
@@ -36,6 +37,10 @@ func runChaos(args []string, out io.Writer) error {
 	recoverySLO := fs.Int("recovery-slo", 0, "SLO: max steps for any single recovery (0 = unbounded)")
 	maxTokens := fs.Int("max-tokens", 0, "SLO: max privilege count at any observed event (0 = unchecked)")
 	refreshEvery := fs.Int("refresh-every", 0, "periodic anti-entropy round every N steps (0 = only on partition heals)")
+	persist := fs.Bool("persist", false, "give each episode an in-memory snapshot store; crash faults recover from it")
+	persistEvery := fs.Int("persist-every", 1, "snapshot interval in steps (with -persist)")
+	storageFaultEvery := fs.Int("storage-fault-every", 0, "fault every Nth snapshot write (0 = none; needs -persist)")
+	storageFaultKinds := fs.String("storage-fault-kinds", "torn,bitflip,stale,missing", "storage-fault mix for -storage-fault-every")
 	timeout := fs.Duration("timeout", 120*time.Second, "wall-clock bound for the whole campaign")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +88,19 @@ func runChaos(args []string, out io.Writer) error {
 		},
 		SLO:          chaos.SLO{RecoverySteps: *recoverySLO, MaxTokens: *maxTokens},
 		RefreshEvery: *refreshEvery,
+		Persist:      *persist,
+		PersistEvery: *persistEvery,
+	}
+	if *storageFaultEvery > 0 {
+		if !*persist {
+			return fmt.Errorf("-storage-fault-every needs -persist")
+		}
+		sfKinds, err := store.ParseFaultKinds(strings.Split(*storageFaultKinds, ","))
+		if err != nil {
+			return fmt.Errorf("-storage-fault-kinds: %v", err)
+		}
+		opts.StorageFaultEvery = *storageFaultEvery
+		opts.StorageFaultKinds = sfKinds
 	}
 	switch *transport {
 	case "chan":

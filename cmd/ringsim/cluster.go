@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/store"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,11 @@ func runCluster(args []string, out io.Writer) error {
 	schedule := fs.String("schedule", "", `fault schedule, e.g. "corrupt@40:node=1,val=0; drop@60:from=2,to=3,count=2"`)
 	snapshotEvery := fs.Int("snapshot-every", 0, "emit a tokens-over-time snapshot event every N steps (0 = none)")
 	recordMoves := fs.Bool("moves", false, "add one event per executed move to the stream")
+	persist := fs.Bool("persist", false, "persist per-node register snapshots; crash faults recover from them")
+	persistDir := fs.String("persist-dir", "", "snapshot directory (default: in-memory store)")
+	persistEvery := fs.Int("persist-every", 1, "snapshot interval in steps")
+	storageFaultEvery := fs.Int("storage-fault-every", 0, "fault every Nth snapshot write (0 = none; needs -persist)")
+	storageFaultKinds := fs.String("storage-fault-kinds", "torn,bitflip,stale,missing", "storage-fault mix for -storage-fault-every")
 	timeout := fs.Duration("timeout", 60*time.Second, "wall-clock bound (matters for -transport tcp)")
 	jsonOut := fs.Bool("json", false, "print the full result as JSON instead of the event log")
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +65,27 @@ func runCluster(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-schedule: %v", err)
 	}
+	var st *store.Store
+	if *persist {
+		var sfs store.FS
+		if *persistDir != "" {
+			if sfs, err = store.NewDirFS(*persistDir); err != nil {
+				return fmt.Errorf("-persist-dir: %v", err)
+			}
+		} else {
+			sfs = store.NewMemFS()
+		}
+		if *storageFaultEvery > 0 {
+			kinds, err := store.ParseFaultKinds(strings.Split(*storageFaultKinds, ","))
+			if err != nil {
+				return fmt.Errorf("-storage-fault-kinds: %v", err)
+			}
+			sfs = store.NewInjector(sfs, *seed, store.Plan{Every: *storageFaultEvery, Kinds: kinds})
+		}
+		st = store.New(sfs)
+	} else if *storageFaultEvery > 0 {
+		return fmt.Errorf("-storage-fault-every needs -persist")
+	}
 
 	legit, err := sim.LegitimateConfig(proto)
 	if err != nil {
@@ -74,6 +101,8 @@ func runCluster(args []string, out io.Writer) error {
 		SnapshotEvery:  *snapshotEvery,
 		RecordMoves:    *recordMoves,
 		StopWhenStable: true,
+		Store:          st,
+		PersistEvery:   *persistEvery,
 	}
 	switch *transport {
 	case "chan":
@@ -112,6 +141,11 @@ func runCluster(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "stabilization: broken at step %d, legitimate at step %d (%d steps)\n",
 			st.BrokenAt, st.StableAt, st.Steps)
 	}
+	if res.Storage != nil {
+		fmt.Fprintf(out, "storage: saves=%d restored=%d corrupt=%d stale=%d missing=%d\n",
+			res.Storage.Saves, res.Storage.Restored, res.Storage.CorruptLoads,
+			res.Storage.StaleLoads, res.Storage.MissingLoads)
+	}
 	return nil
 }
 
@@ -127,6 +161,9 @@ func formatEvent(ev cluster.Event) string {
 	}
 	if ev.Fault != "" {
 		fmt.Fprintf(&b, " fault=%q", ev.Fault)
+	}
+	if ev.From != "" {
+		fmt.Fprintf(&b, " from=%s", ev.From)
 	}
 	if ev.Kind == "stabilized" && ev.After > 0 {
 		fmt.Fprintf(&b, " after=%d", ev.After)

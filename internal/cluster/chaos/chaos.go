@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/store"
 	"repro/internal/sim"
 )
 
@@ -62,6 +63,21 @@ type Options struct {
 	// anti-entropy round every so many steps (0 = only on partition
 	// heals).
 	RefreshEvery int
+	// Persist gives each episode a fresh in-memory snapshot store, so
+	// crash faults recover from persisted state instead of resuming
+	// arbitrary. Stores never outlive their episode and never touch the
+	// host disk.
+	Persist bool
+	// PersistEvery is the snapshot interval in steps (≤ 0 = every step).
+	PersistEvery int
+	// StorageFaultEvery puts a seeded storage-fault injector (derived
+	// from each episode's seed) under the store, faulting every Nth
+	// snapshot write with a kind from StorageFaultKinds (0 = no storage
+	// faults). Requires Persist.
+	StorageFaultEvery int
+	// StorageFaultKinds is the storage-fault mix (torn, bitflip, stale,
+	// missing); defaults to all four when StorageFaultEvery is set.
+	StorageFaultKinds []store.FaultKind
 }
 
 // Recovery is one completed convergence episode inside an episode,
@@ -93,6 +109,9 @@ type Episode struct {
 	Recoveries []Recovery `json:"recoveries,omitempty"`
 	// MaxTokens is the highest privilege count at any observed event.
 	MaxTokens int `json:"max_tokens"`
+	// Storage reports the episode's snapshot-store counters when
+	// persistence was on.
+	Storage *store.Stats `json:"storage,omitempty"`
 	// Violations lists every SLO breach; empty means the episode passed.
 	Violations []string `json:"violations,omitempty"`
 }
@@ -121,6 +140,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	if err := opts.Template.validate(p); err != nil {
 		return nil, err
+	}
+	if opts.StorageFaultEvery > 0 && !opts.Persist {
+		return nil, fmt.Errorf("chaos: StorageFaultEvery needs Persist")
 	}
 	legit, err := sim.LegitimateConfig(p)
 	if err != nil {
@@ -162,6 +184,18 @@ func runEpisode(ctx context.Context, opts Options, p sim.Protocol, legit sim.Con
 		}
 		defer tr.Close()
 	}
+	var st *store.Store
+	if opts.Persist {
+		var fs store.FS = store.NewMemFS()
+		if opts.StorageFaultEvery > 0 {
+			kinds := opts.StorageFaultKinds
+			if len(kinds) == 0 {
+				kinds = []store.FaultKind{store.FaultTorn, store.FaultBitFlip, store.FaultStale, store.FaultMissing}
+			}
+			fs = store.NewInjector(fs, seed, store.Plan{Every: opts.StorageFaultEvery, Kinds: kinds})
+		}
+		st = store.New(fs)
+	}
 	res, err := cluster.Run(ctx, cluster.Options{
 		Proto:          p,
 		Transport:      tr,
@@ -171,6 +205,8 @@ func runEpisode(ctx context.Context, opts Options, p sim.Protocol, legit sim.Con
 		RecordMoves:    true, // exact max-token and livelock evidence
 		RefreshEvery:   opts.RefreshEvery,
 		StopWhenStable: true,
+		Store:          st,
+		PersistEvery:   opts.PersistEvery,
 	}, legit)
 	if err != nil {
 		return nil, "", err
@@ -194,6 +230,7 @@ func judge(index int, seed int64, sched []cluster.Fault, res *cluster.Result, sl
 		Converged: res.Converged,
 	}
 	ep.Recoveries, ep.MaxTokens = attribute(res.Events)
+	ep.Storage = res.Storage
 	if !res.Converged {
 		// No silent livelock: name the failure mode. Moves near the end
 		// of the budget mean the ring was still churning (livelock);
@@ -239,7 +276,7 @@ func attribute(events []cluster.Event) ([]Recovery, int) {
 			maxTokens = ev.Tokens
 		}
 		switch ev.Kind {
-		case "fault", "heal":
+		case "fault", "heal", "crashed":
 			lastKind = faultKind(ev.Fault)
 		case "destabilized":
 			brokenAt = ev.Step

@@ -223,3 +223,81 @@ func TestPercentiles(t *testing.T) {
 		t.Fatalf("single sample %+v", one)
 	}
 }
+
+// TestCampaignCrashFaults: a crash-inclusive campaign with per-episode
+// persistence and a hostile disk passes the recovery SLO, records
+// crash-attributed recoveries, reports storage stats, and stays
+// byte-deterministic on the stepped transport.
+func TestCampaignCrashFaults(t *testing.T) {
+	opts := Options{
+		Proto:    sim.NewDijkstra3(5),
+		Seed:     9,
+		Episodes: 6,
+		MaxSteps: 5000,
+		Template: Template{
+			Kinds:  []cluster.FaultKind{cluster.FaultCrash, cluster.FaultCorrupt},
+			Faults: 4,
+			Gap:    120, // room for backoff + replay between faults
+			Start:  30,
+		},
+		SLO:               SLO{RecoverySteps: 600},
+		Persist:           true,
+		PersistEvery:      2,
+		StorageFaultEvery: 5,
+	}
+	render := func() (*Report, string) {
+		rep, err := Run(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, string(b)
+	}
+	rep, a := render()
+	if !rep.Pass {
+		t.Fatalf("crash campaign violated SLO: %+v", rep.EpisodeResults)
+	}
+	if _, ok := rep.Kinds["crash"]; !ok {
+		t.Fatalf("no crash-attributed recoveries: %+v", rep.Kinds)
+	}
+	sawStorage, sawArbitrary, sawSnapshot := false, false, false
+	for _, ep := range rep.EpisodeResults {
+		if ep.Storage != nil && ep.Storage.Saves > 0 {
+			sawStorage = true
+		}
+	}
+	// Recovery sources: with a hostile disk faulting every 5th write,
+	// both snapshot and arbitrary resumes should appear across episodes.
+	for _, ep := range rep.EpisodeResults {
+		if ep.Storage == nil {
+			continue
+		}
+		if ep.Storage.Restored > 0 {
+			sawSnapshot = true
+		}
+		if ep.Storage.CorruptLoads+ep.Storage.StaleLoads+ep.Storage.MissingLoads > 0 {
+			sawArbitrary = true
+		}
+	}
+	if !sawStorage {
+		t.Fatal("no episode reported storage stats")
+	}
+	if !sawSnapshot && !sawArbitrary {
+		t.Fatal("no snapshot loads observed at all — crashes never recovered through the store?")
+	}
+	if _, b := render(); a != b {
+		t.Fatalf("crash campaign is not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestStorageFaultsRequirePersist: the option dependency is validated.
+func TestStorageFaultsRequirePersist(t *testing.T) {
+	o := baseOptions()
+	o.StorageFaultEvery = 3
+	if _, err := Run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "Persist") {
+		t.Fatalf("want Persist dependency error, got %v", err)
+	}
+}

@@ -70,7 +70,7 @@ func (t Template) validate(p sim.Protocol) error {
 	known := map[cluster.FaultKind]bool{
 		cluster.FaultCorrupt: true, cluster.FaultDrop: true, cluster.FaultDup: true,
 		cluster.FaultDelay: true, cluster.FaultStall: true, cluster.FaultRestart: true,
-		cluster.FaultPartition: true, cluster.FaultIsolate: true,
+		cluster.FaultCrash: true, cluster.FaultPartition: true, cluster.FaultIsolate: true,
 	}
 	for _, k := range t.Kinds {
 		if !known[k] {
@@ -116,6 +116,8 @@ func (t Template) instantiate(p sim.Protocol, rng *rand.Rand) []cluster.Fault {
 		case cluster.FaultCorrupt:
 			f.Node = rng.Intn(procs) // Val stays -1: the engine seeds the value
 		case cluster.FaultRestart:
+			f.Node = rng.Intn(procs)
+		case cluster.FaultCrash:
 			f.Node = rng.Intn(procs)
 		case cluster.FaultStall:
 			f.Node = rng.Intn(procs)

@@ -30,8 +30,18 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cluster/store"
 	"repro/internal/sim"
 )
+
+// persistInterval resolves the snapshot interval: every step unless the
+// options say otherwise.
+func persistInterval(opts Options) int {
+	if opts.PersistEvery > 0 {
+		return opts.PersistEvery
+	}
+	return 1
+}
 
 // Options configures one cluster episode.
 type Options struct {
@@ -62,8 +72,17 @@ type Options struct {
 	RefreshEvery int
 	// StopWhenStable ends the episode once the Monitor's view is
 	// legitimate, no scheduled faults remain, and no partition is still
-	// open, instead of running the full budget.
+	// open, instead of running the full budget. A crashed node keeps the
+	// view illegitimate, so the episode always runs through recovery.
 	StopWhenStable bool
+	// Store, when non-nil, persists each live node's register as a
+	// checksummed snapshot every PersistEvery steps (generation = step).
+	// Crash faults recover from it: a validating snapshot restores the
+	// register, a failed validation resumes from arbitrary state.
+	Store *store.Store
+	// PersistEvery is the snapshot interval in steps; ≤ 0 means every
+	// step when Store is set.
+	PersistEvery int
 }
 
 // Result summarizes one cluster episode.
@@ -93,6 +112,9 @@ type Result struct {
 	Links []LinkStats `json:"links,omitempty"`
 	// Events is the Monitor's structured convergence event stream.
 	Events []Event `json:"events"`
+	// Storage reports the snapshot store's counters when persistence was
+	// on: saves, validated restores, and what validation caught.
+	Storage *store.Stats `json:"storage,omitempty"`
 
 	viewTrace []int
 }
@@ -212,6 +234,8 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 	}
 
 	mon := newMonitor(proto, initial, opts.RecordMoves)
+	sup := newSupervisor(proto, opts.Store, rng, mon)
+	persistEvery := persistInterval(opts)
 	pending := sortedSchedule(opts.Schedule)
 	var heals []heal
 	stalledUntil := make([]int, procs)
@@ -252,6 +276,11 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 					return nil, ctx.Err()
 				}
 				mon.ObserveFault(step, f, 0)
+			case FaultCrash:
+				if _, ok := ask(nodes[f.Node], command{kind: cmdCrash}); !ok {
+					return nil, ctx.Err()
+				}
+				sup.crash(step, f)
 			case FaultStall:
 				stalledUntil[f.Node] = step + f.Count
 				mon.ObserveFault(step, f, 0)
@@ -280,9 +309,16 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 				return nil, ctx.Err()
 			}
 		}
+		for _, nd := range sup.due(step) {
+			val, from := sup.restart(nd)
+			if _, ok := ask(nodes[nd], command{kind: cmdRestore, val: val}); !ok {
+				return nil, ctx.Err()
+			}
+			mon.ObserveRecovered(step, nd, val, from)
+		}
 		var runnable []int
 		for i := range nodes {
-			if stalledUntil[i] <= step {
+			if stalledUntil[i] <= step && !sup.down(i) {
 				runnable = append(runnable, i)
 			}
 		}
@@ -298,6 +334,13 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 				mon.ObserveMove(step, pick, rep.Rule, rep.Val)
 			}
 		}
+		if opts.Store != nil && step%persistEvery == 0 {
+			for i := 0; i < procs; i++ {
+				if !sup.down(i) {
+					_ = opts.Store.Save(i, uint64(step), mon.view[i])
+				}
+			}
+		}
 		if opts.SnapshotEvery > 0 && step%opts.SnapshotEvery == 0 {
 			mon.Snapshot(step)
 		}
@@ -310,6 +353,11 @@ func runStepped(ctx context.Context, opts Options, inj *injector, initial sim.Co
 }
 
 func assemble(opts Options, inj *injector, mon *Monitor, steps, moves int, movesPerNode []int) *Result {
+	var storage *store.Stats
+	if opts.Store != nil {
+		st := opts.Store.Stats()
+		storage = &st
+	}
 	return &Result{
 		Protocol:       opts.Proto.Name(),
 		Transport:      inj.Name(),
@@ -323,6 +371,7 @@ func assemble(opts Options, inj *injector, mon *Monitor, steps, moves int, moves
 		MovesPerNode:   movesPerNode,
 		Links:          inj.linkStats(),
 		Events:         mon.Events(),
+		Storage:        storage,
 		viewTrace:      mon.ViewTrace(),
 	}
 }

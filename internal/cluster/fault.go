@@ -30,6 +30,12 @@ const (
 	// FaultRestart resets a node: register to zero, neighbor views
 	// forgotten, probes sent to refill them.
 	FaultRestart FaultKind = "restart"
+	// FaultCrash kills a node's process: it stops moving and loses its
+	// in-memory state. The supervisor restarts it after an exponential
+	// backoff (with seeded jitter), recovering the register from the
+	// snapshot store when the snapshot validates and from arbitrary
+	// state when it does not — the paper's in-model perturbation.
+	FaultCrash FaultKind = "crash"
 	// FaultPartition severs every link between node sets A and B for
 	// Count steps: messages crossing the cut are dropped in both
 	// directions. When the partition heals, the engine triggers an
@@ -81,6 +87,8 @@ func (f Fault) String() string {
 		return fmt.Sprintf("stall@%d:node=%d,count=%d", f.Step, f.Node, f.Count)
 	case FaultRestart:
 		return fmt.Sprintf("restart@%d:node=%d", f.Step, f.Node)
+	case FaultCrash:
+		return fmt.Sprintf("crash@%d:node=%d", f.Step, f.Node)
 	case FaultPartition:
 		return fmt.Sprintf("partition@%d:cut=%s|%s,count=%d", f.Step, nodeList(f.A), nodeList(f.B), f.Count)
 	case FaultIsolate:
@@ -169,7 +177,7 @@ func ParseSchedule(s string) ([]Fault, error) {
 			}
 		}
 		switch f.Kind {
-		case FaultCorrupt, FaultStall, FaultRestart, FaultIsolate:
+		case FaultCorrupt, FaultStall, FaultRestart, FaultCrash, FaultIsolate:
 			if f.Node < 0 {
 				return nil, fmt.Errorf("cluster: fault %q: %s needs node=<i>", part, f.Kind)
 			}
@@ -182,7 +190,7 @@ func ParseSchedule(s string) ([]Fault, error) {
 				return nil, fmt.Errorf("cluster: fault %q: partition needs cut=<a>|<b>", part)
 			}
 		default:
-			return nil, fmt.Errorf("cluster: fault %q: unknown kind %q (want corrupt|drop|dup|delay|stall|restart|partition|isolate)", part, kindStr)
+			return nil, fmt.Errorf("cluster: fault %q: unknown kind %q (want corrupt|drop|dup|delay|stall|restart|crash|partition|isolate)", part, kindStr)
 		}
 		if f.Count < 1 {
 			return nil, fmt.Errorf("cluster: fault %q: count must be ≥ 1", part)
@@ -212,7 +220,7 @@ func ValidateSchedule(p sim.Protocol, schedule []Fault) error {
 	procs := p.Procs()
 	for _, f := range schedule {
 		switch f.Kind {
-		case FaultCorrupt, FaultStall, FaultRestart:
+		case FaultCorrupt, FaultStall, FaultRestart, FaultCrash:
 			if f.Node < 0 || f.Node >= procs {
 				return fmt.Errorf("cluster: %s: node %d outside [0,%d)", f, f.Node, procs)
 			}

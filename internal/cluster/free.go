@@ -63,6 +63,8 @@ func runFree(ctx context.Context, opts Options, inj *injector, initial sim.Confi
 	}
 
 	mon := newMonitor(proto, initial, opts.RecordMoves)
+	sup := newSupervisor(proto, opts.Store, rng, mon)
+	persistEvery := persistInterval(opts)
 	pending := sortedSchedule(opts.Schedule)
 	var resumes []resume
 	var heals []heal
@@ -89,6 +91,9 @@ func runFree(ctx context.Context, opts Options, inj *injector, initial sim.Confi
 			case FaultRestart:
 				tell(f.Node, command{kind: cmdRestart})
 				mon.ObserveFault(clock, f, 0)
+			case FaultCrash:
+				tell(f.Node, command{kind: cmdCrash})
+				sup.crash(clock, f)
 			case FaultStall:
 				tell(f.Node, command{kind: cmdStall})
 				resumes = append(resumes, resume{step: clock + f.Count, node: f.Node})
@@ -122,9 +127,21 @@ func runFree(ctx context.Context, opts Options, inj *injector, initial sim.Confi
 			}
 		}
 		resumes = keep
+		for _, nd := range sup.due(clock) {
+			val, from := sup.restart(nd)
+			tell(nd, command{kind: cmdRestore, val: val})
+			mon.ObserveRecovered(clock, nd, val, from)
+		}
 		if healed || (opts.RefreshEvery > 0 && clock%opts.RefreshEvery == 0) {
 			for i := range nodes {
 				tell(i, command{kind: cmdRefresh})
+			}
+		}
+		if opts.Store != nil && clock%persistEvery == 0 {
+			for i := 0; i < procs; i++ {
+				if !sup.down(i) {
+					_ = opts.Store.Save(i, uint64(clock), mon.view[i])
+				}
 			}
 		}
 		if opts.SnapshotEvery > 0 && clock%opts.SnapshotEvery == 0 {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -13,8 +15,9 @@ import (
 type Event struct {
 	// Step is the scheduler step the event was observed at.
 	Step int `json:"step"`
-	// Kind is one of "start", "move", "fault", "heal", "destabilized",
-	// "stabilized", "snapshot", "finish".
+	// Kind is one of "start", "move", "fault", "heal", "crashed",
+	// "recovered", "crashloop", "destabilized", "stabilized",
+	// "snapshot", "finish".
 	Kind string `json:"kind"`
 	// Node is the process a move/fault targets; -1 on events that are
 	// not node-specific (kept explicit so node 0 is unambiguous).
@@ -31,6 +34,10 @@ type Event struct {
 	// After is the number of steps between losing and regaining
 	// legitimacy (stabilized events only).
 	After int `json:"after,omitempty"`
+	// From names the recovery source on recovered events: "snapshot"
+	// when the persisted state validated, "arbitrary" when it did not
+	// and the node resumed from an arbitrary register value.
+	From string `json:"from,omitempty"`
 }
 
 // Stabilization records one convergence episode: the view left the
@@ -57,6 +64,7 @@ type Monitor struct {
 	view        sim.Config
 	legit       bool
 	brokenAt    int
+	crashed     map[int]bool
 	events      []Event
 	stabs       []Stabilization
 	recordMoves bool
@@ -69,7 +77,7 @@ type Monitor struct {
 // newMonitor starts monitoring from the initial configuration,
 // emitting the "start" event.
 func newMonitor(p sim.Protocol, initial sim.Config, recordMoves bool) *Monitor {
-	m := &Monitor{proto: p, view: initial.Clone(), recordMoves: recordMoves}
+	m := &Monitor{proto: p, view: initial.Clone(), crashed: make(map[int]bool), recordMoves: recordMoves}
 	m.radix = make([]int, p.Procs())
 	size := 1
 	m.encode = true
@@ -101,9 +109,12 @@ func (m *Monitor) observeState() {
 }
 
 // checkTransition emits destabilized/stabilized events when the view
-// crosses the legitimacy boundary.
+// crosses the legitimacy boundary. A ring with a crashed node is never
+// legitimate — a dead process holds no register and serves no
+// privilege — so a stabilization that spans a crash includes the full
+// downtime (backoff, restart, and state replay) in its step count.
 func (m *Monitor) checkTransition(step int) {
-	now := m.proto.Legitimate(m.view)
+	now := m.proto.Legitimate(m.view) && len(m.crashed) == 0
 	tokens := sim.TokenCount(m.proto, m.view)
 	switch {
 	case now && !m.legit:
@@ -136,8 +147,10 @@ func (m *Monitor) ObserveMove(step, node int, rule string, val int) {
 func (m *Monitor) ObserveFault(step int, f Fault, val int) {
 	switch f.Kind {
 	case FaultCorrupt, FaultRestart:
-		m.view[f.Node] = val
-		m.observeState()
+		if !m.crashed[f.Node] { // state faults on a dead process hit nothing
+			m.view[f.Node] = val
+			m.observeState()
+		}
 	}
 	m.events = append(m.events, Event{Step: step, Kind: "fault", Node: f.Node, Fault: f.String(),
 		Tokens: sim.TokenCount(m.proto, m.view)})
@@ -159,6 +172,36 @@ func healNode(f Fault) int {
 		return f.Node
 	}
 	return -1
+}
+
+// ObserveCrash records a node crash. The node joins the crashed set,
+// which forces the view illegitimate until every node is back up.
+func (m *Monitor) ObserveCrash(step int, f Fault) {
+	m.crashed[f.Node] = true
+	m.events = append(m.events, Event{Step: step, Kind: "crashed", Node: f.Node, Fault: f.String(),
+		Tokens: sim.TokenCount(m.proto, m.view)})
+	m.checkTransition(step)
+}
+
+// ObserveRecovered records a supervised restart: the node is back up
+// with register val, recovered From "snapshot" (persisted state
+// validated) or "arbitrary" (validation failed; the restart is an
+// in-model transient perturbation the protocol must converge from).
+func (m *Monitor) ObserveRecovered(step, node, val int, from string) {
+	delete(m.crashed, node)
+	m.view[node] = val
+	m.observeState()
+	m.events = append(m.events, Event{Step: step, Kind: "recovered", Node: node, From: from,
+		Tokens: sim.TokenCount(m.proto, m.view)})
+	m.checkTransition(step)
+}
+
+// ObserveCrashLoop flags a node crashing repeatedly within the
+// supervisor's detection window.
+func (m *Monitor) ObserveCrashLoop(step, node, count int) {
+	m.events = append(m.events, Event{Step: step, Kind: "crashloop", Node: node,
+		Fault:  fmt.Sprintf("%d crashes within %d steps", count, crashLoopWindow),
+		Tokens: sim.TokenCount(m.proto, m.view)})
 }
 
 // Snapshot emits a periodic tokens-over-time event.

@@ -30,6 +30,15 @@ const (
 	// partition heals (and optionally on a period), because messages lost
 	// to a cut are never re-sent by the announce-on-change discipline.
 	cmdRefresh
+	// cmdCrash kills the process: it stops moving, stops speaking, and
+	// loses every message delivered while down. Only cmdRestore revives
+	// it.
+	cmdCrash
+	// cmdRestore revives a crashed process with the register value the
+	// supervisor recovered (from a validated snapshot, or arbitrary when
+	// validation failed). Messages queued during the downtime are
+	// discarded — the crashed process never saw them.
+	cmdRestore
 )
 
 // command is one control message from engine to node actor.
@@ -73,6 +82,7 @@ type node struct {
 	seq                 int
 	moves               int
 	stalled             bool
+	down                bool // crashed: ignores everything except cmdRestore
 
 	cmds    chan command
 	reports chan moveReport // free-running engine only
@@ -148,6 +158,18 @@ func (n *node) drain() {
 	}
 }
 
+// drainDiscard throws away every pending message: a restoring process
+// never saw what was delivered while it was down.
+func (n *node) drainDiscard() {
+	for {
+		select {
+		case <-n.tr.Recv(n.id):
+		default:
+			return
+		}
+	}
+}
+
 // tryMove attempts one protocol move against the current views.
 func (n *node) tryMove() (moved bool, rule string) {
 	if !n.haveLeft || !n.haveRight {
@@ -166,6 +188,9 @@ func (n *node) tryMove() (moved bool, rule string) {
 
 // handle executes one engine command and returns the report.
 func (n *node) handle(c command) stepReport {
+	if n.down && c.kind != cmdRestore {
+		return stepReport{Val: n.val}
+	}
 	switch c.kind {
 	case cmdInit:
 		n.announce()
@@ -192,6 +217,16 @@ func (n *node) handle(c command) stepReport {
 	case cmdRefresh:
 		n.drain()
 		n.lastSent = -1
+		n.announce()
+		n.probe()
+	case cmdCrash:
+		n.down = true
+	case cmdRestore:
+		n.drainDiscard()
+		n.val = c.val
+		n.haveLeft, n.haveRight = false, false
+		n.lastSent = -1
+		n.down = false
 		n.announce()
 		n.probe()
 	}
@@ -245,8 +280,14 @@ func (n *node) freeLoop(ctx context.Context) {
 				}
 			}
 		case m := <-n.tr.Recv(n.id):
-			n.apply(m)
+			if !n.down {
+				n.apply(m)
+			}
 		default:
+			if n.down {
+				time.Sleep(freeIdle)
+				continue
+			}
 			n.announce() // a corrupt command may have changed the register
 			moved := false
 			var rule string

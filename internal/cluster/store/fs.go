@@ -1,0 +1,105 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the slice of a filesystem the store uses: whole-file reads,
+// whole-file writes (to temp names), atomic renames, and removals. The
+// store's durability discipline — write-to-temp then rename — is
+// expressed against this interface, which is what lets the fault
+// injector corrupt exactly those primitives.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte) error
+	Rename(oldname, newname string) error
+	Remove(name string) error
+}
+
+// DirFS is the real-disk FS rooted at one directory.
+type DirFS struct{ dir string }
+
+// NewDirFS creates (if needed) and roots an FS at dir.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+func (f *DirFS) path(name string) string { return filepath.Join(f.dir, filepath.Base(name)) }
+
+// ReadFile implements FS.
+func (f *DirFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(f.path(name)) }
+
+// WriteFile implements FS.
+func (f *DirFS) WriteFile(name string, data []byte) error {
+	return os.WriteFile(f.path(name), data, 0o644)
+}
+
+// Rename implements FS.
+func (f *DirFS) Rename(oldname, newname string) error {
+	return os.Rename(f.path(oldname), f.path(newname))
+}
+
+// Remove implements FS.
+func (f *DirFS) Remove(name string) error { return os.Remove(f.path(name)) }
+
+// MemFS is the in-memory FS: what checkd's /v1/cluster and /v1/chaos
+// persistence modes run on (a service request must not write the
+// server's disk), and what keeps store-level tests hermetic. It honors
+// the same semantics as DirFS, including os.ErrNotExist on missing
+// files.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS builds an empty in-memory FS.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+// ReadFile implements FS.
+func (f *MemFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("store: read %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// WriteFile implements FS.
+func (f *MemFS) WriteFile(name string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Rename implements FS.
+func (f *MemFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.files[oldname]
+	if !ok {
+		return fmt.Errorf("store: rename %s: %w", oldname, os.ErrNotExist)
+	}
+	delete(f.files, oldname)
+	f.files[newname] = b
+	return nil
+}
+
+// Remove implements FS.
+func (f *MemFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("store: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(f.files, name)
+	return nil
+}

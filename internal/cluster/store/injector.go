@@ -1,0 +1,172 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultKind enumerates the storage-fault model: the real-world failure
+// modes of a disk under crash, each mapped onto the write-to-temp +
+// atomic-rename discipline the store uses.
+type FaultKind string
+
+const (
+	// FaultTorn truncates the written bytes at a seeded point — the
+	// classic torn write of a crash mid-write. The CRC over the
+	// length-prefixed payload catches it on load.
+	FaultTorn FaultKind = "torn"
+	// FaultBitFlip flips one seeded bit of the written record — media
+	// corruption. Caught by the CRC.
+	FaultBitFlip FaultKind = "bitflip"
+	// FaultStale swallows the atomic rename, leaving the previous
+	// generation's file in place — a rollback to a stale snapshot.
+	// Caught by the store's generation-monotonicity check.
+	FaultStale FaultKind = "stale"
+	// FaultMissing loses the file entirely: the rename removes both the
+	// temp and the target. Loads see ErrNotFound.
+	FaultMissing FaultKind = "missing"
+)
+
+// ParseFaultKinds parses a comma- or plus-separated storage-fault kind
+// list ("torn,bitflip").
+func ParseFaultKinds(kinds []string) ([]FaultKind, error) {
+	known := map[FaultKind]bool{FaultTorn: true, FaultBitFlip: true, FaultStale: true, FaultMissing: true}
+	out := make([]FaultKind, 0, len(kinds))
+	for _, s := range kinds {
+		k := FaultKind(s)
+		if !known[k] {
+			return nil, fmt.Errorf("store: unknown storage-fault kind %q (want torn|bitflip|stale|missing)", s)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// Plan schedules background storage faults: every Every-th store write
+// suffers a fault whose kind is drawn (seeded) from Kinds. The zero
+// Plan injects nothing.
+type Plan struct {
+	Every int
+	Kinds []FaultKind
+}
+
+// Injector sits between a Store and its FS, corrupting writes on a
+// seeded schedule so recovery paths are tested against hostile disks.
+// It is itself an FS, so the store is oblivious to it. Faults are
+// decided per store write (one WriteFile + Rename pair): the injector
+// tags the temp file at write time and applies rename-level faults
+// (stale, missing) when that temp is renamed.
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	plan     Plan
+	armed    []FaultKind          // explicit one-shot faults, consumed FIFO before the plan
+	pending  map[string]FaultKind // temp name → rename-level fault to apply
+	writes   int                  // store writes seen (WriteFile calls)
+	injected map[FaultKind]int
+}
+
+// NewInjector wraps inner with a seeded fault schedule. A zero plan
+// (Every ≤ 0 or no kinds) makes the injector transparent until Arm is
+// called.
+func NewInjector(inner FS, seed int64, plan Plan) *Injector {
+	return &Injector{
+		inner:    inner,
+		rng:      rand.New(rand.NewSource(seed*97_561 + 11)),
+		plan:     plan,
+		pending:  make(map[string]FaultKind),
+		injected: make(map[FaultKind]int),
+	}
+}
+
+// Arm queues one fault to apply to the next store write, ahead of the
+// plan. Tests use it to hit a specific Save deterministically.
+func (in *Injector) Arm(k FaultKind) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = append(in.armed, k)
+}
+
+// Injected reports how many faults of each kind have been applied.
+func (in *Injector) Injected() map[FaultKind]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[FaultKind]int, len(in.injected))
+	for k, n := range in.injected {
+		out[k] = n
+	}
+	return out
+}
+
+// nextFault decides (under mu) the fault for the current write, if any.
+func (in *Injector) nextFault() (FaultKind, bool) {
+	if len(in.armed) > 0 {
+		k := in.armed[0]
+		in.armed = in.armed[1:]
+		return k, true
+	}
+	if in.plan.Every > 0 && len(in.plan.Kinds) > 0 && in.writes%in.plan.Every == 0 {
+		return in.plan.Kinds[in.rng.Intn(len(in.plan.Kinds))], true
+	}
+	return "", false
+}
+
+// ReadFile implements FS (reads pass through untouched — the store's
+// validation is what is under test, not the read path).
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.inner.ReadFile(name) }
+
+// WriteFile implements FS, applying write-level faults (torn, bitflip)
+// to the data and tagging the name with rename-level faults (stale,
+// missing) for the Rename that follows.
+func (in *Injector) WriteFile(name string, data []byte) error {
+	in.mu.Lock()
+	in.writes++
+	k, fault := in.nextFault()
+	if fault {
+		in.injected[k]++
+		switch k {
+		case FaultTorn:
+			if len(data) > 1 {
+				data = data[:1+in.rng.Intn(len(data)-1)]
+			}
+		case FaultBitFlip:
+			if len(data) > 0 {
+				data = append([]byte(nil), data...)
+				bit := in.rng.Intn(len(data) * 8)
+				data[bit/8] ^= 1 << (bit % 8)
+			}
+		case FaultStale, FaultMissing:
+			in.pending[name] = k
+		}
+	}
+	in.mu.Unlock()
+	return in.inner.WriteFile(name, data)
+}
+
+// Rename implements FS, applying any rename-level fault tagged at write
+// time: stale swallows the rename (the old file survives), missing
+// removes both files.
+func (in *Injector) Rename(oldname, newname string) error {
+	in.mu.Lock()
+	k, fault := in.pending[oldname]
+	delete(in.pending, oldname)
+	in.mu.Unlock()
+	if !fault {
+		return in.inner.Rename(oldname, newname)
+	}
+	switch k {
+	case FaultStale:
+		return in.inner.Remove(oldname)
+	case FaultMissing:
+		_ = in.inner.Remove(oldname)
+		_ = in.inner.Remove(newname) // may not exist yet; both gone either way
+		return nil
+	}
+	return in.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error { return in.inner.Remove(name) }

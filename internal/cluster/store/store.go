@@ -1,0 +1,157 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Snapshot is one persisted register state: the payload of a per-node
+// record. Node is stored (and checked on load) so a record renamed onto
+// the wrong file cannot impersonate another process.
+type Snapshot struct {
+	Node int `json:"node"`
+	Val  int `json:"val"`
+}
+
+// EncodeSnapshot renders one snapshot payload.
+func EncodeSnapshot(s Snapshot) []byte {
+	b, _ := json.Marshal(s) // two ints; cannot fail
+	return b
+}
+
+// DecodeSnapshot parses a snapshot payload. Arbitrary bytes yield
+// either a valid snapshot or an ErrCorrupt — never a panic, and (under
+// the record CRC) never a silently-wrong state.
+func DecodeSnapshot(payload []byte) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("%w: snapshot payload: %v", ErrCorrupt, err)
+	}
+	return s, nil
+}
+
+// Stats counts the store's activity, including what the fault injector
+// and the validation layer caught. Exposed in cluster results and
+// checkd responses so a run's storage story is visible.
+type Stats struct {
+	Saves        int `json:"saves"`
+	SaveErrors   int `json:"save_errors,omitempty"`
+	Loads        int `json:"loads"`
+	Restored     int `json:"restored"`                // loads that returned a valid snapshot
+	CorruptLoads int `json:"corrupt_loads,omitempty"` // checksum/decode failures
+	StaleLoads   int `json:"stale_loads,omitempty"`   // generation rollback detected
+	MissingLoads int `json:"missing_loads,omitempty"` // no snapshot file
+}
+
+// Store persists one checksummed register snapshot per node. Writes go
+// write-to-temp + atomic rename so a crash mid-save leaves the previous
+// snapshot intact; generations are monotonic per node, so a rollback to
+// an older file (the stale fault) is detected on load rather than
+// silently resurrecting old state.
+//
+// Store is goroutine-safe; the free-running engine persists from its
+// collector while tests may load concurrently.
+type Store struct {
+	fs FS
+
+	mu      sync.Mutex
+	lastGen map[int]uint64
+	stats   Stats
+}
+
+// New builds a store over fs (use NewDirFS for real disks, NewMemFS for
+// hermetic or in-service use, and wrap either in an Injector to test
+// against storage faults).
+func New(fs FS) *Store {
+	return &Store{fs: fs, lastGen: make(map[int]uint64)}
+}
+
+// NewDir is shorthand for a store on a real directory.
+func NewDir(dir string) (*Store, error) {
+	fs, err := NewDirFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return New(fs), nil
+}
+
+func snapName(node int) string { return fmt.Sprintf("node-%d.snap", node) }
+
+// Save persists node's register under a generation number, which must
+// be monotone per node (engines use their step clock). The write is
+// temp + rename: either the new record lands completely or the old one
+// survives.
+func (s *Store) Save(node int, gen uint64, val int) error {
+	rec := EncodeRecord(gen, EncodeSnapshot(Snapshot{Node: node, Val: val}))
+	name := snapName(node)
+	tmp := name + ".tmp"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.fs.WriteFile(tmp, rec); err != nil {
+		s.stats.SaveErrors++
+		return fmt.Errorf("store: save node %d: %w", node, err)
+	}
+	if err := s.fs.Rename(tmp, name); err != nil {
+		s.stats.SaveErrors++
+		return fmt.Errorf("store: save node %d: %w", node, err)
+	}
+	if gen > s.lastGen[node] {
+		s.lastGen[node] = gen
+	}
+	s.stats.Saves++
+	return nil
+}
+
+// Load reads and validates node's snapshot: record checksum, payload
+// decode, node identity, and generation monotonicity against the
+// newest generation this store has written. The error classifies the
+// failure (ErrNotFound, ErrCorrupt, ErrStale) so the supervisor can
+// report *why* a node resumed from arbitrary state.
+func (s *Store) Load(node int) (gen uint64, val int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Loads++
+	b, err := s.fs.ReadFile(snapName(node))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			s.stats.MissingLoads++
+			return 0, 0, fmt.Errorf("%w for node %d", ErrNotFound, node)
+		}
+		s.stats.CorruptLoads++
+		return 0, 0, fmt.Errorf("%w: read node %d: %v", ErrCorrupt, node, err)
+	}
+	gen, payload, _, err := DecodeRecord(b)
+	if err != nil {
+		s.stats.CorruptLoads++
+		return 0, 0, fmt.Errorf("node %d: %w", node, err)
+	}
+	snap, err := DecodeSnapshot(payload)
+	if err != nil {
+		s.stats.CorruptLoads++
+		return 0, 0, fmt.Errorf("node %d: %w", node, err)
+	}
+	if snap.Node != node {
+		s.stats.CorruptLoads++
+		return 0, 0, fmt.Errorf("%w: snapshot names node %d, loaded for node %d", ErrCorrupt, snap.Node, node)
+	}
+	if last := s.lastGen[node]; gen < last {
+		s.stats.StaleLoads++
+		return 0, 0, fmt.Errorf("%w: node %d snapshot is generation %d, newest written was %d",
+			ErrStale, node, gen, last)
+	}
+	s.stats.Restored++
+	return gen, snap.Val, nil
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRecordRoundTrip: encode → decode is the identity, and the rest
+// pointer supports record streams.
+func TestRecordRoundTrip(t *testing.T) {
+	payload := []byte(`{"node":3,"val":2}`)
+	rec := EncodeRecord(7, payload)
+	rec = append(rec, EncodeRecord(8, []byte("second"))...)
+	gen, got, rest, err := DecodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 7 || string(got) != string(payload) {
+		t.Fatalf("got gen=%d payload=%q", gen, got)
+	}
+	gen2, got2, rest2, err := DecodeRecord(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 != 8 || string(got2) != "second" || len(rest2) != 0 {
+		t.Fatalf("second record: gen=%d payload=%q rest=%d bytes", gen2, got2, len(rest2))
+	}
+}
+
+// TestRecordDetectsCorruption: every single-bit flip anywhere in a
+// record fails the decode with ErrCorrupt — the checksum covers the
+// generation and the length prefix, not just the payload.
+func TestRecordDetectsCorruption(t *testing.T) {
+	rec := EncodeRecord(42, []byte(`{"node":0,"val":1}`))
+	for i := 0; i < len(rec)*8; i++ {
+		mut := append([]byte(nil), rec...)
+		mut[i/8] ^= 1 << (i % 8)
+		if _, _, _, err := DecodeRecord(mut); err == nil {
+			t.Fatalf("bit flip at %d went undetected", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: error %v is not ErrCorrupt", i, err)
+		}
+	}
+}
+
+// TestRecordTruncation: every proper prefix of a record is ErrCorrupt.
+func TestRecordTruncation(t *testing.T) {
+	rec := EncodeRecord(1, []byte("payload bytes"))
+	for n := 0; n < len(rec); n++ {
+		if _, _, _, err := DecodeRecord(rec[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: %v", n, err)
+		}
+	}
+}
+
+// TestStoreSaveLoad: the plain round trip on both FS backends.
+func TestStoreSaveLoad(t *testing.T) {
+	backends := map[string]FS{"mem": NewMemFS()}
+	dirFS, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["dir"] = dirFS
+	for name, fs := range backends {
+		t.Run(name, func(t *testing.T) {
+			s := New(fs)
+			if err := s.Save(2, 10, 3); err != nil {
+				t.Fatal(err)
+			}
+			gen, val, err := s.Load(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != 10 || val != 3 {
+				t.Fatalf("load: gen=%d val=%d", gen, val)
+			}
+			// Overwrite with a newer generation.
+			if err := s.Save(2, 20, 1); err != nil {
+				t.Fatal(err)
+			}
+			if gen, val, _ = s.Load(2); gen != 20 || val != 1 {
+				t.Fatalf("after overwrite: gen=%d val=%d", gen, val)
+			}
+			if _, _, err := s.Load(5); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing node: %v", err)
+			}
+			st := s.Stats()
+			if st.Saves != 2 || st.Restored != 2 || st.MissingLoads != 1 {
+				t.Fatalf("stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestStoreWrongNodeRejected: a record renamed onto another node's file
+// fails identity validation.
+func TestStoreWrongNodeRejected(t *testing.T) {
+	fs := NewMemFS()
+	s := New(fs)
+	if err := s.Save(1, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile("node-1.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("node-0.snap", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("impersonated snapshot: %v", err)
+	}
+}
+
+// TestInjectorTorn: a torn write yields ErrCorrupt on load, and the
+// previous snapshot is gone only because the torn record replaced it.
+func TestInjectorTorn(t *testing.T) {
+	inj := NewInjector(NewMemFS(), 1, Plan{})
+	s := New(inj)
+	inj.Arm(FaultTorn)
+	if err := s.Save(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn write: %v", err)
+	}
+	if inj.Injected()[FaultTorn] != 1 {
+		t.Fatalf("injected %v", inj.Injected())
+	}
+	// The next, unfaulted save repairs the file.
+	if err := s.Save(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, val, err := s.Load(0); err != nil || val != 2 {
+		t.Fatalf("after repair: val=%d err=%v", val, err)
+	}
+}
+
+// TestInjectorBitFlip: a flipped bit yields ErrCorrupt on load.
+func TestInjectorBitFlip(t *testing.T) {
+	inj := NewInjector(NewMemFS(), 2, Plan{})
+	s := New(inj)
+	inj.Arm(FaultBitFlip)
+	if err := s.Save(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: %v", err)
+	}
+}
+
+// TestInjectorStale: a swallowed rename leaves the previous generation
+// in place, and the monotonicity check reports ErrStale.
+func TestInjectorStale(t *testing.T) {
+	inj := NewInjector(NewMemFS(), 3, Plan{})
+	s := New(inj)
+	if err := s.Save(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(FaultStale)
+	if err := s.Save(0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(0); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale rollback: %v", err)
+	}
+}
+
+// TestInjectorMissing: a lost file is ErrNotFound, not a crash.
+func TestInjectorMissing(t *testing.T) {
+	inj := NewInjector(NewMemFS(), 4, Plan{})
+	s := New(inj)
+	if err := s.Save(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(FaultMissing)
+	if err := s.Save(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+// TestInjectorPlan: a seeded plan faults every Nth write
+// deterministically — two injectors with the same seed corrupt the same
+// writes the same way.
+func TestInjectorPlan(t *testing.T) {
+	run := func(seed int64) []string {
+		inj := NewInjector(NewMemFS(), seed, Plan{Every: 2, Kinds: []FaultKind{FaultTorn, FaultBitFlip, FaultStale}})
+		s := New(inj)
+		var outcomes []string
+		for i := 0; i < 12; i++ {
+			node := i % 3
+			if err := s.Save(node, uint64(i+1), i%4); err != nil {
+				outcomes = append(outcomes, "saveerr")
+				continue
+			}
+			if _, _, err := s.Load(node); err != nil {
+				switch {
+				case errors.Is(err, ErrCorrupt):
+					outcomes = append(outcomes, "corrupt")
+				case errors.Is(err, ErrStale):
+					outcomes = append(outcomes, "stale")
+				default:
+					outcomes = append(outcomes, "notfound")
+				}
+			} else {
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(9), run(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at write %d: %v vs %v", i, a, b)
+		}
+	}
+	faulted := 0
+	for _, o := range a {
+		if o != "ok" {
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Fatalf("plan injected nothing: %v", a)
+	}
+}
+
+// TestParseFaultKinds: known kinds parse, unknown are named in the
+// error.
+func TestParseFaultKinds(t *testing.T) {
+	ks, err := ParseFaultKinds([]string{"torn", "bitflip", "stale", "missing"})
+	if err != nil || len(ks) != 4 {
+		t.Fatalf("parse: %v %v", ks, err)
+	}
+	if _, err := ParseFaultKinds([]string{"gremlin"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -298,3 +298,77 @@ func TestTCPRingWithFault(t *testing.T) {
 		t.Fatal("fault event missing from stream")
 	}
 }
+
+// TestTCPRedialBackoffResets: the dial backoff is per-outage, not
+// per-lifetime. After a successful reconnect the failure counter is
+// forgotten, so the next outage starts backing off from the base window
+// again instead of inheriting the previous outage's escalation.
+func TestTCPRedialBackoffResets(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	failsTo := func(to int) int {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		if b := tr.backoff[to]; b != nil {
+			return b.fails
+		}
+		return 0
+	}
+	drain := func(node int) {
+		for {
+			select {
+			case <-tr.Recv(node):
+				continue
+			default:
+			}
+			break
+		}
+	}
+
+	// Establish the route, then take the peer down and let failed dials
+	// escalate the backoff well past the base window.
+	sendUntilDelivered(t, tr, Message{From: 0, To: 1, Val: 1}, 5*time.Second)
+	if err := tr.StopNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for stop := time.After(10 * time.Second); failsTo(1) < 3; {
+		_ = tr.Send(Message{From: 0, To: 1, Val: 2})
+		select {
+		case <-stop:
+			t.Fatalf("backoff never escalated: fails=%d", failsTo(1))
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	drain(1)
+
+	// Reconnect. Delivery resuming means a dial succeeded, which must
+	// clear the failure history entirely.
+	if err := tr.StartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	sendUntilDelivered(t, tr, Message{From: 0, To: 1, Val: 3}, 5*time.Second)
+	if n := failsTo(1); n != 0 {
+		t.Fatalf("backoff state survived a successful reconnect: fails=%d", n)
+	}
+
+	// Second outage: the first failed dial must register as failure #1
+	// (base window), not as a continuation of the previous outage.
+	if err := tr.StopNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for stop := time.After(10 * time.Second); failsTo(1) == 0; {
+		_ = tr.Send(Message{From: 0, To: 1, Val: 4})
+		select {
+		case <-stop:
+			t.Fatal("second outage never produced a failed dial")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if n := failsTo(1); n != 1 {
+		t.Fatalf("second outage started at fails=%d, want 1 (reset to base)", n)
+	}
+}

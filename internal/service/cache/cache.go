@@ -95,6 +95,25 @@ func (c *Cache) Put(key string, val any) {
 	}
 }
 
+// Entry is one cache entry as exposed by Entries for persistence.
+type Entry struct {
+	Key string
+	Val any
+}
+
+// Entries snapshots the cache from least to most recently used, so a
+// reload that Puts them in order reconstructs the recency order.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, Val: e.val})
+	}
+	return out
+}
+
 // Len returns the current number of entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -53,8 +53,17 @@ type ChaosRequest struct {
 	MaxTokens     int `json:"max_tokens,omitempty"`
 	// RefreshEvery triggers a periodic anti-entropy round (0 = only on
 	// partition heals).
-	RefreshEvery int   `json:"refresh_every,omitempty"`
-	TimeoutMS    int64 `json:"timeout_ms,omitempty"`
+	RefreshEvery int `json:"refresh_every,omitempty"`
+	// Persist gives each episode a fresh in-memory snapshot store (never
+	// the server's disk), so crash faults recover from persisted state.
+	Persist bool `json:"persist,omitempty"`
+	// PersistEvery is the snapshot interval in steps (≤ 0 = every step).
+	PersistEvery int `json:"persist_every,omitempty"`
+	// StorageFaultEvery faults every Nth snapshot write (0 = none;
+	// requires persist); StorageFaultKinds is the mix, default all four.
+	StorageFaultEvery int      `json:"storage_fault_every,omitempty"`
+	StorageFaultKinds []string `json:"storage_fault_kinds,omitempty"`
+	TimeoutMS         int64    `json:"timeout_ms,omitempty"`
 }
 
 // ChaosResponse is the campaign report plus the cache envelope.
@@ -131,6 +140,19 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, badRequest("recovery_steps, max_tokens, and refresh_every must be ≥ 0"))
 		return
 	}
+	if req.PersistEvery < 0 || req.StorageFaultEvery < 0 {
+		s.writeComputeError(w, badRequest("persist_every and storage_fault_every must be ≥ 0"))
+		return
+	}
+	if req.StorageFaultEvery > 0 && !req.Persist {
+		s.writeComputeError(w, badRequest("storage_fault_every needs persist"))
+		return
+	}
+	storageKinds, err := parseStorageFaultKinds(req.StorageFaultKinds)
+	if err != nil {
+		s.writeComputeError(w, badRequest("storage_fault_kinds: %v", err))
+		return
+	}
 
 	var proto sim.Protocol
 	switch req.Family {
@@ -164,6 +186,12 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		},
 		SLO:          chaos.SLO{RecoverySteps: req.RecoverySteps, MaxTokens: req.MaxTokens},
 		RefreshEvery: req.RefreshEvery,
+		Persist:      req.Persist,
+		PersistEvery: req.PersistEvery,
+	}
+	if req.StorageFaultEvery > 0 {
+		opts.StorageFaultEvery = req.StorageFaultEvery
+		opts.StorageFaultKinds = storageKinds
 	}
 	if err := opts.Template.Validate(proto); err != nil {
 		s.writeComputeError(w, badRequest("template: %v", err))
@@ -177,7 +205,9 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprint(req.Procs), fmt.Sprint(req.K), fmt.Sprint(req.Seed),
 		fmt.Sprint(req.Episodes), fmt.Sprint(req.Steps),
 		opts.Template.String(),
-		fmt.Sprint(req.RecoverySteps), fmt.Sprint(req.MaxTokens), fmt.Sprint(req.RefreshEvery))
+		fmt.Sprint(req.RecoverySteps), fmt.Sprint(req.MaxTokens), fmt.Sprint(req.RefreshEvery),
+		fmt.Sprint(req.Persist), fmt.Sprint(req.PersistEvery),
+		fmt.Sprint(req.StorageFaultEvery), fmt.Sprint(storageKinds))
 	if s.serveFromCache(w, key, started) {
 		return
 	}

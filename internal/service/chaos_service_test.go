@@ -117,3 +117,47 @@ func TestServiceChaosBadRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestServiceChaosCrashPersist: a crash-inclusive campaign with
+// persistence via the service reports crash-attributed recoveries and
+// per-episode storage stats.
+func TestServiceChaosCrashPersist(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	req := ChaosRequest{Family: "dijkstra3", Procs: 5, Seed: 9, Episodes: 4, Steps: 5000,
+		Kinds: []string{"crash", "corrupt"}, Faults: 3, Gap: 150, Start: 30,
+		Persist: true, PersistEvery: 2, StorageFaultEvery: 5}
+	resp, body := postJSON(t, ts.URL+"/v1/chaos", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ChaosResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Pass {
+		t.Fatalf("crash campaign failed: %s", body)
+	}
+	if _, ok := got.Kinds["crash"]; !ok {
+		t.Fatalf("no crash-attributed recoveries: %s", body)
+	}
+	sawStorage := false
+	for _, ep := range got.EpisodeResults {
+		if ep.Storage != nil && ep.Storage.Saves > 0 {
+			sawStorage = true
+		}
+	}
+	if !sawStorage {
+		t.Fatalf("no episode carries storage stats: %s", body)
+	}
+
+	bad := req
+	bad.Persist = false
+	resp, body = postJSON(t, ts.URL+"/v1/chaos", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("storage faults without persist: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/store"
 	"repro/internal/service/cache"
 	"repro/internal/sim"
 )
@@ -45,8 +46,20 @@ type ClusterRequest struct {
 	// steps (0 = none).
 	SnapshotEvery int `json:"snapshot_every,omitempty"`
 	// RecordMoves adds one event per executed move to the stream.
-	RecordMoves bool  `json:"record_moves,omitempty"`
-	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+	RecordMoves bool `json:"record_moves,omitempty"`
+	// Persist gives the episode an in-memory snapshot store (never the
+	// server's disk): registers persist every PersistEvery steps and
+	// crash faults recover from validated snapshots.
+	Persist bool `json:"persist,omitempty"`
+	// PersistEvery is the snapshot interval in steps (≤ 0 = every step).
+	PersistEvery int `json:"persist_every,omitempty"`
+	// StorageFaultEvery faults every Nth snapshot write with a seeded
+	// kind from StorageFaultKinds (0 = none; requires persist).
+	StorageFaultEvery int `json:"storage_fault_every,omitempty"`
+	// StorageFaultKinds is the storage-fault mix (torn, bitflip, stale,
+	// missing); default all four.
+	StorageFaultKinds []string `json:"storage_fault_kinds,omitempty"`
+	TimeoutMS         int64    `json:"timeout_ms,omitempty"`
 }
 
 // ClusterResponse is the episode's result: the cluster.Result fields
@@ -65,6 +78,7 @@ type ClusterResponse struct {
 	MovesPerNode   []int                   `json:"moves_per_node"`
 	Links          []cluster.LinkStats     `json:"links,omitempty"`
 	Events         []cluster.Event         `json:"events"`
+	Storage        *store.Stats            `json:"storage,omitempty"`
 	Cached         bool                    `json:"cached"`
 	ElapsedUS      int64                   `json:"elapsed_us"`
 }
@@ -109,6 +123,19 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, badRequest("snapshot_every must be ≥ 0, got %d", req.SnapshotEvery))
 		return
 	}
+	if req.PersistEvery < 0 || req.StorageFaultEvery < 0 {
+		s.writeComputeError(w, badRequest("persist_every and storage_fault_every must be ≥ 0"))
+		return
+	}
+	if req.StorageFaultEvery > 0 && !req.Persist {
+		s.writeComputeError(w, badRequest("storage_fault_every needs persist"))
+		return
+	}
+	storageKinds, err := parseStorageFaultKinds(req.StorageFaultKinds)
+	if err != nil {
+		s.writeComputeError(w, badRequest("storage_fault_kinds: %v", err))
+		return
+	}
 
 	var proto sim.Protocol
 	switch req.Family {
@@ -151,7 +178,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprint(req.Procs), fmt.Sprint(req.K), fmt.Sprint(req.Seed),
 		fmt.Sprint(req.Faults), fmt.Sprint(req.Steps),
 		strings.Join(canon, ";"),
-		fmt.Sprint(req.SnapshotEvery), fmt.Sprint(req.RecordMoves))
+		fmt.Sprint(req.SnapshotEvery), fmt.Sprint(req.RecordMoves),
+		fmt.Sprint(req.Persist), fmt.Sprint(req.PersistEvery),
+		fmt.Sprint(req.StorageFaultEvery), fmt.Sprint(storageKinds))
 	if s.serveFromCache(w, key, started) {
 		return
 	}
@@ -161,6 +190,16 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			return nil, badRequest("family: %v", err)
 		}
 		start := sim.Corrupt(proto, legit, req.Faults, rand.New(rand.NewSource(req.Seed)))
+		// Persistence is served from a per-request in-memory store: the
+		// service never writes its own disk on behalf of a request.
+		var st *store.Store
+		if req.Persist {
+			var sfs store.FS = store.NewMemFS()
+			if req.StorageFaultEvery > 0 {
+				sfs = store.NewInjector(sfs, req.Seed, store.Plan{Every: req.StorageFaultEvery, Kinds: storageKinds})
+			}
+			st = store.New(sfs)
+		}
 		res, err := cluster.Run(ctx, cluster.Options{
 			Proto:          proto,
 			Seed:           req.Seed,
@@ -169,6 +208,8 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			SnapshotEvery:  req.SnapshotEvery,
 			RecordMoves:    req.RecordMoves,
 			StopWhenStable: true,
+			Store:          st,
+			PersistEvery:   req.PersistEvery,
 		}, start)
 		if err != nil {
 			return nil, err
@@ -187,7 +228,17 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			MovesPerNode:   res.MovesPerNode,
 			Links:          res.Links,
 			Events:         res.Events,
+			Storage:        res.Storage,
 			ElapsedUS:      time.Since(started).Microseconds(),
 		}, nil
 	})
+}
+
+// parseStorageFaultKinds maps the request's storage-fault mix onto the
+// store's kinds, defaulting to all four.
+func parseStorageFaultKinds(kinds []string) ([]store.FaultKind, error) {
+	if len(kinds) == 0 {
+		return []store.FaultKind{store.FaultTorn, store.FaultBitFlip, store.FaultStale, store.FaultMissing}, nil
+	}
+	return store.ParseFaultKinds(kinds)
 }

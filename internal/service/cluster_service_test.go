@@ -192,3 +192,71 @@ func TestServiceClusterTimeout(t *testing.T) {
 		t.Fatal("timeout counter did not increment")
 	}
 }
+
+// TestServiceClusterCrashPersist: a crash episode with persistence and
+// a hostile disk over HTTP — the response carries the recovered event
+// and the storage stats, and the run is served from cache on
+// resubmission.
+func TestServiceClusterCrashPersist(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	req := ClusterRequest{Family: "dijkstra3", Procs: 5, Seed: 11, Steps: 2000,
+		Schedule: "crash@50:node=2", Persist: true, PersistEvery: 2,
+		StorageFaultEvery: 3, StorageFaultKinds: []string{"bitflip", "stale"}}
+	resp, body := postJSON(t, ts.URL+"/v1/cluster", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ClusterResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Converged {
+		t.Fatalf("crash episode did not converge: %s", body)
+	}
+	sawCrash, sawRecovered := false, false
+	for _, ev := range got.Events {
+		switch ev.Kind {
+		case "crashed":
+			sawCrash = true
+		case "recovered":
+			if ev.From == "" {
+				t.Fatalf("recovered event without a source: %+v", ev)
+			}
+			sawRecovered = true
+		}
+	}
+	if !sawCrash || !sawRecovered {
+		t.Fatalf("crash/recovered events missing (crash=%v recovered=%v): %s", sawCrash, sawRecovered, body)
+	}
+	if got.Storage == nil || got.Storage.Saves == 0 {
+		t.Fatalf("storage stats missing: %s", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/cluster", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var again ClusterResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("identical crash episode not served from cache: %s", body)
+	}
+
+	// The persistence knobs are admission-checked.
+	for name, bad := range map[string]ClusterRequest{
+		"storage faults without persist": {Family: "dijkstra3", Procs: 5, StorageFaultEvery: 2},
+		"unknown storage fault kind":     {Family: "dijkstra3", Procs: 5, Persist: true, StorageFaultEvery: 2, StorageFaultKinds: []string{"gremlin"}},
+		"negative persist interval":      {Family: "dijkstra3", Procs: 5, Persist: true, PersistEvery: -1},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/cluster", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, body)
+		}
+	}
+}

@@ -97,6 +97,8 @@ type MetricsSnapshot struct {
 		Hits    uint64 `json:"hits"`
 		Misses  uint64 `json:"misses"`
 		Entries int    `json:"entries"`
+		// Persist is present only when the server runs with a cache file.
+		Persist *CachePersistSnapshot `json:"persist,omitempty"`
 	} `json:"cache"`
 	Queue struct {
 		Depth    int64 `json:"depth"`

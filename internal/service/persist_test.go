@@ -1,0 +1,326 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/chaos"
+	"repro/internal/cluster/store"
+	"repro/internal/service/cache"
+)
+
+// TestCacheCodecRoundTrip: every cacheable response kind survives the
+// encode/decode cycle with its concrete type, key, and order intact —
+// the order matters because a reload that Puts sequentially must
+// reconstruct the LRU recency.
+func TestCacheCodecRoundTrip(t *testing.T) {
+	in := []cache.Entry{
+		{Key: "k-selfstab", Val: SelfStabResponse{Program: "abc", States: 27}},
+		{Key: "k-refine", Val: RefineResponse{States: 9, Holds: true}},
+		{Key: "k-ringsim", Val: RingsimResponse{Protocol: "dijkstra3(5)", Runs: 10}},
+		{Key: "k-lint", Val: LintResponse{Program: "def", AnalyzerVersion: "v1"}},
+		{Key: "k-cluster", Val: ClusterResponse{Protocol: "dijkstra3(5)", Procs: 5, Start: []int{1, 2}}},
+		{Key: "k-chaos", Val: ChaosResponse{Report: chaos.Report{Episodes: 2, Pass: true}}},
+	}
+	out, skipped := decodeCacheEntries(encodeCacheEntries(in))
+	if skipped != 0 {
+		t.Fatalf("clean stream reported %d skipped records", skipped)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d of %d entries", len(out), len(in))
+	}
+	for i, e := range out {
+		if e.Key != in[i].Key {
+			t.Fatalf("entry %d: key %q, want %q (order must be preserved)", i, e.Key, in[i].Key)
+		}
+		// Every value must come back as the concrete struct the handlers
+		// cache, or serveFromCache's cachedResponse assertion would panic.
+		if _, ok := e.Val.(cachedResponse); !ok {
+			t.Fatalf("entry %d: reloaded as %T, which is not a cachedResponse", i, e.Val)
+		}
+	}
+	if v := out[4].Val.(ClusterResponse); v.Procs != 5 || len(v.Start) != 2 {
+		t.Fatalf("cluster entry mangled: %+v", v)
+	}
+	if v := out[5].Val.(ChaosResponse); v.Episodes != 2 || !v.Pass {
+		t.Fatalf("chaos entry mangled: %+v", v)
+	}
+}
+
+// TestCacheCodecSkipsCorrupt: a corrupted record costs exactly itself.
+// The decoder resynchronizes on the record magic and keeps loading, and
+// pure garbage loads as an empty cache rather than an error.
+func TestCacheCodecSkipsCorrupt(t *testing.T) {
+	in := []cache.Entry{
+		{Key: "a", Val: RingsimResponse{Runs: 1}},
+		{Key: "b", Val: RingsimResponse{Runs: 2}},
+		{Key: "c", Val: RingsimResponse{Runs: 3}},
+	}
+	data := encodeCacheEntries(in)
+
+	// Flip one payload byte inside the middle record.
+	_, _, rest, err := store.DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := len(data) - len(rest)
+	data[second+20] ^= 0xff
+	out, skipped := decodeCacheEntries(data)
+	if skipped != 1 || len(out) != 2 {
+		t.Fatalf("got %d entries, %d skipped; want 2 entries, 1 skipped", len(out), skipped)
+	}
+	if out[0].Key != "a" || out[1].Key != "c" {
+		t.Fatalf("wrong survivors: %q, %q", out[0].Key, out[1].Key)
+	}
+
+	// A record with an unknown kind (another build's cache) is skipped,
+	// not loaded as something it is not.
+	unknown := store.EncodeRecord(1, []byte(`{"kind":"mystery","key":"x","value":{}}`))
+	out, skipped = decodeCacheEntries(unknown)
+	if len(out) != 0 || skipped != 1 {
+		t.Fatalf("unknown kind: %d entries, %d skipped", len(out), skipped)
+	}
+
+	out, skipped = decodeCacheEntries([]byte("this is not a cache file at all"))
+	if len(out) != 0 || skipped == 0 {
+		t.Fatalf("garbage: %d entries, %d skipped", len(out), skipped)
+	}
+}
+
+// TestCachePersistRestart is the acceptance scenario: a second checkd
+// booted against the first one's cache file serves a prior verdict as a
+// cache hit without recomputing it.
+func TestCachePersistRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := Config{Workers: 2, QueueDepth: 16, CacheEntries: 64,
+		CachePath: path, CacheSnapshotInterval: time.Hour}
+
+	clusterReq := ClusterRequest{Family: "dijkstra3", Procs: 5, Seed: 6, Steps: 2000,
+		Schedule: "corrupt@40:node=1,val=0"}
+	ringsimReq := RingsimRequest{Family: "dijkstra3", Procs: 5, Seed: 3, Runs: 3, Steps: 5000}
+
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	var first ClusterResponse
+	if resp, body := postJSON(t, ts.URL+"/v1/cluster", clusterReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster: status %d: %s", resp.StatusCode, body)
+	} else if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/ringsim", ringsimReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ringsim: status %d: %s", resp.StatusCode, body)
+	}
+	ts.Close()
+	svc.Close() // graceful shutdown takes the final snapshot
+
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("no cache file after shutdown: %v", err)
+	}
+
+	svc2 := New(cfg)
+	defer svc2.Close()
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+
+	snap := fetchMetrics(t, ts2.URL)
+	if snap.Cache.Persist == nil || snap.Cache.Persist.Loaded != 2 {
+		t.Fatalf("restart did not reload the cache: %+v", snap.Cache.Persist)
+	}
+	if snap.Cache.Persist.SkippedCorrupt != 0 {
+		t.Fatalf("clean file reported skipped records: %+v", snap.Cache.Persist)
+	}
+
+	resp, body := postJSON(t, ts2.URL+"/v1/cluster", clusterReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var again ClusterResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("restarted server recomputed instead of serving the persisted verdict: %s", body)
+	}
+	if again.Steps != first.Steps || again.Moves != first.Moves || !again.Converged {
+		t.Fatalf("persisted verdict diverges: %+v vs %+v", again, first)
+	}
+	if resp, body := postJSON(t, ts2.URL+"/v1/ringsim", ringsimReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ringsim replay: status %d: %s", resp.StatusCode, body)
+	} else {
+		var rs RingsimResponse
+		if err := json.Unmarshal(body, &rs); err != nil || !rs.Cached {
+			t.Fatalf("ringsim verdict not served from the persisted cache: %s", body)
+		}
+	}
+}
+
+// TestCachePersistCorruptFile: a deliberately corrupted cache file is
+// skipped entry-by-entry — startup succeeds, the damage is counted in
+// /metrics, the surviving entry still hits, and the lost one is simply
+// recomputed.
+func TestCachePersistCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := Config{Workers: 2, QueueDepth: 16, CacheEntries: 64,
+		CachePath: path, CacheSnapshotInterval: time.Hour}
+
+	clusterReq := ClusterRequest{Family: "dijkstra3", Procs: 5, Seed: 6, Steps: 2000,
+		Schedule: "corrupt@40:node=1,val=0"}
+	ringsimReq := RingsimRequest{Family: "dijkstra3", Procs: 5, Seed: 3, Runs: 3, Steps: 5000}
+
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	postJSON(t, ts.URL+"/v1/cluster", clusterReq) // submitted first → least recent → first record
+	postJSON(t, ts.URL+"/v1/ringsim", ringsimReq)
+	ts.Close()
+	svc.Close()
+
+	// Corrupt one payload byte of the first record; the CRC catches it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := New(cfg) // must not fail
+	defer svc2.Close()
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+
+	snap := fetchMetrics(t, ts2.URL)
+	if snap.Cache.Persist == nil || snap.Cache.Persist.Loaded != 1 || snap.Cache.Persist.SkippedCorrupt != 1 {
+		t.Fatalf("want 1 loaded + 1 skipped, got %+v", snap.Cache.Persist)
+	}
+
+	// The record after the corrupt one survived resynchronization.
+	resp, body := postJSON(t, ts2.URL+"/v1/ringsim", ringsimReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rs RingsimResponse
+	if err := json.Unmarshal(body, &rs); err != nil || !rs.Cached {
+		t.Fatalf("surviving entry not served as a hit: %s", body)
+	}
+	// The corrupted entry is a miss, recomputed without complaint.
+	resp, body = postJSON(t, ts2.URL+"/v1/cluster", clusterReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cl ClusterResponse
+	if err := json.Unmarshal(body, &cl); err != nil || cl.Cached {
+		t.Fatalf("corrupted entry should have been recomputed, not served: %s", body)
+	}
+
+	// A wholly garbage file also boots clean.
+	garbage := filepath.Join(t.TempDir(), "garbage.snap")
+	if err := os.WriteFile(garbage, []byte("zzzzzz not records"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.CachePath = garbage
+	svc3 := New(cfg)
+	defer svc3.Close()
+	ts3 := httptest.NewServer(svc3)
+	defer ts3.Close()
+	snap = fetchMetrics(t, ts3.URL)
+	if snap.Cache.Persist == nil || snap.Cache.Persist.Loaded != 0 || snap.Cache.Persist.SkippedCorrupt == 0 {
+		t.Fatalf("garbage file: want 0 loaded and >0 skipped, got %+v", snap.Cache.Persist)
+	}
+}
+
+// TestCachePersistSnapshotInterval: the background loop writes the file
+// without waiting for shutdown, so a crash loses at most one interval.
+func TestCachePersistSnapshotInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	svc := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 64,
+		CachePath: path, CacheSnapshotInterval: 20 * time.Millisecond})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/ringsim",
+		RingsimRequest{Family: "dijkstra3", Procs: 5, Seed: 3, Runs: 3, Steps: 5000})
+	waitFor(t, func() bool { return svc.persister.saves.Load() > 0 })
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, skipped := decodeCacheEntries(data)
+	if len(entries) != 1 || skipped != 0 {
+		t.Fatalf("background snapshot holds %d entries (%d skipped), want 1 clean", len(entries), skipped)
+	}
+}
+
+// TestServiceReadyz: readiness is not liveness. A fresh server is ready;
+// one saturated past the queue high-water mark is not; one draining for
+// shutdown is not — while /healthz keeps reporting the process alive.
+func TestServiceReadyz(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 16})
+	gate := make(chan struct{})
+	svc.gate = gate
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer release()
+
+	getStatus := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+
+	if code, m := getStatus("/readyz"); code != http.StatusOK || m["status"] != "ready" {
+		t.Fatalf("fresh server not ready: %d %v", code, m)
+	}
+
+	// Saturate: 1 in flight + 3 queued reaches the high-water mark (3 of 4).
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/v1/ringsim",
+				RingsimRequest{Family: "dijkstra3", Procs: 5, Seed: int64(i), Runs: 1, Steps: 1000, TimeoutMS: 30_000})
+		}(i)
+	}
+	waitFor(t, func() bool { return svc.pool.depth.Load() >= 3 })
+	if code, m := getStatus("/readyz"); code != http.StatusServiceUnavailable || m["status"] != "saturated" {
+		t.Fatalf("saturated server still ready: %d %v", code, m)
+	}
+	if code, _ := getStatus("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz flapped on saturation: %d", code)
+	}
+	release()
+	wg.Wait()
+
+	waitFor(t, func() bool {
+		code, _ := getStatus("/readyz")
+		return code == http.StatusOK
+	})
+
+	// Draining: readiness drops immediately and permanently; liveness holds.
+	svc.BeginDrain()
+	if code, m := getStatus("/readyz"); code != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Fatalf("draining server still ready: %d %v", code, m)
+	}
+	if code, _ := getStatus("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz must stay 200 while draining: %d", code)
+	}
+}

@@ -56,6 +56,14 @@ type Config struct {
 	// MaxStates rejects programs whose declared state space exceeds this
 	// size before any enumeration happens (default 1<<20).
 	MaxStates int
+	// CachePath, when non-empty, persists the verdict cache to this file:
+	// it is loaded on New (corrupt entries are skipped and counted in
+	// /metrics, never a startup failure), snapshotted every
+	// CacheSnapshotInterval, and snapshotted once more on Close.
+	CachePath string
+	// CacheSnapshotInterval is the background snapshot period
+	// (default 30s; only meaningful with CachePath).
+	CacheSnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStates <= 0 {
 		c.MaxStates = 1 << 20
 	}
+	if c.CacheSnapshotInterval <= 0 {
+		c.CacheSnapshotInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -93,6 +104,13 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 	reqSeq  atomic.Uint64 // request-id sequence
+
+	// persister owns the on-disk cache snapshot; nil when Config.CachePath
+	// is empty.
+	persister *cachePersister
+	// draining flips once BeginDrain is called; /readyz reports 503 from
+	// then on so load balancers stop routing before the listener closes.
+	draining atomic.Bool
 
 	// gate, when non-nil, is received from at the start of every
 	// verification job. Tests use it to hold workers busy
@@ -111,6 +129,9 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	if cfg.CachePath != "" {
+		s.persister = newCachePersister(cfg.CachePath, cfg.CacheSnapshotInterval, s.cache)
+	}
 	s.mux.HandleFunc("POST /v1/selfstab", s.handleSelfStab)
 	s.mux.HandleFunc("POST /v1/refine", s.handleRefine)
 	s.mux.HandleFunc("POST /v1/ringsim", s.handleRingsim)
@@ -119,6 +140,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /lint", s.handleLint) // unversioned alias
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -154,9 +176,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the worker pool. In-flight jobs finish first.
+// BeginDrain marks the server as shutting down: /readyz starts
+// answering 503 so load balancers pull the instance before the listener
+// stops accepting. Request handling is unaffected — in-flight and
+// still-arriving requests complete normally.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// Close stops the worker pool (in-flight jobs finish first) and, when
+// cache persistence is configured, takes the final cache snapshot so a
+// graceful shutdown never loses the working set.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.pool.close()
+	if s.persister != nil {
+		s.persister.close()
+	}
 }
 
 // CacheStats reports the verdict cache's cumulative hit and miss
@@ -263,8 +299,11 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, kind, key strin
 		writeJSON(w, http.StatusOK, o.val)
 	case <-ctx.Done():
 		// The job either never started (skipped by the worker) or is
-		// being cancelled through its gas meter right now.
+		// being cancelled through its gas meter right now. Like the 429
+		// path, a deadline miss is transient — the next attempt may hit
+		// the cache or an idle worker — so tell clients when to retry.
 		s.metrics.timeout.Add(1)
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{
 			Error: fmt.Sprintf("request did not finish within its deadline: %v", ctx.Err())})
 	}
@@ -290,6 +329,7 @@ func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: re.Error()})
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.metrics.timeout.Add(1)
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request did not finish within its deadline: " + err.Error()})
 	case errors.Is(err, mc.ErrBudgetExhausted):
 		s.metrics.badRequest.Add(1)
@@ -325,6 +365,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readyHighWater is the queue-depth fraction past which /readyz reports
+// not-ready: at three quarters full the instance still answers, but a
+// balancer should prefer peers with headroom before overflow turns into
+// 429s.
+func (s *Server) readyHighWater() int64 {
+	hw := int64(s.cfg.QueueDepth) * 3 / 4
+	if hw < 1 {
+		hw = 1
+	}
+	return hw
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: a healthy
+// process stops being ready while draining for shutdown or when the
+// verification queue is saturated past the high-water mark.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	depth := s.pool.depth.Load()
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+		})
+	case depth >= s.readyHighWater():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":      "saturated",
+			"queue_depth": depth,
+			"high_water":  s.readyHighWater(),
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "ready",
+			"queue_depth": depth,
+		})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var snap MetricsSnapshot
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
@@ -339,6 +415,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Responses.Internal = s.metrics.internal.Load()
 	snap.Cache.Hits, snap.Cache.Misses = s.cache.Stats()
 	snap.Cache.Entries = s.cache.Len()
+	if s.persister != nil {
+		snap.Cache.Persist = s.persister.metricsSnapshot()
+	}
 	snap.Queue.Depth = s.pool.depth.Load()
 	snap.Queue.Capacity = s.cfg.QueueDepth
 	snap.Queue.InFlight = s.pool.inFlight.Load()

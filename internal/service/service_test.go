@@ -311,6 +311,9 @@ func TestServiceTimeout(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("504 without a usable Retry-After header: %q", ra)
+	}
 	if elapsed > 5*time.Second {
 		t.Fatalf("timeout was not prompt: %v", elapsed)
 	}
