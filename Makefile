@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench lint cluster-race cluster-demo chaos crash-demo
+.PHONY: check fmt vet build test bench lint cluster-race cluster-demo chaos crash-demo \
+	fleet-race fleet-demo bench-fleet
 
 # check is the full gate: formatting, vet, build, the race-enabled
 # test suite, and the GCL linter over the example programs. CI and
@@ -86,3 +87,27 @@ crash-demo:
 cluster-demo:
 	$(GO) run ./cmd/ringsim cluster -protocol dijkstra3 -p 5 -seed 6 \
 		-faults 0 -schedule "corrupt@40:node=1,val=0" -snapshot-every 20
+
+# fleet-race gives the replica fleet its own race-detector pass: real
+# TCP listeners, heartbeat loops, anti-entropy rounds, and crash/restart
+# cycles all running concurrently.
+fleet-race:
+	$(GO) test -race -count=2 ./internal/fleet/...
+
+# fleet-demo spins a 3-replica checkd fleet in-proc and drives it with
+# seeded mixed traffic while a chaos campaign crashes and partitions
+# replicas on schedule (seed 5 lands 2 crashes + 2 partitions). The
+# fleet must answer every request without a single 5xx — a downed owner
+# costs a forward fallback or a retry on another replica, never an
+# error — and must re-converge after the final heal; -fail-on-5xx makes
+# any violation a non-zero exit, so this target can gate CI.
+fleet-demo:
+	$(GO) run ./cmd/loadgen -replicas 3 -n 500 -warmup 150 -seed 5 \
+		-chaos -chaos-faults 4 -pace 5ms -fail-on-5xx
+
+# bench-fleet regenerates the recorded E19 scaling baseline. The report
+# is deterministic for the fixed seed, so a diff against the committed
+# BENCH_fleet.json is a real regression, not noise.
+bench-fleet:
+	$(GO) run ./cmd/experiments -only E19 -json > BENCH_fleet.json
+	@echo "wrote BENCH_fleet.json"

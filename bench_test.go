@@ -66,6 +66,9 @@ func BenchmarkE17ChaosCampaign(b *testing.B) {
 func BenchmarkE18CrashRecovery(b *testing.B) {
 	benchExperiment(b, experiments.E18CrashRecovery)
 }
+func BenchmarkE19FleetScaling(b *testing.B) {
+	benchExperiment(b, experiments.E19Fleet)
+}
 
 // BenchmarkFairStabilizationCheck measures the weak-fairness decision
 // procedure on the Lemma 9 composition.

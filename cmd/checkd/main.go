@@ -17,11 +17,18 @@
 // to the file periodically and on graceful shutdown, and reloaded on
 // boot (corrupt entries are skipped and counted in /metrics).
 //
+// With -fleet N the process runs N replicas as one logical service on
+// loopback listeners: a consistent-hash ring routes each program to its
+// owner replica, anti-entropy rounds sync verdict caches, and every
+// replica additionally serves GET /fleetz with its view of the fleet.
+// Point clients (or cmd/loadgen) at any of the printed addresses.
+//
 // Usage:
 //
 //	checkd -addr :8417
 //	checkd -addr :8417 -workers 8 -queue 128 -cache 8192 -timeout 10s
 //	checkd -addr :8417 -cache-path /var/lib/checkd/cache.snap
+//	checkd -fleet 3
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -62,11 +70,12 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	maxStates := fs.Int("max-states", 1<<20, "reject programs with larger declared state spaces")
 	cachePath := fs.String("cache-path", "", "persist the verdict cache to this file (empty = in-memory only)")
 	cacheSnapshotInterval := fs.Duration("cache-snapshot-interval", 30*time.Second, "background cache snapshot period (with -cache-path)")
+	fleetSize := fs.Int("fleet", 0, "run N replicas as one fleet on loopback listeners (0 = single process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{
+	svcCfg := service.Config{
 		Workers:               *workers,
 		QueueDepth:            *queue,
 		CacheEntries:          *cacheEntries,
@@ -76,7 +85,12 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		MaxStates:             *maxStates,
 		CachePath:             *cachePath,
 		CacheSnapshotInterval: *cacheSnapshotInterval,
-	})
+	}
+	if *fleetSize > 0 {
+		return runFleet(*fleetSize, svcCfg, out, stop)
+	}
+
+	svc := service.New(svcCfg)
 	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -116,5 +130,33 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 	fmt.Fprintln(out, "checkd stopped")
+	return nil
+}
+
+// runFleet serves n replicas as one logical service until stopped.
+func runFleet(n int, svcCfg service.Config, out io.Writer, stop <-chan struct{}) error {
+	if svcCfg.CachePath != "" {
+		return errors.New("-cache-path cannot be combined with -fleet: replicas do not share one snapshot file")
+	}
+	f, err := fleet.New(fleet.Config{Replicas: n, Service: svcCfg})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if !f.AwaitReady(30 * time.Second) {
+		return errors.New("fleet replicas never became ready")
+	}
+	for i, addr := range f.HTTPAddrs() {
+		fmt.Fprintf(out, "checkd fleet replica r%d listening on %s\n", i, addr)
+	}
+	if stop == nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		<-sigc
+	} else {
+		<-stop
+	}
+	fmt.Fprintln(out, "checkd fleet stopped")
 	return nil
 }

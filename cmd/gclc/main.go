@@ -46,7 +46,7 @@ func usageError(cmd, operands, missing string) error {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: gclc <print|info|selfstab|dot|refine|optimize|lint> <file.gcl> [file2.gcl]")
+		return fmt.Errorf("usage: gclc <print|info|selfstab|dot|refine|optimize|lint> [-json] <file.gcl> [file2.gcl]")
 	}
 	cmd := args[0]
 	args = args[1:]

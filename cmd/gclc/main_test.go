@@ -224,4 +224,9 @@ func TestUsageListsEverySubcommand(t *testing.T) {
 	if !names["lint"] {
 		t.Error("dispatch switch has no lint subcommand")
 	}
+	// lint's optional -json flag is part of the interface; the global
+	// usage line must advertise it, not just lint's per-command usage.
+	if !strings.Contains(usage, "[-json]") {
+		t.Errorf("usage string omits lint's optional -json flag: %s", usage)
+	}
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/chaos"
+	"repro/internal/fleet"
+	"repro/internal/service"
+)
+
+// runFleet is the `ringsim fleet` subcommand: one seeded membership
+// chaos episode against a live in-process checkd fleet, with paced
+// traffic running throughout. It prints the membership event stream —
+// the fleet control plane's convergence story — and exits non-zero if
+// any request drew a 5xx or the rings failed to re-converge.
+func runFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringsim fleet", flag.ContinueOnError)
+	fs.SetOutput(out)
+	replicas := fs.Int("replicas", 3, "fleet size (≥ 2)")
+	faults := fs.Int("faults", 4, "membership faults in the campaign")
+	gap := fs.Int("gap", 3, "ticks between faults")
+	cutdur := fs.Int("cutdur", 2, "ticks a crash or cut persists")
+	kinds := fs.String("kinds", "crash,partition", "comma-separated: crash | partition | isolate")
+	seed := fs.Int64("seed", 5, "campaign schedule seed")
+	tick := fs.Duration("tick", 150*time.Millisecond, "campaign tick length")
+	requests := fs.Int("n", 400, "traffic requests during the episode")
+	events := fs.Bool("events", false, "print the full membership event stream")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var kindList []cluster.FaultKind
+	for _, k := range strings.Split(*kinds, ",") {
+		kindList = append(kindList, cluster.FaultKind(strings.TrimSpace(k)))
+	}
+	tpl := chaos.Template{
+		Kinds: kindList, Faults: *faults, Gap: *gap, Start: 1, CutDuration: *cutdur,
+	}
+	sched, err := tpl.FleetSchedule(*replicas, *seed)
+	if err != nil {
+		return err
+	}
+
+	f, err := fleet.New(fleet.Config{Replicas: *replicas, Service: service.Config{}})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if !f.AwaitReady(30 * time.Second) {
+		return fmt.Errorf("fleet replicas never became ready")
+	}
+	fmt.Fprintf(out, "fleet of %d replicas, campaign %s seed=%d (%d faults)\n",
+		*replicas, tpl.String(), *seed, len(sched))
+
+	ctx := context.Background()
+	repc := make(chan *fleet.LoadgenReport, 1)
+	errc := make(chan error, 1)
+	go func() {
+		rep, err := fleet.RunLoadgen(ctx, fleet.LoadgenConfig{
+			Addrs:    f.HTTPAddrs(),
+			Requests: *requests,
+			Warmup:   *requests / 3,
+			Seed:     *seed,
+			Pace:     *tick / 20,
+		})
+		repc <- rep
+		errc <- err
+	}()
+	res, err := f.RunCampaign(ctx, sched, *tick)
+	if err != nil {
+		return err
+	}
+	rep := <-repc
+	if err := <-errc; err != nil {
+		return err
+	}
+
+	if *events {
+		for _, e := range f.Events() {
+			fmt.Fprintf(out, "%4d  %-18s %-4s %-4s %s\n", e.Seq, e.Kind, e.Replica, e.Observer, e.Detail)
+		}
+	}
+	counts := map[string]int{}
+	for _, e := range f.Events() {
+		counts[e.Kind]++
+	}
+	fmt.Fprintf(out, "faults applied: %v; events: %v\n", res.Faults, counts)
+	fmt.Fprintf(out, "traffic: %d requests, hit=%.4f forward=%.4f retried=%d 5xx=%d errors=%d\n",
+		rep.Requests, rep.HitRatio, rep.ForwardRatio, rep.Retried, rep.ServerErr5x, rep.Status["error"])
+	fmt.Fprintf(out, "re-converged: %v (%dms after final heal)\n", res.Converged, res.ConvergeMS)
+	if rep.ServerErr5x > 0 || rep.Status["error"] > 0 {
+		return fmt.Errorf("traffic saw %d 5xx and %d transport errors", rep.ServerErr5x, rep.Status["error"])
+	}
+	if !res.Converged {
+		return fmt.Errorf("fleet did not re-converge after the campaign")
+	}
+	return nil
+}

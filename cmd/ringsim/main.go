@@ -8,12 +8,16 @@
 //	ringsim -protocol dijkstra4 -p 7 -live
 //	ringsim cluster -protocol dijkstra3 -p 5 -schedule "corrupt@40:node=1"
 //	ringsim chaos -protocol dijkstra3 -p 5 -episodes 20 -recovery-slo 400
+//	ringsim fleet -replicas 3 -faults 4 -seed 5
 //
 // The cluster subcommand runs the message-passing runtime
 // (internal/cluster) instead of the shared-memory simulator; the chaos
 // subcommand runs a seeded campaign of fault episodes judged against a
-// recovery SLO, exiting non-zero on violation. See `ringsim cluster -h`
-// and `ringsim chaos -h`.
+// recovery SLO, exiting non-zero on violation; the fleet subcommand
+// runs one membership chaos episode against a live in-process checkd
+// replica fleet with traffic, exiting non-zero on any 5xx or a failed
+// re-convergence. See `ringsim cluster -h`, `ringsim chaos -h`, and
+// `ringsim fleet -h`.
 package main
 
 import (
@@ -39,6 +43,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "chaos" {
 		return runChaos(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "fleet" {
+		return runFleet(args[1:], out)
 	}
 	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
 	fs.SetOutput(out)

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Fleet faults: the campaign engine's template machinery, retargeted
+// from simulated ring nodes to live checkd replicas. A fleet fault is
+// a membership event — a replica crashing, a network cut — rather
+// than a register corruption; the replica fleet (internal/fleet)
+// executes the schedule with real listeners and real connections. The
+// same seeded-template discipline applies: one template plus one seed
+// yields one reproducible schedule, so a campaign failure replays
+// exactly.
+
+// FleetFault is one membership fault in a fleet campaign schedule.
+type FleetFault struct {
+	// Kind is crash, partition, or isolate.
+	Kind cluster.FaultKind `json:"kind"`
+	// Step is the campaign tick at which the fault lands.
+	Step int `json:"step"`
+	// Node is the target replica index (crash, isolate).
+	Node int `json:"node,omitempty"`
+	// A and B are the partition sides (partition only).
+	A []int `json:"a,omitempty"`
+	B []int `json:"b,omitempty"`
+	// Count is how many ticks the fault persists: a crash restarts and
+	// a cut heals Count ticks after Step.
+	Count int `json:"count"`
+}
+
+// fleetKinds are the fault kinds meaningful against a live fleet.
+var fleetKinds = map[cluster.FaultKind]bool{
+	cluster.FaultCrash:     true,
+	cluster.FaultPartition: true,
+	cluster.FaultIsolate:   true,
+}
+
+// ValidateFleet checks the template as a fleet campaign source: only
+// membership kinds, a cut/outage duration, and at least two replicas.
+func (t Template) ValidateFleet(replicas int) error {
+	if replicas < 2 {
+		return fmt.Errorf("chaos: fleet campaigns need at least 2 replicas, got %d", replicas)
+	}
+	if len(t.Kinds) == 0 {
+		return fmt.Errorf("chaos: template needs at least one fault kind")
+	}
+	for _, k := range t.Kinds {
+		if !fleetKinds[k] {
+			return fmt.Errorf("chaos: fault kind %q is not a fleet membership fault (want crash, partition, or isolate)", k)
+		}
+	}
+	if t.Faults < 1 {
+		return fmt.Errorf("chaos: template needs faults ≥ 1, got %d", t.Faults)
+	}
+	if t.Gap < 1 {
+		return fmt.Errorf("chaos: template needs gap ≥ 1, got %d", t.Gap)
+	}
+	if t.Start < 1 {
+		return fmt.Errorf("chaos: template needs start ≥ 1, got %d", t.Start)
+	}
+	if t.CutDuration < 1 {
+		return fmt.Errorf("chaos: fleet faults persist for CutDuration ticks, which must be ≥ 1, got %d", t.CutDuration)
+	}
+	return nil
+}
+
+// FleetSchedule draws one seeded membership-fault schedule for a fleet
+// of n replicas. Fault i lands at Start + i*Gap with a seeded-random
+// kind from the mix: a crash picks a random replica and restarts it
+// CutDuration ticks later; a partition picks a contiguous index cut
+// healed CutDuration ticks later; an isolate cuts one random replica
+// from everyone else for CutDuration ticks. The schedule is sorted by
+// step and stable for a fixed (template, n, seed).
+func (t Template) FleetSchedule(n int, seed int64) ([]FleetFault, error) {
+	if err := t.ValidateFleet(n); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := make([]FleetFault, 0, t.Faults)
+	for i := 0; i < t.Faults; i++ {
+		f := FleetFault{
+			Kind:  t.Kinds[rng.Intn(len(t.Kinds))],
+			Step:  t.Start + i*t.Gap,
+			Node:  -1,
+			Count: t.CutDuration,
+		}
+		switch f.Kind {
+		case cluster.FaultCrash, cluster.FaultIsolate:
+			f.Node = rng.Intn(n)
+		case cluster.FaultPartition:
+			f.A, f.B = ringCut(n, rng)
+		}
+		sched = append(sched, f)
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].Step < sched[j].Step })
+	return sched, nil
+}

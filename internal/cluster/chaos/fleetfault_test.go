@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// A fleet schedule is a pure function of (template, n, seed): replaying
+// a campaign failure needs only those three numbers.
+func TestFleetScheduleDeterministic(t *testing.T) {
+	tpl := Template{
+		Kinds:       []cluster.FaultKind{cluster.FaultCrash, cluster.FaultPartition, cluster.FaultIsolate},
+		Faults:      6,
+		Gap:         2,
+		Start:       1,
+		CutDuration: 3,
+	}
+	a, err := tpl.FleetSchedule(4, 99)
+	if err != nil {
+		t.Fatalf("FleetSchedule: %v", err)
+	}
+	b, err := tpl.FleetSchedule(4, 99)
+	if err != nil {
+		t.Fatalf("FleetSchedule: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+	c, _ := tpl.FleetSchedule(4, 100)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i, f := range a {
+		if f.Step != tpl.Start+i*tpl.Gap {
+			t.Fatalf("fault %d at step %d, want %d", i, f.Step, tpl.Start+i*tpl.Gap)
+		}
+		if f.Count != tpl.CutDuration {
+			t.Fatalf("fault %d persists %d ticks, want %d", i, f.Count, tpl.CutDuration)
+		}
+		switch f.Kind {
+		case cluster.FaultCrash, cluster.FaultIsolate:
+			if f.Node < 0 || f.Node >= 4 {
+				t.Fatalf("fault %d targets replica %d of 4", i, f.Node)
+			}
+		case cluster.FaultPartition:
+			if len(f.A) == 0 || len(f.B) == 0 || len(f.A)+len(f.B) != 4 {
+				t.Fatalf("fault %d cut %v|%v does not cover 4 replicas", i, f.A, f.B)
+			}
+		default:
+			t.Fatalf("fault %d has non-fleet kind %q", i, f.Kind)
+		}
+	}
+}
+
+// Fleet validation rejects what the live fleet cannot execute:
+// register-level kinds, missing durations, single-replica fleets.
+func TestFleetScheduleValidation(t *testing.T) {
+	good := Template{
+		Kinds: []cluster.FaultKind{cluster.FaultCrash}, Faults: 1, Gap: 1, Start: 1, CutDuration: 1,
+	}
+	if _, err := good.FleetSchedule(2, 1); err != nil {
+		t.Fatalf("valid template rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tpl  Template
+		n    int
+	}{
+		{"register kind", Template{Kinds: []cluster.FaultKind{cluster.FaultCorrupt}, Faults: 1, Gap: 1, Start: 1, CutDuration: 1}, 3},
+		{"no kinds", Template{Faults: 1, Gap: 1, Start: 1, CutDuration: 1}, 3},
+		{"no duration", Template{Kinds: []cluster.FaultKind{cluster.FaultCrash}, Faults: 1, Gap: 1, Start: 1}, 3},
+		{"one replica", good, 1},
+		{"zero faults", Template{Kinds: []cluster.FaultKind{cluster.FaultCrash}, Gap: 1, Start: 1, CutDuration: 1}, 3},
+	}
+	for _, tc := range cases {
+		if _, err := tc.tpl.FleetSchedule(tc.n, 1); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

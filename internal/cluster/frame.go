@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Frame I/O: the cluster wire protocol is length-prefixed JSON — a
+// 4-byte big-endian payload length followed by the JSON payload. The
+// TCP transport has always spoken it; these helpers export the framing
+// so other subsystems (the checkd replica fleet's forward/anti-entropy
+// RPC) reuse the exact wire discipline instead of inventing a second
+// one: bounded frames, and any malformed frame (oversized, truncated,
+// non-JSON) surfacing as an error the caller converts into a closed
+// connection.
+
+// MaxFrameBytes is the default bound on one wire frame for the ring
+// transport; state messages are tiny, so anything larger is a corrupt
+// or hostile peer.
+const MaxFrameBytes = maxFrameBytes
+
+// WriteFrame marshals v and writes one length-prefixed frame. The
+// marshal and the write are a single Write call so concurrent writers
+// multiplexing one connection need only serialize around WriteFrame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	if len(payload) > maxInt32 {
+		return fmt.Errorf("cluster: frame payload %d bytes overflows length prefix", len(payload))
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	_, err = w.Write(frame)
+	return err
+}
+
+const maxInt32 = 1<<31 - 1
+
+// ReadFrame reads one length-prefixed frame, rejecting empty or
+// oversized payloads (maxBytes ≤ 0 means MaxFrameBytes), and unmarshals
+// it into v. Any error means the stream can no longer be trusted; the
+// caller should close the connection.
+func ReadFrame(r io.Reader, maxBytes int, v any) error {
+	if maxBytes <= 0 {
+		maxBytes = maxFrameBytes
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > uint32(maxBytes) {
+		return fmt.Errorf("cluster: frame length %d outside (0, %d]", n, maxBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	return nil
+}

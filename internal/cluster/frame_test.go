@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Message{From: 1, To: 2, Val: 7, Seq: 9, Probe: true}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Message
+	if err := ReadFrame(&buf, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestReadFrameRejectsHostileLengths(t *testing.T) {
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	buf.Write(hdr[:])
+	buf.WriteString(strings.Repeat("x", 16))
+	var m Message
+	if err := ReadFrame(&buf, MaxFrameBytes, &m); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+
+	// Zero length.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	buf.Write(hdr[:])
+	if err := ReadFrame(&buf, 0, &m); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+
+	// Truncated payload.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if err := ReadFrame(&buf, 0, &m); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+
+	// Non-JSON payload.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 4)
+	buf.Write(hdr[:])
+	buf.WriteString("}{!!")
+	if err := ReadFrame(&buf, 0, &m); err == nil {
+		t.Fatal("non-JSON frame accepted")
+	}
+}

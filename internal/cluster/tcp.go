@@ -1,10 +1,7 @@
 package cluster
 
 import (
-	"encoding/binary"
-	"encoding/json"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -147,21 +144,9 @@ func (t *TCPTransport) readLoop(node int, c net.Conn) {
 		delete(t.inConns[node], c)
 		t.mu.Unlock()
 	}()
-	var hdr [4]byte
 	for {
-		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			return
-		}
-		n := binary.BigEndian.Uint32(hdr[:])
-		if n == 0 || n > maxFrameBytes {
-			return
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(c, buf); err != nil {
-			return
-		}
 		var m Message
-		if err := json.Unmarshal(buf, &m); err != nil {
+		if err := ReadFrame(c, maxFrameBytes, &m); err != nil {
 			return
 		}
 		select {
@@ -223,16 +208,8 @@ func (t *TCPTransport) Send(m Message) error {
 	if err != nil {
 		return err
 	}
-	payload, err := json.Marshal(m)
-	if err != nil {
-		t.evict(m.To, oc)
-		return err
-	}
-	frame := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
 	oc.mu.Lock()
-	_, werr := oc.c.Write(frame)
+	werr := WriteFrame(oc.c, m)
 	oc.mu.Unlock()
 	if werr != nil {
 		t.evict(m.To, oc)

@@ -1,0 +1,486 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Config sizes a fleet. Zero values mean "use the default".
+type Config struct {
+	// Replicas is the number of checkd replicas (default 3).
+	Replicas int
+	// Service configures each replica's underlying service.Server.
+	// CachePath must be empty — replicas do not share a snapshot file.
+	Service service.Config
+	// VNodes is the consistent-hash points per replica (default 64).
+	VNodes int
+	// HeartbeatInterval paces membership pings (default 75ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how many consecutive heartbeat misses make a peer
+	// suspected and remove it from the ring (default 3).
+	SuspectAfter int
+	// AntiEntropyInterval paces cache sync rounds (default 250ms;
+	// negative disables the loop — rounds run only via
+	// AntiEntropyRound, and readiness does not wait for one).
+	AntiEntropyInterval time.Duration
+	// ForwardTimeout bounds one forward or digest RPC (default 10s).
+	ForwardTimeout time.Duration
+	// MaxPullPerRound caps entries pulled per anti-entropy round
+	// (default 256).
+	MaxPullPerRound int
+	// Logf, when non-nil, receives fleet and per-replica job log lines.
+	// It must be safe for concurrent use.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 75 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.AntiEntropyInterval == 0 {
+		c.AntiEntropyInterval = 250 * time.Millisecond
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 10 * time.Second
+	}
+	if c.MaxPullPerRound <= 0 {
+		c.MaxPullPerRound = 256
+	}
+	return c
+}
+
+// Fleet runs N replicas as one logical service on loopback listeners.
+// Construct with New, dispose with Close. Fault methods (CrashReplica,
+// RestartReplica, Partition, Heal) are how the chaos campaign engine —
+// and tests — batter the fleet.
+type Fleet struct {
+	cfg      Config
+	mon      *Monitor
+	replicas []*Replica
+}
+
+// New starts a fleet: every replica gets an HTTP listener, an RPC
+// listener, a fresh service.Server, and the full static member set in
+// its ring; then the membership and anti-entropy loops start.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Service.CachePath != "" {
+		return nil, fmt.Errorf("fleet: Service.CachePath must be empty (replicas cannot share one snapshot file)")
+	}
+	f := &Fleet{cfg: cfg, mon: NewMonitor()}
+
+	// Bind every listener first, so peer address books are complete
+	// before any replica starts heartbeating.
+	for i := 0; i < cfg.Replicas; i++ {
+		rp := &Replica{id: fmt.Sprintf("r%d", i), idx: i, f: f}
+		httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: http listen: %w", err)
+		}
+		rpcLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = httpLn.Close()
+			f.Close()
+			return nil, fmt.Errorf("fleet: rpc listen: %w", err)
+		}
+		rp.httpAddr = httpLn.Addr().String()
+		rp.rpcAddr = rpcLn.Addr().String()
+		rp.httpLn = httpLn
+		rp.rpcLn = rpcLn
+		f.replicas = append(f.replicas, rp)
+	}
+	for _, rp := range f.replicas {
+		rp.peers = make(map[string]*peer, cfg.Replicas-1)
+		for _, other := range f.replicas {
+			if other.id == rp.id {
+				continue
+			}
+			rp.peers[other.id] = &peer{
+				id: other.id, addr: other.rpcAddr, client: newPeerClient(other.rpcAddr),
+			}
+		}
+		rp.start(rp.httpLn, rp.rpcLn)
+	}
+	return f, nil
+}
+
+// serviceConfig builds one replica's service configuration.
+func (f *Fleet) serviceConfig(rp *Replica) service.Config {
+	cfg := f.cfg.Service
+	if f.cfg.Logf != nil {
+		id := rp.id
+		cfg.Logf = func(format string, args ...any) {
+			f.cfg.Logf("fleet "+id+": "+format, args...)
+		}
+	}
+	return cfg
+}
+
+func (f *Fleet) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// start boots one replica incarnation: fresh service, fresh ring view
+// holding every non-left member, loops running against a fresh stop
+// channel.
+func (rp *Replica) start(httpLn, rpcLn net.Listener) {
+	svc := service.New(rp.f.serviceConfig(rp))
+	ring := NewRing(rp.f.cfg.VNodes)
+	ring.Add(rp.id)
+
+	rp.mu.Lock()
+	for _, p := range rp.peers {
+		p.misses = 0
+		p.suspected = false
+		if !p.left {
+			ring.Add(p.id)
+		}
+	}
+	rp.svc = svc
+	rp.ring = ring
+	rp.down = false
+	rp.conns = make(map[net.Conn]bool)
+	rp.blocked = make(map[string]bool)
+	stop := make(chan struct{})
+	rp.stop = stop
+	rp.httpLn = httpLn
+	rp.rpcLn = rpcLn
+	rp.httpSrv = &http.Server{Handler: rp}
+	rp.mu.Unlock()
+
+	rp.joined.Store(false)
+	rp.aeDone.Store(false)
+
+	httpSrv := rp.httpSrv
+	go func() { _ = httpSrv.Serve(httpLn) }()
+	rp.wg.Add(3)
+	go rp.serveRPC(rpcLn, stop)
+	go rp.heartbeatLoop(stop)
+	go rp.aeLoop(stop)
+}
+
+// shutdown stops one replica incarnation. Graceful leaves and crashes
+// share it; only the surrounding bookkeeping differs.
+func (rp *Replica) shutdown() {
+	rp.mu.Lock()
+	if rp.down {
+		rp.mu.Unlock()
+		return
+	}
+	rp.down = true
+	svc := rp.svc
+	rp.svc = nil
+	stop := rp.stop
+	httpSrv := rp.httpSrv
+	rpcLn := rp.rpcLn
+	for _, p := range rp.peers {
+		p.client.closeIdle()
+	}
+	rp.mu.Unlock()
+
+	close(stop)
+	if httpSrv != nil {
+		_ = httpSrv.Close()
+	}
+	if rpcLn != nil {
+		_ = rpcLn.Close()
+	}
+	rp.closeConns()
+	if svc != nil {
+		svc.Close()
+	}
+}
+
+// Replicas returns the fleet size (including crashed/stopped members).
+func (f *Fleet) Replicas() int { return len(f.replicas) }
+
+// Replica returns the i'th replica.
+func (f *Fleet) Replica(i int) *Replica { return f.replicas[i] }
+
+// HTTPAddrs lists every replica's HTTP address in index order.
+func (f *Fleet) HTTPAddrs() []string {
+	out := make([]string, len(f.replicas))
+	for i, rp := range f.replicas {
+		out[i] = rp.httpAddr
+	}
+	return out
+}
+
+// Monitor returns the fleet's shared membership monitor.
+func (f *Fleet) Monitor() *Monitor { return f.mon }
+
+// Events returns the membership event stream so far.
+func (f *Fleet) Events() []Event { return f.mon.Events() }
+
+// AntiEntropyRound runs one round on every live replica in index
+// order and returns the total entries pulled. With a negative
+// AntiEntropyInterval this is the only way rounds run — deterministic
+// harnesses (loadgen -sequential, experiment E19) drive sync
+// explicitly instead of racing a ticker.
+func (f *Fleet) AntiEntropyRound() int {
+	total := 0
+	for _, rp := range f.replicas {
+		total += rp.AntiEntropyRound()
+	}
+	return total
+}
+
+// live returns the ids of replicas that are up, sorted.
+func (f *Fleet) live() []string {
+	var out []string
+	for _, rp := range f.replicas {
+		rp.mu.Lock()
+		up := !rp.down && !rp.leftFleet
+		rp.mu.Unlock()
+		if up {
+			out = append(out, rp.id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Converged reports whether every live replica has joined and agrees
+// that the ring is exactly the live member set — the fleet control
+// plane's closure predicate.
+func (f *Fleet) Converged() bool {
+	want := f.live()
+	for _, rp := range f.replicas {
+		rp.mu.Lock()
+		up := !rp.down && !rp.leftFleet
+		rp.mu.Unlock()
+		if !up {
+			continue
+		}
+		if !rp.joined.Load() {
+			return false
+		}
+		got := rp.RingMembers()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AwaitConverged polls Converged until it holds or the deadline
+// passes.
+func (f *Fleet) AwaitConverged(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Converged() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// AwaitReady polls until every live replica reports Ready.
+func (f *Fleet) AwaitReady(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		for _, rp := range f.replicas {
+			rp.mu.Lock()
+			up := !rp.down && !rp.leftFleet
+			rp.mu.Unlock()
+			if up && !rp.Ready() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// CrashReplica kills replica i without ceremony: listeners and live
+// connections close, the service dies with its cache. Peers notice by
+// heartbeat misses.
+func (f *Fleet) CrashReplica(i int) {
+	rp := f.replicas[i]
+	rp.mu.Lock()
+	down := rp.down
+	rp.mu.Unlock()
+	if down {
+		return
+	}
+	f.mon.emit("crash", rp.id, "", "")
+	rp.shutdown()
+}
+
+// RestartReplica brings a crashed replica back on its original
+// addresses with a cold cache and a fresh ring view. Peers re-admit it
+// on the first successful heartbeat; anti-entropy refills its cache.
+func (f *Fleet) RestartReplica(i int) error {
+	rp := f.replicas[i]
+	rp.mu.Lock()
+	down := rp.down
+	rp.mu.Unlock()
+	if !down {
+		return nil
+	}
+	httpLn, err := listenBack(rp.httpAddr)
+	if err != nil {
+		return fmt.Errorf("fleet: restart %s http: %w", rp.id, err)
+	}
+	rpcLn, err := listenBack(rp.rpcAddr)
+	if err != nil {
+		_ = httpLn.Close()
+		return fmt.Errorf("fleet: restart %s rpc: %w", rp.id, err)
+	}
+	f.mon.emit("restart", rp.id, "", "")
+	rp.start(httpLn, rpcLn)
+	// Tell peers that previously saw a graceful leave the member is back.
+	for _, other := range f.replicas {
+		if other != rp {
+			other.peerReturned(rp.id)
+		}
+	}
+	rp.mu.Lock()
+	rp.leftFleet = false
+	rp.mu.Unlock()
+	return nil
+}
+
+// listenBack rebinds an exact address, retrying briefly: the old
+// listener's port can linger for a moment after a crash.
+func listenBack(addr string) (net.Listener, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+// StopReplica removes replica i gracefully: it notifies every live
+// peer before going dark, so peers drop it immediately instead of
+// suspecting it after misses.
+func (f *Fleet) StopReplica(i int) {
+	rp := f.replicas[i]
+	rp.mu.Lock()
+	down := rp.down
+	rp.mu.Unlock()
+	if down {
+		return
+	}
+	for _, p := range rp.allPeers() {
+		_, _ = rp.callPeer(p.id, rpcRequest{Op: "leave", From: rp.id}, f.cfg.HeartbeatInterval*2)
+	}
+	f.mon.emit("replica-left", rp.id, "", "graceful")
+	rp.shutdown()
+	rp.mu.Lock()
+	rp.leftFleet = true
+	rp.mu.Unlock()
+}
+
+// Partition cuts the fleet into two sides by replica index: every
+// RPC across the cut fails until Heal. One-sided views are possible
+// mid-cut (exactly as on a real network); the suspicion machinery
+// shrinks each side's ring to its own island.
+func (f *Fleet) Partition(a, b []int) {
+	for _, i := range a {
+		for _, j := range b {
+			f.replicas[i].block(f.replicas[j].id)
+			f.replicas[j].block(f.replicas[i].id)
+		}
+	}
+	f.mon.emit("partition", "", "", cutDetail(a, b))
+}
+
+// HealCut removes one specific cut (the pairs it blocked), leaving any
+// other active cuts in place — overlapping partitions heal
+// independently.
+func (f *Fleet) HealCut(a, b []int) {
+	for _, i := range a {
+		for _, j := range b {
+			f.replicas[i].unblock(f.replicas[j].id)
+			f.replicas[j].unblock(f.replicas[i].id)
+		}
+	}
+	f.mon.emit("heal", "", "", cutDetail(a, b))
+}
+
+// Heal removes every partition in the fleet.
+func (f *Fleet) Heal() {
+	for _, rp := range f.replicas {
+		rp.mu.Lock()
+		rp.blocked = make(map[string]bool)
+		rp.mu.Unlock()
+	}
+	f.mon.emit("heal", "", "", "")
+}
+
+func cutDetail(a, b []int) string {
+	var sb strings.Builder
+	for k, i := range a {
+		if k > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "r%d", i)
+	}
+	sb.WriteByte('|')
+	for k, j := range b {
+		if k > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "r%d", j)
+	}
+	return sb.String()
+}
+
+// Close shuts every replica down.
+func (f *Fleet) Close() {
+	for _, rp := range f.replicas {
+		rp.shutdown()
+	}
+	for _, rp := range f.replicas {
+		rp.wg.Wait()
+	}
+}
+
+// mustJSON marshals a value the package itself constructed.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import "sync"
+
+// Event is one structured membership observation. The stream is the
+// fleet's observable story: replicas joining and leaving, suspicion
+// and recovery as heartbeats fail and return, and the faults the
+// campaign engine injects. Where the cluster Monitor watches register
+// legitimacy, this monitor watches control-plane legitimacy — the ring
+// views re-converging to the live member set.
+type Event struct {
+	// Seq orders events across the whole fleet.
+	Seq int `json:"seq"`
+	// Kind is one of "replica-joined", "replica-left",
+	// "replica-suspected", "replica-recovered", "crash", "restart",
+	// "partition", "heal", "ae-round".
+	Kind string `json:"kind"`
+	// Replica is the subject of the event.
+	Replica string `json:"replica,omitempty"`
+	// Observer is the replica that noticed, for observations one
+	// replica makes about another (suspected, recovered).
+	Observer string `json:"observer,omitempty"`
+	// Detail carries event-specific context (cut description, entries
+	// pulled, …).
+	Detail string `json:"detail,omitempty"`
+}
+
+// maxMonitorEvents bounds the retained stream; long campaigns drop the
+// oldest events (counted) rather than growing without bound.
+const maxMonitorEvents = 8192
+
+// Monitor collects the fleet's event stream. All replicas of one fleet
+// share a Monitor, so the stream is totally ordered by Seq.
+type Monitor struct {
+	mu      sync.Mutex
+	seq     int
+	events  []Event
+	dropped int
+}
+
+// NewMonitor builds an empty monitor.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+func (m *Monitor) emit(kind, replica, observer, detail string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	if len(m.events) >= maxMonitorEvents {
+		copy(m.events, m.events[1:])
+		m.events = m.events[:len(m.events)-1]
+		m.dropped++
+	}
+	m.events = append(m.events, Event{
+		Seq: m.seq, Kind: kind, Replica: replica, Observer: observer, Detail: detail,
+	})
+}
+
+// Events returns a copy of the retained stream.
+func (m *Monitor) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Dropped reports events discarded once the retention bound was hit.
+func (m *Monitor) Dropped() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Count returns how many events of kind are retained.
+func (m *Monitor) Count(kind string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

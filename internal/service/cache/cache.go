@@ -127,3 +127,25 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	defer c.mu.Unlock()
 	return c.hits, c.misses
 }
+
+// PutCold inserts val under key at the cold (least recently used) end
+// of the LRU, and only into spare capacity: if the key is already
+// present or the cache is full, PutCold is a no-op returning false.
+// Anti-entropy sync uses it so replicated entries fill idle capacity
+// without evicting — or even refreshing — entries earned by this
+// cache's own traffic; a later Get promotes a cold entry normally.
+func (c *Cache) PutCold(key string, val any) bool {
+	if c.capacity <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return false
+	}
+	if c.ll.Len() >= c.capacity {
+		return false
+	}
+	c.items[key] = c.ll.PushBack(&entry{key: key, val: val})
+	return true
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service/cache"
+)
+
+// Concurrent writers during snapshot intervals: 8 goroutines fill the
+// cache while the persister snapshots every millisecond. Every file
+// the persister publishes — including ones written mid-burst — must be
+// a consistent prefix of the write stream: every record decodes (no
+// torn entries), every key is one a writer actually wrote, and the
+// final reload recovers the full set. Run under -race this also pins
+// the snapshot path as data-race-free against cache writes.
+func TestCachePersistConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := Config{Workers: 2, QueueDepth: 16, CacheEntries: 4096,
+		CachePath: path, CacheSnapshotInterval: time.Millisecond}
+	svc := New(cfg)
+
+	const writers = 8
+	const perWriter = 150
+	keyOf := func(w, i int) string {
+		return cache.Key(kindSelfStab, fmt.Sprintf("sha256:%02d%04d", w, i))
+	}
+	valid := make(map[string]bool, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			valid[keyOf(w, i)] = true
+		}
+	}
+
+	var wg sync.WaitGroup
+	stopProbe := make(chan struct{})
+	probeErr := make(chan error, 1)
+	// Probe goroutine: read published snapshots while writes are racing
+	// the persister. Rename is atomic, so every read sees a complete
+	// file; each must decode cleanly with only known keys.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopProbe:
+				return
+			default:
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue // not published yet
+			}
+			entries, skipped := decodeCacheEntries(data)
+			if skipped != 0 {
+				probeErr <- fmt.Errorf("published snapshot had %d undecodable records", skipped)
+				return
+			}
+			for _, e := range entries {
+				if !valid[e.Key] {
+					probeErr <- fmt.Errorf("snapshot contains key %q nobody wrote", e.Key)
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				svc.cache.Put(keyOf(w, i), SelfStabResponse{
+					Program: fmt.Sprintf("sha256:%02d%04d", w, i),
+					States:  i,
+				})
+			}
+		}(w)
+	}
+	// Let writers and the probe overlap live snapshots, then stop.
+	time.Sleep(30 * time.Millisecond)
+	close(stopProbe)
+	wg.Wait()
+	select {
+	case err := <-probeErr:
+		t.Fatal(err)
+	default:
+	}
+	svc.Close() // final snapshot holds everything
+
+	svc2 := New(cfg)
+	defer svc2.Close()
+	keys := svc2.CacheKeys()
+	if len(keys) != writers*perWriter {
+		t.Fatalf("reload recovered %d entries, want %d", len(keys), writers*perWriter)
+	}
+	for _, k := range keys {
+		if !valid[k] {
+			t.Fatalf("reload produced unknown key %q", k)
+		}
+	}
+	// The reloaded values must have survived the kind-tagged codec as
+	// their concrete response type, not as raw JSON.
+	if v, ok := svc2.cache.Get(keyOf(0, 0)); !ok {
+		t.Fatal("reloaded cache misses a written key")
+	} else if _, isResp := v.(SelfStabResponse); !isResp {
+		t.Fatalf("reloaded value has type %T, want SelfStabResponse", v)
+	}
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/gcl"
+	"repro/internal/gcl/analysis"
+	"repro/internal/service/cache"
+)
+
+// Fleet routing support: a replica fleet fronts several Servers and
+// routes each fingerprint-addressed request to its owner replica. The
+// fleet layer lives in internal/fleet; this file exports exactly what
+// it needs from the service — which requests are routable, the ring
+// and cache keys of a request body, and a cache-only fast path — so
+// the routing layer never reimplements key construction and can never
+// drift from what the handlers actually cache under.
+
+// Exported names of the fingerprint-routable check kinds. They match
+// the /metrics request counters and the persisted cache entry tags.
+const (
+	KindSelfStab = kindSelfStab
+	KindRefine   = kindRefine
+	KindLint     = kindLint
+)
+
+// RouteKind maps an HTTP method+path to a routable check kind. Only
+// the program-addressed endpoints route — everything else (ringsim,
+// cluster, chaos, operational endpoints) is served wherever it lands.
+func RouteKind(method, path string) (string, bool) {
+	if method != http.MethodPost {
+		return "", false
+	}
+	switch path {
+	case "/v1/selfstab":
+		return kindSelfStab, true
+	case "/v1/refine":
+		return kindRefine, true
+	case "/v1/lint", "/lint":
+		return kindLint, true
+	}
+	return "", false
+}
+
+// RouteInfo extracts the routing identity of a request body: RingKey is
+// the canonical program fingerprint (both fingerprints for refine) that
+// the consistent-hash ring routes on, and CacheKey is the exact verdict
+// cache key the handler for kind would use. An error means the body is
+// not routable (bad JSON, unparsable program); the caller should hand
+// the request to a local Server for the canonical 400.
+type RouteInfo struct {
+	RingKey  string
+	CacheKey string
+}
+
+// routeDecode mirrors decodeJSON's strictness on raw bytes so routing
+// and handling agree on what a malformed body is.
+func routeDecode(body []byte, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// routeFingerprint parses one GCL source just far enough to fingerprint
+// it. Semantic checks and the state-space bound are the owning
+// handler's job; routing only needs the canonical identity.
+func routeFingerprint(field, src string) (string, error) {
+	if src == "" {
+		return "", badRequest("missing %q: expected GCL program text", field)
+	}
+	prog, err := gcl.Parse(src)
+	if err != nil {
+		return "", badRequest("%s: %v", field, err)
+	}
+	return gcl.Fingerprint(prog), nil
+}
+
+// Route computes the RouteInfo of one routable request body.
+func Route(kind string, body []byte) (RouteInfo, error) {
+	switch kind {
+	case kindSelfStab:
+		var req SelfStabRequest
+		if err := routeDecode(body, &req); err != nil {
+			return RouteInfo{}, err
+		}
+		fp, err := routeFingerprint("source", req.Source)
+		if err != nil {
+			return RouteInfo{}, err
+		}
+		return RouteInfo{RingKey: fp, CacheKey: cache.Key(kindSelfStab, fp)}, nil
+	case kindRefine:
+		var req RefineRequest
+		if err := routeDecode(body, &req); err != nil {
+			return RouteInfo{}, err
+		}
+		fpC, err := routeFingerprint("concrete", req.Concrete)
+		if err != nil {
+			return RouteInfo{}, err
+		}
+		fpA, err := routeFingerprint("abstract", req.Abstract)
+		if err != nil {
+			return RouteInfo{}, err
+		}
+		return RouteInfo{RingKey: fpC + fpA, CacheKey: cache.Key(kindRefine, fpC, fpA)}, nil
+	case kindLint:
+		var req LintRequest
+		if err := routeDecode(body, &req); err != nil {
+			return RouteInfo{}, err
+		}
+		fp, err := routeFingerprint("source", req.Source)
+		if err != nil {
+			return RouteInfo{}, err
+		}
+		return RouteInfo{RingKey: fp, CacheKey: cache.Key(kindLint, fp, analysis.Version())}, nil
+	}
+	return RouteInfo{}, badRequest("kind %q is not routable", kind)
+}
+
+// TryServeCached answers from the local verdict cache if cacheKey is
+// present, stamping requestID on the response exactly as ServeHTTP
+// would. It is the fleet's fast path: a non-owner replica that holds a
+// synced copy of the verdict serves it without a forward hop.
+func (s *Server) TryServeCached(w http.ResponseWriter, cacheKey, requestID string) bool {
+	v, ok := s.cache.Get(cacheKey)
+	if !ok {
+		return false
+	}
+	if requestID != "" {
+		w.Header().Set("X-Request-Id", requestID)
+	}
+	s.metrics.ok.Add(1)
+	writeJSON(w, http.StatusOK, v.(cachedResponse).asCached(0))
+	return true
+}

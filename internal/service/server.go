@@ -64,6 +64,11 @@ type Config struct {
 	// CacheSnapshotInterval is the background snapshot period
 	// (default 30s; only meaningful with CachePath).
 	CacheSnapshotInterval time.Duration
+	// Logf, when non-nil, receives structured job log lines (worker-pool
+	// job start/finish, each carrying the request id) so one id traces a
+	// request across handlers, queueing, and fleet forward hops. It must
+	// be safe for concurrent use; nil disables job logging.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -157,13 +162,37 @@ func requestIDFrom(ctx context.Context) string {
 	return id
 }
 
+// sanitizeRequestID accepts an inbound X-Request-Id only when it is
+// short and printable-safe, so a hostile client cannot smuggle log-line
+// noise or unbounded bytes through the tracing path.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 // ServeHTTP implements http.Handler. Every request gets a unique id
 // (echoed in the X-Request-Id header and attached to error bodies, so a
 // failure report can be matched to a server log line), and a panicking
 // handler becomes a 500 JSON error carrying that id instead of a
-// severed connection.
+// severed connection. A well-formed inbound X-Request-Id is adopted
+// instead of replaced, so a fleet forward hop — or any upstream proxy —
+// keeps one id attached to a request end-to-end.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := fmt.Sprintf("req-%x-%d", s.start.UnixNano()&0xffffff, s.reqSeq.Add(1))
+	id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+	if id == "" {
+		id = fmt.Sprintf("req-%x-%d", s.start.UnixNano()&0xffffff, s.reqSeq.Add(1))
+	}
 	w.Header().Set("X-Request-Id", id)
 	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
 	defer func() {
@@ -199,6 +228,13 @@ func (s *Server) Close() {
 // counters (also available via GET /metrics).
 func (s *Server) CacheStats() (hits, misses uint64) {
 	return s.cache.Stats()
+}
+
+// logf emits one job log line when Config.Logf is set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // requestError marks a client mistake (bad syntax, unknown family,
@@ -271,7 +307,14 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, kind, key strin
 				return
 			}
 		}
+		s.logf("job start kind=%s request=%s", kind, requestIDFrom(ctx))
 		v, err := safeCompute(ctx, compute)
+		status := "ok"
+		if err != nil {
+			status = "err"
+		}
+		s.logf("job done kind=%s request=%s status=%s elapsed_us=%d",
+			kind, requestIDFrom(ctx), status, time.Since(started).Microseconds())
 		res <- outcome{val: v, err: err}
 	}}
 	if !s.pool.submit(j) {
