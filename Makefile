@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench lint cluster-race cluster-demo chaos crash-demo \
+.PHONY: check fmt vet gcvet build test bench lint cluster-race cluster-demo chaos crash-demo \
 	fleet-race fleet-demo bench-fleet
 
 # check is the full gate: formatting, vet, build, the race-enabled
@@ -14,15 +14,25 @@ fmt:
 		echo "gofmt needed:"; echo "$$out"; exit 1; \
 	fi
 
-# vet also runs staticcheck when it is installed; offline builds
-# without the tool still pass.
-vet:
+# vet chains the stock vet suite, the repo's own gcvet analyzers
+# (determinism, gas metering, leak, map-order, event-kind invariants —
+# see internal/analysis/gcvet), and staticcheck when it is installed;
+# offline builds without staticcheck still pass.
+vet: gcvet
 	$(GO) vet ./...
+	$(GO) vet -vettool=bin/gcvet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping"; \
 	fi
+
+# gcvet builds the custom analyzer binary `go vet -vettool` loads. The
+# binary embeds a content hash in its buildID handshake, so rebuilding
+# it invalidates cmd/go's vet cache automatically.
+gcvet:
+	@mkdir -p bin
+	$(GO) build -o bin/gcvet ./cmd/gcvet
 
 build:
 	$(GO) build ./...

@@ -93,20 +93,25 @@ func TestLintDemoGolden(t *testing.T) {
 		t.Fatalf("bad JSON: %v", jerr)
 	}
 	if !rep.Exact {
-		t.Fatal("lint-demo is 64 states; the exact tier must run")
+		t.Fatal("lint-demo is 512 states; the exact tier must run")
 	}
 	var got []string
 	for _, d := range rep.Diags {
 		got = append(got, fmt.Sprintf("%d:%d %s %s %s", d.Pos.Line, d.Pos.Col, d.Code, d.Severity, d.Confidence))
 	}
 	want := []string{
-		"13:1 GCL006 warning exact",
-		"14:1 GCL005 warning exact",
-		"18:19 GCL001 warning exact",
-		"19:27 GCL003 error exact",
-		"20:1 GCL008 warning exact",
-		"21:1 GCL007 info exact",
-		"21:29 GCL010 info approx",
+		"17:1 GCL006 warning exact",
+		"18:1 GCL005 warning exact",
+		"23:19 GCL001 warning exact",
+		"24:27 GCL003 error exact",
+		"25:1 GCL008 warning exact",
+		"26:1 GCL007 info exact",
+		"26:29 GCL010 info approx",
+		"27:1 GCL004 warning exact",
+		"27:1 GCL007 info exact",
+		"27:1 GCL007 info exact",
+		"27:1 GCL007 info exact",
+		"27:19 GCL011 warning approx",
 	}
 	if strings.Join(got, "\n") != strings.Join(want, "\n") {
 		t.Fatalf("diagnostic set drifted:\ngot:\n%s\nwant:\n%s",
@@ -131,11 +136,12 @@ func TestLintAllExamples(t *testing.T) {
 		fails bool
 	}{
 		"aggressive3-n2.gcl": {codes: []string{"GCL007"}},
-		"broken-reset.gcl":   {codes: []string{"GCL004", "GCL008"}},
+		"broken-reset.gcl":   {codes: []string{"GCL004", "GCL008", "GCL011"}},
 		"counter.gcl":        {codes: nil},
 		"dijkstra3-n2.gcl":   {codes: []string{"GCL007"}},
 		"lint-demo.gcl": {codes: []string{
-			"GCL001", "GCL003", "GCL005", "GCL006", "GCL007", "GCL008", "GCL010"}, fails: true},
+			"GCL001", "GCL003", "GCL004", "GCL005", "GCL006", "GCL007", "GCL007",
+			"GCL007", "GCL007", "GCL008", "GCL010", "GCL011"}, fails: true},
 	}
 	dir := filepath.Join("..", "..", "examples", "gcl")
 	entries, err := os.ReadDir(dir)

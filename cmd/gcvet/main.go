@@ -1,0 +1,15 @@
+// Command gcvet runs the repository's custom analyzer suite (see
+// internal/analysis/gcvet). It speaks the `go vet -vettool` protocol,
+// so the two supported invocations are equivalent:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/gcvet ./...
+//	gcvet ./...   (re-executes itself through go vet)
+//
+// `make vet` builds it into bin/gcvet and runs it over the module.
+package main
+
+import "repro/internal/analysis/gcvet"
+
+func main() {
+	gcvet.Main(gcvet.All())
+}

@@ -81,6 +81,31 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Up-front validation, ringsim-style: every rejection names the
+	// offending flag, so a typo fails fast instead of surfacing as a
+	// confusing mid-run error (or a silent nonsense workload).
+	switch {
+	case *replicas < 0:
+		return fmt.Errorf("-replicas %d: cannot spin a negative number of replicas", *replicas)
+	case *n <= 0:
+		return fmt.Errorf("-n %d: the run needs at least one request", *n)
+	case *warmup < 0:
+		return fmt.Errorf("-warmup %d: cannot exclude a negative number of requests", *warmup)
+	case *warmup >= *n:
+		return fmt.Errorf("-warmup %d: must be smaller than -n %d or no request counts toward the stats", *warmup, *n)
+	case *programs <= 0:
+		return fmt.Errorf("-programs %d: the program population must be positive", *programs)
+	case *zipf <= 1:
+		return fmt.Errorf("-zipf %g: the Zipf skew must exceed 1", *zipf)
+	case *concurrency <= 0:
+		return fmt.Errorf("-concurrency %d: need at least one closed-loop worker", *concurrency)
+	case *timeoutMS <= 0:
+		return fmt.Errorf("-timeout-ms %d: the per-request timeout must be positive", *timeoutMS)
+	case *pace < 0:
+		return fmt.Errorf("-pace %s: cannot sleep a negative duration between requests", *pace)
+	case *chaosRun && *chaosFaults <= 0:
+		return fmt.Errorf("-chaos-faults %d: a chaos campaign needs at least one fault", *chaosFaults)
+	}
 	mixVal, err := parseMix(*mix)
 	if err != nil {
 		return err

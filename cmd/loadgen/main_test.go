@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFlagValidation drives every up-front rejection path: each bad
+// flag value must fail before any fleet or socket work, with an error
+// that names the offending flag.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error, starting with the flag name
+	}{
+		{"negative replicas", []string{"-replicas", "-1"}, "-replicas -1:"},
+		{"zero requests", []string{"-replicas", "1", "-n", "0"}, "-n 0:"},
+		{"negative requests", []string{"-replicas", "1", "-n", "-5"}, "-n -5:"},
+		{"negative warmup", []string{"-replicas", "1", "-warmup", "-1"}, "-warmup -1:"},
+		{"warmup swallows run", []string{"-replicas", "1", "-n", "100", "-warmup", "100"}, "-warmup 100:"},
+		{"zero programs", []string{"-replicas", "1", "-programs", "0"}, "-programs 0:"},
+		{"flat zipf", []string{"-replicas", "1", "-zipf", "1.0"}, "-zipf 1:"},
+		{"zero concurrency", []string{"-replicas", "1", "-concurrency", "0"}, "-concurrency 0:"},
+		{"zero timeout", []string{"-replicas", "1", "-timeout-ms", "0"}, "-timeout-ms 0:"},
+		{"negative pace", []string{"-replicas", "1", "-pace", "-1s"}, "-pace -1s:"},
+		{"chaos without faults", []string{"-replicas", "1", "-chaos", "-chaos-faults", "0"}, "-chaos-faults 0:"},
+		{"no target", nil, "need -addrs or -replicas"},
+		{"both targets", []string{"-replicas", "1", "-addrs", "x:1"}, "mutually exclusive"},
+		{"chaos without fleet", []string{"-addrs", "x:1", "-chaos"}, "-chaos needs an in-process fleet"},
+		{"short mix", []string{"-replicas", "1", "-mix", "60,40"}, "three comma-separated percentages"},
+		{"mix sum", []string{"-replicas", "1", "-mix", "60,30,20"}, "sums to 110"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			err := run(tc.args, &b)
+			if err == nil {
+				t.Fatalf("args %v accepted, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunValidationBeforeFleet: a bad numeric flag must be rejected
+// even when the target flags are also wrong — validation runs before
+// any fleet is spun up or address dialed.
+func TestRunValidationBeforeFleet(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "0"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-n 0:") {
+		t.Fatalf("got %v, want the -n rejection before target resolution", err)
+	}
+}

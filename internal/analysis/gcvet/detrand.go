@@ -1,0 +1,95 @@
+package gcvet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetRand enforces the reproducibility contract of the simulation and
+// model-checking layers: every run is a pure function of its seed.
+// In the deterministic packages it forbids
+//
+//   - the global math/rand top-level functions (rand.Intn, rand.Perm,
+//     rand.Shuffle, rand.Seed, …), whose shared process-wide source
+//     makes interleaved runs order-dependent, and
+//   - the wall clock (time.Now, time.Since, time.Until), which leaks
+//     real time into schedules, seeds, and reports.
+//
+// Constructor calls (rand.New, rand.NewSource, rand.NewZipf, …) stay
+// legal: building a threaded *rand.Rand from an explicit seed is
+// exactly the sanctioned pattern. The service layer is allowlisted —
+// HTTP handlers measure real latency by design.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand and wall-clock reads in deterministic packages",
+	Run:  runDetRand,
+}
+
+// detRandGated lists the deterministic package trees (path suffixes;
+// internal/gcl gates its whole subtree).
+var detRandGated = []string{
+	"internal/sim",
+	"internal/mc",
+	"internal/core",
+	"internal/cluster",
+	"internal/cluster/chaos",
+	"internal/fleet",
+}
+
+// detRandAllowed overrides the gate: these packages may read the wall
+// clock (service-layer latency measurement).
+var detRandAllowed = []string{
+	"internal/service",
+}
+
+func detRandGatedPkg(path string) bool {
+	for _, s := range detRandAllowed {
+		if pathHasSuffix(path, s) {
+			return false
+		}
+	}
+	for _, s := range detRandGated {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	// The GCL toolchain (parser, analyzer, checker) is deterministic
+	// end to end; gate every package under internal/gcl.
+	return pathHasSuffix(path, "internal/gcl") || strings.Contains(path, "/internal/gcl/")
+}
+
+func runDetRand(pass *Pass) {
+	if !detRandGatedPkg(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch importedPkg(pass.Info, sel) {
+			case "math/rand", "math/rand/v2":
+				// Only the constructors are deterministic-by-seed;
+				// everything else drains the global source.
+				if !strings.HasPrefix(sel.Sel.Name, "New") {
+					pass.Reportf(call.Pos(),
+						"global rand.%s in deterministic package %s: thread a seeded *rand.Rand instead",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(),
+						"wall clock time.%s in deterministic package %s: derive time from the seed or step count",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,309 @@
+// Package gcvet is the repository's own go/analysis suite: five
+// analyzers that mechanically enforce the determinism, gas, and leak
+// invariants the correctness story rests on. The golden-pinned monitor
+// streams, the seeded chaos campaigns, and the deterministic loadgen
+// are only reproducible if every simulation path draws randomness from
+// a threaded seeded *rand.Rand, never consults the wall clock, meters
+// its state-space loops with a *mc.Gas, stops every goroutine it
+// starts, and names event kinds through the event registry. Those are
+// global properties, but — like the paper's refinement proofs reduce
+// to local per-transition obligations — each reduces to a locally
+// checkable rule at a call site, which is exactly what a static
+// analyzer can enforce.
+//
+// The suite runs as a `go vet -vettool` (see Main), so it plugs into
+// `make vet` and CI with full type information from the build cache
+// and no dependencies beyond the standard library.
+//
+// # Waivers
+//
+// Every analyzer honors a line waiver of the form
+//
+//	//gcvet:<analyzer>-ok <reason>
+//
+// (detrand-ok, gasloop-ok, mapiter-ok, leak-ok, eventkind-ok) placed
+// on the flagged line or on the line directly above it. The reason is
+// mandatory: a waiver without one is itself reported. Waivers are for
+// code that is wall-clock or free-running *by design* (the TCP
+// transport's dial backoff, latency measurement); simulation and
+// model-checking paths are expected to fix, not waive.
+package gcvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one registered check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis so the suite could migrate to the
+// upstream framework without rewriting any analyzer.
+type Analyzer struct {
+	// Name is the analyzer's stable identifier; it is also its flag
+	// name (-detrand, …) and the suffix of its waiver directive.
+	Name string
+	// Doc is a one-line description printed by -flags and usage.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	Run func(*Pass)
+}
+
+// Pass carries one package's worth of context to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds every parsed file of the package, test files
+	// included; most analyzers iterate SourceFiles instead.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+
+	waivers map[*ast.File]map[int]*waiver
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// waiver is one parsed //gcvet:<directive> comment.
+type waiver struct {
+	directive string
+	reason    string
+	pos       token.Pos
+	used      bool
+}
+
+// waiverPrefix introduces every waiver comment.
+const waiverPrefix = "//gcvet:"
+
+// Reportf records a finding at pos unless a matching waiver covers
+// that line. The waiver directive is "<analyzer-name>-ok".
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.waived(pos) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// waived reports whether a `//gcvet:<analyzer>-ok reason` comment on
+// the finding's line (or the line directly above) covers pos.
+func (p *Pass) waived(pos token.Pos) bool {
+	directive := p.Analyzer.Name + "-ok"
+	file := p.fileOf(pos)
+	if file == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		if w := p.waivers[file][l]; w != nil && w.directive == directive {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// fileOf locates the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// SourceFiles returns the package's non-test files: the invariants
+// bind production code; tests may use wall clocks and raw literals
+// freely.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.FileStart).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// indexWaivers parses every //gcvet: comment in the pass's files into
+// the per-file line index Reportf consults.
+func (p *Pass) indexWaivers() {
+	p.waivers = make(map[*ast.File]map[int]*waiver)
+	for _, f := range p.Files {
+		idx := make(map[int]*waiver)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				directive, reason, _ := strings.Cut(rest, " ")
+				idx[p.Fset.Position(c.Pos()).Line] = &waiver{
+					directive: directive,
+					reason:    strings.TrimSpace(reason),
+					pos:       c.Pos(),
+				}
+			}
+		}
+		p.waivers[f] = idx
+	}
+}
+
+// runAnalyzers executes the given analyzers over one package and
+// returns the findings sorted by position. Beyond the per-analyzer
+// checks it enforces the waiver contract itself: every waiver comment
+// must carry a reason, name a known directive, and actually cover a
+// finding (a reasonless or unknown waiver is a finding of its own).
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	var diags []Diagnostic
+	// Directive hygiene validates against the full registry, not the
+	// analyzers selected for this run: `go vet -vettool=… -detrand`
+	// must not report every //gcvet:leak-ok in the tree as unknown.
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name+"-ok"] = true
+	}
+	shared := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	shared.indexWaivers()
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			waivers:  shared.waivers,
+		}
+		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		a.Run(pass)
+	}
+	// Waiver hygiene: reasons are mandatory and directives must be
+	// spelled correctly — a typoed waiver silently waives nothing.
+	for _, f := range files {
+		name := fset.Position(f.FileStart).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, w := range shared.waivers[f] {
+			switch {
+			case !known[w.directive]:
+				diags = append(diags, Diagnostic{Pos: w.pos, Analyzer: "gcvet",
+					Message: fmt.Sprintf("unknown waiver directive %q", waiverPrefix+w.directive)})
+			case w.reason == "":
+				diags = append(diags, Diagnostic{Pos: w.pos, Analyzer: "gcvet",
+					Message: fmt.Sprintf("waiver %s%s must carry a reason", waiverPrefix, w.directive)})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// All returns the full analyzer registry in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetRand,
+		GasLoop,
+		MapIter,
+		GoLeak,
+		EventKind,
+	}
+}
+
+// ---- shared type / AST helpers ----
+
+// pathHasSuffix reports whether a package path is exactly suffix or
+// ends in "/"+suffix — the analyzers match on path suffixes so their
+// analysistest fixtures (testdata/src/repro/internal/…) gate the same
+// way the real module does.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// importedPkg resolves sel's qualifier to an imported package path,
+// returning "" when sel.X is not a package name.
+func importedPkg(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// namedFromPkg reports whether t (after unwrapping pointers, slices,
+// arrays, and maps) is a named type declared in a package whose path
+// matches one of the given suffixes.
+func namedFromPkg(t types.Type, suffixes ...string) bool {
+	for depth := 0; t != nil && depth < 8; depth++ {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			obj := u.Obj()
+			if obj == nil || obj.Pkg() == nil {
+				return false
+			}
+			for _, s := range suffixes {
+				if pathHasSuffix(obj.Pkg().Path(), s) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isChan reports whether t is (or points to) a channel type.
+func isChan(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,149 @@
+package gcvet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// GoLeak requires every goroutine started in non-test internal/ code
+// to have a visible stop path. The fleet and cluster runtimes start
+// and stop hundreds of nodes per test run; a single free-running
+// goroutine turns crash/restart cycles into an unbounded leak and
+// makes the race detector's reports non-reproducible.
+//
+// A `go` statement passes if the analyzer can see any of:
+//
+//   - the goroutine body selects or receives on a channel, or consults
+//     ctx.Done()/ctx.Err() (it reacts to shutdown);
+//   - the goroutine call passes a context.Context or a channel down
+//     (the callee owns the stop path);
+//   - the callee is a same-package function whose body satisfies the
+//     first rule.
+//
+// Anything else needs a `//gcvet:leak-ok <reason>` waiver explaining
+// why the goroutine is safe (e.g. it exits when its listener closes).
+var GoLeak = &Analyzer{
+	Name: "leak",
+	Doc:  "goroutines in internal/ packages must have a visible stop path",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path()+"/", "internal/") {
+		return
+	}
+	// Index same-package function bodies so `go p.loop()` can be
+	// checked through the callee.
+	bodies := make(map[string]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				bodies[fn.Name.Name] = fn.Body
+			}
+		}
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goHasStopPath(pass, g.Call, bodies) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no visible stop path (select on ctx.Done()/a quit channel, or waive with //gcvet:leak-ok <reason>)")
+			}
+			return true
+		})
+	}
+}
+
+func goHasStopPath(pass *Pass, call *ast.CallExpr, bodies map[string]*ast.BlockStmt) bool {
+	// A context or channel handed to the goroutine is a stop path —
+	// either directly (`go loop(ctx)`) or captured by a literal that
+	// passes it on (`go func() { loop(ctx) }()`).
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && (isContext(tv.Type) || isChan(tv.Type)) {
+			return true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return stopPathIn(pass, fun.Body, bodies, 2)
+	case *ast.Ident:
+		if body := bodies[fun.Name]; body != nil {
+			return stopPathIn(pass, body, bodies, 1)
+		}
+	case *ast.SelectorExpr:
+		// Method on a same-package receiver: check its body.
+		if body := bodies[fun.Sel.Name]; body != nil {
+			return stopPathIn(pass, body, bodies, 1)
+		}
+	}
+	return false
+}
+
+// stopPathIn reports whether a function body visibly reacts to
+// shutdown: a select statement, a channel receive, a ctx.Done/ctx.Err
+// consult, or a call that hands a context/channel (or the work
+// itself) to a same-package function that does. depth bounds the
+// same-package call chase.
+func stopPathIn(pass *Pass, body *ast.BlockStmt, bodies map[string]*ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// `for v := range ch` ends when the channel closes.
+			if tv, ok := pass.Info.Types[m.X]; ok && isChan(tv.Type) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if sel, ok := m.Fun.(*ast.SelectorExpr); ok {
+				if recv, ok := pass.Info.Types[sel.X]; ok && isContext(recv.Type) &&
+					(sel.Sel.Name == "Done" || sel.Sel.Name == "Err") {
+					found = true
+					return false
+				}
+			}
+			// Handing a context or channel to any callee counts: the
+			// callee owns the stop path.
+			for _, arg := range m.Args {
+				if tv, ok := pass.Info.Types[arg]; ok && (isContext(tv.Type) || isChan(tv.Type)) {
+					found = true
+					return false
+				}
+			}
+			if depth > 0 {
+				// Chase a same-package callee that the body delegates
+				// the loop to.
+				var name string
+				switch fun := m.Fun.(type) {
+				case *ast.Ident:
+					name = fun.Name
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				}
+				if callee := bodies[name]; callee != nil && callee != body {
+					if stopPathIn(pass, callee, bodies, depth-1) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

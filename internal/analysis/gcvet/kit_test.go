@@ -1,0 +1,175 @@
+package gcvet
+
+// An offline analysistest clone: fixture packages live under
+// testdata/src/<importpath>/ and annotate the lines they expect
+// findings on with `// want "regexp"` comments (several regexps per
+// line allowed). Stdlib imports are type-checked from GOROOT source
+// (importer "source"), so the kit needs neither network nor x/tools;
+// fixture-to-fixture imports (the fake repro/internal/system, …) are
+// resolved inside testdata recursively.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture analyzes testdata/src/<pkgpath> with the given analyzers
+// and compares the findings against the fixture's want comments.
+func runFixture(t *testing.T, pkgpath string, analyzers ...*Analyzer) {
+	t.Helper()
+	ld := newLoader(t)
+	files, pkg, info := ld.target(pkgpath)
+
+	diags := runAnalyzers(analyzers, ld.fset, files, pkg, info)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range files {
+		indexWants(t, ld.fset, f, func(file string, line int, re *regexp.Regexp) {
+			key := fmt.Sprintf("%s:%d", file, line)
+			wants[key] = append(wants[key], &want{re: re})
+		})
+	}
+
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s]: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected a finding matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// wantRE pulls the quoted regexps out of a want comment; both
+// double-quoted and backtick-quoted forms are accepted.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func indexWants(t *testing.T, fset *token.FileSet, f *ast.File, add func(file string, line int, re *regexp.Regexp)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			ms := wantRE.FindAllStringSubmatch(rest, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+			}
+			for _, m := range ms {
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+				}
+				add(filepath.Base(pos.Filename), pos.Line, re)
+			}
+		}
+	}
+}
+
+// loader type-checks fixture packages, resolving imports inside
+// testdata first and falling back to GOROOT source for the stdlib.
+type loader struct {
+	t     *testing.T
+	fset  *token.FileSet
+	root  string // testdata/src
+	std   types.Importer
+	cache map[string]*fixture
+}
+
+type fixture struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(t *testing.T) *loader {
+	t.Helper()
+	fset := token.NewFileSet()
+	return &loader{
+		t:     t,
+		fset:  fset,
+		root:  filepath.Join("testdata", "src"),
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*fixture),
+	}
+}
+
+func (ld *loader) target(pkgpath string) ([]*ast.File, *types.Package, *types.Info) {
+	fx := ld.load(pkgpath)
+	return fx.files, fx.pkg, fx.info
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+		return ld.load(path).pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(pkgpath string) *fixture {
+	ld.t.Helper()
+	if fx, ok := ld.cache[pkgpath]; ok {
+		return fx
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("fixture %s: %v", pkgpath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Fatalf("fixture %s: %v", pkgpath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("fixture %s: no Go files in %s", pkgpath, dir)
+	}
+	info := NewInfo()
+	tc := &types.Config{Importer: ld}
+	pkg, err := tc.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("fixture %s: typecheck: %v", pkgpath, err)
+	}
+	fx := &fixture{files: files, pkg: pkg, info: info}
+	ld.cache[pkgpath] = fx
+	return fx
+}

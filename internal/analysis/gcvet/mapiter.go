@@ -1,0 +1,224 @@
+package gcvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter guards the packages whose output is golden-pinned or
+// compared across runs (the cluster monitor's event stream, chaos
+// campaign reports, fleet events, experiment tables): iterating a Go
+// map yields a fresh random order every run, so a range-over-map that
+// feeds an emitted slice or an encoder produces a different artifact
+// each time unless something sorts in between.
+//
+// The rule: in a gated package, a `range` over a map value whose body
+// appends to a variable declared outside the loop or calls an
+// emit/encode sink is flagged — unless the enclosing function also
+// sorts (any sort.*/slices.Sort* call), which is the sanctioned
+// pattern: collect in arbitrary order, then impose one.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag range-over-map feeding emitted output without a sort in golden-pinned packages",
+	Run:  runMapIter,
+}
+
+var mapIterGated = []string{
+	"internal/cluster",
+	"internal/cluster/chaos",
+	"internal/fleet",
+	"internal/experiments",
+}
+
+// mapIterSinks are call names that emit bytes or events downstream.
+var mapIterSinks = map[string]bool{
+	"Encode":      true,
+	"Marshal":     true,
+	"Write":       true,
+	"WriteString": true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Printf":      true,
+	"Println":     true,
+	"emit":        true,
+}
+
+func runMapIter(pass *Pass) {
+	gated := false
+	for _, s := range mapIterGated {
+		if pathHasSuffix(pass.Pkg.Path(), s) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sorted := callsSort(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sorted || !feedsOutput(pass, fn, rng) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"range over map feeds emitted output in nondeterministic order; sort before emitting")
+				return true
+			})
+		}
+	}
+}
+
+// callsSort reports whether the function body calls into sort or
+// slices ordering helpers anywhere.
+func callsSort(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch importedPkg(pass.Info, sel) {
+		case "sort":
+			found = true
+		case "slices":
+			if len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// feedsOutput reports whether the range body's effects are observable
+// in map order outside the function: it calls an emit/encode sink
+// directly, or it accumulates into something that escapes — a field, a
+// returned variable, or a variable later handed to a call. A loop that
+// merely collects locals for same-function consumption (e.g. gathering
+// connections to close) keeps its arbitrary order invisible and is
+// fine.
+func feedsOutput(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range m.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+					if appendEscapes(pass, fn, call, rng) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := m.Fun.(type) {
+			case *ast.SelectorExpr:
+				if mapIterSinks[fun.Sel.Name] {
+					found = true
+					return false
+				}
+			case *ast.Ident:
+				if mapIterSinks[fun.Name] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// appendEscapes reports whether append's target is declared outside
+// the range statement and its accumulated order can be observed
+// outside the function.
+func appendEscapes(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, rng *ast.RangeStmt) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		// Appending to a field or index expression: visible to every
+		// other method, escaping by nature.
+		return true
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+		return false // loop-local accumulator
+	}
+	// The accumulator outlives the loop; does its order leave the
+	// function? Returned, or passed to any call after the loop.
+	escapes := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range m.Results {
+				if usesObj(pass, res, obj) {
+					escapes = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if m.Pos() <= rng.End() {
+				return true
+			}
+			for _, arg := range m.Args {
+				if usesObj(pass, arg, obj) {
+					escapes = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// usesObj reports whether expr references obj.
+func usesObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	uses := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			uses = true
+			return false
+		}
+		return !uses
+	})
+	return uses
+}

@@ -1,0 +1,14 @@
+// Package bitset is a minimal stand-in for the repo's bitset, giving
+// gasloop fixtures a state-space type to touch.
+package bitset
+
+// Set is a fixed-size bit set.
+type Set struct {
+	bits []uint64
+}
+
+// New returns an empty set for n elements.
+func New(n int) *Set { return &Set{bits: make([]uint64, (n+63)/64)} }
+
+// Has reports membership.
+func (s *Set) Has(i int) bool { return s.bits[i/64]&(1<<uint(i%64)) != 0 }

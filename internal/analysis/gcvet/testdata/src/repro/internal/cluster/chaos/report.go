@@ -1,0 +1,49 @@
+// Package chaos is a mapiter fixture: a golden-pinned package where
+// map iteration order must not reach emitted output.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadKeys returns map keys in iteration order: a different artifact
+// every run.
+func BadKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map feeds emitted output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadEmit streams map entries straight into a writer.
+func BadEmit(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map feeds emitted output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// GoodKeys collects in arbitrary order, then imposes one: the
+// sanctioned pattern.
+func GoodKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CloseAll consumes the collected values inside the same function;
+// the arbitrary order is unobservable.
+func CloseAll(conns map[int]io.Closer) {
+	var cs []io.Closer
+	for _, c := range conns {
+		cs = append(cs, c)
+	}
+	for _, c := range cs {
+		_ = c.Close()
+	}
+}

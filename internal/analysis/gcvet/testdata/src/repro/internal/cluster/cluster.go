@@ -1,0 +1,55 @@
+// Package cluster is an eventkind fixture: event kinds must come from
+// the registry constants, never inline literals.
+package cluster
+
+// Event mirrors the runtime monitor's event.
+type Event struct {
+	Step int
+	Kind string
+}
+
+// Registry constants.
+const (
+	KindStart = "start"
+	KindMove  = "move"
+)
+
+// Monitor collects events.
+type Monitor struct {
+	events []Event
+}
+
+func (m *Monitor) emit(kind string) {
+	m.events = append(m.events, Event{Kind: kind})
+}
+
+// Bad mints kinds from raw literals.
+func Bad(m *Monitor) {
+	m.events = append(m.events, Event{Step: 1, Kind: "start"}) // want `inline event kind "start"`
+	m.emit("move")                                             // want `inline event kind "move" passed to emit`
+}
+
+// BadCompare matches a kind against a raw literal.
+func BadCompare(ev Event) bool {
+	return ev.Kind == "move" // want `comparing \.Kind against inline literal "move"`
+}
+
+// BadSwitch switches on raw literals.
+func BadSwitch(ev Event) int {
+	switch ev.Kind {
+	case "start": // want `switch on \.Kind with inline literal "start"`
+		return 1
+	}
+	return 0
+}
+
+// Good uses the registry throughout.
+func Good(m *Monitor) {
+	m.events = append(m.events, Event{Step: 1, Kind: KindStart})
+	m.emit(KindMove)
+}
+
+// GoodCompare matches against the constant.
+func GoodCompare(ev Event) bool {
+	return ev.Kind == KindMove
+}

@@ -1,0 +1,16 @@
+// Package hygiene is a fixture for the waiver contract itself:
+// reasonless waivers and typoed directives are findings.
+package hygiene
+
+import "time"
+
+// Stamp carries a waiver with no reason.
+func Stamp() time.Time {
+	//gcvet:detrand-ok
+	return time.Now()
+}
+
+// Other carries a typoed directive that waives nothing.
+//
+//gcvet:detrnd-ok backoff is wall-clock by design
+func Other() {}

@@ -1,0 +1,95 @@
+// Package mc is a gasloop fixture: a gated package with a Gas meter,
+// covering flagged and clean shapes of exported state-space sweeps.
+package mc
+
+import (
+	"context"
+
+	"repro/internal/bitset"
+	"repro/internal/system"
+)
+
+// Gas mirrors the real meter's shape.
+type Gas struct{}
+
+// Tick charges n steps.
+func (g *Gas) Tick(n int) error { return nil }
+
+// BadSweep loops over state space with no way to bound it.
+func BadSweep(sys *system.System) int { // want `exported BadSweep contains a state-space loop but accepts no \*mc\.Gas`
+	total := 0
+	for s := 0; s < sys.NumStates(); s++ {
+		total += len(sys.Succ(s))
+	}
+	return total
+}
+
+// BadRegion sweeps a bitset region without a meter.
+func BadRegion(region *bitset.Set) int { // want `exported BadRegion contains a state-space loop but accepts no \*mc\.Gas`
+	n := 0
+	for i := 0; i < 64; i++ {
+		if region.Has(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// UnchargedSweep takes the meter but forgets to charge it.
+func UnchargedSweep(g *Gas, sys *system.System) int {
+	total := 0
+	for s := 0; s < sys.NumStates(); s++ { // want `state-space loop in exported UnchargedSweep does not charge gas`
+		total += len(sys.Succ(s))
+	}
+	return total
+}
+
+// SweepGas is the sanctioned shape: meter in, ticks inside the loop.
+func SweepGas(g *Gas, sys *system.System) (int, error) {
+	total := 0
+	for s := 0; s < sys.NumStates(); s++ {
+		if err := g.Tick(1); err != nil {
+			return 0, err
+		}
+		total += len(sys.Succ(s))
+	}
+	return total, nil
+}
+
+// Sweep is the plain wrapper: no loops of its own, delegates with an
+// unlimited meter.
+func Sweep(sys *system.System) int {
+	n, _ := SweepGas(nil, sys)
+	return n
+}
+
+// SweepCtx shows the context-based alternative.
+func SweepCtx(ctx context.Context, sys *system.System) int {
+	total := 0
+	for s := 0; s < sys.NumStates(); s++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += len(sys.Succ(s))
+	}
+	return total
+}
+
+// CountPairs loops over plain ints: not a state-space loop.
+func CountPairs(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// smallHelper is unexported: callers reach it through a metered
+// exported wrapper, so it is out of scope.
+func smallHelper(sys *system.System) int {
+	total := 0
+	for s := 0; s < sys.NumStates(); s++ {
+		total++
+	}
+	return total
+}

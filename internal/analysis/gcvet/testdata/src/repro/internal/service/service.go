@@ -1,0 +1,15 @@
+// Package service is a detrand fixture: the allowlisted service layer
+// measures real latency, so nothing here is flagged.
+package service
+
+import "time"
+
+// Latency measures real request latency.
+func Latency(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp timestamps a response.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,28 @@
+// Package sim is a detrand fixture: a gated deterministic package.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad drains the global source and reads the wall clock.
+func Bad(n int) int {
+	start := time.Now()       // want `wall clock time\.Now in deterministic package`
+	_ = time.Since(start)     // want `wall clock time\.Since in deterministic package`
+	if rand.Float64() < 0.5 { // want `global rand\.Float64 in deterministic package`
+		return rand.Intn(n) // want `global rand\.Intn in deterministic package`
+	}
+	return 0
+}
+
+// Good threads a seeded *rand.Rand: the sanctioned pattern.
+func Good(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Waived shows the escape hatch for a reasoned exception.
+func Waived() time.Time {
+	return time.Now() //gcvet:detrand-ok fixture exercising the waiver path
+}

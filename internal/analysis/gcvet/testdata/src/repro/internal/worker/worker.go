@@ -1,0 +1,73 @@
+// Package worker is a goleak fixture: every goroutine needs a visible
+// stop path.
+package worker
+
+import "context"
+
+var sink int
+
+func work() { sink++ }
+
+// Bad spins forever with no way to stop it.
+func Bad() {
+	go func() { // want `goroutine has no visible stop path`
+		for {
+			work()
+		}
+	}()
+}
+
+// GoodCtx reacts to cancellation.
+func GoodCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodChanArg hands the callee its quit channel.
+func GoodChanArg(stop chan struct{}) {
+	go loop(stop)
+}
+
+func loop(stop chan struct{}) {
+	<-stop
+}
+
+// W owns its quit channel; Start's goroutine is checked through the
+// same-package callee body.
+type W struct {
+	quit chan struct{}
+}
+
+// Start runs the worker loop.
+func (w *W) Start() {
+	go w.run()
+}
+
+func (w *W) run() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// Waived shows the reasoned escape hatch.
+func Waived() {
+	//gcvet:leak-ok fixture goroutine lives for the process lifetime by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,302 @@
+package gcvet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the (unpublished but stable) `go vet -vettool`
+// command-line protocol on the standard library alone, so the suite
+// needs no golang.org/x/tools dependency:
+//
+//   - `gcvet -flags` prints the supported analyzer flags as JSON;
+//     cmd/go queries it to validate the vet command line.
+//   - `gcvet [flags] <dir>/vet.cfg` analyzes one package described by
+//     the JSON config cmd/go writes: file lists, the import map, and
+//     export-data files for every dependency, which is all the type
+//     checker needs.
+//   - The config's VetxOutput names a facts file the tool must write;
+//     gcvet's analyzers are fact-free, so it writes an empty one —
+//     cmd/go then caches it and skips re-running gcvet on unchanged
+//     dependencies (cmd/go runs the tool over every transitive
+//     dependency in VetxOnly mode purely to collect facts, so the
+//     fast path matters).
+//
+// As a convenience, invoking gcvet with package patterns instead of a
+// .cfg re-executes itself through `go vet -vettool` — `gcvet ./...`
+// just works.
+
+// Config mirrors cmd/go/internal/work.vetConfig, the JSON shape of
+// the vet.cfg file (unknown fields are ignored).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the gcvet entry point: flag handshake, then either one
+// vet.cfg unit or a re-exec over package patterns.
+func Main(analyzers []*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("gcvet: ")
+
+	fs := flag.NewFlagSet("gcvet", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gcvet [-<analyzer>] <packages>   (or: go vet -vettool=$(which gcvet) <packages>)\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  -%-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name] = fs.Bool(a.Name, false, a.Doc)
+	}
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go handshake)")
+	version := fs.String("V", "", "print version and exit (cmd/go handshake)")
+	_ = fs.Parse(os.Args[1:])
+
+	if *version != "" {
+		// cmd/go hashes this line into the vet action cache key. Report
+		// a content ID derived from our own binary so that rebuilding
+		// gcvet with different analyzers invalidates cached results.
+		fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), selfContentID())
+		os.Exit(0)
+	}
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analyzers {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		data, err := json.MarshalIndent(out, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	// If some analyzer flags are explicitly true, run exactly those;
+	// otherwise run everything (the vet convention).
+	run := analyzers
+	var chosen []*Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			chosen = append(chosen, a)
+		}
+	}
+	if len(chosen) > 0 {
+		run = chosen
+	}
+
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], run))
+	}
+	os.Exit(reExec(args))
+}
+
+// selfContentID hashes the running executable; failures degrade to a
+// constant (vet results then cache across gcvet rebuilds, nothing
+// worse).
+func selfContentID() string {
+	self, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// reExec runs `go vet -vettool=<self> <patterns>` so gcvet can be
+// invoked directly on package patterns.
+func reExec(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		log.Printf("cannot locate own executable: %v", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Print(err)
+		return 2
+	}
+	return 0
+}
+
+// runUnit analyzes the single package a vet.cfg describes. Exit code
+// 0 means clean, 2 means findings or failure (cmd/go only
+// distinguishes zero from non-zero).
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	// Dependencies are visited only to produce facts; gcvet has none,
+	// so write the (empty) facts file and let cmd/go cache the no-op.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg); err != nil {
+			log.Print(err)
+			return 2
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				_ = writeVetx(cfg)
+				return 0
+			}
+			log.Print(err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = writeVetx(cfg)
+			return 0
+		}
+		log.Printf("typechecking %s: %v", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info)
+	if err := writeVetx(cfg); err != nil {
+		log.Print(err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// typecheck resolves the package's types against the export data
+// cmd/go already built for every dependency.
+func typecheck(fset *token.FileSet, cfg *Config, files []*ast.File) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, " +bla"), // e.g. "go1.22"
+	}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// NewInfo allocates the full set of types.Info maps the analyzers
+// consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func readConfig(name string) (*Config, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", name, err)
+	}
+	return cfg, nil
+}
+
+// writeVetx writes the (empty) facts file cmd/go expects so the
+// result is cacheable.
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte("gcvet.factless.v1\n"), 0o666)
+}

@@ -237,7 +237,7 @@ func judge(index int, seed int64, sched []cluster.Fault, res *cluster.Result, sl
 		// none mean it wedged quiescent.
 		lastMove := -1
 		for _, ev := range res.Events {
-			if ev.Kind == "move" {
+			if ev.Kind == cluster.KindMove {
 				lastMove = ev.Step
 			}
 		}
@@ -276,11 +276,11 @@ func attribute(events []cluster.Event) ([]Recovery, int) {
 			maxTokens = ev.Tokens
 		}
 		switch ev.Kind {
-		case "fault", "heal", "crashed":
+		case cluster.KindFault, cluster.KindHeal, cluster.KindCrashed:
 			lastKind = faultKind(ev.Fault)
-		case "destabilized":
+		case cluster.KindDestabilized:
 			brokenAt = ev.Step
-		case "stabilized":
+		case cluster.KindStabilized:
 			out = append(out, Recovery{Kind: lastKind, BrokenAt: brokenAt, StableAt: ev.Step, Steps: ev.After})
 		}
 	}

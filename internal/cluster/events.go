@@ -1,0 +1,32 @@
+package cluster
+
+// Event kind registry: the closed vocabulary of the monitor's event
+// stream. Every Event.Kind in the runtime is one of these constants —
+// the golden-pinned stream, the chaos judge, and external consumers
+// all match on them, and gcvet's eventkind analyzer rejects inline
+// literals so a typo cannot mint an unmatchable kind.
+const (
+	// KindStart opens every stream with the initial configuration.
+	KindStart = "start"
+	// KindMove records one executed protocol move (when enabled).
+	KindMove = "move"
+	// KindFault records an injected fault.
+	KindFault = "fault"
+	// KindHeal records the expiry of a partition or isolation cut.
+	KindHeal = "heal"
+	// KindCrashed records a node crash.
+	KindCrashed = "crashed"
+	// KindRecovered records a supervised restart completing.
+	KindRecovered = "recovered"
+	// KindCrashLoop flags repeated crashes within the supervisor's
+	// detection window.
+	KindCrashLoop = "crashloop"
+	// KindDestabilized marks the view leaving the legitimate set.
+	KindDestabilized = "destabilized"
+	// KindStabilized marks the view re-entering the legitimate set.
+	KindStabilized = "stabilized"
+	// KindSnapshot is the periodic tokens-over-time sample.
+	KindSnapshot = "snapshot"
+	// KindFinish closes the stream.
+	KindFinish = "finish"
+)

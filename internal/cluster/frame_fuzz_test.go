@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary byte streams at ReadFrame: whatever
+// the wire carries, the decoder must either produce valid JSON it
+// fully consumed or fail — never panic, never allocate beyond the
+// declared bound, and never hand back a partially-filled value.
+func FuzzFrameDecode(f *testing.F) {
+	// A well-formed frame, built the way the transport builds it.
+	var good bytes.Buffer
+	if err := WriteFrame(&good, map[string]any{"kind": "state", "regs": []int{1, 2, 3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+
+	// A truncated frame: the prefix promises more than the stream holds.
+	f.Add(good.Bytes()[:good.Len()-2])
+
+	// Header only, and a short header.
+	f.Add(good.Bytes()[:4])
+	f.Add([]byte{0x00, 0x00})
+
+	// An oversized frame: length prefix beyond MaxFrameBytes.
+	var over [8]byte
+	binary.BigEndian.PutUint32(over[:4], MaxFrameBytes+1)
+	f.Add(over[:])
+
+	// A zero-length frame (the protocol forbids empty payloads).
+	f.Add([]byte{0, 0, 0, 0})
+
+	// Right length, garbage payload.
+	f.Add([]byte{0, 0, 0, 3, 'n', 'o', '!'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v any
+		err := ReadFrame(bytes.NewReader(data), 0, &v)
+		if err != nil {
+			return
+		}
+		// Success means the payload was real JSON of the declared
+		// length; re-encoding must round-trip through the framer.
+		n := binary.BigEndian.Uint32(data[:4])
+		if n == 0 || n > MaxFrameBytes {
+			t.Fatalf("accepted frame with out-of-bounds length %d", n)
+		}
+		if !json.Valid(data[4 : 4+int(n)]) {
+			t.Fatalf("accepted non-JSON payload %q", data[4:4+int(n)])
+		}
+		var rt bytes.Buffer
+		if err := WriteFrame(&rt, v); err != nil {
+			t.Fatalf("re-encode of accepted value failed: %v", err)
+		}
+		var v2 any
+		if err := ReadFrame(&rt, 0, &v2); err != nil {
+			t.Fatalf("round-trip of accepted value failed: %v", err)
+		}
+	})
+}

@@ -91,7 +91,7 @@ func newMonitor(p sim.Protocol, initial sim.Config, recordMoves bool) *Monitor {
 	}
 	m.legit = p.Legitimate(m.view)
 	m.observeState()
-	ev := Event{Step: 0, Kind: "start", Node: -1, Tokens: sim.TokenCount(p, m.view), Config: m.view.Clone()}
+	ev := Event{Step: 0, Kind: KindStart, Node: -1, Tokens: sim.TokenCount(p, m.view), Config: m.view.Clone()}
 	m.events = append(m.events, ev)
 	return m
 }
@@ -121,12 +121,12 @@ func (m *Monitor) checkTransition(step int) {
 		m.legit = true
 		stab := Stabilization{BrokenAt: m.brokenAt, StableAt: step, Steps: step - m.brokenAt}
 		m.stabs = append(m.stabs, stab)
-		m.events = append(m.events, Event{Step: step, Kind: "stabilized", Node: -1,
+		m.events = append(m.events, Event{Step: step, Kind: KindStabilized, Node: -1,
 			Tokens: tokens, Config: m.view.Clone(), After: stab.Steps})
 	case !now && m.legit:
 		m.legit = false
 		m.brokenAt = step
-		m.events = append(m.events, Event{Step: step, Kind: "destabilized", Node: -1, Tokens: tokens})
+		m.events = append(m.events, Event{Step: step, Kind: KindDestabilized, Node: -1, Tokens: tokens})
 	}
 }
 
@@ -135,7 +135,7 @@ func (m *Monitor) ObserveMove(step, node int, rule string, val int) {
 	m.view[node] = val
 	m.observeState()
 	if m.recordMoves {
-		m.events = append(m.events, Event{Step: step, Kind: "move", Node: node, Rule: rule,
+		m.events = append(m.events, Event{Step: step, Kind: KindMove, Node: node, Rule: rule,
 			Tokens: sim.TokenCount(m.proto, m.view)})
 	}
 	m.checkTransition(step)
@@ -152,7 +152,7 @@ func (m *Monitor) ObserveFault(step int, f Fault, val int) {
 			m.observeState()
 		}
 	}
-	m.events = append(m.events, Event{Step: step, Kind: "fault", Node: f.Node, Fault: f.String(),
+	m.events = append(m.events, Event{Step: step, Kind: KindFault, Node: f.Node, Fault: f.String(),
 		Tokens: sim.TokenCount(m.proto, m.view)})
 	m.checkTransition(step)
 }
@@ -161,7 +161,7 @@ func (m *Monitor) ObserveFault(step int, f Fault, val int) {
 // is gone and messages flow again. The view is untouched — healing
 // restores communication, not state.
 func (m *Monitor) ObserveHeal(step int, f Fault) {
-	m.events = append(m.events, Event{Step: step, Kind: "heal", Node: healNode(f), Fault: f.String(),
+	m.events = append(m.events, Event{Step: step, Kind: KindHeal, Node: healNode(f), Fault: f.String(),
 		Tokens: sim.TokenCount(m.proto, m.view)})
 }
 
@@ -178,7 +178,7 @@ func healNode(f Fault) int {
 // which forces the view illegitimate until every node is back up.
 func (m *Monitor) ObserveCrash(step int, f Fault) {
 	m.crashed[f.Node] = true
-	m.events = append(m.events, Event{Step: step, Kind: "crashed", Node: f.Node, Fault: f.String(),
+	m.events = append(m.events, Event{Step: step, Kind: KindCrashed, Node: f.Node, Fault: f.String(),
 		Tokens: sim.TokenCount(m.proto, m.view)})
 	m.checkTransition(step)
 }
@@ -191,7 +191,7 @@ func (m *Monitor) ObserveRecovered(step, node, val int, from string) {
 	delete(m.crashed, node)
 	m.view[node] = val
 	m.observeState()
-	m.events = append(m.events, Event{Step: step, Kind: "recovered", Node: node, From: from,
+	m.events = append(m.events, Event{Step: step, Kind: KindRecovered, Node: node, From: from,
 		Tokens: sim.TokenCount(m.proto, m.view)})
 	m.checkTransition(step)
 }
@@ -199,20 +199,20 @@ func (m *Monitor) ObserveRecovered(step, node, val int, from string) {
 // ObserveCrashLoop flags a node crashing repeatedly within the
 // supervisor's detection window.
 func (m *Monitor) ObserveCrashLoop(step, node, count int) {
-	m.events = append(m.events, Event{Step: step, Kind: "crashloop", Node: node,
+	m.events = append(m.events, Event{Step: step, Kind: KindCrashLoop, Node: node,
 		Fault:  fmt.Sprintf("%d crashes within %d steps", count, crashLoopWindow),
 		Tokens: sim.TokenCount(m.proto, m.view)})
 }
 
 // Snapshot emits a periodic tokens-over-time event.
 func (m *Monitor) Snapshot(step int) {
-	m.events = append(m.events, Event{Step: step, Kind: "snapshot", Node: -1,
+	m.events = append(m.events, Event{Step: step, Kind: KindSnapshot, Node: -1,
 		Tokens: sim.TokenCount(m.proto, m.view), Config: m.view.Clone()})
 }
 
 // Finish closes the stream.
 func (m *Monitor) Finish(step int) {
-	m.events = append(m.events, Event{Step: step, Kind: "finish", Node: -1,
+	m.events = append(m.events, Event{Step: step, Kind: KindFinish, Node: -1,
 		Tokens: sim.TokenCount(m.proto, m.view), Config: m.view.Clone()})
 }
 

@@ -15,7 +15,7 @@ import "repro/internal/system"
 // chain. A additionally has the transition s* → s2, so A recovers from the
 // fault state s*; C leaves s* terminal. Hence [C ⊑ A]_init holds, A is
 // stabilizing to A, but C is not stabilizing to A.
-func Fig1(k int) (a, c *system.System) {
+func Fig1(k int) (a, c *system.System) { //gcvet:gasloop-ok constructs the fixed-size Figure-1 example; work is k+1 states by construction
 	if k < 3 {
 		panic("core: Fig1 needs at least 3 chain states")
 	}

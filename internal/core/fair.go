@@ -33,15 +33,26 @@ import (
 // handled with the unfair rule, which is conservative under fairness
 // (strip τ self-loops first, as the Section 6 analyses do).
 func FairStabilizing(c *system.LabeledSystem, a *system.System, ab *system.Abstraction) *StabilizationReport {
+	rep, _ := FairStabilizingGas(nil, c, a, ab)
+	return rep
+}
+
+// FairStabilizingGas is FairStabilizing under a meter: the terminal
+// scan, the SCC analysis, and the legitimate-region sweep all charge
+// g, so a budget bounds the whole decision procedure.
+func FairStabilizingGas(g *mc.Gas, c *system.LabeledSystem, a *system.System, ab *system.Abstraction) (*StabilizationReport, error) {
 	base := c.Base()
 	relation := fmt.Sprintf("%s is stabilizing to %s under weak fairness", base.Name(), a.Name())
 	rep := &StabilizationReport{}
 	alpha, stutterOK, err := alphaOf(base, a, ab)
 	if err != nil {
 		rep.Verdict = fail(relation, err.Error(), nil, nil)
-		return rep
+		return rep, nil
 	}
-	legit := mc.ReachFromInit(a)
+	legit, err := mc.ReachFromInitGas(g, a)
+	if err != nil {
+		return nil, err
+	}
 	rep.ReachableLegit = legit.Count()
 
 	badState := func(s int) bool { return !legit.Has(alpha.Of(s)) }
@@ -56,6 +67,9 @@ func FairStabilizing(c *system.LabeledSystem, a *system.System, ab *system.Abstr
 	// Violation 1: bad terminals (fairness is vacuous on finite maximal
 	// computations).
 	for s := 0; s < base.NumStates(); s++ {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		if !base.Terminal(s) {
 			continue
 		}
@@ -65,13 +79,19 @@ func FairStabilizing(c *system.LabeledSystem, a *system.System, ab *system.Abstr
 				fmt.Sprintf("the one-state computation at terminal %s has no valid suffix: α-image %s is %s",
 					base.StateString(s), a.StateString(as), describeBadAnchor(a, as, legit)),
 				[]int{s}, nil)
-			return rep
+			return rep, nil
 		}
 	}
 
 	// Violation 2: fairness-admissible SCCs containing a bad event.
-	comps, comp := mc.SCCs(base, nil)
+	comps, comp, err := mc.SCCsGas(g, base, nil)
+	if err != nil {
+		return nil, err
+	}
 	for _, scc := range comps {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		if !sccCyclic(base, scc) {
 			continue
 		}
@@ -88,21 +108,28 @@ func FairStabilizing(c *system.LabeledSystem, a *system.System, ab *system.Abstr
 			fmt.Sprintf("a weakly-fair computation sustains bad event %s inside a %d-state component",
 				bad, len(scc)),
 			[]int{scc[0]}, cycleOf(base, scc))
-		return rep
+		return rep, nil
 	}
 
 	// Violation 3 (conservative): pure-stutter divergence.
 	if stutterOK {
-		if v, bad, _ := checkStutterCycles(nil, relation, base, a, alpha, bitset.Full(base.NumStates())); bad {
+		v, bad, err := checkStutterCycles(g, relation, base, a, alpha, bitset.Full(base.NumStates()))
+		if err != nil {
+			return nil, err
+		}
+		if bad {
 			v.Relation = relation
 			rep.Verdict = v
-			return rep
+			return rep, nil
 		}
 	}
 
 	// Legitimate region, as in the unfair check.
 	badCore := bitset.New(base.NumStates())
 	for s := 0; s < base.NumStates(); s++ {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		if badState(s) {
 			badCore.Add(s)
 			continue
@@ -114,12 +141,16 @@ func FairStabilizing(c *system.LabeledSystem, a *system.System, ab *system.Abstr
 			}
 		}
 	}
-	g := mc.CanReach(base, badCore).Complement()
-	rep.Legitimate = g.Members()
+	canReachBad, err := mc.CanReachGas(g, base, badCore)
+	if err != nil {
+		return nil, err
+	}
+	good := canReachBad.Complement()
+	rep.Legitimate = good.Members()
 	rep.Verdict = ok(relation,
 		fmt.Sprintf("every weakly-fair computation has a suffix tracking %s; %d of %d states are legitimate",
-			a.Name(), g.Count(), base.NumStates()))
-	return rep
+			a.Name(), good.Count(), base.NumStates()))
+	return rep, nil
 }
 
 // sccCyclic reports whether the component sustains an infinite run.

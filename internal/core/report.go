@@ -71,7 +71,7 @@ func (v Verdict) String() string {
 }
 
 // FormatWitness renders the counterexample using sys's state formatter.
-func (v Verdict) FormatWitness(sys *system.System) string {
+func (v Verdict) FormatWitness(sys *system.System) string { //gcvet:gasloop-ok formats an already-computed witness; bounded by its length
 	if len(v.Witness) == 0 {
 		return ""
 	}

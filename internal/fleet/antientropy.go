@@ -72,7 +72,7 @@ func (rp *Replica) AntiEntropyRound() int {
 	rp.finishRound()
 	if loaded > 0 || skipped > 0 {
 		rp.aePulled.Add(loaded)
-		rp.f.mon.emit("ae-round", rp.id, "", fmt.Sprintf("peer=%s pulled=%d skipped=%d", target.id, loaded, skipped))
+		rp.f.mon.emit(KindAERound, rp.id, "", fmt.Sprintf("peer=%s pulled=%d skipped=%d", target.id, loaded, skipped))
 	}
 	return int(loaded)
 }

@@ -99,9 +99,9 @@ func (f *Fleet) RunCampaign(ctx context.Context, sched []chaos.FleetFault, tick 
 	if wait < 2*time.Second {
 		wait = 2 * time.Second
 	}
-	start := time.Now()
+	start := time.Now() //gcvet:detrand-ok measures real re-convergence latency for the campaign report
 	res.Converged = f.AwaitConverged(wait)
-	res.ConvergeMS = time.Since(start).Milliseconds()
+	res.ConvergeMS = time.Since(start).Milliseconds() //gcvet:detrand-ok measures real re-convergence latency for the campaign report
 	return res, nil
 }
 

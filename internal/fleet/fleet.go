@@ -171,6 +171,7 @@ func (rp *Replica) start(httpLn, rpcLn net.Listener) {
 	rp.aeDone.Store(false)
 
 	httpSrv := rp.httpSrv
+	//gcvet:leak-ok Serve returns when shutdown() closes httpLn; the listener itself is the stop signal
 	go func() { _ = httpSrv.Serve(httpLn) }()
 	rp.wg.Add(3)
 	go rp.serveRPC(rpcLn, stop)
@@ -290,11 +291,12 @@ func (f *Fleet) Converged() bool {
 // AwaitConverged polls Converged until it holds or the deadline
 // passes.
 func (f *Fleet) AwaitConverged(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //gcvet:detrand-ok real deadline polling live TCP replicas
 	for {
 		if f.Converged() {
 			return true
 		}
+		//gcvet:detrand-ok real deadline polling live TCP replicas
 		if time.Now().After(deadline) {
 			return false
 		}
@@ -304,7 +306,7 @@ func (f *Fleet) AwaitConverged(timeout time.Duration) bool {
 
 // AwaitReady polls until every live replica reports Ready.
 func (f *Fleet) AwaitReady(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //gcvet:detrand-ok real deadline polling live TCP replicas
 	for {
 		ready := true
 		for _, rp := range f.replicas {
@@ -319,6 +321,7 @@ func (f *Fleet) AwaitReady(timeout time.Duration) bool {
 		if ready {
 			return true
 		}
+		//gcvet:detrand-ok real deadline polling live TCP replicas
 		if time.Now().After(deadline) {
 			return false
 		}
@@ -337,7 +340,7 @@ func (f *Fleet) CrashReplica(i int) {
 	if down {
 		return
 	}
-	f.mon.emit("crash", rp.id, "", "")
+	f.mon.emit(KindCrash, rp.id, "", "")
 	rp.shutdown()
 }
 
@@ -361,7 +364,7 @@ func (f *Fleet) RestartReplica(i int) error {
 		_ = httpLn.Close()
 		return fmt.Errorf("fleet: restart %s rpc: %w", rp.id, err)
 	}
-	f.mon.emit("restart", rp.id, "", "")
+	f.mon.emit(KindRestart, rp.id, "", "")
 	rp.start(httpLn, rpcLn)
 	// Tell peers that previously saw a graceful leave the member is back.
 	for _, other := range f.replicas {
@@ -404,7 +407,7 @@ func (f *Fleet) StopReplica(i int) {
 	for _, p := range rp.allPeers() {
 		_, _ = rp.callPeer(p.id, rpcRequest{Op: "leave", From: rp.id}, f.cfg.HeartbeatInterval*2)
 	}
-	f.mon.emit("replica-left", rp.id, "", "graceful")
+	f.mon.emit(KindReplicaLeft, rp.id, "", "graceful")
 	rp.shutdown()
 	rp.mu.Lock()
 	rp.leftFleet = true
@@ -422,7 +425,7 @@ func (f *Fleet) Partition(a, b []int) {
 			f.replicas[j].block(f.replicas[i].id)
 		}
 	}
-	f.mon.emit("partition", "", "", cutDetail(a, b))
+	f.mon.emit(KindPartition, "", "", cutDetail(a, b))
 }
 
 // HealCut removes one specific cut (the pairs it blocked), leaving any
@@ -435,7 +438,7 @@ func (f *Fleet) HealCut(a, b []int) {
 			f.replicas[j].unblock(f.replicas[i].id)
 		}
 	}
-	f.mon.emit("heal", "", "", cutDetail(a, b))
+	f.mon.emit(KindHeal, "", "", cutDetail(a, b))
 }
 
 // Heal removes every partition in the fleet.
@@ -445,7 +448,7 @@ func (f *Fleet) Heal() {
 		rp.blocked = make(map[string]bool)
 		rp.mu.Unlock()
 	}
-	f.mon.emit("heal", "", "", "")
+	f.mon.emit(KindHeal, "", "", "")
 }
 
 func cutDetail(a, b []int) string {

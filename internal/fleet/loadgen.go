@@ -222,7 +222,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 	outcomes := make([]loadgenOutcome, len(workload))
 	client := &http.Client{}
 
-	start := time.Now()
+	start := time.Now() //gcvet:detrand-ok loadgen exists to measure real request latency
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
@@ -243,7 +243,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //gcvet:detrand-ok loadgen exists to measure real request latency
 
 	rep := &LoadgenReport{
 		Addrs: cfg.Addrs, Requests: cfg.Requests, Warmup: cfg.Warmup,
@@ -321,7 +321,7 @@ func min(a, b int) int {
 // would; only a request no replica accepts records an error.
 func runOne(ctx context.Context, client *http.Client, addrs []string, lr loadgenRequest, timeoutMS int64) loadgenOutcome {
 	path, body := lr.bodyAndPath(timeoutMS)
-	started := time.Now()
+	started := time.Now() //gcvet:detrand-ok per-request wall-clock latency is the measured quantity
 	var resp *http.Response
 	tryAddr := func(addr string) bool {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
@@ -347,7 +347,7 @@ func runOne(ctx context.Context, client *http.Client, addrs []string, lr loadgen
 		status:    resp.StatusCode,
 		forwarded: resp.Header.Get("X-Fleet-Owner") != "",
 		retried:   resp.Request.URL.Host != lr.addr,
-		elapsed:   time.Since(started),
+		elapsed:   time.Since(started), //gcvet:detrand-ok per-request wall-clock latency is the measured quantity
 	}
 	if resp.StatusCode == http.StatusOK {
 		var probe struct {

@@ -11,9 +11,7 @@ import "sync"
 type Event struct {
 	// Seq orders events across the whole fleet.
 	Seq int `json:"seq"`
-	// Kind is one of "replica-joined", "replica-left",
-	// "replica-suspected", "replica-recovered", "crash", "restart",
-	// "partition", "heal", "ae-round".
+	// Kind is one of the Kind* registry constants (events.go).
 	Kind string `json:"kind"`
 	// Replica is the subject of the event.
 	Replica string `json:"replica,omitempty"`

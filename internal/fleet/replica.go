@@ -355,7 +355,7 @@ func (rp *Replica) heartbeatLoop(stop chan struct{}) {
 	rp.sweep()
 	if !rp.joined.Load() {
 		rp.joined.Store(true)
-		rp.f.mon.emit("replica-joined", rp.id, "", fmt.Sprintf("peers=%d", len(rp.allPeers())))
+		rp.f.mon.emit(KindReplicaJoined, rp.id, "", fmt.Sprintf("peers=%d", len(rp.allPeers())))
 	}
 	for {
 		select {
@@ -395,14 +395,14 @@ func (rp *Replica) noteHeartbeat(id string, ok bool) {
 		if p.suspected {
 			p.suspected = false
 			rp.ring.Add(id)
-			event = "replica-recovered"
+			event = KindReplicaRecovered
 		}
 	} else {
 		p.misses++
 		if !p.suspected && p.misses >= rp.f.cfg.SuspectAfter {
 			p.suspected = true
 			rp.ring.Remove(id)
-			event = "replica-suspected"
+			event = KindReplicaSuspected
 		}
 	}
 	rp.mu.Unlock()
@@ -431,7 +431,7 @@ func (rp *Replica) sawPeer(id string) {
 	}
 	rp.mu.Unlock()
 	if recovered {
-		rp.f.mon.emit("replica-recovered", id, rp.id, "inbound rpc")
+		rp.f.mon.emit(KindReplicaRecovered, id, rp.id, "inbound rpc")
 	}
 }
 

@@ -127,7 +127,7 @@ func roundTrip(c net.Conn, req rpcRequest, deadline time.Time) (rpcReply, error)
 // go stale when the peer restarts, and the retry is what makes the
 // path self-healing rather than sticky-broken.
 func (p *peerClient) call(req rpcRequest, timeout time.Duration) (rpcReply, error) {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //gcvet:detrand-ok real I/O deadline on a live TCP connection
 	c, pooled, err := p.get(timeout)
 	if err != nil {
 		return rpcReply{}, err
@@ -142,6 +142,7 @@ func (p *peerClient) call(req rpcRequest, timeout time.Duration) (rpcReply, erro
 		return rpcReply{}, err
 	}
 	// Stale pooled connection: one fresh attempt.
+	//gcvet:detrand-ok real I/O deadline on a live TCP connection
 	c2, err2 := net.DialTimeout("tcp", p.addr, time.Until(deadline))
 	if err2 != nil {
 		return rpcReply{}, err2

@@ -80,6 +80,12 @@ func Analyzers() []*Analyzer {
 			Codes: []Code{CodeConstCond},
 			Run:   runConstCond,
 		},
+		{
+			Name:  "reachable",
+			Doc:   "actions whose guard is satisfiable but statically unreachable from init",
+			Codes: []Code{CodeUnreachableStatic},
+			Run:   runReachable,
+		},
 	}
 }
 

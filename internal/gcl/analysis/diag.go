@@ -142,6 +142,10 @@ const (
 	// CodeConstCond: a condition subexpression is constant over the
 	// declared domains.
 	CodeConstCond Code = "GCL010"
+	// CodeUnreachableStatic: the interval reachability fixpoint proves
+	// the guard holds in no state reachable from init — GCL004's claim,
+	// established without enumerating the state space.
+	CodeUnreachableStatic Code = "GCL011"
 )
 
 // Related points at a secondary source location supporting a

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnreachableStatic is the basic GCL011 shape: y == 5 is
+// satisfiable over 0..7 (so GCL001 stays silent) but no action ever
+// moves y off its initial 0.
+func TestUnreachableStatic(t *testing.T) {
+	res := mustAnalyze(t, `
+var x : 0..3;
+var y : 0..7;
+init x == 0 && y == 0;
+action step:    x < 3  -> x := x + 1;
+action unreach: y == 5 -> y := 0;
+`, Options{})
+	d := findCode(t, res.Diags, CodeUnreachableStatic)
+	if d.Confidence != ConfApprox || d.Severity != SevWarning {
+		t.Fatalf("diag: %+v", d)
+	}
+	if d.Pos.Line != 6 {
+		t.Fatalf("position: %v", d.Pos)
+	}
+	if !strings.Contains(d.Msg, "reachable from init") {
+		t.Fatalf("msg: %s", d.Msg)
+	}
+	if hasCode(res.Diags, CodeDeadGuard) {
+		t.Fatalf("GCL011 case must not also be GCL001: %v", res.Diags)
+	}
+}
+
+// TestReachableThroughFixpoint makes sure reachability propagates
+// through multiple rounds and across variables: target's guard only
+// becomes satisfiable after step has run three times and unlock once.
+func TestReachableThroughFixpoint(t *testing.T) {
+	res := mustAnalyze(t, `
+var x : 0..3;
+var y : 0..1;
+init x == 0 && y == 0;
+action step:   x < 3           -> x := x + 1;
+action unlock: x == 3          -> y := 1;
+action target: y == 1 && x > 0 -> x := 0;
+`, Options{})
+	if hasCode(res.Diags, CodeUnreachableStatic) {
+		t.Fatalf("reachable action flagged: %v", res.Diags)
+	}
+}
+
+// TestUnreachableStaticNeedsInit: without an init predicate every
+// state is a legitimate start, so nothing is unreachable.
+func TestUnreachableStaticNeedsInit(t *testing.T) {
+	res := mustAnalyze(t, `
+var y : 0..7;
+action a: y == 5 -> y := 0;
+action b: y < 7  -> y := y + 1;
+`, Options{})
+	if hasCode(res.Diags, CodeUnreachableStatic) {
+		t.Fatalf("no-init program flagged: %v", res.Diags)
+	}
+}
+
+// TestUnreachableStaticSkipsDeadGuards: a guard that is dead over the
+// declared domains is GCL001's finding alone — GCL011 must not pile
+// on.
+func TestUnreachableStaticSkipsDeadGuards(t *testing.T) {
+	res := mustAnalyze(t, `
+var x : 0..3;
+init x == 0;
+action dead: x > 5 -> x := 0;
+action live: x < 3 -> x := x + 1;
+`, Options{})
+	if !hasCode(res.Diags, CodeDeadGuard) {
+		t.Fatalf("dead guard not flagged: %v", res.Diags)
+	}
+	if hasCode(res.Diags, CodeUnreachableStatic) {
+		t.Fatalf("dead guard double-reported as GCL011: %v", res.Diags)
+	}
+}
+
+// TestUnreachableStaticEscapeBlocks: an assignment that always leaves
+// its domain yields no successor state, so it must not grow the
+// reachability box (the concrete sweep drops such transitions too).
+func TestUnreachableStaticEscapeBlocks(t *testing.T) {
+	res := mustAnalyze(t, `
+var x : 0..3;
+init x == 0;
+action blast: x == 0 -> x := x + 10;
+action after: x == 1 -> x := 0;
+`, Options{})
+	d := findCode(t, res.Diags, CodeUnreachableStatic)
+	if !strings.Contains(d.Msg, `"after"`) {
+		t.Fatalf("diag: %+v", d)
+	}
+}
+
+// TestUnreachableStaticExactAgrees: on a small space the exact tier
+// corroborates the interval proof with GCL004 — the two codes describe
+// the same defect from different tiers and both survive the merge.
+func TestUnreachableStaticExactAgrees(t *testing.T) {
+	res := mustAnalyze(t, `
+var x : 0..3;
+var y : 0..7;
+init x == 0 && y == 0;
+action step:    x < 3  -> x := x + 1;
+action unreach: y == 5 -> y := 0;
+`, Options{Exact: true})
+	if !res.Exact {
+		t.Fatal("exact tier must run on 32 states")
+	}
+	d11 := findCode(t, res.Diags, CodeUnreachableStatic)
+	d4 := findCode(t, res.Diags, CodeUnreachableAction)
+	if d11.Confidence != ConfApprox || d4.Confidence != ConfExact {
+		t.Fatalf("confidences: GCL011 %v, GCL004 %v", d11.Confidence, d4.Confidence)
+	}
+}

@@ -25,6 +25,12 @@ var ErrCyclic = errors.New("region is cyclic")
 // that end inside the region (the computation terminates there); they are
 // counted without the exiting step.
 func LongestEscape(sys *system.System, region *bitset.Set) (int, error) {
+	return LongestEscapeGas(nil, sys, region)
+}
+
+// LongestEscapeGas is LongestEscape under a meter: one tick per
+// examined edge, so a budget bounds the DFS over the induced DAG.
+func LongestEscapeGas(g *Gas, sys *system.System, region *bitset.Set) (int, error) {
 	// Longest path over the induced DAG by memoized DFS with cycle
 	// detection (colors: 0 unvisited, 1 on stack, 2 done).
 	n := sys.NumStates()
@@ -42,6 +48,9 @@ func LongestEscape(sys *system.System, region *bitset.Set) (int, error) {
 		color[s] = 1
 		best := 0
 		for _, t := range sys.Succ(s) {
+			if err := g.Tick(1); err != nil {
+				return 0, err
+			}
 			if !region.Has(t) {
 				// Exiting step.
 				if best < 1 {
@@ -89,12 +98,20 @@ func LongestEscape(sys *system.System, region *bitset.Set) (int, error) {
 // the illegitimate region is cyclic — i.e. if sys does not actually
 // converge.
 func WorstCaseRecovery(sys *system.System, legitimate []int) (int, error) {
+	return WorstCaseRecoveryGas(nil, sys, legitimate)
+}
+
+// WorstCaseRecoveryGas is WorstCaseRecovery under a meter.
+func WorstCaseRecoveryGas(g *Gas, sys *system.System, legitimate []int) (int, error) {
 	region := bitset.Full(sys.NumStates())
 	for _, s := range legitimate {
+		if err := g.Tick(1); err != nil {
+			return 0, err
+		}
 		region.Remove(s)
 	}
 	if region.Empty() {
 		return 0, nil
 	}
-	return LongestEscape(sys, region)
+	return LongestEscapeGas(g, sys, region)
 }

@@ -126,6 +126,9 @@ func FindCycleWithinGas(g *Gas, sys *system.System, within *bitset.Set) (*Cycle,
 		return nil, err
 	}
 	for _, c := range components {
+		if err := g.Tick(1); err != nil {
+			return nil, err
+		}
 		if len(c) > 1 {
 			return traceCycle(sys, within, comp, c), nil
 		}

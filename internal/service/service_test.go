@@ -501,7 +501,7 @@ func TestServiceLint(t *testing.T) {
 	if got.Cached {
 		t.Fatal("first submission cannot be cached")
 	}
-	if got.Program != gcl.Fingerprint(prog) || got.States != 64 || !got.Exact {
+	if got.Program != gcl.Fingerprint(prog) || got.States != 512 || !got.Exact {
 		t.Fatalf("report header: %+v", got)
 	}
 	if got.AnalyzerVersion != analysis.Version() {

@@ -83,6 +83,7 @@ func (lr *LiveRing) Run(initial Config) (*LiveResult, error) {
 	var wg sync.WaitGroup
 	wg.Add(procs)
 	for i := 0; i < procs; i++ {
+		//gcvet:leak-ok workers exit via the mutex-guarded done flag, set at MaxSteps at the latest; wg.Wait below joins them
 		go func(i int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(lr.Seed + int64(i)*7919 + 1))
