@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: check fmt vet gcvet build test bench lint cluster-race cluster-demo chaos crash-demo \
-	fleet-race fleet-demo bench-fleet
+	fleet-race fleet-demo bench-fleet journal-race bench-journal
 
 # check is the full gate: formatting, vet, build, the race-enabled
 # test suite, and the GCL linter over the example programs. CI and
@@ -121,3 +121,20 @@ fleet-demo:
 bench-fleet:
 	$(GO) run ./cmd/experiments -only E19 -json > BENCH_fleet.json
 	@echo "wrote BENCH_fleet.json"
+
+# journal-race gives the event journal and its consumers a dedicated
+# race-detector pass: the group-commit writer, concurrent appenders,
+# projection drivers, the service integration (replay → converge →
+# ready), and the fleet's journal-suffix anti-entropy all interleave
+# goroutines; the kill-between-snapshots binary tests ride along in
+# cmd/checkd.
+journal-race:
+	$(GO) test -race -count=2 ./internal/journal/... ./cmd/checkd/...
+
+# bench-journal regenerates the recorded E20 journal baseline. The
+# replay rows are deterministic; the throughput rows are wall-clock, so
+# review a diff for the ≥ 5× group-commit speedup bound (a Pass:false
+# row), not for drift in the measured events/s.
+bench-journal:
+	$(GO) run ./cmd/experiments -only E20 -json > BENCH_journal.json
+	@echo "wrote BENCH_journal.json"

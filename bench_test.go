@@ -69,6 +69,9 @@ func BenchmarkE18CrashRecovery(b *testing.B) {
 func BenchmarkE19FleetScaling(b *testing.B) {
 	benchExperiment(b, experiments.E19Fleet)
 }
+func BenchmarkE20JournalThroughput(b *testing.B) {
+	benchExperiment(b, experiments.E20Journal)
+}
 
 // BenchmarkFairStabilizationCheck measures the weak-fairness decision
 // procedure on the Lemma 9 composition.

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHelperCheckd is not a test: re-exec'd by the kill tests as a real
+// checkd process, so the driver can SIGKILL it with no chance of a
+// graceful-shutdown snapshot softening the crash.
+func TestHelperCheckd(t *testing.T) {
+	if os.Getenv("CHECKD_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	if err := run(strings.Fields(os.Getenv("CHECKD_ARGS")), os.Stdout, nil); err != nil {
+		t.Fatalf("helper run: %v", err)
+	}
+}
+
+// startCheckdProcess launches this test binary as a checkd subprocess and
+// returns its base URL plus a kill function that SIGKILLs it and reaps.
+func startCheckdProcess(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperCheckd$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"CHECKD_HELPER=1",
+		"CHECKD_ARGS="+strings.Join(append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, args...), " "))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	kill := func() {
+		_ = cmd.Process.Kill() // SIGKILL: no deferred Close, no final snapshot
+		_ = cmd.Wait()
+	}
+
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrc <- m[1]
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, kill
+	case <-time.After(10 * time.Second):
+		kill()
+		t.Fatal("helper checkd never announced its address")
+		return "", nil
+	}
+}
+
+func postRingsim(t *testing.T, base string) map[string]any {
+	t.Helper()
+	const req = `{"family":"dijkstra3","procs":5,"seed":11,"runs":3,"steps":5000}`
+	resp, err := http.Post(base+"/v1/ringsim", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, m)
+	}
+	return m
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("checkd never became ready")
+}
+
+// TestKillBetweenSnapshotsLosesVerdictWithoutJournal pins the race
+// window the journal exists to close: with only interval snapshots (set
+// far apart), a SIGKILL between them loses every verdict computed since
+// the last snapshot, and the restarted checkd recomputes.
+func TestKillBetweenSnapshotsLosesVerdictWithoutJournal(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "cache.snap")
+	base, kill := startCheckdProcess(t,
+		"-cache-path", cachePath, "-cache-snapshot-interval", "1h")
+	if m := postRingsim(t, base); m["cached"] != false {
+		t.Fatalf("first submission cannot be cached: %v", m)
+	}
+	kill()
+
+	base2, shutdown := startCheckd(t,
+		"-cache-path", cachePath, "-cache-snapshot-interval", "1h")
+	defer shutdown()
+	if m := postRingsim(t, base2); m["cached"] != false {
+		t.Fatalf("verdict survived a kill between snapshots without a journal — the control is broken: %v", m)
+	}
+}
+
+// TestKillBetweenSnapshotsReplaysFromJournal is the fix: same SIGKILL
+// between snapshots, but with -journal-path the verdict was journaled
+// durably before the 200 response, so the restarted checkd replays it
+// and serves the identical request as a cache hit.
+func TestKillBetweenSnapshotsReplaysFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "cache.snap")
+	journalPath := filepath.Join(dir, "journal.wal")
+	args := []string{
+		"-cache-path", cachePath, "-cache-snapshot-interval", "1h",
+		"-journal-path", journalPath,
+	}
+	base, kill := startCheckdProcess(t, args...)
+	if m := postRingsim(t, base); m["cached"] != false {
+		t.Fatalf("first submission cannot be cached: %v", m)
+	}
+	kill()
+
+	base2, shutdown := startCheckd(t, args...)
+	defer shutdown()
+	waitReady(t, base2) // 503 "replaying" until the projections converge
+	if m := postRingsim(t, base2); m["cached"] != true {
+		t.Fatalf("restarted checkd recomputed instead of replaying the journaled verdict: %v", m)
+	}
+}
+
+func TestRunRejectsJournalWithFleet(t *testing.T) {
+	var out syncBuffer
+	err := run([]string{"-fleet", "2", "-journal-path", "j.wal"}, &out, nil)
+	if err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("want -journal-path/-fleet conflict error, got %v", err)
+	}
+}

@@ -17,6 +17,13 @@
 // to the file periodically and on graceful shutdown, and reloaded on
 // boot (corrupt entries are skipped and counted in /metrics).
 //
+// With -journal-path every request, verdict, and outcome is appended to
+// an event journal (group-committed, checksum-framed) and the verdict
+// cache and /metrics counters are rebuilt from it on boot — so a hard
+// kill between cache snapshots loses at most one un-flushed batch, not
+// the whole inter-snapshot window. /readyz reports "replaying" until
+// the projections converge.
+//
 // With -fleet N the process runs N replicas as one logical service on
 // loopback listeners: a consistent-hash ring routes each program to its
 // owner replica, anti-entropy rounds sync verdict caches, and every
@@ -70,6 +77,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	maxStates := fs.Int("max-states", 1<<20, "reject programs with larger declared state spaces")
 	cachePath := fs.String("cache-path", "", "persist the verdict cache to this file (empty = in-memory only)")
 	cacheSnapshotInterval := fs.Duration("cache-snapshot-interval", 30*time.Second, "background cache snapshot period (with -cache-path)")
+	journalPath := fs.String("journal-path", "", "append every request/verdict/outcome to this event journal and rebuild state from it on boot (empty = no journal)")
 	fleetSize := fs.Int("fleet", 0, "run N replicas as one fleet on loopback listeners (0 = single process)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,8 +93,12 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		MaxStates:             *maxStates,
 		CachePath:             *cachePath,
 		CacheSnapshotInterval: *cacheSnapshotInterval,
+		JournalPath:           *journalPath,
 	}
 	if *fleetSize > 0 {
+		if *journalPath != "" {
+			return errors.New("-journal-path cannot be combined with -fleet: replicas do not share one journal file")
+		}
 		return runFleet(*fleetSize, svcCfg, out, stop)
 	}
 

@@ -74,6 +74,7 @@ func run(args []string, out io.Writer) error {
 	concurrency := fs.Int("concurrency", 1, "closed-loop workers (1 = deterministic counts)")
 	timeoutMS := fs.Int64("timeout-ms", 30_000, "per-request timeout_ms")
 	pace := fs.Duration("pace", 0, "sleep between consecutive requests per worker (spreads load across a campaign)")
+	journalMode := fs.Bool("journal", false, "event-source the in-process fleet: per-replica journals, suffix-based anti-entropy (needs -replicas)")
 	chaosRun := fs.Bool("chaos", false, "run a seeded chaos campaign during the load (needs -replicas)")
 	chaosFaults := fs.Int("chaos-faults", 3, "campaign fault count")
 	failOn5xx := fs.Bool("fail-on-5xx", false, "exit non-zero if any response was a 5xx or transport error")
@@ -120,6 +121,7 @@ func run(args []string, out io.Writer) error {
 		f, err = fleet.New(fleet.Config{
 			Replicas: *replicas,
 			Service:  service.Config{},
+			Journal:  *journalMode,
 		})
 		if err != nil {
 			return err
@@ -136,6 +138,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *chaosRun && f == nil {
 		return errors.New("-chaos needs an in-process fleet (-replicas)")
+	}
+	if *journalMode && f == nil {
+		return errors.New("-journal needs an in-process fleet (-replicas)")
 	}
 
 	ctx := context.Background()

@@ -34,6 +34,7 @@ var detRandGated = []string{
 	"internal/cluster",
 	"internal/cluster/chaos",
 	"internal/fleet",
+	"internal/journal",
 }
 
 // detRandAllowed overrides the gate: these packages may read the wall

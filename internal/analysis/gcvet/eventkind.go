@@ -17,11 +17,14 @@ import (
 //
 //   - Event{Kind: "..."} composite literals with a raw string kind;
 //   - emit("...", ...) calls whose kind argument is a raw literal;
+//   - journal Append/AppendAsync calls whose kind argument is a raw
+//     literal (the journal's event vocabulary is a registry too — a
+//     misspelled kind appends events no projection ever applies);
 //   - comparisons of a .Kind field (== / != / switch) against a raw
 //     literal.
 var EventKind = &Analyzer{
 	Name: "eventkind",
-	Doc:  "monitor/fleet event kinds must be registry constants, not inline string literals",
+	Doc:  "monitor/fleet/journal event kinds must be registry constants, not inline string literals",
 	Run:  runEventKind,
 }
 
@@ -29,6 +32,8 @@ var eventKindGated = []string{
 	"internal/cluster",
 	"internal/cluster/chaos",
 	"internal/fleet",
+	"internal/journal",
+	"internal/service",
 }
 
 func runEventKind(pass *Pass) {
@@ -49,6 +54,7 @@ func runEventKind(pass *Pass) {
 				checkEventLit(pass, m)
 			case *ast.CallExpr:
 				checkEmitCall(pass, m)
+				checkAppendCall(pass, m)
 			case *ast.BinaryExpr:
 				checkKindCompare(pass, m)
 			case *ast.SwitchStmt:
@@ -128,6 +134,39 @@ func checkEmitCall(pass *Pass, call *ast.CallExpr) {
 	if len(call.Args) > 0 && isStringLit(call.Args[0]) {
 		pass.Reportf(call.Args[0].Pos(),
 			"inline event kind %s passed to %s: use a Kind constant from the event registry", exprText(call.Args[0]), name)
+	}
+}
+
+// isJournalType reports whether t is the journal's Journal type.
+func isJournalType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil || n.Obj().Name() != "Journal" {
+		return false
+	}
+	return pathHasSuffix(n.Obj().Pkg().Path(), "internal/journal")
+}
+
+// checkAppendCall flags journal.Append/AppendAsync calls whose kind
+// argument (the first) is a raw string literal.
+func checkAppendCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Append" && name != "AppendAsync" {
+		return
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || !isJournalType(tv.Type) {
+		return
+	}
+	if len(call.Args) > 0 && isStringLit(call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(),
+			"inline event kind %s passed to %s: use a Kind constant from the journal event registry", exprText(call.Args[0]), name)
 	}
 }
 

@@ -29,6 +29,10 @@ func TestEventKind(t *testing.T) {
 	runFixture(t, "repro/internal/cluster", EventKind)
 }
 
+func TestEventKindJournal(t *testing.T) {
+	runFixture(t, "repro/internal/journal", EventKind)
+}
+
 // TestWaiverHygiene asserts the waiver contract directly: a want
 // comment cannot share a line with a waiver comment (everything after
 // the directive is the reason), so the hygiene fixture is checked

@@ -1,0 +1,64 @@
+// Package journal is an eventkind fixture: journal event kinds must
+// come from the registry constants, never inline literals — both in
+// Event composite literals and as Append/AppendAsync arguments.
+package journal
+
+// Event mirrors the runtime journal's event.
+type Event struct {
+	Seq  uint64
+	Kind string
+	Data []byte
+}
+
+// Registry constants.
+const (
+	KindRequest = "journal-request"
+	KindVerdict = "journal-verdict"
+)
+
+// Journal mirrors the runtime journal's append API.
+type Journal struct {
+	events []Event
+}
+
+func (j *Journal) Append(kind string, data []byte) (uint64, error) {
+	j.events = append(j.events, Event{Seq: uint64(len(j.events) + 1), Kind: kind, Data: data})
+	return uint64(len(j.events)), nil
+}
+
+func (j *Journal) AppendAsync(kind string, data []byte) {
+	_, _ = j.Append(kind, data)
+}
+
+// Bad mints kinds from raw literals.
+func Bad(j *Journal) {
+	_, _ = j.Append("journal-request", nil) // want `inline event kind "journal-request" passed to Append`
+	j.AppendAsync("journal-verdict", nil)   // want `inline event kind "journal-verdict" passed to AppendAsync`
+}
+
+// BadLit builds an event from a raw literal kind.
+func BadLit() Event {
+	return Event{Seq: 1, Kind: "journal-request"} // want `inline event kind "journal-request"`
+}
+
+// BadCompare matches a kind against a raw literal.
+func BadCompare(ev Event) bool {
+	return ev.Kind == "journal-verdict" // want `comparing \.Kind against inline literal "journal-verdict"`
+}
+
+// Good uses the registry throughout.
+func Good(j *Journal) {
+	_, _ = j.Append(KindRequest, nil)
+	j.AppendAsync(KindVerdict, nil)
+}
+
+// GoodSwitch dispatches on the registry constants.
+func GoodSwitch(ev Event) int {
+	switch ev.Kind {
+	case KindRequest:
+		return 1
+	case KindVerdict:
+		return 2
+	}
+	return 0
+}

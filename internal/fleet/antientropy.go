@@ -3,6 +3,8 @@ package fleet
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/service"
 )
 
 // Anti-entropy: each replica periodically picks one live peer
@@ -58,7 +60,19 @@ func (rp *Replica) AntiEntropyRound() int {
 	rp.mu.Lock()
 	target := live[rp.aeCursor%len(live)]
 	rp.aeCursor++
+	since := target.journalCursor
 	rp.mu.Unlock()
+
+	// Journal fleets pull an incremental suffix of the peer's event
+	// journal addressed by a per-peer cursor — O(new verdicts) instead
+	// of O(cache) per round. A peer without a journal (mixed fleet, or
+	// its journal failed to open) answers "no journal" and the round
+	// falls back to the digest exchange below.
+	if svc.JournalEnabled() {
+		if n, ok := rp.journalRound(svc, target.id, since); ok {
+			return n
+		}
+	}
 
 	reply, err := rp.callPeer(target.id, rpcRequest{
 		Op: "digest", From: rp.id, Keys: svc.CacheKeys(),
@@ -75,6 +89,47 @@ func (rp *Replica) AntiEntropyRound() int {
 		rp.f.mon.emit(KindAERound, rp.id, "", fmt.Sprintf("peer=%s pulled=%d skipped=%d", target.id, loaded, skipped))
 	}
 	return int(loaded)
+}
+
+// journalRound runs one suffix pull against one peer. The second return
+// reports whether the journal path handled the round (false → caller
+// falls back to a digest exchange).
+func (rp *Replica) journalRound(svc *service.Server, targetID string, since uint64) (int, bool) {
+	reply, err := rp.callPeer(targetID, rpcRequest{
+		Op: "journal", From: rp.id, Since: since,
+	}, rp.f.cfg.ForwardTimeout)
+	if err != nil || !reply.OK {
+		return 0, false
+	}
+	loaded, skipped := svc.ApplyJournalSuffix(reply.Body)
+	rp.mu.Lock()
+	if p, ok := rp.peers[targetID]; ok && reply.Next > p.journalCursor {
+		p.journalCursor = reply.Next
+	}
+	rp.mu.Unlock()
+	rp.finishRound()
+	rp.aeJournalRounds.Add(1)
+	if loaded > 0 || skipped > 0 {
+		rp.aePulled.Add(loaded)
+		rp.f.mon.emit(KindAERound, rp.id, "",
+			fmt.Sprintf("peer=%s mode=journal pulled=%d skipped=%d next=%d", targetID, loaded, skipped, reply.Next))
+	}
+	return int(loaded), true
+}
+
+// handleJournalSuffix is the peer side of a journal-mode exchange:
+// encode the verdict events above the requester's cursor, bounded by
+// MaxPullPerRound per round.
+func (rp *Replica) handleJournalSuffix(req rpcRequest) rpcReply {
+	svc := rp.Service()
+	if svc == nil {
+		return rpcReply{Err: "replica is down"}
+	}
+	if !svc.JournalEnabled() {
+		return rpcReply{Err: "no journal"}
+	}
+	body, next, n := svc.EncodeJournalSuffix(req.Since, rp.f.cfg.MaxPullPerRound)
+	return rpcReply{OK: true, Body: body, Entries: n, Next: next}
 }
 
 // finishRound marks a completed round, flipping first-round readiness.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -17,8 +18,18 @@ type Config struct {
 	// Replicas is the number of checkd replicas (default 3).
 	Replicas int
 	// Service configures each replica's underlying service.Server.
-	// CachePath must be empty — replicas do not share a snapshot file.
+	// CachePath must be empty — replicas do not share a snapshot file —
+	// and so must JournalPath/JournalBackend: set Journal instead and
+	// the fleet manages one backend per replica.
 	Service service.Config
+	// Journal event-sources every replica: each gets its own journal
+	// backend, held by the fleet so it survives CrashReplica/
+	// RestartReplica — a restarted replica replays its own history
+	// instead of coming back cold. Anti-entropy then ships journal
+	// suffixes (incremental, cursor-addressed) instead of full key
+	// digests, falling back to digest mode against any peer without a
+	// journal.
+	Journal bool
 	// VNodes is the consistent-hash points per replica (default 64).
 	VNodes int
 	// HeartbeatInterval paces membership pings (default 75ms).
@@ -83,12 +94,19 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Service.CachePath != "" {
 		return nil, fmt.Errorf("fleet: Service.CachePath must be empty (replicas cannot share one snapshot file)")
 	}
+	if cfg.Service.JournalPath != "" || cfg.Service.JournalBackend != nil {
+		return nil, fmt.Errorf("fleet: Service journal fields must be empty (set Config.Journal; the fleet manages per-replica backends)")
+	}
 	f := &Fleet{cfg: cfg, mon: NewMonitor()}
 
 	// Bind every listener first, so peer address books are complete
 	// before any replica starts heartbeating.
 	for i := 0; i < cfg.Replicas; i++ {
 		rp := &Replica{id: fmt.Sprintf("r%d", i), idx: i, f: f}
+		if cfg.Journal {
+			// Fleet-held, so it outlives the replica's incarnations.
+			rp.journal = journal.NewMemBackend(nil)
+		}
 		httpLn, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			f.Close()
@@ -124,6 +142,9 @@ func New(cfg Config) (*Fleet, error) {
 // serviceConfig builds one replica's service configuration.
 func (f *Fleet) serviceConfig(rp *Replica) service.Config {
 	cfg := f.cfg.Service
+	if rp.journal != nil {
+		cfg.JournalBackend = rp.journal
+	}
 	if f.cfg.Logf != nil {
 		id := rp.id
 		cfg.Logf = func(format string, args ...any) {
@@ -151,6 +172,11 @@ func (rp *Replica) start(httpLn, rpcLn net.Listener) {
 	for _, p := range rp.peers {
 		p.misses = 0
 		p.suspected = false
+		// Reset the anti-entropy journal cursor: verdicts pulled cold
+		// from this peer were never journaled locally, so a restarted
+		// replica must re-pull from the beginning (PutCold makes the
+		// overlap idempotent).
+		p.journalCursor = 0
 		if !p.left {
 			ring.Add(p.id)
 		}

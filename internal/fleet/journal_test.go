@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// verdictHolder returns the index of the single replica whose cache
+// holds exactly one entry, failing if the count is not exactly one.
+func verdictHolder(t *testing.T, f *Fleet) int {
+	t.Helper()
+	holder := -1
+	for i := 0; i < f.Replicas(); i++ {
+		if len(f.Replica(i).Service().CacheKeys()) == 1 {
+			if holder != -1 {
+				t.Fatalf("replicas %d and %d both hold the verdict", holder, i)
+			}
+			holder = i
+		}
+	}
+	if holder == -1 {
+		t.Fatal("no replica holds the verdict")
+	}
+	return holder
+}
+
+// In a journal fleet, anti-entropy rounds ship journal suffixes instead
+// of digests: the verdict diffuses, the rounds count as journal rounds,
+// and a second round pulls nothing because the cursor advanced past the
+// already-seen suffix.
+func TestFleetJournalSuffixSync(t *testing.T) {
+	f := testFleet(t, 2, func(c *Config) { c.Journal = true })
+	body := service.SelfStabRequest{Source: tinyProgram(2), TimeoutMS: 30_000}
+	resp, raw := postTo(t, f.HTTPAddrs()[0], "/v1/selfstab", body, "journal-seed")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed request: %d: %s", resp.StatusCode, raw)
+	}
+	verdictHolder(t, f)
+
+	if pulled := f.AntiEntropyRound(); pulled != 1 {
+		t.Fatalf("journal anti-entropy pulled %d entries, want 1", pulled)
+	}
+	for i := 0; i < f.Replicas(); i++ {
+		rp := f.Replica(i)
+		if n := len(rp.Service().CacheKeys()); n != 1 {
+			t.Fatalf("replica %d holds %d entries after sync, want 1", i, n)
+		}
+		if rp.aeJournalRounds.Load() == 0 {
+			t.Fatalf("replica %d fell back to digest mode in a journal fleet", i)
+		}
+	}
+	// The cursors advanced: re-running the round re-ships nothing.
+	if pulled := f.AntiEntropyRound(); pulled != 0 {
+		t.Fatalf("second round re-pulled %d entries, want 0", pulled)
+	}
+	// The non-owner serves the synced verdict locally, no forward hop.
+	for i, addr := range f.HTTPAddrs() {
+		resp, raw := postTo(t, addr, "/v1/selfstab", body, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replica %d post-sync: %d: %s", i, resp.StatusCode, raw)
+		}
+		if owner := resp.Header.Get("X-Fleet-Owner"); owner != "" {
+			t.Fatalf("replica %d still forwards (owner %s) after sync", i, owner)
+		}
+		var out service.SelfStabResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("replica %d response: %v", i, err)
+		}
+		if !out.Cached {
+			t.Fatalf("replica %d recomputed a synced verdict", i)
+		}
+	}
+	// /fleetz carries the journal head and journal-round counters.
+	var st FleetzStatus
+	_, fz := getStatus(t, f.HTTPAddrs()[0], "/fleetz")
+	if err := json.Unmarshal(fz, &st); err != nil {
+		t.Fatalf("fleetz: %v: %s", err, fz)
+	}
+	if st.JournalLastSeq == 0 || st.AEJournalRounds == 0 {
+		t.Fatalf("fleetz misses journal counters: %s", fz)
+	}
+}
+
+// A crashed journal-fleet replica restarts into its own event history:
+// the fleet-held backend survives the crash, replay reconstructs the
+// verdict cache, and the identical request serves cached — no
+// anti-entropy round needed.
+func TestFleetJournalRestartReplaysOwnHistory(t *testing.T) {
+	f := testFleet(t, 2, func(c *Config) { c.Journal = true })
+	body := service.SelfStabRequest{Source: tinyProgram(1), TimeoutMS: 30_000}
+	resp, raw := postTo(t, f.HTTPAddrs()[0], "/v1/selfstab", body, "restart-seed")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed request: %d: %s", resp.StatusCode, raw)
+	}
+	owner := verdictHolder(t, f)
+
+	f.CrashReplica(owner)
+	if err := f.RestartReplica(owner); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if !f.AwaitReady(5 * time.Second) {
+		t.Fatal("fleet never became ready after restart")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Replica(owner).Service().CacheKeys()) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted replica never replayed its journaled verdict")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, raw = postTo(t, f.Replica(owner).HTTPAddr(), "/v1/selfstab", body, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart request: %d: %s", resp.StatusCode, raw)
+	}
+	var out service.SelfStabResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("post-restart response: %v", err)
+	}
+	if !out.Cached {
+		t.Fatal("restarted replica recomputed instead of replaying its journal")
+	}
+}
+
+// Replicas cannot share one journal: the fleet manages per-replica
+// backends, so a Service-level journal config is a construction error.
+func TestFleetJournalRejectsSharedServiceJournal(t *testing.T) {
+	_, err := New(Config{Replicas: 2, Service: service.Config{JournalPath: "x.wal"}})
+	if err == nil {
+		t.Fatal("fleet accepted a shared Service.JournalPath")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/service"
 )
 
 // Loadgen: a seeded closed-loop traffic harness against a fleet's HTTP
@@ -106,7 +108,8 @@ type LatencySummary struct {
 	MaxUS  int64 `json:"max_us"`
 }
 
-// ReplicaLoad is one replica's contribution, read from its /fleetz.
+// ReplicaLoad is one replica's contribution, read from its /fleetz —
+// plus, on event-sourced replicas, the journal gauges from /metrics.
 type ReplicaLoad struct {
 	Replica         string  `json:"replica"`
 	Forwards        int64   `json:"forwards"`
@@ -115,6 +118,11 @@ type ReplicaLoad struct {
 	CacheHits       uint64  `json:"cache_hits"`
 	CacheMisses     uint64  `json:"cache_misses"`
 	HitRatio        float64 `json:"hit_ratio"`
+	AEJournalRounds int64   `json:"ae_journal_rounds,omitempty"`
+
+	// Journal carries journal_depth, journal_batch_size_p50/p99, and
+	// per-projection projection_lag for event-sourced replicas.
+	Journal *service.JournalMetricsSnapshot `json:"journal,omitempty"`
 }
 
 // LoadgenReport is the run's result. Every field above the latency
@@ -360,6 +368,25 @@ func runOne(ctx context.Context, client *http.Client, addrs []string, lr loadgen
 	return out
 }
 
+// fetchJournalGauges reads one replica's /metrics journal section; nil
+// for journal-less replicas or unreachable targets.
+func fetchJournalGauges(client *http.Client, addr string) *service.JournalMetricsSnapshot {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, fleetMaxBody))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var snap service.MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil
+	}
+	return snap.Journal
+}
+
 // fetchReplicaLoads polls each target's /fleetz. Targets that do not
 // answer (a plain checkd, a crashed replica) are skipped.
 func fetchReplicaLoads(client *http.Client, addrs []string) []ReplicaLoad {
@@ -385,10 +412,12 @@ func fetchReplicaLoads(client *http.Client, addrs []string) []ReplicaLoad {
 			LocalFallbacks:  st.LocalFallbacks,
 			CacheHits:       st.CacheHits,
 			CacheMisses:     st.CacheMisses,
+			AEJournalRounds: st.AEJournalRounds,
 		}
 		if total := st.CacheHits + st.CacheMisses; total > 0 {
 			rl.HitRatio = round4(float64(st.CacheHits) / float64(total))
 		}
+		rl.Journal = fetchJournalGauges(client, addr)
 		out = append(out, rl)
 	}
 	return out

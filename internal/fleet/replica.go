@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -29,6 +30,10 @@ type peer struct {
 	misses    int
 	suspected bool
 	left      bool
+
+	// journalCursor is the peer journal sequence number anti-entropy
+	// has pulled through (journal mode only; reset on local restart).
+	journalCursor uint64
 }
 
 // Replica is one checkd process inside a fleet: a full service.Server
@@ -42,6 +47,11 @@ type Replica struct {
 
 	httpAddr string
 	rpcAddr  string
+
+	// journal is this replica's fleet-held event journal backend
+	// (Config.Journal); nil in digest-only fleets. It survives crash/
+	// restart, so a restarted incarnation replays its own history.
+	journal journal.Backend
 
 	mu      sync.Mutex
 	svc     *service.Server
@@ -69,6 +79,7 @@ type Replica struct {
 	forwardedServed atomic.Int64 // forwards served on behalf of peers
 	aeRounds        atomic.Int64 // anti-entropy rounds completed
 	aePulled        atomic.Int64 // entries pulled by anti-entropy
+	aeJournalRounds atomic.Int64 // rounds served by journal suffixes
 
 	wg sync.WaitGroup
 }
@@ -492,9 +503,13 @@ type FleetzStatus struct {
 	ForwardedServed int64 `json:"forwarded_served"`
 	AERounds        int64 `json:"ae_rounds"`
 	AEPulled        int64 `json:"ae_pulled"`
+	AEJournalRounds int64 `json:"ae_journal_rounds"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+
+	// JournalLastSeq is the replica's journal head (journal fleets only).
+	JournalLastSeq uint64 `json:"journal_last_seq,omitempty"`
 }
 
 // Status snapshots the replica's fleet view.
@@ -512,9 +527,11 @@ func (rp *Replica) Status() FleetzStatus {
 		ForwardedServed: rp.forwardedServed.Load(),
 		AERounds:        rp.aeRounds.Load(),
 		AEPulled:        rp.aePulled.Load(),
+		AEJournalRounds: rp.aeJournalRounds.Load(),
 	}
 	if svc := rp.Service(); svc != nil {
 		st.CacheHits, st.CacheMisses = svc.CacheStats()
+		st.JournalLastSeq = svc.JournalLastSeq()
 	}
 	return st
 }

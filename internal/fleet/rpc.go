@@ -12,10 +12,11 @@ import (
 // Replica-to-replica RPC: one length-prefixed JSON frame per request
 // and one per reply, over pooled persistent TCP connections — the
 // cluster runtime's wire discipline (cluster.WriteFrame/ReadFrame)
-// carrying fleet operations instead of ring registers. Four ops:
+// carrying fleet operations instead of ring registers. Five ops:
 //
 //	forward  run a routed check on its owner, preserving X-Request-Id
 //	digest   anti-entropy: here are my cache keys; send what I lack
+//	journal  anti-entropy: send your verdict events above my cursor
 //	ping     heartbeat; the reply carries the peer's readiness
 //	leave    graceful departure; the receiver drops the sender now
 //
@@ -40,6 +41,8 @@ type rpcRequest struct {
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	// Digest fields: the keys the sender already holds.
 	Keys []string `json:"keys,omitempty"`
+	// Journal field: the sender's cursor into the receiver's journal.
+	Since uint64 `json:"since,omitempty"`
 }
 
 // rpcReply is the reply frame.
@@ -53,6 +56,8 @@ type rpcReply struct {
 	Ready bool `json:"ready,omitempty"`
 	// Digest reply: how many entries the body carries.
 	Entries int `json:"entries,omitempty"`
+	// Journal reply: the cursor the requester should present next time.
+	Next uint64 `json:"next,omitempty"`
 }
 
 // peerClient pools connections to one peer. Calls are sequential per
@@ -212,6 +217,8 @@ func (rp *Replica) handleRPC(req rpcRequest) rpcReply {
 		return rp.handleForward(req)
 	case "digest":
 		return rp.handleDigest(req)
+	case "journal":
+		return rp.handleJournalSuffix(req)
 	}
 	return rpcReply{Err: fmt.Sprintf("unknown op %q", req.Op)}
 }

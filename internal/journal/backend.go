@@ -1,0 +1,154 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// Backend is the journal's durable byte sink. Append must be
+// fsync-equivalent: when it returns nil the bytes survive a crash.
+// ReadAll returns everything previously appended, including any torn
+// tail a crash left behind — the codec's job is to survive it.
+type Backend interface {
+	ReadAll() ([]byte, error)
+	Append(b []byte) error
+}
+
+// MemBackend is an in-memory backend for tests and fleet replicas.
+// Safe for concurrent use.
+type MemBackend struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewMemBackend returns an empty in-memory backend, optionally seeded
+// with existing journal bytes (a "restart" keeps the same backend).
+func NewMemBackend(seed []byte) *MemBackend {
+	return &MemBackend{buf: append([]byte(nil), seed...)}
+}
+
+func (m *MemBackend) ReadAll() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.buf...), nil
+}
+
+func (m *MemBackend) Append(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = append(m.buf, b...)
+	return nil
+}
+
+// Len returns the backend's current size in bytes.
+func (m *MemBackend) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}
+
+// FileBackend appends to one O_APPEND file, syncing after every write
+// so a nil Append means the batch is on disk. The group-commit writer
+// amortizes that sync across a whole batch.
+type FileBackend struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+}
+
+// OpenFile opens (creating if absent) the journal file at path.
+func OpenFile(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileBackend{path: path, f: f}, nil
+}
+
+func (fb *FileBackend) ReadAll() ([]byte, error) {
+	b, err := os.ReadFile(fb.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return b, err
+}
+
+func (fb *FileBackend) Append(b []byte) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if _, err := fb.f.Write(b); err != nil {
+		return err
+	}
+	return fb.f.Sync()
+}
+
+// Close closes the underlying file. Call after Journal.Close.
+func (fb *FileBackend) Close() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.f.Close()
+}
+
+// ErrBackendDead is returned by a TornBackend after its injected tear:
+// the modeled disk is gone, as after a hard kill.
+var ErrBackendDead = errors.New("journal: backend dead after torn write")
+
+// TornBackend models a hard kill mid-batch: the Nth Append persists
+// only a prefix of its bytes yet reports success (the
+// acknowledged-but-unflushed lie every group-commit design must bound),
+// and every later Append fails — the process is dead; only the torn
+// bytes survive for the restart to replay. Deterministic: the tear
+// point and prefix fraction are fixed by construction.
+type TornBackend struct {
+	mem      MemBackend
+	mu       sync.Mutex
+	appends  int
+	tearAt   int
+	prefixOf int // keep len(b)/prefixOf bytes of the torn append
+	dead     bool
+}
+
+// NewTornBackend tears the tearAt-th Append (1-based), keeping
+// 1/prefixOf of that batch's bytes. prefixOf ≤ 0 keeps nothing.
+func NewTornBackend(tearAt, prefixOf int) *TornBackend {
+	return &TornBackend{tearAt: tearAt, prefixOf: prefixOf}
+}
+
+func (tb *TornBackend) ReadAll() ([]byte, error) { return tb.mem.ReadAll() }
+
+// Bytes returns what actually survived — the restart's input.
+func (tb *TornBackend) Bytes() []byte {
+	b, _ := tb.mem.ReadAll()
+	return b
+}
+
+// Torn reports whether the tear has happened yet.
+func (tb *TornBackend) Torn() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.dead
+}
+
+func (tb *TornBackend) Append(b []byte) error {
+	tb.mu.Lock()
+	if tb.dead {
+		tb.mu.Unlock()
+		return ErrBackendDead
+	}
+	tb.appends++
+	torn := tb.appends == tb.tearAt
+	if torn {
+		tb.dead = true
+	}
+	tb.mu.Unlock()
+	if torn {
+		keep := 0
+		if tb.prefixOf > 0 {
+			keep = len(b) / tb.prefixOf
+		}
+		tb.mem.Append(b[:keep])
+		return nil // the lie: acked but not durable
+	}
+	return tb.mem.Append(b)
+}

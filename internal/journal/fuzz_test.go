@@ -1,0 +1,94 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJournalDecode throws arbitrary bytes at the replay path and
+// checks the codec's survival contract: DecodeEvents never panics,
+// never lets the sequence number regress or repeat, never accepts an
+// event without a registry-shaped kind, and everything it accepts
+// round-trips — re-encoding the accepted history and replaying it
+// yields the identical event list with zero corruption.
+func FuzzJournalDecode(f *testing.F) {
+	valid := func(evs ...Event) []byte {
+		var b []byte
+		for _, ev := range evs {
+			b = append(b, EncodeEvent(ev)...)
+		}
+		return b
+	}
+	clean := valid(
+		Event{Seq: 1, Kind: KindRequest, Data: json.RawMessage(`{"kind":"ringsim"}`)},
+		Event{Seq: 2, Kind: KindVerdict, Data: json.RawMessage(`{"key":"abc","v":1}`)},
+		Event{Seq: 3, Kind: KindOutcome, Data: json.RawMessage(`{"status":"ok"}`)},
+	)
+	f.Add(clean)
+	f.Add(clean[:len(clean)-9]) // torn tail
+	bitflipped := append([]byte(nil), clean...)
+	bitflipped[len(bitflipped)/2] ^= 0x40
+	f.Add(bitflipped)
+	f.Add(valid( // stale: seq regresses mid-stream
+		Event{Seq: 5, Kind: KindRequest},
+		Event{Seq: 3, Kind: KindVerdict},
+		Event{Seq: 5, Kind: KindOutcome},
+		Event{Seq: 6, Kind: KindCampaign},
+	))
+	// Oversized length field: header claims more payload than exists.
+	over := append([]byte(nil), clean[:16]...)
+	over[12], over[13], over[14], over[15] = 0x7f, 0xff, 0xff, 0xff
+	f.Add(over)
+	f.Add([]byte("SNP1"))
+	f.Add([]byte{})
+	f.Add(append([]byte("noise before "), clean...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, stats := DecodeEvents(data)
+		if stats.Events != len(evs) {
+			t.Fatalf("stats.Events=%d but %d events", stats.Events, len(evs))
+		}
+		if stats.Bytes != len(data) {
+			t.Fatalf("stats.Bytes=%d, want %d", stats.Bytes, len(data))
+		}
+		var last uint64
+		for i, ev := range evs {
+			if ev.Seq <= last {
+				t.Fatalf("event %d: seq %d does not advance past %d", i, ev.Seq, last)
+			}
+			last = ev.Seq
+			if ev.Kind == "" {
+				t.Fatalf("event %d accepted without a kind", i)
+			}
+			if len(ev.Data) > MaxEventBytes {
+				t.Fatalf("event %d: oversized data %d", i, len(ev.Data))
+			}
+		}
+		// Round-trip: the accepted history re-encodes to a stream that
+		// replays cleanly to the same seq/kind sequence, and encoding
+		// is idempotent from there (hand-crafted inputs may carry
+		// non-compact JSON that one encode pass normalizes).
+		var re []byte
+		for _, ev := range evs {
+			re = append(re, EncodeEvent(ev)...)
+		}
+		evs2, stats2 := DecodeEvents(re)
+		if stats2.Corrupt != 0 || stats2.Stale != 0 {
+			t.Fatalf("re-encoded stream not clean: %+v", stats2)
+		}
+		if len(evs2) != len(evs) {
+			t.Fatalf("round trip: %d events became %d", len(evs), len(evs2))
+		}
+		var re2 []byte
+		for i := range evs {
+			if evs2[i].Seq != evs[i].Seq || evs2[i].Kind != evs[i].Kind {
+				t.Fatalf("round trip diverged at %d: %+v vs %+v", i, evs[i], evs2[i])
+			}
+			re2 = append(re2, EncodeEvent(evs2[i])...)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("encode not idempotent over accepted events")
+		}
+	})
+}

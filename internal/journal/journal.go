@@ -1,0 +1,394 @@
+// Package journal is the event-sourced request journal under checkd: an
+// append-only log of typed events on the snapshot store's SNP1 record
+// framing, written by a batched single-writer loop and consumed by
+// asynchronous projections.
+//
+// The design splits durability from derivation:
+//
+//   - the journal (this file + codec.go + backend.go) is the single
+//     durable source of truth. Concurrent appenders hand records to one
+//     writer goroutine that coalesces them into group commits — one
+//     flush per batch, one ack per record — so heavy write traffic pays
+//     one fsync-equivalent per batch instead of one per request;
+//   - projections (projection.go) are derived views: registered
+//     consumers replay the journal from their checkpoint and then
+//     follow live commits, each a stuttering refinement of the event
+//     history — replaying any prefix converges to the same observable
+//     state, so crash recovery is replay, not reconstruction.
+//
+// The paper's frame is what makes the split safe: correctness lives in
+// convergence, not in fragile in-flight state. A torn tail, a corrupt
+// record, or a lost unflushed batch is a bounded perturbation — replay
+// resynchronizes past the damage (CRC + NextMagic), the sequence number
+// never regresses, and every projection converges to the state implied
+// by the surviving prefix.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Limits and defaults. One event is a request/verdict-sized JSON blob;
+// anything near the record cap is a bug, not data.
+const (
+	// DefaultMaxBatch is the group-commit coalescing bound.
+	DefaultMaxBatch = 256
+	// DefaultMaxQueue bounds records waiting for the writer; beyond it,
+	// appenders block (backpressure, not unbounded memory).
+	DefaultMaxQueue = 1024
+	// MaxEventBytes bounds one event's payload.
+	MaxEventBytes = 1 << 20
+)
+
+// Journal errors.
+var (
+	// ErrClosed rejects appends after Close.
+	ErrClosed = errors.New("journal: closed")
+	// ErrEventTooLarge rejects oversized payloads at admission.
+	ErrEventTooLarge = errors.New("journal: event exceeds size bound")
+)
+
+// Options tunes a journal. Zero values mean "use the default".
+type Options struct {
+	// MaxBatch caps records coalesced into one group commit.
+	MaxBatch int
+	// MaxQueue bounds the pending-append queue.
+	MaxQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
+	return o
+}
+
+// appendReq is one record handed to the writer. ack is nil for
+// fire-and-forget appends (AppendAsync).
+type appendReq struct {
+	kind string
+	data []byte
+	ack  chan appendAck
+}
+
+type appendAck struct {
+	seq uint64
+	err error
+}
+
+// Journal is the append-only event log. Construct with Open, dispose
+// with Close. Append/AppendAsync are safe for concurrent use; replay
+// state (Events, LastSeq) is safe to read concurrently with appends.
+type Journal struct {
+	b   Backend
+	opt Options
+
+	appendc chan appendReq
+	stop    chan struct{}
+	done    chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	events  []Event // durable history, oldest first
+	hooks   []func(last uint64)
+	gate    func(next uint64) // optional admission gate (bounded projection lag)
+	batches batchHistogram
+
+	lastSeq      atomic.Uint64 // highest durable sequence number
+	depth        atomic.Int64  // records accepted but not yet flushed
+	records      atomic.Int64  // records durably committed
+	commits      atomic.Int64  // group commits flushed
+	appendErrors atomic.Int64  // records whose flush failed
+
+	replay Stats // decode stats from Open, immutable afterwards
+}
+
+// Open reads and validates b's existing contents (resynchronizing past
+// torn or corrupt regions), then starts the writer loop. The returned
+// journal continues the surviving sequence numbering: replayed state and
+// new appends form one monotonic history.
+func Open(b Backend, opt Options) (*Journal, error) {
+	raw, err := b.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("journal: read: %w", err)
+	}
+	events, stats := DecodeEvents(raw)
+	j := &Journal{
+		b:      b,
+		opt:    opt.withDefaults(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		events: events,
+		replay: stats,
+	}
+	j.appendc = make(chan appendReq, j.opt.MaxQueue)
+	if n := len(events); n > 0 {
+		j.lastSeq.Store(events[n-1].Seq)
+	}
+	go j.writer(j.stop)
+	return j, nil
+}
+
+// ReplayStats reports what Open found: events accepted, corrupt records
+// skipped, stale (sequence-regressing) records skipped, and resyncs.
+func (j *Journal) ReplayStats() Stats { return j.replay }
+
+// LastSeq returns the highest durable sequence number (0 = empty).
+func (j *Journal) LastSeq() uint64 { return j.lastSeq.Load() }
+
+// Depth returns the number of records accepted but not yet flushed —
+// the journal's write backlog, exported as journal_depth.
+func (j *Journal) Depth() int64 { return j.depth.Load() }
+
+// Counters returns cumulative commit statistics.
+func (j *Journal) Counters() (records, commits, appendErrors int64) {
+	return j.records.Load(), j.commits.Load(), j.appendErrors.Load()
+}
+
+// BatchPercentiles reports the p50 and p99 group-commit batch sizes.
+func (j *Journal) BatchPercentiles() (p50, p99 float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.batches.percentile(0.50), j.batches.percentile(0.99)
+}
+
+// Append durably appends one event and returns its sequence number. It
+// blocks until the event's group commit has been flushed (or failed):
+// when Append returns nil, the event is in the journal.
+func (j *Journal) Append(kind string, data []byte) (uint64, error) {
+	ack := make(chan appendAck, 1)
+	if err := j.enqueue(appendReq{kind: kind, data: data, ack: ack}); err != nil {
+		return 0, err
+	}
+	a := <-ack
+	return a.seq, a.err
+}
+
+// AppendAsync appends one event without waiting for durability: the
+// record rides the next group commit, and a flush failure is counted
+// (Counters) rather than surfaced. Use it for derived bookkeeping
+// events whose loss a restart can tolerate; verdicts use Append.
+func (j *Journal) AppendAsync(kind string, data []byte) error {
+	return j.enqueue(appendReq{kind: kind, data: data})
+}
+
+func (j *Journal) enqueue(r appendReq) error {
+	if len(r.data) > MaxEventBytes {
+		return fmt.Errorf("%w: %d bytes", ErrEventTooLarge, len(r.data))
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	// Count under the lock so Close's drain loop sees every accepted
+	// record before deciding the queue is empty.
+	j.depth.Add(1)
+	j.mu.Unlock()
+	j.appendc <- r
+	return nil
+}
+
+// Events returns a copy of the durable events with Seq ≥ from, oldest
+// first. from = 0 (or 1) returns the full history.
+func (j *Journal) Events(from uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Binary search over the (sorted, possibly gapped) history.
+	lo, hi := 0, len(j.events)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if j.events[mid].Seq < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	out := make([]Event, len(j.events)-lo)
+	copy(out, j.events[lo:])
+	return out
+}
+
+// AddCommitHook registers fn to run after every group commit with the
+// new last sequence number. Hooks run on the writer goroutine and must
+// not block on the journal itself; the projection engine uses one to
+// wake its drivers.
+func (j *Journal) AddCommitHook(fn func(last uint64)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.hooks = append(j.hooks, fn)
+}
+
+// SetGate installs an admission gate the writer consults before each
+// group commit, passing the current last sequence number. The gate may
+// block (the projection engine bounds lag with it) but must return once
+// its condition clears or its owner closes.
+func (j *Journal) SetGate(gate func(last uint64)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.gate = gate
+}
+
+// writer is the single-writer group-commit loop: take one record, drain
+// whatever else is queued (up to MaxBatch), flush once, ack each.
+func (j *Journal) writer(stop chan struct{}) {
+	defer close(j.done)
+	for {
+		var first appendReq
+		select {
+		case first = <-j.appendc:
+		case <-stop:
+			// Graceful close: flush everything accepted before Close.
+			for j.depth.Load() > 0 {
+				j.commit(j.collect(<-j.appendc))
+			}
+			return
+		}
+		batch := j.collect(first)
+		j.mu.Lock()
+		gate := j.gate
+		j.mu.Unlock()
+		if gate != nil {
+			gate(j.lastSeq.Load())
+		}
+		j.commit(batch)
+	}
+}
+
+// collect coalesces queued records behind first, up to MaxBatch.
+func (j *Journal) collect(first appendReq) []appendReq {
+	batch := append(make([]appendReq, 0, 16), first)
+	for len(batch) < j.opt.MaxBatch {
+		select {
+		case r := <-j.appendc:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commit flushes one batch: assign sequence numbers, encode, append to
+// the backend, then publish and ack. Sequence numbers are consumed even
+// when the flush fails — a torn write may have persisted a prefix of
+// the batch, and reusing its numbers would make replay accept a stale
+// record in place of a later acked one.
+func (j *Journal) commit(batch []appendReq) {
+	base := j.lastSeq.Load()
+	var buf []byte
+	events := make([]Event, len(batch))
+	for i, r := range batch {
+		ev := Event{Seq: base + uint64(i) + 1, Kind: r.kind, Data: r.data}
+		events[i] = ev
+		buf = append(buf, EncodeEvent(ev)...)
+	}
+	err := j.b.Append(buf)
+	j.depth.Add(-int64(len(batch)))
+	if err != nil {
+		j.appendErrors.Add(int64(len(batch)))
+		for _, r := range batch {
+			if r.ack != nil {
+				r.ack <- appendAck{err: fmt.Errorf("journal: append: %w", err)}
+			}
+		}
+		// The numbering still advances past the possibly-torn region.
+		j.lastSeqAdvance(base + uint64(len(batch)))
+		return
+	}
+	last := base + uint64(len(batch))
+	j.mu.Lock()
+	j.events = append(j.events, events...)
+	j.batches.observe(len(batch))
+	hooks := j.hooks
+	j.mu.Unlock()
+	j.lastSeq.Store(last)
+	j.records.Add(int64(len(batch)))
+	j.commits.Add(1)
+	for i, r := range batch {
+		if r.ack != nil {
+			r.ack <- appendAck{seq: events[i].Seq}
+		}
+	}
+	for _, fn := range hooks {
+		fn(last)
+	}
+}
+
+// lastSeqAdvance moves lastSeq forward without publishing events (the
+// failed-flush path). CAS-free: only the writer mutates lastSeq.
+func (j *Journal) lastSeqAdvance(to uint64) {
+	if to > j.lastSeq.Load() {
+		j.lastSeq.Store(to)
+	}
+}
+
+// Close stops the writer after flushing every accepted record.
+// Idempotent; appends after Close fail with ErrClosed.
+func (j *Journal) Close() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.done
+		return
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.stop)
+	<-j.done
+}
+
+// batchHistogram tracks group-commit batch sizes in power-of-two
+// buckets (1, 2, 4, … 512, overflow) for the p50/p99 gauges.
+type batchHistogram struct {
+	counts [11]int64
+	n      int64
+}
+
+// batchBucket maps a batch size to its bucket index.
+func batchBucket(size int) int {
+	i, bound := 0, 1
+	for i < 10 && size > bound {
+		bound <<= 1
+		i++
+	}
+	return i
+}
+
+// batchBucketValue is the representative size of bucket i.
+func batchBucketValue(i int) float64 {
+	if i >= 10 {
+		return 1024
+	}
+	return float64(int(1) << i)
+}
+
+func (h *batchHistogram) observe(size int) {
+	h.counts[batchBucket(size)]++
+	h.n++
+}
+
+// percentile returns the representative batch size at quantile q.
+func (h *batchHistogram) percentile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return batchBucketValue(i)
+		}
+	}
+	return batchBucketValue(len(h.counts) - 1)
+}

@@ -81,7 +81,7 @@ func (r ChaosResponse) asCached(elapsed time.Duration) any {
 
 func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	s.metrics.requests[kindChaos].Add(1)
+	s.recordRequest(kindChaos)
 	var req ChaosRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeComputeError(w, err)
@@ -216,6 +216,10 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		// The campaign ran to completion: journal its summary (the
+		// campaign projection aggregates it) even if the response
+		// itself misses its deadline.
+		s.recordCampaign(rep)
 		return ChaosResponse{
 			Report:    *rep,
 			ElapsedUS: time.Since(started).Microseconds(),

@@ -91,7 +91,7 @@ func (r ClusterResponse) asCached(elapsed time.Duration) any {
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	s.metrics.requests[kindCluster].Add(1)
+	s.recordRequest(kindCluster)
 	var req ClusterRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeComputeError(w, err)

@@ -213,7 +213,7 @@ func (s *Server) parseProgram(field, src string) (*gcl.Program, error) {
 
 func (s *Server) handleSelfStab(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	s.metrics.requests[kindSelfStab].Add(1)
+	s.recordRequest(kindSelfStab)
 	var req SelfStabRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeComputeError(w, err)
@@ -251,7 +251,7 @@ func (s *Server) handleSelfStab(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	s.metrics.requests[kindRefine].Add(1)
+	s.recordRequest(kindRefine)
 	var req RefineRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeComputeError(w, err)
@@ -319,7 +319,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	s.metrics.requests[kindLint].Add(1)
+	s.recordRequest(kindLint)
 	var req LintRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeComputeError(w, err)
@@ -375,7 +375,7 @@ const (
 
 func (s *Server) handleRingsim(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	s.metrics.requests[kindRingsim].Add(1)
+	s.recordRequest(kindRingsim)
 	var req RingsimRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeComputeError(w, err)

@@ -1,0 +1,424 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/chaos"
+	"repro/internal/journal"
+	"repro/internal/service/cache"
+)
+
+// Event sourcing: when Config.JournalPath or Config.JournalBackend is
+// set, the journal becomes checkd's single durable source of truth.
+// Handlers stop mutating the verdict cache and /metrics counters
+// directly; instead every request arrival, outcome, computed verdict,
+// and chaos campaign is appended as a typed event, and three
+// projections — cache, metrics, campaigns — derive the serving state by
+// replaying the event history. Startup becomes replay: open the
+// journal, drive the projections to convergence, then report ready.
+//
+// The refinement invariant: each projection's Apply is idempotent per
+// sequence number, so replaying any prefix (snapshot checkpoint + tail,
+// or the whole journal) converges to the same observable state. A crash
+// can lose at most the acknowledged-but-unflushed suffix of one group
+// commit — and verdict events are appended durably *before* the HTTP
+// response is written, so a verdict a client saw is a verdict replay
+// reconstructs.
+//
+// Without a journal configured, the record* seam degrades to the direct
+// counter/cache mutations checkd has always done; every journal append
+// failure degrades the same way, so a full disk costs event history,
+// never a request.
+
+// Outcome statuses, mirroring the /metrics response counters.
+const (
+	statusOK         = "ok"
+	statusBadRequest = "bad_request"
+	statusTimeout    = "timeout"
+	statusOverload   = "overload"
+	statusInternal   = "internal"
+)
+
+// requestEvent is the payload of a journal.KindRequest event.
+type requestEvent struct {
+	Kind string `json:"kind"`
+}
+
+// outcomeEvent is the payload of a journal.KindOutcome event. Latency
+// marks outcomes that feed the per-kind latency histogram (successful
+// computed checks only, matching the live path).
+type outcomeEvent struct {
+	Status    string `json:"status"`
+	Kind      string `json:"kind,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us,omitempty"`
+	Latency   bool   `json:"latency,omitempty"`
+}
+
+// campaignEvent is the payload of a journal.KindCampaign event: the
+// summary row of one completed chaos campaign.
+type campaignEvent struct {
+	Protocol string `json:"protocol"`
+	Episodes int    `json:"episodes"`
+	Passed   int    `json:"passed"`
+	Failed   int    `json:"failed"`
+}
+
+// A verdict event's payload is a persistedEntry — the exact shape the
+// cache snapshot file and anti-entropy sync already use, so the three
+// durability paths share one codec and one strictness policy.
+
+// serverJournal bundles the journal, its projection engine, and the
+// projections deriving this server's state.
+type serverJournal struct {
+	j      *journal.Journal
+	engine *journal.Engine
+	file   *journal.FileBackend // non-nil when opened from JournalPath
+
+	cacheProj   *cacheProjection
+	metricsProj *metricsProjection
+	campProj    *campaignProjection
+
+	ready    atomic.Bool // projections converged on the replayed history
+	stop     chan struct{}
+	closeOne sync.Once
+}
+
+// journalReplayPoll is how often the readiness waiter re-checks
+// convergence while replaying.
+const journalReplayPoll = 2 * time.Second
+
+// newServerJournal opens the journal and starts the projections. It
+// never fails the server: an unopenable journal logs and returns nil,
+// degrading to direct bookkeeping.
+func newServerJournal(s *Server, cfg Config) *serverJournal {
+	b := cfg.JournalBackend
+	var file *journal.FileBackend
+	if b == nil {
+		f, err := journal.OpenFile(cfg.JournalPath)
+		if err != nil {
+			s.logf("journal: open %s: %v (running without a journal)", cfg.JournalPath, err)
+			return nil
+		}
+		file, b = f, f
+	}
+	j, err := journal.Open(b, journal.Options{MaxBatch: cfg.JournalMaxBatch})
+	if err != nil {
+		s.logf("journal: %v (running without a journal)", err)
+		if file != nil {
+			file.Close()
+		}
+		return nil
+	}
+	sj := &serverJournal{j: j, file: file, stop: make(chan struct{})}
+	sj.engine = journal.NewEngine(j, cfg.JournalMaxLag)
+
+	// The cache projection resumes from the snapshot file's checkpoint:
+	// the persister already materialized the cache up to that sequence
+	// number, so replay covers only the tail. Metrics and campaigns are
+	// memory-only and always replay the full history — with a journal,
+	// /metrics counters are journal-lifetime, not process-lifetime.
+	sj.cacheProj = &cacheProjection{c: s.cache}
+	if s.persister != nil {
+		sj.cacheProj.seq.Store(s.persister.loadedCheckpoint.Load())
+		s.persister.setJournalSeq(sj.cacheProj.Seq)
+	}
+	sj.metricsProj = &metricsProjection{m: s.metrics}
+	sj.campProj = &campaignProjection{}
+	sj.engine.Register(sj.cacheProj)
+	sj.engine.Register(sj.metricsProj)
+	sj.engine.Register(sj.campProj)
+
+	if st := j.ReplayStats(); st.Events > 0 || st.Corrupt > 0 {
+		s.logf("journal: replayed %d events (corrupt %d, stale %d, resyncs %d) from %d bytes",
+			st.Events, st.Corrupt, st.Stale, st.Resyncs, st.Bytes)
+	}
+	go func() {
+		for !sj.engine.WaitCaughtUp(journalReplayPoll) {
+			select {
+			case <-sj.stop:
+				return
+			default:
+			}
+		}
+		sj.ready.Store(true)
+	}()
+	return sj
+}
+
+// close drains the projections, then the journal, then the file.
+// Engine first: its final catch-up needs the journal still readable.
+func (sj *serverJournal) close() {
+	sj.closeOne.Do(func() {
+		close(sj.stop)
+		sj.engine.Close()
+		sj.j.Close()
+		if sj.file != nil {
+			sj.file.Close()
+		}
+	})
+}
+
+// cacheProjection derives the verdict cache from KindVerdict events.
+type cacheProjection struct {
+	c   *cache.Cache
+	seq atomic.Uint64
+}
+
+func (p *cacheProjection) Name() string { return "cache" }
+func (p *cacheProjection) Seq() uint64  { return p.seq.Load() }
+
+func (p *cacheProjection) Apply(ev journal.Event) {
+	if ev.Kind == journal.KindVerdict {
+		var pe persistedEntry
+		if json.Unmarshal(ev.Data, &pe) == nil && pe.Key != "" {
+			if val, err := decodeCachedValue(pe.Kind, pe.Value); err == nil {
+				// Re-putting a live-path entry is the stutter the
+				// refinement invariant allows: same key, same value.
+				p.c.Put(pe.Key, val)
+			}
+		}
+	}
+	p.seq.Store(ev.Seq)
+}
+
+// metricsProjection derives the request and response counters (and the
+// latency histograms) from KindRequest/KindOutcome events.
+type metricsProjection struct {
+	m   *metrics
+	seq atomic.Uint64
+}
+
+func (p *metricsProjection) Name() string { return "metrics" }
+func (p *metricsProjection) Seq() uint64  { return p.seq.Load() }
+
+func (p *metricsProjection) Apply(ev journal.Event) {
+	switch ev.Kind {
+	case journal.KindRequest:
+		var re requestEvent
+		if json.Unmarshal(ev.Data, &re) == nil {
+			if c, ok := p.m.requests[re.Kind]; ok {
+				c.Add(1)
+			}
+		}
+	case journal.KindOutcome:
+		var oe outcomeEvent
+		if json.Unmarshal(ev.Data, &oe) == nil {
+			p.m.applyOutcome(oe)
+		}
+	}
+	p.seq.Store(ev.Seq)
+}
+
+// campaignProjection aggregates chaos campaign summaries.
+type campaignProjection struct {
+	campaigns atomic.Int64
+	episodes  atomic.Int64
+	passed    atomic.Int64
+	failed    atomic.Int64
+	seq       atomic.Uint64
+}
+
+func (p *campaignProjection) Name() string { return "campaigns" }
+func (p *campaignProjection) Seq() uint64  { return p.seq.Load() }
+
+func (p *campaignProjection) Apply(ev journal.Event) {
+	if ev.Kind == journal.KindCampaign {
+		var ce campaignEvent
+		if json.Unmarshal(ev.Data, &ce) == nil {
+			p.campaigns.Add(1)
+			p.episodes.Add(int64(ce.Episodes))
+			p.passed.Add(int64(ce.Passed))
+			p.failed.Add(int64(ce.Failed))
+		}
+	}
+	p.seq.Store(ev.Seq)
+}
+
+// recordRequest counts one request arrival: as a journal event when the
+// journal is up (the metrics projection applies it), directly otherwise.
+func (s *Server) recordRequest(kind string) {
+	if s.journal != nil {
+		if data, err := json.Marshal(requestEvent{Kind: kind}); err == nil {
+			if s.journal.j.AppendAsync(journal.KindRequest, data) == nil {
+				return
+			}
+		}
+	}
+	if c, ok := s.metrics.requests[kind]; ok {
+		c.Add(1)
+	}
+}
+
+// recordOutcome counts one request outcome. observeLatency marks
+// successful computed checks, which also feed kind's latency histogram.
+func (s *Server) recordOutcome(status, kind string, elapsed time.Duration, observeLatency bool) {
+	oe := outcomeEvent{Status: status, Kind: kind,
+		ElapsedUS: elapsed.Microseconds(), Latency: observeLatency}
+	if s.journal != nil {
+		if data, err := json.Marshal(oe); err == nil {
+			if s.journal.j.AppendAsync(journal.KindOutcome, data) == nil {
+				return
+			}
+		}
+	}
+	s.metrics.applyOutcome(oe)
+}
+
+// recordVerdict stores one computed verdict: synchronously in the cache
+// (the live fast path — the projection's replay re-put is idempotent)
+// and, when the journal is up, as a durable event appended *before* the
+// caller writes the HTTP response. When recordVerdict returns, a
+// verdict the client is about to see is either in the journal or the
+// journal is down and the entry lives only in memory — the pre-journal
+// behavior.
+func (s *Server) recordVerdict(kind, key string, val any) {
+	s.cache.Put(key, val)
+	if s.journal == nil {
+		return
+	}
+	pk, ok := cacheEntryKind(val)
+	if !ok {
+		return
+	}
+	raw, err := json.Marshal(val)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(persistedEntry{Kind: pk, Key: key, Value: raw})
+	if err != nil {
+		return
+	}
+	_, _ = s.journal.j.Append(journal.KindVerdict, data) // error degrades to cache-only
+}
+
+// recordCampaign journals one completed chaos campaign summary.
+func (s *Server) recordCampaign(rep *chaos.Report) {
+	if s.journal == nil {
+		return
+	}
+	data, err := json.Marshal(campaignEvent{
+		Protocol: rep.Protocol, Episodes: rep.Episodes,
+		Passed: rep.Passed, Failed: rep.Failed})
+	if err != nil {
+		return
+	}
+	_ = s.journal.j.AppendAsync(journal.KindCampaign, data)
+}
+
+// CampaignSummary is the /metrics view of the campaign projection.
+type CampaignSummary struct {
+	Campaigns int64 `json:"campaigns"`
+	Episodes  int64 `json:"episodes"`
+	Passed    int64 `json:"passed"`
+	Failed    int64 `json:"failed"`
+}
+
+// JournalMetricsSnapshot is the /metrics journal section.
+type JournalMetricsSnapshot struct {
+	LastSeq       uint64            `json:"last_seq"`
+	Depth         int64             `json:"journal_depth"`
+	BatchP50      float64           `json:"journal_batch_size_p50"`
+	BatchP99      float64           `json:"journal_batch_size_p99"`
+	Records       int64             `json:"records"`
+	Commits       int64             `json:"commits"`
+	AppendErrors  int64             `json:"append_errors"`
+	Ready         bool              `json:"ready"`
+	Replay        journal.Stats     `json:"replay"`
+	ProjectionLag map[string]uint64 `json:"projection_lag"`
+	Campaigns     CampaignSummary   `json:"campaigns"`
+}
+
+// JournalEnabled reports whether this server is event-sourced.
+func (s *Server) JournalEnabled() bool { return s.journal != nil }
+
+// JournalLastSeq returns the journal head sequence number (0 without a
+// journal).
+func (s *Server) JournalLastSeq() uint64 {
+	if s.journal == nil {
+		return 0
+	}
+	return s.journal.j.LastSeq()
+}
+
+// EncodeJournalSuffix renders this server's verdict events with
+// sequence numbers above from, capped at max events (≤ 0 means all), in
+// journal event framing. It returns the encoded suffix, the cursor the
+// caller should present next time (the last sequence number the scan
+// covered — non-verdict events advance it without shipping), and the
+// number of verdict events shipped. Fleet anti-entropy uses this as a
+// cheap incremental alternative to full digest exchanges: a peer that
+// remembers its cursor pulls exactly the verdicts it has not seen.
+func (s *Server) EncodeJournalSuffix(from uint64, max int) (b []byte, next uint64, n int) {
+	next = from
+	if s.journal == nil {
+		return nil, next, 0
+	}
+	var buf bytes.Buffer
+	for _, ev := range s.journal.j.Events(from + 1) {
+		if ev.Kind == journal.KindVerdict {
+			if max > 0 && n >= max {
+				break // ship the rest from this cursor next round
+			}
+			buf.Write(journal.EncodeEvent(ev))
+			n++
+		}
+		next = ev.Seq
+	}
+	return buf.Bytes(), next, n
+}
+
+// ApplyJournalSuffix decodes a peer's journal suffix and inserts every
+// verdict event that survives the framing, JSON, and kind checks — and
+// is not already present — at the cold end of the cache, exactly like a
+// digest-mode anti-entropy pull. The peer's sequence numbers are its
+// own and are not replayed into this server's journal: pulled verdicts
+// are warmth, not history, and a restart re-pulls them.
+func (s *Server) ApplyJournalSuffix(b []byte) (loaded, skipped int64) {
+	evs, stats := journal.DecodeEvents(b)
+	skipped = int64(stats.Corrupt) + int64(stats.Stale)
+	for _, ev := range evs {
+		if ev.Kind != journal.KindVerdict {
+			skipped++
+			continue
+		}
+		var pe persistedEntry
+		if err := json.Unmarshal(ev.Data, &pe); err != nil || pe.Key == "" {
+			skipped++
+			continue
+		}
+		val, err := decodeCachedValue(pe.Kind, pe.Value)
+		if err != nil {
+			skipped++
+			continue
+		}
+		if s.cache.PutCold(pe.Key, val) {
+			loaded++
+		} else {
+			skipped++
+		}
+	}
+	return loaded, skipped
+}
+
+func (sj *serverJournal) metricsSnapshot() *JournalMetricsSnapshot {
+	snap := &JournalMetricsSnapshot{
+		LastSeq: sj.j.LastSeq(),
+		Depth:   sj.j.Depth(),
+		Ready:   sj.ready.Load(),
+		Replay:  sj.j.ReplayStats(),
+		Campaigns: CampaignSummary{
+			Campaigns: sj.campProj.campaigns.Load(),
+			Episodes:  sj.campProj.episodes.Load(),
+			Passed:    sj.campProj.passed.Load(),
+			Failed:    sj.campProj.failed.Load(),
+		},
+	}
+	snap.BatchP50, snap.BatchP99 = sj.j.BatchPercentiles()
+	snap.Records, snap.Commits, snap.AppendErrors = sj.j.Counters()
+	snap.ProjectionLag = sj.engine.Lags()
+	return snap
+}

@@ -70,6 +70,30 @@ type metrics struct {
 	internal   atomic.Int64
 }
 
+// applyOutcome folds one outcome into the counters — the single
+// mutation path shared by the live (journal-less) recorders and the
+// metrics projection's replay, so both derivations agree by
+// construction.
+func (m *metrics) applyOutcome(oe outcomeEvent) {
+	switch oe.Status {
+	case statusOK:
+		m.ok.Add(1)
+	case statusBadRequest:
+		m.badRequest.Add(1)
+	case statusTimeout:
+		m.timeout.Add(1)
+	case statusOverload:
+		m.overload.Add(1)
+	case statusInternal:
+		m.internal.Add(1)
+	}
+	if oe.Latency {
+		if h, ok := m.latency[oe.Kind]; ok {
+			h.observe(time.Duration(oe.ElapsedUS) * time.Microsecond)
+		}
+	}
+}
+
 func newMetrics(kinds ...string) *metrics {
 	m := &metrics{
 		requests: make(map[string]*atomic.Int64, len(kinds)),
@@ -108,4 +132,6 @@ type MetricsSnapshot struct {
 		Panics   int64 `json:"panics"`
 	} `json:"queue"`
 	Latency map[string]HistogramSnapshot `json:"latency_us"`
+	// Journal is present only when the server is event-sourced.
+	Journal *JournalMetricsSnapshot `json:"journal,omitempty"`
 }

@@ -28,12 +28,21 @@ import (
 // persistedEntry is the JSON payload inside one cache record. Kind
 // selects the concrete response type on reload — the cache stores typed
 // structs (serveFromCache asserts cachedResponse), so a reload must
-// re-materialize the same types, not map[string]any.
+// re-materialize the same types, not map[string]any. The same shape is
+// the payload of a journal verdict event (journal.go), so snapshot,
+// anti-entropy, and journal replay share one codec.
 type persistedEntry struct {
 	Kind  string          `json:"kind"`
 	Key   string          `json:"key"`
 	Value json.RawMessage `json:"value"`
 }
+
+// kindJournalCheckpoint tags the snapshot file's leading checkpoint
+// record: the journal sequence number the snapshot reflects, so a
+// restart replays only the journal tail above it. Pre-journal snapshot
+// files simply lack the record (checkpoint 0 = full replay), and a
+// pre-journal build reading a new file skips it as an unknown kind.
+const kindJournalCheckpoint = "journal-checkpoint"
 
 // cacheEntryKind names the persistable kind of a cached value. Values of
 // unknown types (never produced by the handlers) are reported as not
@@ -103,13 +112,22 @@ func decodeCachedValue(kind string, raw json.RawMessage) (any, error) {
 	}
 }
 
-// encodeCacheEntries renders a cache snapshot as a record stream. The
-// entries arrive least recently used first (cache.Entries' order), so a
-// reload that Puts them in sequence reconstructs the recency order. The
+// encodeCacheEntries renders a cache snapshot as a record stream,
+// prefixed by a journal-checkpoint record when ckpt > 0. The entries
+// arrive least recently used first (cache.Entries' order), so a reload
+// that Puts them in sequence reconstructs the recency order. The
 // record generation is the 1-based position — not load-bearing, but it
 // makes a hexdump of the file navigable.
-func encodeCacheEntries(entries []cache.Entry) []byte {
+func encodeCacheEntries(ckpt uint64, entries []cache.Entry) []byte {
 	var buf bytes.Buffer
+	if ckpt > 0 {
+		seq, _ := json.Marshal(ckpt)
+		payload, err := json.Marshal(persistedEntry{
+			Kind: kindJournalCheckpoint, Key: kindJournalCheckpoint, Value: seq})
+		if err == nil {
+			buf.Write(store.EncodeRecord(ckpt, payload))
+		}
+	}
 	for i, e := range entries {
 		kind, ok := cacheEntryKind(e.Val)
 		if !ok {
@@ -129,10 +147,11 @@ func encodeCacheEntries(entries []cache.Entry) []byte {
 }
 
 // decodeCacheEntries walks a record stream, returning every entry that
-// survives framing, JSON, and kind checks, plus the count of records
-// skipped as corrupt or incompatible. A bad record costs only itself:
-// the loader resyncs to the next magic and keeps going.
-func decodeCacheEntries(b []byte) (entries []cache.Entry, skipped int64) {
+// survives framing, JSON, and kind checks, the journal checkpoint (0
+// when the stream carries none), plus the count of records skipped as
+// corrupt or incompatible. A bad record costs only itself: the loader
+// resyncs to the next magic and keeps going.
+func decodeCacheEntries(b []byte) (entries []cache.Entry, ckpt uint64, skipped int64) {
 	for len(b) > 0 {
 		_, payload, rest, err := store.DecodeRecord(b)
 		if err != nil {
@@ -149,6 +168,13 @@ func decodeCacheEntries(b []byte) (entries []cache.Entry, skipped int64) {
 			skipped++
 			continue
 		}
+		if pe.Kind == kindJournalCheckpoint {
+			var seq uint64
+			if json.Unmarshal(pe.Value, &seq) == nil && seq > ckpt {
+				ckpt = seq
+			}
+			continue
+		}
 		val, err := decodeCachedValue(pe.Kind, pe.Value)
 		if err != nil {
 			skipped++
@@ -156,7 +182,7 @@ func decodeCacheEntries(b []byte) (entries []cache.Entry, skipped int64) {
 		}
 		entries = append(entries, cache.Entry{Key: pe.Key, Val: val})
 	}
-	return entries, skipped
+	return entries, ckpt, skipped
 }
 
 // cachePersister owns the cache file: it loads it once at construction,
@@ -171,6 +197,14 @@ type cachePersister struct {
 	skipped    atomic.Int64 // corrupt/incompatible records dropped at boot
 	saves      atomic.Int64 // successful snapshots
 	saveErrors atomic.Int64 // failed snapshots
+
+	// loadedCheckpoint is the journal checkpoint read from the file at
+	// boot; the cache projection resumes replay just above it.
+	loadedCheckpoint atomic.Uint64
+	// journalSeq, when set (atomically, before the first snapshot
+	// fires), reports the cache projection's current checkpoint so each
+	// snapshot records how much journal it reflects.
+	journalSeq atomic.Value // func() uint64
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -203,12 +237,18 @@ func (p *cachePersister) load() {
 		}
 		return
 	}
-	entries, skipped := decodeCacheEntries(b)
+	entries, ckpt, skipped := decodeCacheEntries(b)
 	for _, e := range entries {
 		p.c.Put(e.Key, e.Val)
 	}
 	p.loaded.Store(int64(len(entries)))
 	p.skipped.Store(skipped)
+	p.loadedCheckpoint.Store(ckpt)
+}
+
+// setJournalSeq wires the cache projection's checkpoint reader in.
+func (p *cachePersister) setJournalSeq(fn func() uint64) {
+	p.journalSeq.Store(fn)
 }
 
 func (p *cachePersister) loop() {
@@ -226,9 +266,17 @@ func (p *cachePersister) loop() {
 }
 
 // snapshot writes the current cache to the file via write-temp + atomic
-// rename, so a crash mid-snapshot leaves the previous file intact.
+// rename, so a crash mid-snapshot leaves the previous file intact. The
+// journal checkpoint is captured *before* the entries: entries applied
+// in between are both in the snapshot and above the recorded
+// checkpoint, and the cache projection's replay re-put is idempotent —
+// overlap is stuttering, loss would not be.
 func (p *cachePersister) snapshot() {
-	data := encodeCacheEntries(p.c.Entries())
+	var ckpt uint64
+	if fn, ok := p.journalSeq.Load().(func() uint64); ok {
+		ckpt = fn()
+	}
+	data := encodeCacheEntries(ckpt, p.c.Entries())
 	tmp := p.path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		p.saveErrors.Add(1)

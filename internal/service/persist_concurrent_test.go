@@ -55,7 +55,7 @@ func TestCachePersistConcurrentWriters(t *testing.T) {
 			if err != nil {
 				continue // not published yet
 			}
-			entries, skipped := decodeCacheEntries(data)
+			entries, _, skipped := decodeCacheEntries(data)
 			if skipped != 0 {
 				probeErr <- fmt.Errorf("published snapshot had %d undecodable records", skipped)
 				return

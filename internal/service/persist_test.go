@@ -28,7 +28,7 @@ func TestCacheCodecRoundTrip(t *testing.T) {
 		{Key: "k-cluster", Val: ClusterResponse{Protocol: "dijkstra3(5)", Procs: 5, Start: []int{1, 2}}},
 		{Key: "k-chaos", Val: ChaosResponse{Report: chaos.Report{Episodes: 2, Pass: true}}},
 	}
-	out, skipped := decodeCacheEntries(encodeCacheEntries(in))
+	out, _, skipped := decodeCacheEntries(encodeCacheEntries(0, in))
 	if skipped != 0 {
 		t.Fatalf("clean stream reported %d skipped records", skipped)
 	}
@@ -62,7 +62,7 @@ func TestCacheCodecSkipsCorrupt(t *testing.T) {
 		{Key: "b", Val: RingsimResponse{Runs: 2}},
 		{Key: "c", Val: RingsimResponse{Runs: 3}},
 	}
-	data := encodeCacheEntries(in)
+	data := encodeCacheEntries(0, in)
 
 	// Flip one payload byte inside the middle record.
 	_, _, rest, err := store.DecodeRecord(data)
@@ -71,7 +71,7 @@ func TestCacheCodecSkipsCorrupt(t *testing.T) {
 	}
 	second := len(data) - len(rest)
 	data[second+20] ^= 0xff
-	out, skipped := decodeCacheEntries(data)
+	out, _, skipped := decodeCacheEntries(data)
 	if skipped != 1 || len(out) != 2 {
 		t.Fatalf("got %d entries, %d skipped; want 2 entries, 1 skipped", len(out), skipped)
 	}
@@ -82,12 +82,12 @@ func TestCacheCodecSkipsCorrupt(t *testing.T) {
 	// A record with an unknown kind (another build's cache) is skipped,
 	// not loaded as something it is not.
 	unknown := store.EncodeRecord(1, []byte(`{"kind":"mystery","key":"x","value":{}}`))
-	out, skipped = decodeCacheEntries(unknown)
+	out, _, skipped = decodeCacheEntries(unknown)
 	if len(out) != 0 || skipped != 1 {
 		t.Fatalf("unknown kind: %d entries, %d skipped", len(out), skipped)
 	}
 
-	out, skipped = decodeCacheEntries([]byte("this is not a cache file at all"))
+	out, _, skipped = decodeCacheEntries([]byte("this is not a cache file at all"))
 	if len(out) != 0 || skipped == 0 {
 		t.Fatalf("garbage: %d entries, %d skipped", len(out), skipped)
 	}
@@ -252,7 +252,7 @@ func TestCachePersistSnapshotInterval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries, skipped := decodeCacheEntries(data)
+	entries, _, skipped := decodeCacheEntries(data)
 	if len(entries) != 1 || skipped != 0 {
 		t.Fatalf("background snapshot holds %d entries (%d skipped), want 1 clean", len(entries), skipped)
 	}

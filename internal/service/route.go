@@ -133,7 +133,7 @@ func (s *Server) TryServeCached(w http.ResponseWriter, cacheKey, requestID strin
 	if requestID != "" {
 		w.Header().Set("X-Request-Id", requestID)
 	}
-	s.metrics.ok.Add(1)
+	s.recordOutcome(statusOK, "", 0, false)
 	writeJSON(w, http.StatusOK, v.(cachedResponse).asCached(0))
 	return true
 }

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/mc"
 	"repro/internal/service/cache"
 )
@@ -69,6 +70,22 @@ type Config struct {
 	// request across handlers, queueing, and fleet forward hops. It must
 	// be safe for concurrent use; nil disables job logging.
 	Logf func(format string, args ...any)
+	// JournalPath, when non-empty, event-sources the server through an
+	// append-only journal at this file: requests, outcomes, verdicts,
+	// and campaign summaries become typed events, and the verdict
+	// cache, /metrics counters, and campaign summary are derived by
+	// replayable projections (see journal.go). Startup replays the
+	// journal before /readyz reports ready.
+	JournalPath string
+	// JournalBackend supplies the journal's storage directly (tests,
+	// fleet replicas); it takes precedence over JournalPath.
+	JournalBackend journal.Backend
+	// JournalMaxBatch caps one group commit (default
+	// journal.DefaultMaxBatch).
+	JournalMaxBatch int
+	// JournalMaxLag bounds how far the slowest projection may trail the
+	// journal before appends block (default journal.DefaultMaxLag).
+	JournalMaxLag int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +130,9 @@ type Server struct {
 	// persister owns the on-disk cache snapshot; nil when Config.CachePath
 	// is empty.
 	persister *cachePersister
+	// journal event-sources the server; nil without Config.JournalPath /
+	// JournalBackend (see journal.go).
+	journal *serverJournal
 	// draining flips once BeginDrain is called; /readyz reports 503 from
 	// then on so load balancers stop routing before the listener closes.
 	draining atomic.Bool
@@ -136,6 +156,11 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CachePath != "" {
 		s.persister = newCachePersister(cfg.CachePath, cfg.CacheSnapshotInterval, s.cache)
+	}
+	if cfg.JournalBackend != nil || cfg.JournalPath != "" {
+		// After the persister: the cache projection resumes from the
+		// snapshot file's journal checkpoint.
+		s.journal = newServerJournal(s, cfg)
 	}
 	s.mux.HandleFunc("POST /v1/selfstab", s.handleSelfStab)
 	s.mux.HandleFunc("POST /v1/refine", s.handleRefine)
@@ -197,7 +222,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
 	defer func() {
 		if v := recover(); v != nil {
-			s.metrics.internal.Add(1)
+			s.recordOutcome(statusInternal, "", 0, false)
 			writeJSON(w, http.StatusInternalServerError, errorBody{
 				Error: fmt.Sprintf("internal error in request %s: %v", id, v)})
 		}
@@ -213,12 +238,16 @@ func (s *Server) BeginDrain() {
 	s.draining.Store(true)
 }
 
-// Close stops the worker pool (in-flight jobs finish first) and, when
-// cache persistence is configured, takes the final cache snapshot so a
-// graceful shutdown never loses the working set.
+// Close stops the worker pool (in-flight jobs finish first), drains the
+// journal's projections and writer, and, when cache persistence is
+// configured, takes the final cache snapshot — after the projections
+// have converged, so the snapshot's journal checkpoint is final.
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.pool.close()
+	if s.journal != nil {
+		s.journal.close()
+	}
 	if s.persister != nil {
 		s.persister.close()
 	}
@@ -318,7 +347,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, kind, key strin
 		res <- outcome{val: v, err: err}
 	}}
 	if !s.pool.submit(j) {
-		s.metrics.overload.Add(1)
+		s.recordOutcome(statusOverload, kind, 0, false)
 		// Queue overflow is transient by construction — in-flight checks
 		// finish in seconds — so tell well-behaved clients when to come
 		// back instead of letting them hammer the queue.
@@ -335,17 +364,18 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, kind, key strin
 			return
 		}
 		if key != "" {
-			s.cache.Put(key, o.val)
+			// Durable before the response: a verdict the client sees is
+			// a verdict the journal replays.
+			s.recordVerdict(kind, key, o.val)
 		}
-		s.metrics.ok.Add(1)
-		s.metrics.latency[kind].observe(time.Since(started))
+		s.recordOutcome(statusOK, kind, time.Since(started), true)
 		writeJSON(w, http.StatusOK, o.val)
 	case <-ctx.Done():
 		// The job either never started (skipped by the worker) or is
 		// being cancelled through its gas meter right now. Like the 429
 		// path, a deadline miss is transient — the next attempt may hit
 		// the cache or an idle worker — so tell clients when to retry.
-		s.metrics.timeout.Add(1)
+		s.recordOutcome(statusTimeout, kind, 0, false)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{
 			Error: fmt.Sprintf("request did not finish within its deadline: %v", ctx.Err())})
@@ -368,17 +398,17 @@ func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 	var re *requestError
 	switch {
 	case errors.As(err, &re):
-		s.metrics.badRequest.Add(1)
+		s.recordOutcome(statusBadRequest, "", 0, false)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: re.Error()})
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		s.metrics.timeout.Add(1)
+		s.recordOutcome(statusTimeout, "", 0, false)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request did not finish within its deadline: " + err.Error()})
 	case errors.Is(err, mc.ErrBudgetExhausted):
-		s.metrics.badRequest.Add(1)
+		s.recordOutcome(statusBadRequest, "", 0, false)
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 	default:
-		s.metrics.internal.Add(1)
+		s.recordOutcome(statusInternal, "", 0, false)
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
@@ -396,7 +426,7 @@ func (s *Server) serveFromCache(w http.ResponseWriter, key string, started time.
 	if !ok {
 		return false
 	}
-	s.metrics.ok.Add(1)
+	s.recordOutcome(statusOK, "", 0, false)
 	writeJSON(w, http.StatusOK, v.(cachedResponse).asCached(time.Since(started)))
 	return true
 }
@@ -429,6 +459,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "draining",
+		})
+	case s.journal != nil && !s.journal.ready.Load():
+		// Startup is replay: the projections have not yet converged on
+		// the journaled history, so the cache and counters are behind
+		// what this instance has already acknowledged.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":         "replaying",
+			"journal_seq":    s.journal.j.LastSeq(),
+			"projection_lag": s.journal.engine.Lags(),
 		})
 	case depth >= s.readyHighWater():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -469,6 +508,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Latency = make(map[string]HistogramSnapshot, len(s.metrics.latency))
 	for k, h := range s.metrics.latency {
 		snap.Latency[k] = h.snapshot()
+	}
+	if s.journal != nil {
+		snap.Journal = s.journal.metricsSnapshot()
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -43,7 +43,9 @@ func (s *Server) EncodeCacheEntriesFor(keys []string, max int) []byte {
 			}
 		}
 	}
-	return encodeCacheEntries(picked)
+	// Anti-entropy streams carry no journal checkpoint: the receiver's
+	// journal numbering is its own.
+	return encodeCacheEntries(0, picked)
 }
 
 // LoadColdCacheEntries decodes a snapshot-framed entry stream and
@@ -54,7 +56,7 @@ func (s *Server) EncodeCacheEntriesFor(keys []string, max int) []byte {
 // Returns the number of entries loaded and the number skipped (corrupt,
 // stale schema, already present, or cache full).
 func (s *Server) LoadColdCacheEntries(b []byte) (loaded, skipped int64) {
-	entries, skippedDecode := decodeCacheEntries(b)
+	entries, _, skippedDecode := decodeCacheEntries(b)
 	skipped = skippedDecode
 	for _, e := range entries {
 		if s.cache.PutCold(e.Key, e.Val) {
