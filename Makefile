@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: check fmt vet gcvet build test bench lint cluster-race cluster-demo chaos crash-demo \
-	fleet-race fleet-demo bench-fleet journal-race bench-journal
+	fleet-race fleet-demo bench-fleet journal-race journal-compact-race bench-journal
 
 # check is the full gate: formatting, vet, build, the race-enabled
 # test suite, and the GCL linter over the example programs. CI and
@@ -131,10 +131,24 @@ bench-fleet:
 journal-race:
 	$(GO) test -race -count=2 ./internal/journal/... ./cmd/checkd/...
 
-# bench-journal regenerates the recorded E20 journal baseline. The
-# replay rows are deterministic; the throughput rows are wall-clock, so
-# review a diff for the ≥ 5× group-commit speedup bound (a Pass:false
-# row), not for drift in the measured events/s.
+# journal-compact-race hammers the retention layer specifically: the
+# writer-goroutine compactor racing concurrent appenders, the
+# degradation ladder's backpressure gate, the service retention loop
+# (snapshot → SetCovered → compact), the fleet's cursor-below-horizon
+# digest fallback, and the SIGKILL-mid-compaction binary test — the
+# code paths where a lost wakeup or a stale horizon read would corrupt
+# durable history.
+journal-compact-race:
+	$(GO) test -race -count=2 -run \
+		'Retention|Compact|Budget|Shed|Backpressure|Horizon|TimeTravel|ReplayTo' \
+		./internal/journal/... ./internal/service/... ./internal/fleet/... ./cmd/checkd/...
+
+# bench-journal regenerates the recorded journal baselines: E20 (group
+# commit, replay, torn tail) and E21 (retention: bounded disk,
+# kill-mid-compaction, degradation ladder). The E21 rows and E20 replay
+# rows are deterministic; the E20 throughput rows are wall-clock, so
+# review a diff for a Pass:false row, not for drift in the measured
+# events/s.
 bench-journal:
-	$(GO) run ./cmd/experiments -only E20 -json > BENCH_journal.json
+	$(GO) run ./cmd/experiments -only E20,E21 -json > BENCH_journal.json
 	@echo "wrote BENCH_journal.json"

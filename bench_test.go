@@ -72,6 +72,9 @@ func BenchmarkE19FleetScaling(b *testing.B) {
 func BenchmarkE20JournalThroughput(b *testing.B) {
 	benchExperiment(b, experiments.E20Journal)
 }
+func BenchmarkE21Retention(b *testing.B) {
+	benchExperiment(b, experiments.E21Retention)
+}
 
 // BenchmarkFairStabilizationCheck measures the weak-fairness decision
 // procedure on the Lemma 9 composition.

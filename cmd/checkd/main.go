@@ -24,6 +24,15 @@
 // the whole inter-snapshot window. /readyz reports "replaying" until
 // the projections converge.
 //
+// With -journal-max-bytes the journal file is additionally kept under a
+// disk budget: a retention loop snapshots the cache every
+// -journal-checkpoint-interval and compacts the snapshot-covered journal
+// prefix with a crash-safe whole-file rewrite; if compaction alone
+// cannot hold the budget, admission degrades deterministically —
+// backpressure first, then shedding fire-and-forget events (counted in
+// /metrics as journal_shed_total) — while durable verdict appends keep
+// their durable-or-error contract.
+//
 // With -fleet N the process runs N replicas as one logical service on
 // loopback listeners: a consistent-hash ring routes each program to its
 // owner replica, anti-entropy rounds sync verdict caches, and every
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -78,22 +88,40 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	cachePath := fs.String("cache-path", "", "persist the verdict cache to this file (empty = in-memory only)")
 	cacheSnapshotInterval := fs.Duration("cache-snapshot-interval", 30*time.Second, "background cache snapshot period (with -cache-path)")
 	journalPath := fs.String("journal-path", "", "append every request/verdict/outcome to this event journal and rebuild state from it on boot (empty = no journal)")
+	journalMaxBytes := fs.Int64("journal-max-bytes", 0, "journal disk budget: compact snapshot-covered history past it, then degrade admission (0 = unbounded; requires -journal-path and -cache-path)")
+	journalCheckpointInterval := fs.Duration("journal-checkpoint-interval", 2*time.Second, "cache snapshot + compaction-horizon publish cadence (with -journal-max-bytes)")
 	fleetSize := fs.Int("fleet", 0, "run N replicas as one fleet on loopback listeners (0 = single process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	retention := journal.Options{MaxBytes: *journalMaxBytes, CheckpointInterval: *journalCheckpointInterval}
+	if err := retention.Validate(); err != nil {
+		return err
+	}
+	if *journalMaxBytes > 0 {
+		// The budget needs a journal file to bound and snapshots to
+		// advance the compaction horizon; without them it could only shed.
+		if *journalPath == "" {
+			return errors.New("-journal-max-bytes requires -journal-path (there is no journal file to bound)")
+		}
+		if *cachePath == "" {
+			return errors.New("-journal-max-bytes requires -cache-path (cache snapshots are what make journal history compactable)")
+		}
+	}
 
 	svcCfg := service.Config{
-		Workers:               *workers,
-		QueueDepth:            *queue,
-		CacheEntries:          *cacheEntries,
-		DefaultTimeout:        *timeout,
-		MaxTimeout:            *maxTimeout,
-		DefaultBudget:         *budget,
-		MaxStates:             *maxStates,
-		CachePath:             *cachePath,
-		CacheSnapshotInterval: *cacheSnapshotInterval,
-		JournalPath:           *journalPath,
+		Workers:                   *workers,
+		QueueDepth:                *queue,
+		CacheEntries:              *cacheEntries,
+		DefaultTimeout:            *timeout,
+		MaxTimeout:                *maxTimeout,
+		DefaultBudget:             *budget,
+		MaxStates:                 *maxStates,
+		CachePath:                 *cachePath,
+		CacheSnapshotInterval:     *cacheSnapshotInterval,
+		JournalPath:               *journalPath,
+		JournalMaxBytes:           *journalMaxBytes,
+		JournalCheckpointInterval: *journalCheckpointInterval,
 	}
 	if *fleetSize > 0 {
 		if *journalPath != "" {

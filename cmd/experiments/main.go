@@ -1,11 +1,11 @@
 // Command experiments regenerates every result of the paper (experiments
-// E1–E20; see DESIGN.md for the index) and prints one report per
+// E1–E21; see DESIGN.md for the index) and prints one report per
 // experiment. It exits non-zero if any mechanized outcome deviates from
 // its recorded expectation.
 //
 // Usage:
 //
-//	experiments [-only E4] [-list] [-json]
+//	experiments [-only E4] [-only E20,E21] [-list] [-json]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -28,13 +29,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
-	only := fs.String("only", "", "run a single experiment by ID (e.g. E4)")
+	only := fs.String("only", "", "run selected experiments by ID, comma-separated (e.g. E4 or E20,E21)")
 	list := fs.Bool("list", false, "list experiment IDs and titles without running")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				wanted[id] = true
+			}
+		}
+	}
 	failed := 0
 	matched := false
 	var collected []*experiments.Report
@@ -48,7 +57,7 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		rep := fn()
-		if *only != "" && rep.ID != *only {
+		if len(wanted) > 0 && !wanted[rep.ID] {
 			continue
 		}
 		matched = true

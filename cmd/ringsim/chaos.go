@@ -40,7 +40,7 @@ func runChaos(args []string, out io.Writer) error {
 	persist := fs.Bool("persist", false, "give each episode an in-memory snapshot store; crash faults recover from it")
 	persistEvery := fs.Int("persist-every", 1, "snapshot interval in steps (with -persist)")
 	storageFaultEvery := fs.Int("storage-fault-every", 0, "fault every Nth snapshot write (0 = none; needs -persist)")
-	storageFaultKinds := fs.String("storage-fault-kinds", "torn,bitflip,stale,missing", "storage-fault mix for -storage-fault-every")
+	storageFaultKinds := fs.String("storage-fault-kinds", "torn,bitflip,stale,missing", "storage-fault mix for -storage-fault-every (also: enospc)")
 	timeout := fs.Duration("timeout", 120*time.Second, "wall-clock bound for the whole campaign")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -35,7 +35,7 @@ func runCluster(args []string, out io.Writer) error {
 	persistDir := fs.String("persist-dir", "", "snapshot directory (default: in-memory store)")
 	persistEvery := fs.Int("persist-every", 1, "snapshot interval in steps")
 	storageFaultEvery := fs.Int("storage-fault-every", 0, "fault every Nth snapshot write (0 = none; needs -persist)")
-	storageFaultKinds := fs.String("storage-fault-kinds", "torn,bitflip,stale,missing", "storage-fault mix for -storage-fault-every")
+	storageFaultKinds := fs.String("storage-fault-kinds", "torn,bitflip,stale,missing", "storage-fault mix for -storage-fault-every (also: enospc)")
 	timeout := fs.Duration("timeout", 60*time.Second, "wall-clock bound (matters for -transport tcp)")
 	jsonOut := fs.Bool("json", false, "print the full result as JSON instead of the event log")
 	if err := fs.Parse(args); err != nil {

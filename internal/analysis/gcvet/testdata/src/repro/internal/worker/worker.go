@@ -71,3 +71,64 @@ func Waived() {
 		}
 	}()
 }
+
+// Compactor mirrors the journal writer/compactor shape: one goroutine
+// multiplexing a work channel, a compaction-request channel, and a stop
+// channel. The select is its stop path.
+type Compactor struct {
+	workc    chan int
+	compactc chan chan struct{}
+	stop     chan struct{}
+}
+
+// Start runs the compactor loop; the stop channel in the select keeps
+// the analyzer satisfied through the same-package callee body.
+func (c *Compactor) Start() {
+	go c.loop()
+}
+
+func (c *Compactor) loop() {
+	for {
+		select {
+		case <-c.workc:
+			work()
+		case ack := <-c.compactc:
+			work() // compaction pass
+			if ack != nil {
+				close(ack)
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// BadCompactorPoll is the shape the check exists to catch: a retention
+// loop that polls for compaction work forever with no quit channel —
+// every restart cycle leaks one of these.
+func BadCompactorPoll() {
+	go func() { // want `goroutine has no visible stop path`
+		for {
+			work() // poll usage, maybe compact — but never stop
+		}
+	}()
+}
+
+// CheckpointDriver hands its goroutine both the poke channel it drains
+// and the stop channel, like the service retention loop handing
+// coverage pokes to the journal: the channel arguments are the visible
+// stop path.
+func CheckpointDriver(poke chan struct{}, stop chan struct{}) {
+	go drainCheckpoints(poke, stop)
+}
+
+func drainCheckpoints(poke chan struct{}, stop chan struct{}) {
+	for {
+		select {
+		case <-poke:
+			work()
+		case <-stop:
+			return
+		}
+	}
+}

@@ -76,7 +76,10 @@ type Options struct {
 	// faults). Requires Persist.
 	StorageFaultEvery int
 	// StorageFaultKinds is the storage-fault mix (torn, bitflip, stale,
-	// missing); defaults to all four when StorageFaultEvery is set.
+	// missing, enospc); defaults to the four silent-corruption kinds
+	// when StorageFaultEvery is set. The enospc kind (disk-pressure:
+	// short write + surfaced error) is opt-in so existing seeded
+	// campaign pins stay stable.
 	StorageFaultKinds []store.FaultKind
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/store"
 	"repro/internal/sim"
 )
 
@@ -290,6 +291,46 @@ func TestCampaignCrashFaults(t *testing.T) {
 	}
 	if _, b := render(); a != b {
 		t.Fatalf("crash campaign is not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestCampaignDiskPressure: a campaign squeezing the disk with the
+// enospc mix still converges — saves fail loudly (SaveErrors), the
+// previous snapshot stays loadable, and self-stabilization carries the
+// episodes through regardless.
+func TestCampaignDiskPressure(t *testing.T) {
+	opts := Options{
+		Proto:    sim.NewDijkstra3(5),
+		Seed:     17,
+		Episodes: 4,
+		MaxSteps: 5000,
+		Template: Template{
+			Kinds:  []cluster.FaultKind{cluster.FaultCrash, cluster.FaultCorrupt},
+			Faults: 3,
+			Gap:    120,
+			Start:  30,
+		},
+		SLO:               SLO{RecoverySteps: 600},
+		Persist:           true,
+		PersistEvery:      2,
+		StorageFaultEvery: 3,
+		StorageFaultKinds: []store.FaultKind{store.FaultENOSPC},
+	}
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("disk-pressure campaign violated SLO: %+v", rep.EpisodeResults)
+	}
+	sawSaveErrors := false
+	for _, ep := range rep.EpisodeResults {
+		if ep.Storage != nil && ep.Storage.SaveErrors > 0 {
+			sawSaveErrors = true
+		}
+	}
+	if !sawSaveErrors {
+		t.Fatal("enospc mix never surfaced a save error — the pressure was silent")
 	}
 }
 

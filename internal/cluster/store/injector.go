@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"syscall"
 )
 
 // FaultKind enumerates the storage-fault model: the real-world failure
@@ -26,17 +27,24 @@ const (
 	// FaultMissing loses the file entirely: the rename removes both the
 	// temp and the target. Loads see ErrNotFound.
 	FaultMissing FaultKind = "missing"
+	// FaultENOSPC models a full disk: the write persists only a seeded
+	// prefix of its bytes (the short write a full filesystem leaves
+	// behind) and fails with an error wrapping syscall.ENOSPC, so the
+	// caller sees the pressure instead of an acked lie. The follow-up
+	// rename is swallowed like stale, because a failed temp write never
+	// reaches its rename.
+	FaultENOSPC FaultKind = "enospc"
 )
 
 // ParseFaultKinds parses a comma- or plus-separated storage-fault kind
 // list ("torn,bitflip").
 func ParseFaultKinds(kinds []string) ([]FaultKind, error) {
-	known := map[FaultKind]bool{FaultTorn: true, FaultBitFlip: true, FaultStale: true, FaultMissing: true}
+	known := map[FaultKind]bool{FaultTorn: true, FaultBitFlip: true, FaultStale: true, FaultMissing: true, FaultENOSPC: true}
 	out := make([]FaultKind, 0, len(kinds))
 	for _, s := range kinds {
 		k := FaultKind(s)
 		if !known[k] {
-			return nil, fmt.Errorf("store: unknown storage-fault kind %q (want torn|bitflip|stale|missing)", s)
+			return nil, fmt.Errorf("store: unknown storage-fault kind %q (want torn|bitflip|stale|missing|enospc)", s)
 		}
 		out = append(out, k)
 	}
@@ -125,6 +133,7 @@ func (in *Injector) WriteFile(name string, data []byte) error {
 	in.mu.Lock()
 	in.writes++
 	k, fault := in.nextFault()
+	enospc := false
 	if fault {
 		in.injected[k]++
 		switch k {
@@ -140,10 +149,23 @@ func (in *Injector) WriteFile(name string, data []byte) error {
 			}
 		case FaultStale, FaultMissing:
 			in.pending[name] = k
+		case FaultENOSPC:
+			// Short write + surfaced error: the disk is full. A seeded
+			// prefix still lands (a real ENOSPC leaves one) but the
+			// caller sees the failure and aborts before the rename
+			// commit point, so the previous snapshot survives.
+			if len(data) > 1 {
+				data = data[:in.rng.Intn(len(data))]
+			}
+			enospc = true
 		}
 	}
 	in.mu.Unlock()
-	return in.inner.WriteFile(name, data)
+	err := in.inner.WriteFile(name, data)
+	if enospc {
+		return fmt.Errorf("store: write %s: %w", name, syscall.ENOSPC)
+	}
+	return err
 }
 
 // Rename implements FS, applying any rename-level fault tagged at write

@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"syscall"
 	"testing"
 )
 
@@ -228,11 +229,40 @@ func TestInjectorPlan(t *testing.T) {
 	}
 }
 
+// TestInjectorENOSPC: a full disk surfaces as an error wrapping
+// syscall.ENOSPC — never an acked lie — and the short-written temp
+// never reaches its rename, so the previous snapshot survives intact.
+func TestInjectorENOSPC(t *testing.T) {
+	inj := NewInjector(NewMemFS(), 5, Plan{})
+	s := New(inj)
+	if err := s.Save(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(FaultENOSPC)
+	err := s.Save(0, 2, 9)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save on full disk: err = %v, want ENOSPC", err)
+	}
+	if gen, val, err := s.Load(0); err != nil || gen != 1 || val != 7 {
+		t.Fatalf("previous snapshot damaged by failed write: gen=%d val=%d err=%v", gen, val, err)
+	}
+	if inj.Injected()[FaultENOSPC] != 1 {
+		t.Fatalf("injected %v", inj.Injected())
+	}
+	// The disk "clears": the next save succeeds and advances normally.
+	if err := s.Save(0, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if gen, val, err := s.Load(0); err != nil || gen != 2 || val != 9 {
+		t.Fatalf("after recovery: gen=%d val=%d err=%v", gen, val, err)
+	}
+}
+
 // TestParseFaultKinds: known kinds parse, unknown are named in the
 // error.
 func TestParseFaultKinds(t *testing.T) {
-	ks, err := ParseFaultKinds([]string{"torn", "bitflip", "stale", "missing"})
-	if err != nil || len(ks) != 4 {
+	ks, err := ParseFaultKinds([]string{"torn", "bitflip", "stale", "missing", "enospc"})
+	if err != nil || len(ks) != 5 {
 		t.Fatalf("parse: %v %v", ks, err)
 	}
 	if _, err := ParseFaultKinds([]string{"gremlin"}); err == nil {

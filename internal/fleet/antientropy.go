@@ -74,21 +74,29 @@ func (rp *Replica) AntiEntropyRound() int {
 		}
 	}
 
-	reply, err := rp.callPeer(target.id, rpcRequest{
+	n, _ := rp.digestRound(svc, target.id)
+	return n
+}
+
+// digestRound runs one full digest/pull exchange against one peer. The
+// second return reports whether the exchange completed (a failed round
+// leaves readiness untouched; the next tick retries another peer).
+func (rp *Replica) digestRound(svc *service.Server, targetID string) (int, bool) {
+	reply, err := rp.callPeer(targetID, rpcRequest{
 		Op: "digest", From: rp.id, Keys: svc.CacheKeys(),
 	}, rp.f.cfg.ForwardTimeout)
 	if err != nil || !reply.OK {
 		// Failed round: stay unready if this would have been the first,
 		// retry against the next peer on the next tick.
-		return 0
+		return 0, false
 	}
 	loaded, skipped := svc.LoadColdCacheEntries(reply.Body)
 	rp.finishRound()
 	if loaded > 0 || skipped > 0 {
 		rp.aePulled.Add(loaded)
-		rp.f.mon.emit(KindAERound, rp.id, "", fmt.Sprintf("peer=%s pulled=%d skipped=%d", target.id, loaded, skipped))
+		rp.f.mon.emit(KindAERound, rp.id, "", fmt.Sprintf("peer=%s pulled=%d skipped=%d", targetID, loaded, skipped))
 	}
-	return int(loaded)
+	return int(loaded), true
 }
 
 // journalRound runs one suffix pull against one peer. The second return
@@ -100,6 +108,26 @@ func (rp *Replica) journalRound(svc *service.Server, targetID string, since uint
 	}, rp.f.cfg.ForwardTimeout)
 	if err != nil || !reply.OK {
 		return 0, false
+	}
+	if reply.Hole {
+		// The cursor fell below the peer's compaction horizon — the
+		// events it expected were retired by retention. An incremental
+		// pull from here would silently skip history, so reconcile with
+		// a full digest exchange and only then adopt the peer's horizon
+		// as the new cursor: if the digest round fails, the stale cursor
+		// stays and the next round re-detects the hole.
+		rp.aeJournalHoles.Add(1)
+		n, ok := rp.digestRound(svc, targetID)
+		if ok {
+			rp.mu.Lock()
+			if p, exists := rp.peers[targetID]; exists && reply.Next > p.journalCursor {
+				p.journalCursor = reply.Next
+			}
+			rp.mu.Unlock()
+			rp.f.mon.emit(KindAERound, rp.id, "",
+				fmt.Sprintf("peer=%s mode=journal-hole resynced=%d cursor=%d", targetID, n, reply.Next))
+		}
+		return n, ok
 	}
 	loaded, skipped := svc.ApplyJournalSuffix(reply.Body)
 	rp.mu.Lock()
@@ -128,8 +156,8 @@ func (rp *Replica) handleJournalSuffix(req rpcRequest) rpcReply {
 	if !svc.JournalEnabled() {
 		return rpcReply{Err: "no journal"}
 	}
-	body, next, n := svc.EncodeJournalSuffix(req.Since, rp.f.cfg.MaxPullPerRound)
-	return rpcReply{OK: true, Body: body, Entries: n, Next: next}
+	body, next, n, hole := svc.EncodeJournalSuffix(req.Since, rp.f.cfg.MaxPullPerRound)
+	return rpcReply{OK: true, Body: body, Entries: n, Next: next, Hole: hole}
 }
 
 // finishRound marks a completed round, flipping first-round readiness.

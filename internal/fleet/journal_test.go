@@ -125,6 +125,76 @@ func TestFleetJournalRestartReplaysOwnHistory(t *testing.T) {
 	}
 }
 
+// When a peer's journal compacts past a requester's cursor, the suffix
+// pull reports a hole instead of silently skipping the retired events:
+// the requester falls back to a full digest exchange (so pre-compaction
+// verdicts still diffuse), counts the hole, and adopts the peer's
+// horizon as its cursor so the next round resumes incrementally.
+func TestFleetJournalCursorBelowHorizonFallsBackToDigest(t *testing.T) {
+	f := testFleet(t, 2, func(c *Config) { c.Journal = true })
+	const verdicts = 3
+	for i := 0; i < verdicts; i++ {
+		body := service.SelfStabRequest{Source: tinyProgram(i), TimeoutMS: 30_000}
+		resp, raw := postTo(t, f.HTTPAddrs()[0], "/v1/selfstab", body, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	// Compact every journal that has history to its head before any
+	// cursor has moved: each peer's cursor (0) is now below the horizon
+	// of every journal that holds verdicts. (A replica that owned
+	// nothing has an empty journal and nothing to compact.)
+	compacted := 0
+	for i := 0; i < f.Replicas(); i++ {
+		svc := f.Replica(i).Service()
+		if svc.JournalLastSeq() < 2 {
+			continue
+		}
+		svc.CoverJournalTo(svc.JournalLastSeq())
+		if st := svc.CompactJournal(); st.HorizonSeq == 0 {
+			t.Fatalf("replica %d never compacted: %+v", i, st)
+		}
+		compacted++
+	}
+	if compacted == 0 {
+		t.Fatal("no replica had history to compact")
+	}
+
+	f.AntiEntropyRound()
+	holes := int64(0)
+	for i := 0; i < f.Replicas(); i++ {
+		rp := f.Replica(i)
+		holes += rp.aeJournalHoles.Load()
+		if n := len(rp.Service().CacheKeys()); n != verdicts {
+			t.Fatalf("replica %d holds %d verdicts after hole fallback, want %d", i, n, verdicts)
+		}
+	}
+	if holes == 0 {
+		t.Fatal("no replica detected a compaction hole")
+	}
+	// Cursors adopted the horizons: the next round is incremental again —
+	// no new holes, nothing re-pulled.
+	if pulled := f.AntiEntropyRound(); pulled != 0 {
+		t.Fatalf("post-resync round re-pulled %d entries", pulled)
+	}
+	after := int64(0)
+	for i := 0; i < f.Replicas(); i++ {
+		after += f.Replica(i).aeJournalHoles.Load()
+	}
+	if after != holes {
+		t.Fatalf("holes kept appearing after resync: %d → %d", holes, after)
+	}
+	// /fleetz surfaces the counter.
+	var st FleetzStatus
+	_, fz := getStatus(t, f.HTTPAddrs()[0], "/fleetz")
+	if err := json.Unmarshal(fz, &st); err != nil {
+		t.Fatalf("fleetz: %v: %s", err, fz)
+	}
+	if st.AEJournalHoles+f.Replica(1).Status().AEJournalHoles != holes {
+		t.Fatalf("fleetz hole counters do not add up to %d: %s", holes, fz)
+	}
+}
+
 // Replicas cannot share one journal: the fleet manages per-replica
 // backends, so a Service-level journal config is a construction error.
 func TestFleetJournalRejectsSharedServiceJournal(t *testing.T) {

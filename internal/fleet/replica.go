@@ -80,6 +80,7 @@ type Replica struct {
 	aeRounds        atomic.Int64 // anti-entropy rounds completed
 	aePulled        atomic.Int64 // entries pulled by anti-entropy
 	aeJournalRounds atomic.Int64 // rounds served by journal suffixes
+	aeJournalHoles  atomic.Int64 // cursors caught below a peer's compaction horizon
 
 	wg sync.WaitGroup
 }
@@ -504,6 +505,7 @@ type FleetzStatus struct {
 	AERounds        int64 `json:"ae_rounds"`
 	AEPulled        int64 `json:"ae_pulled"`
 	AEJournalRounds int64 `json:"ae_journal_rounds"`
+	AEJournalHoles  int64 `json:"ae_journal_holes"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -528,6 +530,7 @@ func (rp *Replica) Status() FleetzStatus {
 		AERounds:        rp.aeRounds.Load(),
 		AEPulled:        rp.aePulled.Load(),
 		AEJournalRounds: rp.aeJournalRounds.Load(),
+		AEJournalHoles:  rp.aeJournalHoles.Load(),
 	}
 	if svc := rp.Service(); svc != nil {
 		st.CacheHits, st.CacheMisses = svc.CacheStats()

@@ -58,6 +58,11 @@ type rpcReply struct {
 	Entries int `json:"entries,omitempty"`
 	// Journal reply: the cursor the requester should present next time.
 	Next uint64 `json:"next,omitempty"`
+	// Hole marks a journal reply whose Since cursor fell below the
+	// peer's compaction horizon: the requested suffix no longer exists,
+	// Next is the horizon, and the requester must digest-sync before
+	// resuming incremental pulls.
+	Hole bool `json:"hole,omitempty"`
 }
 
 // peerClient pools connections to one peer. Calls are sequential per

@@ -3,6 +3,7 @@ package journal
 import (
 	"errors"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -13,6 +14,17 @@ import (
 type Backend interface {
 	ReadAll() ([]byte, error)
 	Append(b []byte) error
+}
+
+// ReplaceBackend is the optional capability compaction needs: atomically
+// substitute the backend's entire contents with b. The swap must be
+// all-or-nothing across a crash — after a kill at any point, ReadAll
+// returns either the complete old bytes or the complete new bytes,
+// never a mixture — because the compactor's correctness argument is
+// exactly that both sides replay to a consistent history.
+type ReplaceBackend interface {
+	Backend
+	Replace(b []byte) error
 }
 
 // MemBackend is an in-memory backend for tests and fleet replicas.
@@ -48,6 +60,15 @@ func (m *MemBackend) Len() int {
 	return len(m.buf)
 }
 
+// Replace atomically substitutes the backend's contents — the in-memory
+// model of a compaction swap.
+func (m *MemBackend) Replace(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = append(m.buf[:0:0], b...)
+	return nil
+}
+
 // FileBackend appends to one O_APPEND file, syncing after every write
 // so a nil Append means the batch is on disk. The group-commit writer
 // amortizes that sync across a whole batch.
@@ -57,8 +78,15 @@ type FileBackend struct {
 	f    *os.File
 }
 
-// OpenFile opens (creating if absent) the journal file at path.
+// compactSuffix names the temporary file a compaction rewrite targets.
+// The rename onto the journal path is the commit point.
+const compactSuffix = ".compact"
+
+// OpenFile opens (creating if absent) the journal file at path. A
+// leftover compaction temp file means a crash landed before the rename
+// commit point; the original journal is intact, so the temp is garbage.
 func OpenFile(path string) (*FileBackend, error) {
+	_ = os.Remove(path + compactSuffix)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
@@ -77,16 +105,76 @@ func (fb *FileBackend) ReadAll() ([]byte, error) {
 func (fb *FileBackend) Append(b []byte) error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
+	if fb.f == nil {
+		return errors.New("journal: file backend lost its handle after a failed compaction swap")
+	}
 	if _, err := fb.f.Write(b); err != nil {
 		return err
 	}
 	return fb.f.Sync()
 }
 
+// Replace rewrites the journal file with b via the classic crash-safe
+// sequence: write a temp file, fsync it, rename it over the journal
+// path, fsync the parent directory, then move the append handle to the
+// new inode. A kill before the rename leaves the old file; a kill after
+// leaves the new one; there is no in-between state a restart can read.
+func (fb *FileBackend) Replace(b []byte) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	tmp := fb.path + compactSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, fb.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(fb.path))
+	// The old handle points at the now-unlinked inode; appends through it
+	// would vanish. Reopen before closing it so a reopen failure leaves
+	// the backend loudly broken (nil handle) instead of silently lossy.
+	nf, err := os.OpenFile(fb.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	old := fb.f
+	fb.f = nf // nil on error
+	if old != nil {
+		old.Close()
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort: some filesystems reject directory fsync, and the rename
+// itself is already ordered on the ones that matter.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
 // Close closes the underlying file. Call after Journal.Close.
 func (fb *FileBackend) Close() error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
+	if fb.f == nil {
+		return nil
+	}
 	return fb.f.Close()
 }
 
@@ -107,6 +195,15 @@ type TornBackend struct {
 	tearAt   int
 	prefixOf int // keep len(b)/prefixOf bytes of the torn append
 	dead     bool
+
+	// Kill-mid-compaction arming: the next Replace dies instead of
+	// completing. killAfterSwap selects which side of the rename commit
+	// point the kill lands on — false models a kill before the swap (the
+	// old bytes survive untouched), true a kill just after (the new bytes
+	// survive). Either way the backend is dead afterwards, exactly like a
+	// SIGKILLed process whose restart will replay whatever survived.
+	killOnReplace bool
+	killAfterSwap bool
 }
 
 // NewTornBackend tears the tearAt-th Append (1-based), keeping
@@ -151,4 +248,43 @@ func (tb *TornBackend) Append(b []byte) error {
 		return nil // the lie: acked but not durable
 	}
 	return tb.mem.Append(b)
+}
+
+// ArmReplaceKill arms a deterministic hard kill inside the next
+// Replace. afterSwap=false kills before the atomic swap (old journal
+// survives); afterSwap=true kills immediately after it (compacted
+// journal survives). Use Bytes() afterwards as the restart's input.
+func (tb *TornBackend) ArmReplaceKill(afterSwap bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.killOnReplace = true
+	tb.killAfterSwap = afterSwap
+}
+
+// Replace implements ReplaceBackend with the armed kill model: an
+// unarmed Replace swaps cleanly; an armed one dies on the chosen side
+// of the swap and reports the death. Because a real Replace is atomic
+// (FileBackend's rename), these are the only two crash outcomes.
+func (tb *TornBackend) Replace(b []byte) error {
+	tb.mu.Lock()
+	if tb.dead {
+		tb.mu.Unlock()
+		return ErrBackendDead
+	}
+	kill, after := tb.killOnReplace, tb.killAfterSwap
+	if kill {
+		tb.dead = true
+		tb.killOnReplace = false
+	}
+	tb.mu.Unlock()
+	if kill && !after {
+		return ErrBackendDead // died before the rename: old bytes stand
+	}
+	if err := tb.mem.Replace(b); err != nil {
+		return err
+	}
+	if kill {
+		return ErrBackendDead // died after the rename: new bytes stand
+	}
+	return nil
 }

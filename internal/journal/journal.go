@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Limits and defaults. One event is a request/verdict-sized JSON blob;
@@ -49,6 +50,14 @@ var (
 	ErrClosed = errors.New("journal: closed")
 	// ErrEventTooLarge rejects oversized payloads at admission.
 	ErrEventTooLarge = errors.New("journal: event exceeds size bound")
+	// ErrShed rejects fire-and-forget appends while the retention ladder
+	// is in its shed stage: the disk budget is exhausted and compaction
+	// plus a checkpoint attempt could not reclaim it. Never silent — the
+	// caller sees the error and RetentionStats counts it.
+	ErrShed = errors.New("journal: async append shed under disk pressure")
+	// ErrCompacted rejects a ReplayTo target below the compaction
+	// horizon: the prefix needed to reconstruct that state is gone.
+	ErrCompacted = errors.New("journal: sequence below compaction horizon")
 )
 
 // Options tunes a journal. Zero values mean "use the default".
@@ -57,6 +66,16 @@ type Options struct {
 	MaxBatch int
 	// MaxQueue bounds the pending-append queue.
 	MaxQueue int
+	// MaxBytes, when positive, is the journal's disk budget: past it the
+	// writer compacts, then applies backpressure, then sheds async
+	// appends (see retention.go). Requires a ReplaceBackend. Zero means
+	// unbounded (compaction still runs when requested explicitly).
+	MaxBytes int64
+	// CheckpointInterval is the cadence at which the journal's owner
+	// promises to publish durable coverage (SetCovered) — the journal
+	// itself never ticks a clock, but Validate rejects a budget with no
+	// checkpoint cadence because compaction could then never reclaim.
+	CheckpointInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -100,11 +119,31 @@ type Journal struct {
 	gate    func(next uint64) // optional admission gate (bounded projection lag)
 	batches batchHistogram
 
+	// Retention state (retention.go). covered/ckptAttempts are guarded
+	// by mu; pressure waits on them. retain/ckptReq are set before
+	// traffic. compactc carries compaction requests to the writer.
+	covered      uint64
+	ckptAttempts uint64
+	pressureBase uint64 // ckptAttempts snapshot at backpressure escalation
+	pressure     *sync.Cond
+	retain       func() (uint64, bool)
+	ckptReq      func()
+	compactc     chan chan struct{}
+
 	lastSeq      atomic.Uint64 // highest durable sequence number
 	depth        atomic.Int64  // records accepted but not yet flushed
 	records      atomic.Int64  // records durably committed
 	commits      atomic.Int64  // group commits flushed
 	appendErrors atomic.Int64  // records whose flush failed
+
+	usage         atomic.Int64  // backend bytes, tracked journal-side
+	horizon       atomic.Uint64 // highest compacted-away sequence number
+	level         atomic.Int32  // degradation ladder stage (DegradeNone…)
+	compactions   atomic.Int64  // successful compaction swaps
+	compactErrors atomic.Int64  // failed compaction swaps
+	dropped       atomic.Int64  // events dropped by compaction
+	reclaimed     atomic.Int64  // bytes reclaimed by compaction
+	shed          atomic.Int64  // async appends shed under disk pressure
 
 	replay Stats // decode stats from Open, immutable afterwards
 }
@@ -127,9 +166,24 @@ func Open(b Backend, opt Options) (*Journal, error) {
 		events: events,
 		replay: stats,
 	}
+	if j.opt.MaxBytes > 0 {
+		if _, ok := b.(ReplaceBackend); !ok {
+			return nil, errors.New("journal: -journal-max-bytes requires a backend that supports atomic replace")
+		}
+	}
+	j.pressure = sync.NewCond(&j.mu)
+	j.compactc = make(chan chan struct{}, 1)
 	j.appendc = make(chan appendReq, j.opt.MaxQueue)
+	j.usage.Store(int64(stats.Bytes))
 	if n := len(events); n > 0 {
 		j.lastSeq.Store(events[n-1].Seq)
+		// A history starting above 1 is the signature of a prior
+		// compaction: everything below the first surviving event was
+		// covered and dropped. Recover the horizon so ReplayTo and
+		// fleet hole detection stay honest across restarts.
+		if first := events[0].Seq; first > 1 {
+			j.horizon.Store(first - 1)
+		}
 	}
 	go j.writer(j.stop)
 	return j, nil
@@ -181,6 +235,13 @@ func (j *Journal) AppendAsync(kind string, data []byte) error {
 func (j *Journal) enqueue(r appendReq) error {
 	if len(r.data) > MaxEventBytes {
 		return fmt.Errorf("%w: %d bytes", ErrEventTooLarge, len(r.data))
+	}
+	// The ladder's last rung: fire-and-forget kinds shed under disk
+	// pressure. Durable appends (with an ack) are never shed — they ride
+	// the queue and either commit or return an error.
+	if r.ack == nil && j.level.Load() >= DegradeShed {
+		j.shed.Add(1)
+		return ErrShed
 	}
 	j.mu.Lock()
 	if j.closed {
@@ -243,6 +304,12 @@ func (j *Journal) writer(stop chan struct{}) {
 		var first appendReq
 		select {
 		case first = <-j.appendc:
+		case ack := <-j.compactc:
+			j.runCompaction()
+			if ack != nil {
+				close(ack)
+			}
+			continue
 		case <-stop:
 			// Graceful close: flush everything accepted before Close.
 			for j.depth.Load() > 0 {
@@ -257,7 +324,9 @@ func (j *Journal) writer(stop chan struct{}) {
 		if gate != nil {
 			gate(j.lastSeq.Load())
 		}
+		j.pressureGate()
 		j.commit(batch)
+		j.checkBudget()
 	}
 }
 
@@ -291,6 +360,9 @@ func (j *Journal) commit(batch []appendReq) {
 	}
 	err := j.b.Append(buf)
 	j.depth.Add(-int64(len(batch)))
+	// Charge the budget even on error: a torn write may have persisted a
+	// prefix of the batch, so over-counting is the safe direction.
+	j.usage.Add(int64(len(buf)))
 	if err != nil {
 		j.appendErrors.Add(int64(len(batch)))
 		for _, r := range batch {
@@ -341,6 +413,7 @@ func (j *Journal) Close() {
 	j.closed = true
 	j.mu.Unlock()
 	close(j.stop)
+	j.pressure.Broadcast() // release a writer parked in the pressure gate
 	<-j.done
 }
 

@@ -107,6 +107,16 @@ func (e *Engine) admit(last uint64) {
 	}
 }
 
+// MinSeq returns the smallest projection checkpoint; ok is false with
+// no registrations. The retention layer uses it as the compaction
+// floor: events above the slowest projection's checkpoint are still
+// needed for its replay and must not be dropped.
+func (e *Engine) MinSeq() (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.minSeqLocked()
+}
+
 // minSeqLocked returns the smallest projection checkpoint; ok is false
 // with no registrations.
 func (e *Engine) minSeqLocked() (uint64, bool) {

@@ -1,0 +1,384 @@
+package journal
+
+import (
+	"fmt"
+)
+
+// Retention: checkpoint-anchored compaction plus a disk budget with an
+// explicit degradation ladder.
+//
+// Compaction drops the journal prefix that is both (a) covered by a
+// durable checkpoint outside the journal — the owner asserts this with
+// SetCovered after a cache snapshot lands on disk — and (b) at or below
+// every live projection's applied checkpoint, so no consumer still
+// needs those events for replay. The surviving suffix is rewritten to
+// the backend in one atomic Replace (write temp + fsync + rename +
+// fsync dir for FileBackend), so a kill at any instant leaves either
+// the old or the new journal, both fully replayable.
+//
+// The budget (Options.MaxBytes) degrades in explicit, observable rungs
+// when the journal outgrows it:
+//
+//  1. compact — drop the covered prefix; usually enough.
+//  2. backpressure — compaction could not reclaim (coverage is stale),
+//     so request a checkpoint from the owner and hold the writer before
+//     its next commit until a checkpoint attempt completes. Appenders
+//     feel this through the bounded queue, exactly like the projection
+//     lag gate.
+//  3. shed — the checkpoint attempt didn't reclaim either (disk full,
+//     snapshot failing). Fire-and-forget appends (AppendAsync) are
+//     refused with ErrShed and counted; durable Append keeps its
+//     durable-or-error contract and is never shed.
+//
+// Every rung is visible in RetentionStats; nothing is dropped silently.
+// All decisions are event-driven (coverage attempts, commit sizes) —
+// the journal never reads a clock, so the ladder is deterministic.
+
+// Degradation ladder stages, in escalation order.
+const (
+	// DegradeNone: within budget (or no budget configured).
+	DegradeNone int32 = iota
+	// DegradeBackpressure: over budget after compaction; the writer
+	// holds commits until the owner attempts a checkpoint.
+	DegradeBackpressure
+	// DegradeShed: still over budget after a checkpoint attempt; async
+	// appends are shed (counted), durable appends still commit.
+	DegradeShed
+)
+
+// MinMaxBytes is the smallest admissible disk budget: one group commit
+// of modest events must fit, or the ladder would thrash on every batch.
+const MinMaxBytes = 64 << 10
+
+// Validate rejects nonsensical retention settings with errors naming
+// the flag, mirroring the repo's flag-validation convention. Call it at
+// flag-parse time; Open itself only enforces what would corrupt state
+// (a budget on a backend without atomic replace).
+func (o Options) Validate() error {
+	if o.MaxBytes < 0 {
+		return fmt.Errorf("journal: -journal-max-bytes must be ≥ 0, got %d", o.MaxBytes)
+	}
+	if o.MaxBytes > 0 && o.MaxBytes < MinMaxBytes {
+		return fmt.Errorf("journal: -journal-max-bytes %d is smaller than one group-commit batch (minimum %d)", o.MaxBytes, int64(MinMaxBytes))
+	}
+	if o.MaxBytes > 0 && o.CheckpointInterval <= 0 {
+		return fmt.Errorf("journal: -journal-checkpoint-interval must be positive when -journal-max-bytes is set, got %s", o.CheckpointInterval)
+	}
+	return nil
+}
+
+// RetentionStats is the observable state of the retention layer.
+type RetentionStats struct {
+	// MaxBytes is the configured budget (0 = unbounded).
+	MaxBytes int64 `json:"max_bytes"`
+	// UsageBytes is the journal's current backend footprint as tracked
+	// by the writer (replayed bytes + committed bytes − reclaimed).
+	UsageBytes int64 `json:"usage_bytes"`
+	// CoveredSeq is the highest sequence the owner has asserted durable
+	// coverage for (cache snapshot checkpoint).
+	CoveredSeq uint64 `json:"covered_seq"`
+	// HorizonSeq is the compaction horizon: events at or below it have
+	// been dropped from the journal.
+	HorizonSeq uint64 `json:"horizon_seq"`
+	// Level names the current degradation rung.
+	Level string `json:"level"`
+	// Compactions / CompactErrors count swap attempts.
+	Compactions   int64 `json:"compactions"`
+	CompactErrors int64 `json:"compact_errors"`
+	// DroppedEvents / ReclaimedBytes measure what compaction removed.
+	DroppedEvents  int64 `json:"dropped_events"`
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	// Shed counts async appends refused under disk pressure
+	// (journal_shed_total in /metrics). Never incremented silently —
+	// every count corresponds to an ErrShed returned to a caller.
+	Shed int64 `json:"journal_shed_total"`
+}
+
+// Retention returns a snapshot of the retention state.
+func (j *Journal) Retention() RetentionStats {
+	j.mu.Lock()
+	covered := j.covered
+	j.mu.Unlock()
+	return RetentionStats{
+		MaxBytes:       j.opt.MaxBytes,
+		UsageBytes:     j.usage.Load(),
+		CoveredSeq:     covered,
+		HorizonSeq:     j.horizon.Load(),
+		Level:          levelName(j.level.Load()),
+		Compactions:    j.compactions.Load(),
+		CompactErrors:  j.compactErrors.Load(),
+		DroppedEvents:  j.dropped.Load(),
+		ReclaimedBytes: j.reclaimed.Load(),
+		Shed:           j.shed.Load(),
+	}
+}
+
+func levelName(l int32) string {
+	switch l {
+	case DegradeBackpressure:
+		return "backpressure"
+	case DegradeShed:
+		return "shed"
+	default:
+		return "none"
+	}
+}
+
+// Horizon returns the compaction horizon: the highest sequence number
+// whose event has been dropped. 0 means nothing was ever compacted.
+func (j *Journal) Horizon() uint64 { return j.horizon.Load() }
+
+// Usage returns the journal's tracked backend footprint in bytes.
+func (j *Journal) Usage() int64 { return j.usage.Load() }
+
+// Covered returns the highest externally-covered sequence number.
+func (j *Journal) Covered() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.covered
+}
+
+// SetCovered asserts that all events with Seq ≤ seq are durably
+// reconstructible without the journal (a cache snapshot embedding a
+// journal checkpoint ≥ seq is on disk). Coverage only advances; calling
+// with an older seq still counts as a checkpoint attempt, which is what
+// releases a writer waiting in the backpressure rung — the owner must
+// call SetCovered after every snapshot attempt, successful or not, or
+// pressure would hold the writer until the next attempt.
+func (j *Journal) SetCovered(seq uint64) {
+	j.mu.Lock()
+	if seq > j.covered {
+		j.covered = seq
+	}
+	j.ckptAttempts++
+	j.mu.Unlock()
+	j.pressure.Broadcast()
+	j.pokeCompaction()
+}
+
+// SetRetainFunc installs the projection floor: compaction never drops
+// above the returned sequence (the projection engine's minimum applied
+// checkpoint), because live projections replay from the in-memory
+// history. ok=false means no floor. Install before traffic.
+func (j *Journal) SetRetainFunc(fn func() (uint64, bool)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.retain = fn
+}
+
+// SetCheckpointRequest installs the owner's checkpoint trigger, called
+// by the writer (non-blocking, coalesced by the owner) when compaction
+// alone cannot reclaim the budget. Install before traffic.
+func (j *Journal) SetCheckpointRequest(fn func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ckptReq = fn
+}
+
+// Compact requests a compaction pass on the writer goroutine and waits
+// for it, then returns the resulting retention state. Safe to call
+// concurrently with appends; a no-op when nothing is droppable.
+func (j *Journal) Compact() RetentionStats {
+	ack := make(chan struct{})
+	select {
+	case j.compactc <- ack:
+		select {
+		case <-ack:
+		case <-j.done:
+		}
+	case <-j.done:
+	}
+	return j.Retention()
+}
+
+// pokeCompaction schedules a compaction pass without waiting. The
+// buffered channel coalesces bursts; the writer drains it between
+// batches.
+func (j *Journal) pokeCompaction() {
+	select {
+	case j.compactc <- nil:
+	default:
+	}
+}
+
+// ReplayTo returns the event history up to and including seq — the
+// time-travel input for rebuilding "state as of seq N". It fails with
+// ErrCompacted when seq is below the compaction horizon, because the
+// prefix needed for the reconstruction no longer exists.
+func (j *Journal) ReplayTo(seq uint64) ([]Event, error) {
+	if h := j.horizon.Load(); seq < h {
+		return nil, fmt.Errorf("%w: seq %d < horizon %d", ErrCompacted, seq, h)
+	}
+	evs := j.Events(0)
+	// Binary search for the first event above seq.
+	lo, hi := 0, len(evs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if evs[mid].Seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return evs[:lo], nil
+}
+
+// retentionHorizon computes the highest droppable sequence number:
+// everything covered externally, not still needed by a projection, and
+// strictly below the last event — the journal always keeps its newest
+// event so a restart resumes the sequence numbering instead of
+// restarting at zero underneath the projections' checkpoints.
+func (j *Journal) retentionHorizon() uint64 {
+	j.mu.Lock()
+	target := j.covered
+	retain := j.retain
+	n := len(j.events)
+	var newest uint64
+	if n > 0 {
+		newest = j.events[n-1].Seq
+	}
+	j.mu.Unlock()
+	if retain != nil {
+		if floor, ok := retain(); ok && floor < target {
+			target = floor
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	if target >= newest {
+		target = newest - 1
+	}
+	return target
+}
+
+// runCompaction rewrites the backend to the suffix above the retention
+// horizon. Writer goroutine only: nothing else mutates j.events or
+// appends to the backend while the swap is in flight, which is the
+// whole concurrency argument for compacting on the writer.
+func (j *Journal) runCompaction() {
+	rb, ok := j.b.(ReplaceBackend)
+	if !ok {
+		return
+	}
+	target := j.retentionHorizon()
+	if target <= j.horizon.Load() {
+		return
+	}
+	j.mu.Lock()
+	// First surviving index: events are sorted by Seq.
+	lo, hi := 0, len(j.events)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if j.events[mid].Seq <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	droppedN := lo
+	var buf []byte
+	for _, ev := range j.events[lo:] {
+		buf = append(buf, EncodeEvent(ev)...)
+	}
+	j.mu.Unlock()
+	if droppedN == 0 {
+		j.horizon.Store(target) // nothing stored below target (gaps)
+		return
+	}
+	if err := rb.Replace(buf); err != nil {
+		j.compactErrors.Add(1)
+		return
+	}
+	j.mu.Lock()
+	survived := j.events[droppedN:]
+	j.events = append(make([]Event, 0, len(survived)), survived...)
+	j.mu.Unlock()
+	old := j.usage.Swap(int64(len(buf)))
+	if d := old - int64(len(buf)); d > 0 {
+		j.reclaimed.Add(d)
+	}
+	j.dropped.Add(int64(droppedN))
+	j.horizon.Store(target)
+	j.compactions.Add(1)
+	// Any compaction that restores the budget de-escalates the ladder
+	// immediately — recovery is as observable as degradation.
+	if max := j.opt.MaxBytes; max > 0 && j.usage.Load() <= max {
+		j.level.Store(DegradeNone)
+	}
+}
+
+// checkBudget runs after every commit: evaluate the ladder. Rung 1 is
+// always a compaction attempt; if usage still exceeds the budget, ask
+// the owner for a checkpoint and escalate one rung. De-escalation is
+// immediate the moment any compaction brings usage back under budget.
+func (j *Journal) checkBudget() {
+	max := j.opt.MaxBytes
+	if max <= 0 {
+		return
+	}
+	if j.usage.Load() <= max {
+		j.level.Store(DegradeNone)
+		return
+	}
+	j.runCompaction()
+	if j.usage.Load() <= max {
+		j.level.Store(DegradeNone)
+		return
+	}
+	// Snapshot the attempt counter BEFORE issuing the request: the
+	// owner's checkpoint may complete (and call SetCovered) before the
+	// writer reaches the pressure gate, and the gate must treat that as
+	// the attempt it was waiting for, not wedge waiting for another.
+	j.mu.Lock()
+	req := j.ckptReq
+	base := j.ckptAttempts
+	j.mu.Unlock()
+	switch j.level.Load() {
+	case DegradeNone:
+		if req == nil {
+			// Nobody to ask for coverage: backpressure would hold the
+			// writer forever. Skip straight to shedding.
+			j.level.Store(DegradeShed)
+			return
+		}
+		j.mu.Lock()
+		j.pressureBase = base
+		j.mu.Unlock()
+		j.level.Store(DegradeBackpressure)
+		req()
+	case DegradeBackpressure:
+		// pressureGate already held a commit through one checkpoint
+		// attempt and the budget is still blown: escalate, but keep
+		// asking — recovery rides the next successful checkpoint.
+		j.level.Store(DegradeShed)
+		if req != nil {
+			req()
+		}
+	case DegradeShed:
+		if req != nil {
+			req()
+		}
+	}
+}
+
+// pressureGate holds the writer before a commit while the ladder is in
+// the backpressure rung, until a checkpoint attempt completes (or the
+// journal closes). It then compacts with whatever coverage the attempt
+// produced; if that clears the budget the ladder resets and traffic
+// proceeds as if nothing happened — the paper's convergence frame
+// applied to storage: a bounded perturbation, then re-convergence.
+func (j *Journal) pressureGate() {
+	if j.opt.MaxBytes <= 0 || j.level.Load() != DegradeBackpressure {
+		return
+	}
+	j.mu.Lock()
+	for !j.closed && j.level.Load() == DegradeBackpressure && j.ckptAttempts <= j.pressureBase {
+		j.pressure.Wait()
+	}
+	j.mu.Unlock()
+	j.runCompaction()
+	if j.usage.Load() <= j.opt.MaxBytes {
+		j.level.Store(DegradeNone)
+	}
+}

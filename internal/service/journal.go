@@ -3,6 +3,9 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,8 +85,13 @@ type serverJournal struct {
 	metricsProj *metricsProjection
 	campProj    *campaignProjection
 
-	ready    atomic.Bool // projections converged on the replayed history
+	ready atomic.Bool // projections converged on the replayed history
+	// ckptPoke wakes the retention checkpoint loop ahead of its ticker —
+	// the journal sends here (non-blocking) when it wants coverage to
+	// advance because the disk budget is under pressure.
+	ckptPoke chan struct{}
 	stop     chan struct{}
+	wg       sync.WaitGroup
 	closeOne sync.Once
 }
 
@@ -105,7 +113,12 @@ func newServerJournal(s *Server, cfg Config) *serverJournal {
 		}
 		file, b = f, f
 	}
-	j, err := journal.Open(b, journal.Options{MaxBatch: cfg.JournalMaxBatch})
+	opts := journal.Options{
+		MaxBatch:           cfg.JournalMaxBatch,
+		MaxBytes:           cfg.JournalMaxBytes,
+		CheckpointInterval: cfg.JournalCheckpointInterval,
+	}
+	j, err := journal.Open(b, opts)
 	if err != nil {
 		s.logf("journal: %v (running without a journal)", err)
 		if file != nil {
@@ -113,8 +126,12 @@ func newServerJournal(s *Server, cfg Config) *serverJournal {
 		}
 		return nil
 	}
-	sj := &serverJournal{j: j, file: file, stop: make(chan struct{})}
+	sj := &serverJournal{j: j, file: file,
+		ckptPoke: make(chan struct{}, 1), stop: make(chan struct{})}
 	sj.engine = journal.NewEngine(j, cfg.JournalMaxLag)
+	// Projections are a retention floor: compaction never drops an event
+	// the slowest projection has not applied, even under disk pressure.
+	j.SetRetainFunc(sj.engine.MinSeq)
 
 	// The cache projection resumes from the snapshot file's checkpoint:
 	// the persister already materialized the cache up to that sequence
@@ -125,6 +142,27 @@ func newServerJournal(s *Server, cfg Config) *serverJournal {
 	if s.persister != nil {
 		sj.cacheProj.seq.Store(s.persister.loadedCheckpoint.Load())
 		s.persister.setJournalSeq(sj.cacheProj.Seq)
+	}
+	if cfg.JournalMaxBytes > 0 {
+		if s.persister != nil {
+			// The snapshot file on disk already covers its recorded
+			// checkpoint — seed coverage so a restart can compact
+			// immediately instead of waiting for the first snapshot.
+			j.SetCovered(s.persister.loadedCheckpoint.Load())
+			j.SetCheckpointRequest(func() {
+				select {
+				case sj.ckptPoke <- struct{}{}:
+				default: // a poke is already pending
+				}
+			})
+			sj.wg.Add(1)
+			go sj.checkpointLoop(s.persister, cfg.JournalCheckpointInterval)
+		} else {
+			// No snapshots means coverage never advances: the budget can
+			// only shed, never compact. Honor the bound but say so.
+			s.logf("journal: -journal-max-bytes set without a cache snapshot path; " +
+				"the budget can only shed async events, never compact")
+		}
 	}
 	sj.metricsProj = &metricsProjection{m: s.metrics}
 	sj.campProj = &campaignProjection{}
@@ -149,11 +187,38 @@ func newServerJournal(s *Server, cfg Config) *serverJournal {
 	return sj
 }
 
+// checkpointLoop is the retention side of cache persistence: on a
+// ticker — and immediately when the journal pokes under disk pressure —
+// it snapshots the cache and publishes the snapshot's journal
+// checkpoint as the journal's covered sequence. Every attempt reports,
+// even a failed one (re-publishing the old coverage), so a writer
+// blocked in backpressure always observes the attempt and re-evaluates
+// instead of waiting forever on a snapshot that cannot land.
+func (sj *serverJournal) checkpointLoop(p *cachePersister, interval time.Duration) {
+	defer sj.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sj.stop:
+			return
+		case <-t.C:
+		case <-sj.ckptPoke:
+		}
+		if ckpt, ok := p.snapshot(); ok {
+			sj.j.SetCovered(ckpt)
+		} else {
+			sj.j.SetCovered(sj.j.Covered())
+		}
+	}
+}
+
 // close drains the projections, then the journal, then the file.
 // Engine first: its final catch-up needs the journal still readable.
 func (sj *serverJournal) close() {
 	sj.closeOne.Do(func() {
 		close(sj.stop)
+		sj.wg.Wait()
 		sj.engine.Close()
 		sj.j.Close()
 		if sj.file != nil {
@@ -330,6 +395,108 @@ type JournalMetricsSnapshot struct {
 	Replay        journal.Stats     `json:"replay"`
 	ProjectionLag map[string]uint64 `json:"projection_lag"`
 	Campaigns     CampaignSummary   `json:"campaigns"`
+	// Retention is present when a disk budget is configured
+	// (Config.JournalMaxBytes > 0): usage against the budget, the
+	// compaction horizon, and the degradation-ladder counters, including
+	// journal_shed_total.
+	Retention *journal.RetentionStats `json:"retention,omitempty"`
+}
+
+// journalQueryMaxEvents bounds one GET /v1/journal page: a range query
+// over a long history answers in pages, never one unbounded response.
+const journalQueryMaxEvents = 512
+
+// journalEventView is one decoded event in a GET /v1/journal response.
+type journalEventView struct {
+	Seq  uint64          `json:"seq"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// JournalRangeResponse is the GET /v1/journal response: the decoded
+// events with sequence numbers in [from, to], plus enough journal
+// geometry (horizon, head) for the client to interpret absences —
+// sequences at or below the horizon were compacted away, not lost.
+type JournalRangeResponse struct {
+	From    uint64             `json:"from"`
+	To      uint64             `json:"to"`
+	Horizon uint64             `json:"horizon"`
+	LastSeq uint64             `json:"last_seq"`
+	Events  []journalEventView `json:"events"`
+	// Truncated is set when the range held more than one page; NextFrom
+	// is the cursor to resume from.
+	Truncated bool   `json:"truncated,omitempty"`
+	NextFrom  uint64 `json:"next_from,omitempty"`
+}
+
+// handleJournalRange serves GET /v1/journal?from=N&to=M: the journaled
+// event history as decoded JSON, paged at journalQueryMaxEvents. Both
+// bounds are inclusive and optional (from defaults to 1, to to the
+// journal head). It shares ServeHTTP's request-id and panic middleware
+// like every other endpoint.
+func (s *Server) handleJournalRange(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "this server runs without a journal (no -journal-path)"})
+		return
+	}
+	parse := func(name string, def uint64) (uint64, bool) {
+		raw := r.URL.Query().Get(name)
+		if raw == "" {
+			return def, true
+		}
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("bad %s=%q: %v", name, raw, err)})
+			return 0, false
+		}
+		return v, true
+	}
+	last := s.journal.j.LastSeq()
+	from, ok := parse("from", 1)
+	if !ok {
+		return
+	}
+	to, ok := parse("to", last)
+	if !ok {
+		return
+	}
+	if from < 1 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad from=0: sequence numbers start at 1"})
+		return
+	}
+	if to < from {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("bad range: from=%d > to=%d", from, to)})
+		return
+	}
+	resp := JournalRangeResponse{
+		From:    from,
+		To:      to,
+		Horizon: s.journal.j.Horizon(),
+		LastSeq: last,
+		Events:  []journalEventView{}, // render [] rather than null
+	}
+	for _, ev := range s.journal.j.Events(from) {
+		if ev.Seq > to {
+			break
+		}
+		if len(resp.Events) >= journalQueryMaxEvents {
+			resp.Truncated = true
+			resp.NextFrom = ev.Seq
+			break
+		}
+		view := journalEventView{Seq: ev.Seq, Kind: string(ev.Kind)}
+		if json.Valid(ev.Data) {
+			view.Data = json.RawMessage(ev.Data)
+		} else if raw, err := json.Marshal(string(ev.Data)); err == nil {
+			// Non-JSON payloads (nothing this server writes, but the
+			// journal format allows them) ship as a JSON string.
+			view.Data = raw
+		}
+		resp.Events = append(resp.Events, view)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // JournalEnabled reports whether this server is event-sourced.
@@ -348,14 +515,24 @@ func (s *Server) JournalLastSeq() uint64 {
 // sequence numbers above from, capped at max events (≤ 0 means all), in
 // journal event framing. It returns the encoded suffix, the cursor the
 // caller should present next time (the last sequence number the scan
-// covered — non-verdict events advance it without shipping), and the
-// number of verdict events shipped. Fleet anti-entropy uses this as a
-// cheap incremental alternative to full digest exchanges: a peer that
+// covered — non-verdict events advance it without shipping), the number
+// of verdict events shipped, and whether the request fell into a
+// compaction hole: from below the retention horizon means events the
+// cursor expects no longer exist, so the caller must fall back to a
+// full digest exchange instead of trusting an incremental pull that
+// silently skipped history. Fleet anti-entropy uses this as a cheap
+// incremental alternative to full digest exchanges: a peer that
 // remembers its cursor pulls exactly the verdicts it has not seen.
-func (s *Server) EncodeJournalSuffix(from uint64, max int) (b []byte, next uint64, n int) {
+func (s *Server) EncodeJournalSuffix(from uint64, max int) (b []byte, next uint64, n int, hole bool) {
 	next = from
 	if s.journal == nil {
-		return nil, next, 0
+		return nil, next, 0, false
+	}
+	if h := s.journal.j.Horizon(); from < h {
+		// The events in (from, h] were compacted away; an incremental
+		// reply would be a silent gap. Report the hole and where the
+		// journal now begins so the caller can digest-sync and resume.
+		return nil, h, 0, true
 	}
 	var buf bytes.Buffer
 	for _, ev := range s.journal.j.Events(from + 1) {
@@ -368,7 +545,64 @@ func (s *Server) EncodeJournalSuffix(from uint64, max int) (b []byte, next uint6
 		}
 		next = ev.Seq
 	}
-	return buf.Bytes(), next, n
+	return buf.Bytes(), next, n, false
+}
+
+// JournalHorizon returns the compaction horizon: the highest sequence
+// number dropped by retention (0 without a journal or before any
+// compaction).
+func (s *Server) JournalHorizon() uint64 {
+	if s.journal == nil {
+		return 0
+	}
+	return s.journal.j.Horizon()
+}
+
+// CoverJournalTo publishes seq as covered-by-snapshot, making the
+// prefix up to it eligible for compaction. Fleet replicas (journal
+// backends without a cache persister) use it to drive retention from
+// their own snapshot schedule; tests use it to set up compaction
+// deterministically.
+func (s *Server) CoverJournalTo(seq uint64) {
+	if s.journal != nil {
+		s.journal.j.SetCovered(seq)
+	}
+}
+
+// CompactJournal runs one synchronous compaction pass and reports the
+// resulting retention stats (zero value without a journal).
+func (s *Server) CompactJournal() journal.RetentionStats {
+	if s.journal == nil {
+		return journal.RetentionStats{}
+	}
+	return s.journal.j.Compact()
+}
+
+// VerdictKeysAsOf replays the journal up to seq (inclusive) and returns
+// the cache keys the verdict history had established by then, in event
+// order. It answers "what did this server know as of sequence N" —
+// time-travel debugging over the event-sourced history. Sequences below
+// the compaction horizon return journal.ErrCompacted: that history was
+// retired by retention and can no longer be reconstructed.
+func (s *Server) VerdictKeysAsOf(seq uint64) ([]string, error) {
+	if s.journal == nil {
+		return nil, nil
+	}
+	evs, err := s.journal.j.ReplayTo(seq)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, ev := range evs {
+		if ev.Kind != journal.KindVerdict {
+			continue
+		}
+		var pe persistedEntry
+		if json.Unmarshal(ev.Data, &pe) == nil && pe.Key != "" {
+			keys = append(keys, pe.Key)
+		}
+	}
+	return keys, nil
 }
 
 // ApplyJournalSuffix decodes a peer's journal suffix and inserts every
@@ -420,5 +654,8 @@ func (sj *serverJournal) metricsSnapshot() *JournalMetricsSnapshot {
 	snap.BatchP50, snap.BatchP99 = sj.j.BatchPercentiles()
 	snap.Records, snap.Commits, snap.AppendErrors = sj.j.Counters()
 	snap.ProjectionLag = sj.engine.Lags()
+	if ret := sj.j.Retention(); ret.MaxBytes > 0 {
+		snap.Retention = &ret
+	}
 	return snap
 }

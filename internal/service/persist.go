@@ -206,6 +206,10 @@ type cachePersister struct {
 	// snapshot records how much journal it reflects.
 	journalSeq atomic.Value // func() uint64
 
+	// snapMu serializes snapshot writers: the interval loop, the journal
+	// retention checkpoint loop, and the shutdown snapshot may race.
+	snapMu sync.Mutex
+
 	stop     chan struct{}
 	done     chan struct{}
 	closeOne sync.Once
@@ -270,8 +274,12 @@ func (p *cachePersister) loop() {
 // journal checkpoint is captured *before* the entries: entries applied
 // in between are both in the snapshot and above the recorded
 // checkpoint, and the cache projection's replay re-put is idempotent —
-// overlap is stuttering, loss would not be.
-func (p *cachePersister) snapshot() {
+// overlap is stuttering, loss would not be. It returns the checkpoint
+// the written snapshot covers and whether the write landed — the
+// journal retention loop turns a true return into SetCovered(ckpt).
+func (p *cachePersister) snapshot() (uint64, bool) {
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
 	var ckpt uint64
 	if fn, ok := p.journalSeq.Load().(func() uint64); ok {
 		ckpt = fn()
@@ -280,13 +288,14 @@ func (p *cachePersister) snapshot() {
 	tmp := p.path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		p.saveErrors.Add(1)
-		return
+		return 0, false
 	}
 	if err := os.Rename(tmp, p.path); err != nil {
 		p.saveErrors.Add(1)
-		return
+		return 0, false
 	}
 	p.saves.Add(1)
+	return ckpt, true
 }
 
 // close stops the loop and takes the shutdown snapshot. Idempotent.

@@ -86,6 +86,18 @@ type Config struct {
 	// JournalMaxLag bounds how far the slowest projection may trail the
 	// journal before appends block (default journal.DefaultMaxLag).
 	JournalMaxLag int
+	// JournalMaxBytes, when > 0, bounds the journal file's size: past the
+	// budget the server compacts the prefix covered by cache snapshots
+	// and, if compaction cannot reclaim enough, degrades append admission
+	// (backpressure, then shedding async events — see
+	// journal.Options.MaxBytes). Requires a replace-capable backend
+	// (JournalPath gives one) and, for the degradation ladder to recover,
+	// CachePath (snapshots are what advance the compaction horizon).
+	JournalMaxBytes int64
+	// JournalCheckpointInterval is how often the retention loop snapshots
+	// the cache and publishes the covered sequence to the journal
+	// (default 2s; only meaningful with JournalMaxBytes).
+	JournalCheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSnapshotInterval <= 0 {
 		c.CacheSnapshotInterval = 30 * time.Second
+	}
+	if c.JournalCheckpointInterval <= 0 {
+		c.JournalCheckpointInterval = 2 * time.Second
 	}
 	return c
 }
@@ -169,6 +184,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /lint", s.handleLint) // unversioned alias
+	s.mux.HandleFunc("GET /v1/journal", s.handleJournalRange)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
