@@ -75,6 +75,9 @@ func BenchmarkE20JournalThroughput(b *testing.B) {
 func BenchmarkE21Retention(b *testing.B) {
 	benchExperiment(b, experiments.E21Retention)
 }
+func BenchmarkE22GrayFailure(b *testing.B) {
+	benchExperiment(b, experiments.E22GrayFailure)
+}
 
 // BenchmarkFairStabilizationCheck measures the weak-fairness decision
 // procedure on the Lemma 9 composition.

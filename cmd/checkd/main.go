@@ -91,8 +91,21 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	journalMaxBytes := fs.Int64("journal-max-bytes", 0, "journal disk budget: compact snapshot-covered history past it, then degrade admission (0 = unbounded; requires -journal-path and -cache-path)")
 	journalCheckpointInterval := fs.Duration("journal-checkpoint-interval", 2*time.Second, "cache snapshot + compaction-horizon publish cadence (with -journal-max-bytes)")
 	fleetSize := fs.Int("fleet", 0, "run N replicas as one fleet on loopback listeners (0 = single process)")
+	fleetBreakerFailures := fs.Int("fleet-breaker-failures", 0, "consecutive forward failures that open a peer breaker (0 = default, negative = disabled; requires -fleet)")
+	fleetBreakerBreach := fs.Duration("fleet-breaker-breach", 0, "forward p99 latency that opens a peer breaker (0 = default, negative = disabled; requires -fleet)")
+	fleetHedgeDelay := fs.Duration("fleet-hedge-delay", 0, "hedged-forward delay (0 = latency-derived, negative = disabled; requires -fleet)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fleetSize <= 0 {
+		switch {
+		case *fleetBreakerFailures != 0:
+			return errors.New("-fleet-breaker-failures requires -fleet (breakers guard forwards between replicas)")
+		case *fleetBreakerBreach != 0:
+			return errors.New("-fleet-breaker-breach requires -fleet (breakers guard forwards between replicas)")
+		case *fleetHedgeDelay != 0:
+			return errors.New("-fleet-hedge-delay requires -fleet (hedging races a forward against local compute)")
+		}
 	}
 	retention := journal.Options{MaxBytes: *journalMaxBytes, CheckpointInterval: *journalCheckpointInterval}
 	if err := retention.Validate(); err != nil {
@@ -127,7 +140,13 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		if *journalPath != "" {
 			return errors.New("-journal-path cannot be combined with -fleet: replicas do not share one journal file")
 		}
-		return runFleet(*fleetSize, svcCfg, out, stop)
+		return runFleet(fleet.Config{
+			Replicas:             *fleetSize,
+			Service:              svcCfg,
+			BreakerFailures:      *fleetBreakerFailures,
+			BreakerLatencyBreach: *fleetBreakerBreach,
+			HedgeDelay:           *fleetHedgeDelay,
+		}, out, stop)
 	}
 
 	svc := service.New(svcCfg)
@@ -173,12 +192,13 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	return nil
 }
 
-// runFleet serves n replicas as one logical service until stopped.
-func runFleet(n int, svcCfg service.Config, out io.Writer, stop <-chan struct{}) error {
-	if svcCfg.CachePath != "" {
+// runFleet serves the configured replicas as one logical service until
+// stopped.
+func runFleet(cfg fleet.Config, out io.Writer, stop <-chan struct{}) error {
+	if cfg.Service.CachePath != "" {
 		return errors.New("-cache-path cannot be combined with -fleet: replicas do not share one snapshot file")
 	}
-	f, err := fleet.New(fleet.Config{Replicas: n, Service: svcCfg})
+	f, err := fleet.New(cfg)
 	if err != nil {
 		return err
 	}

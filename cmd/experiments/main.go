@@ -1,5 +1,5 @@
 // Command experiments regenerates every result of the paper (experiments
-// E1–E21; see DESIGN.md for the index) and prints one report per
+// E1–E22; see DESIGN.md for the index) and prints one report per
 // experiment. It exits non-zero if any mechanized outcome deviates from
 // its recorded expectation.
 //

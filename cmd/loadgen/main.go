@@ -11,10 +11,14 @@
 //     and tear it down — a self-contained smoke test and benchmark.
 //
 // With -replicas, -chaos additionally runs a seeded chaos campaign
-// (crash + partition faults, healed and restarted on schedule) while
-// the traffic runs; the fleet must keep answering without a single
-// 5xx, and the report gains the campaign result and the membership
-// event counts.
+// (crash + partition by default; -chaos-kinds widens the mix to the
+// gray kinds slow-peer, asym-partition, and garbage-reply) while the
+// traffic runs; the fleet must keep answering without a single 5xx,
+// and the report gains the campaign result and the membership event
+// counts. -breaker-failures, -breaker-breach, and -hedge-delay tune
+// the fleet's failure-domain hardening for the run, and the
+// per-replica report section carries the breaker, hedge, and
+// deadline-budget counters.
 //
 // The workload is pre-generated from -seed: request kinds from the
 // -mix percentages, program popularity Zipf-skewed over -programs
@@ -77,6 +81,11 @@ func run(args []string, out io.Writer) error {
 	journalMode := fs.Bool("journal", false, "event-source the in-process fleet: per-replica journals, suffix-based anti-entropy (needs -replicas)")
 	chaosRun := fs.Bool("chaos", false, "run a seeded chaos campaign during the load (needs -replicas)")
 	chaosFaults := fs.Int("chaos-faults", 3, "campaign fault count")
+	chaosKinds := fs.String("chaos-kinds", "crash,partition", "comma-separated campaign fault kinds (crash, partition, isolate, slow-peer, asym-partition, garbage-reply)")
+	slowDelay := fs.Duration("slow-delay", 200*time.Millisecond, "injected per-operation delay for slow-peer faults")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive forward failures that open a peer breaker (0 = fleet default, negative = disabled)")
+	breakerBreach := fs.Duration("breaker-breach", 0, "forward p99 latency that opens a peer breaker (0 = fleet default, negative = disabled)")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "fixed hedged-forward delay (0 = latency-derived, negative = disabled)")
 	failOn5xx := fs.Bool("fail-on-5xx", false, "exit non-zero if any response was a 5xx or transport error")
 	outPath := fs.String("out", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -106,8 +115,20 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-pace %s: cannot sleep a negative duration between requests", *pace)
 	case *chaosRun && *chaosFaults <= 0:
 		return fmt.Errorf("-chaos-faults %d: a chaos campaign needs at least one fault", *chaosFaults)
+	case *slowDelay < 0:
+		return fmt.Errorf("-slow-delay %s: cannot inject a negative delay", *slowDelay)
+	case *breakerFailures != 0 && *replicas == 0:
+		return fmt.Errorf("-breaker-failures %d: breaker tuning needs an in-process fleet (-replicas)", *breakerFailures)
+	case *breakerBreach != 0 && *replicas == 0:
+		return fmt.Errorf("-breaker-breach %s: breaker tuning needs an in-process fleet (-replicas)", *breakerBreach)
+	case *hedgeDelay != 0 && *replicas == 0:
+		return fmt.Errorf("-hedge-delay %s: hedge tuning needs an in-process fleet (-replicas)", *hedgeDelay)
 	}
 	mixVal, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	kindsVal, err := parseChaosKinds(*chaosKinds)
 	if err != nil {
 		return err
 	}
@@ -119,9 +140,12 @@ func run(args []string, out io.Writer) error {
 		return errors.New("-addrs and -replicas are mutually exclusive")
 	case *replicas > 0:
 		f, err = fleet.New(fleet.Config{
-			Replicas: *replicas,
-			Service:  service.Config{},
-			Journal:  *journalMode,
+			Replicas:             *replicas,
+			Service:              service.Config{},
+			Journal:              *journalMode,
+			BreakerFailures:      *breakerFailures,
+			BreakerLatencyBreach: *breakerBreach,
+			HedgeDelay:           *hedgeDelay,
 		})
 		if err != nil {
 			return err
@@ -148,11 +172,12 @@ func run(args []string, out io.Writer) error {
 	campErr := make(chan error, 1)
 	if *chaosRun {
 		tpl := chaos.Template{
-			Kinds:       []cluster.FaultKind{cluster.FaultCrash, cluster.FaultPartition},
+			Kinds:       kindsVal,
 			Faults:      *chaosFaults,
 			Gap:         3,
 			Start:       1,
 			CutDuration: 2,
+			SlowDelayMS: slowDelay.Milliseconds(),
 		}
 		sched, err := tpl.FleetSchedule(*replicas, *seed)
 		if err != nil {
@@ -214,6 +239,31 @@ func run(args []string, out io.Writer) error {
 		return errors.New("fleet did not re-converge after the chaos campaign")
 	}
 	return nil
+}
+
+// parseChaosKinds parses "crash,partition,slow-peer" into fault kinds,
+// accepting only the kinds a live fleet campaign can apply.
+func parseChaosKinds(s string) ([]cluster.FaultKind, error) {
+	allowed := map[cluster.FaultKind]bool{}
+	for _, k := range chaos.FleetKinds() {
+		allowed[k] = true
+	}
+	var kinds []cluster.FaultKind
+	for _, p := range strings.Split(s, ",") {
+		k := cluster.FaultKind(strings.TrimSpace(p))
+		if k == "" {
+			continue
+		}
+		if !allowed[k] {
+			return nil, fmt.Errorf("-chaos-kinds %q: %q is not a fleet fault kind (want a subset of %v)",
+				s, k, chaos.FleetKinds())
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-chaos-kinds %q: need at least one fault kind", s)
+	}
+	return kinds, nil
 }
 
 // parseMix parses "60,30,10" into a Mix summing to 100.

@@ -33,6 +33,10 @@ func TestEventKindJournal(t *testing.T) {
 	runFixture(t, "repro/internal/journal", EventKind)
 }
 
+func TestEventKindFleet(t *testing.T) {
+	runFixture(t, "repro/internal/fleet", EventKind)
+}
+
 // TestWaiverHygiene asserts the waiver contract directly: a want
 // comment cannot share a line with a waiver comment (everything after
 // the directive is the reason), so the hygiene fixture is checked

@@ -1,0 +1,67 @@
+// Package fleet is an eventkind fixture for the fleet's failure-domain
+// events: breaker transitions, quarantine, and gray faults must use the
+// registry constants, never inline literals.
+package fleet
+
+// Event mirrors the fleet monitor's event.
+type Event struct {
+	Seq  int
+	Kind string
+}
+
+// Registry constants, mirroring internal/fleet/events.go.
+const (
+	KindBreakerOpen = "breaker-open"
+	KindQuarantined = "quarantined"
+	KindParoled     = "paroled"
+	KindSlowPeer    = "slow-peer"
+)
+
+// Monitor collects events.
+type Monitor struct {
+	events []Event
+}
+
+func (m *Monitor) emit(kind string) {
+	m.events = append(m.events, Event{Kind: kind})
+}
+
+// Bad mints failure-domain kinds from raw literals.
+func Bad(m *Monitor) {
+	m.events = append(m.events, Event{Seq: 1, Kind: "breaker-open"}) // want `inline event kind "breaker-open"`
+	m.emit("quarantined")                                            // want `inline event kind "quarantined" passed to emit`
+}
+
+// BadCompare matches a kind against a raw literal.
+func BadCompare(ev Event) bool {
+	return ev.Kind == "paroled" // want `comparing \.Kind against inline literal "paroled"`
+}
+
+// BadSwitch switches on raw literals.
+func BadSwitch(ev Event) int {
+	switch ev.Kind {
+	case "slow-peer": // want `switch on \.Kind with inline literal "slow-peer"`
+		return 1
+	}
+	return 0
+}
+
+// Good uses the registry throughout.
+func Good(m *Monitor) {
+	m.events = append(m.events, Event{Seq: 1, Kind: KindBreakerOpen})
+	m.emit(KindQuarantined)
+}
+
+// GoodCompare matches against the constant.
+func GoodCompare(ev Event) bool {
+	return ev.Kind == KindParoled
+}
+
+// GoodSwitch switches on the constants.
+func GoodSwitch(ev Event) int {
+	switch ev.Kind {
+	case KindSlowPeer:
+		return 1
+	}
+	return 0
+}

@@ -17,27 +17,53 @@ import (
 // yields one reproducible schedule, so a campaign failure replays
 // exactly.
 
-// FleetFault is one membership fault in a fleet campaign schedule.
+// FleetFault is one membership or gray fault in a fleet campaign
+// schedule.
 type FleetFault struct {
-	// Kind is crash, partition, or isolate.
+	// Kind is crash, partition, isolate, slow-peer, asym-partition, or
+	// garbage-reply.
 	Kind cluster.FaultKind `json:"kind"`
 	// Step is the campaign tick at which the fault lands.
 	Step int `json:"step"`
-	// Node is the target replica index (crash, isolate).
+	// Node is the target replica index (crash, isolate, slow-peer,
+	// garbage-reply).
 	Node int `json:"node,omitempty"`
-	// A and B are the partition sides (partition only).
+	// A and B are the cut sides (partition, asym-partition; for the
+	// latter only the A→B direction is severed).
 	A []int `json:"a,omitempty"`
 	B []int `json:"b,omitempty"`
-	// Count is how many ticks the fault persists: a crash restarts and
-	// a cut heals Count ticks after Step.
+	// Count is how many ticks the fault persists: a crash restarts, a
+	// cut heals, and a gray fault clears Count ticks after Step.
 	Count int `json:"count"`
+	// DelayMS is the injected per-operation latency (slow-peer only).
+	DelayMS int64 `json:"delay_ms,omitempty"`
 }
 
-// fleetKinds are the fault kinds meaningful against a live fleet.
-var fleetKinds = map[cluster.FaultKind]bool{
-	cluster.FaultCrash:     true,
-	cluster.FaultPartition: true,
-	cluster.FaultIsolate:   true,
+// fleetKinds are the fault kinds meaningful against a live fleet, in
+// listing order.
+var fleetKindList = []cluster.FaultKind{
+	cluster.FaultCrash,
+	cluster.FaultPartition,
+	cluster.FaultIsolate,
+	cluster.FaultSlowPeer,
+	cluster.FaultAsymPartition,
+	cluster.FaultGarbageReply,
+}
+
+var fleetKinds = func() map[cluster.FaultKind]bool {
+	m := make(map[cluster.FaultKind]bool, len(fleetKindList))
+	for _, k := range fleetKindList {
+		m[k] = true
+	}
+	return m
+}()
+
+// FleetKinds lists the fault kinds a fleet campaign accepts, in a
+// stable order — flag validation and usage strings consume it.
+func FleetKinds() []cluster.FaultKind {
+	out := make([]cluster.FaultKind, len(fleetKindList))
+	copy(out, fleetKindList)
+	return out
 }
 
 // ValidateFleet checks the template as a fleet campaign source: only
@@ -51,7 +77,7 @@ func (t Template) ValidateFleet(replicas int) error {
 	}
 	for _, k := range t.Kinds {
 		if !fleetKinds[k] {
-			return fmt.Errorf("chaos: fault kind %q is not a fleet membership fault (want crash, partition, or isolate)", k)
+			return fmt.Errorf("chaos: fault kind %q is not a fleet fault (want one of %v)", k, fleetKindList)
 		}
 	}
 	if t.Faults < 1 {
@@ -69,13 +95,17 @@ func (t Template) ValidateFleet(replicas int) error {
 	return nil
 }
 
-// FleetSchedule draws one seeded membership-fault schedule for a fleet
-// of n replicas. Fault i lands at Start + i*Gap with a seeded-random
-// kind from the mix: a crash picks a random replica and restarts it
+// FleetSchedule draws one seeded fault schedule for a fleet of n
+// replicas. Fault i lands at Start + i*Gap with a seeded-random kind
+// from the mix: a crash picks a random replica and restarts it
 // CutDuration ticks later; a partition picks a contiguous index cut
 // healed CutDuration ticks later; an isolate cuts one random replica
-// from everyone else for CutDuration ticks. The schedule is sorted by
-// step and stable for a fixed (template, n, seed).
+// from everyone else; slow-peer injects SlowDelayMS (default 200ms) of
+// data-plane latency into one replica; asym-partition severs one
+// direction of a contiguous cut; garbage-reply turns one replica
+// hostile. Every fault clears CutDuration ticks after it lands. The
+// schedule is sorted by step and stable for a fixed (template, n,
+// seed).
 func (t Template) FleetSchedule(n int, seed int64) ([]FleetFault, error) {
 	if err := t.ValidateFleet(n); err != nil {
 		return nil, err
@@ -92,8 +122,16 @@ func (t Template) FleetSchedule(n int, seed int64) ([]FleetFault, error) {
 		switch f.Kind {
 		case cluster.FaultCrash, cluster.FaultIsolate:
 			f.Node = rng.Intn(n)
-		case cluster.FaultPartition:
+		case cluster.FaultPartition, cluster.FaultAsymPartition:
 			f.A, f.B = ringCut(n, rng)
+		case cluster.FaultSlowPeer:
+			f.Node = rng.Intn(n)
+			f.DelayMS = t.SlowDelayMS
+			if f.DelayMS <= 0 {
+				f.DelayMS = 200
+			}
+		case cluster.FaultGarbageReply:
+			f.Node = rng.Intn(n)
 		}
 		sched = append(sched, f)
 	}

@@ -31,6 +31,9 @@ type Template struct {
 	// CutDuration is how many steps a partition or isolation lasts
 	// before healing (required when Kinds includes those).
 	CutDuration int `json:"cut_duration,omitempty"`
+	// SlowDelayMS is the per-operation latency a slow-peer fleet fault
+	// injects (default 200ms; fleet campaigns only).
+	SlowDelayMS int64 `json:"slow_delay_ms,omitempty"`
 }
 
 // String renders the template compactly for reports.

@@ -44,6 +44,25 @@ const (
 	// FaultIsolate severs every link touching one node for Count steps —
 	// the degenerate partition {Node} | rest.
 	FaultIsolate FaultKind = "isolate"
+
+	// The gray-failure kinds below target live checkd fleets only
+	// (chaos.Template.FleetSchedule); the simulated cluster engine and
+	// /v1/chaos reject them — a stepped ring model has no data plane
+	// to degrade separately from its control plane.
+
+	// FaultSlowPeer injects per-operation latency into one replica's
+	// data-plane RPCs (forwards, anti-entropy) while its heartbeats
+	// stay fast — Huang et al.'s gray failure: the failure detector
+	// stays green while the work drags.
+	FaultSlowPeer FaultKind = "slow-peer"
+	// FaultAsymPartition severs only the A→B direction of a cut: A
+	// cannot reach B, but B still reaches A, so the two sides' views
+	// of each other diverge.
+	FaultAsymPartition FaultKind = "asym-partition"
+	// FaultGarbageReply makes one replica answer data-plane RPCs with
+	// well-framed but semantically hostile replies (out-of-range
+	// status, negative entry counts, regressing cursors).
+	FaultGarbageReply FaultKind = "garbage-reply"
 )
 
 // Fault is one scheduled fault. Step is the scheduler step (stepped

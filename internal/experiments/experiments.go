@@ -1,6 +1,6 @@
 // Package experiments regenerates every result of the paper as a
 // structured report: one experiment per figure, listing, lemma, and
-// theorem (E1–E13, indexed in DESIGN.md) plus eight extension experiments (E14–E21). The cmd/experiments binary
+// theorem (E1–E13, indexed in DESIGN.md) plus nine extension experiments (E14–E22). The cmd/experiments binary
 // prints the reports, the repository benchmarks time them, and
 // EXPERIMENTS.md records their output. Each row carries an expectation:
 // a row "passes" when the mechanized outcome matches the recorded
@@ -99,5 +99,6 @@ func All() []func() *Report {
 		E19Fleet,
 		E20Journal,
 		E21Retention,
+		E22GrayFailure,
 	}
 }

@@ -81,8 +81,11 @@ func (rp *Replica) AntiEntropyRound() int {
 // digestRound runs one full digest/pull exchange against one peer. The
 // second return reports whether the exchange completed (a failed round
 // leaves readiness untouched; the next tick retries another peer).
+// Both anti-entropy exchanges go through the peer's circuit breaker
+// (callPeerGated): an open breaker skips the round cheaply, and AE
+// failures count toward tripping it just like forwards.
 func (rp *Replica) digestRound(svc *service.Server, targetID string) (int, bool) {
-	reply, err := rp.callPeer(targetID, rpcRequest{
+	reply, err := rp.callPeerGated(targetID, rpcRequest{
 		Op: "digest", From: rp.id, Keys: svc.CacheKeys(),
 	}, rp.f.cfg.ForwardTimeout)
 	if err != nil || !reply.OK {
@@ -103,7 +106,7 @@ func (rp *Replica) digestRound(svc *service.Server, targetID string) (int, bool)
 // reports whether the journal path handled the round (false → caller
 // falls back to a digest exchange).
 func (rp *Replica) journalRound(svc *service.Server, targetID string, since uint64) (int, bool) {
-	reply, err := rp.callPeer(targetID, rpcRequest{
+	reply, err := rp.callPeerGated(targetID, rpcRequest{
 		Op: "journal", From: rp.id, Since: since,
 	}, rp.f.cfg.ForwardTimeout)
 	if err != nil || !reply.OK {

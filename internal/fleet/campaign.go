@@ -86,13 +86,19 @@ func (f *Fleet) RunCampaign(ctx context.Context, sched []chaos.FleetFault, tick 
 		res.Ticks++
 		time.Sleep(tick)
 	}
-	// Final cleanup: heal every cut, restart every crashed replica.
+	// Final cleanup: heal every cut, clear every gray fault, restart
+	// every crashed replica, and parole quarantined peer views — a
+	// quarantine hold outlasting the campaign must not stall the
+	// convergence gate below.
 	f.Heal()
 	for i := range f.replicas {
+		f.SlowReplica(i, 0)
+		f.GarbageReplica(i, false)
 		if err := f.RestartReplica(i); err != nil {
 			return res, err
 		}
 	}
+	f.ParoleAll()
 	// Convergence needs SuspectAfter missed-then-seen heartbeat sweeps
 	// on every replica; give it a generous multiple.
 	wait := time.Duration(f.cfg.SuspectAfter+20) * f.cfg.HeartbeatInterval * 4
@@ -114,6 +120,16 @@ func (f *Fleet) applyFault(ff chaos.FleetFault) error {
 		f.Partition(ff.A, ff.B)
 	case cluster.FaultIsolate:
 		f.Partition([]int{ff.Node}, f.othersOf(ff.Node))
+	case cluster.FaultSlowPeer:
+		d := time.Duration(ff.DelayMS) * time.Millisecond
+		if d <= 0 {
+			d = 200 * time.Millisecond
+		}
+		f.SlowReplica(ff.Node, d)
+	case cluster.FaultAsymPartition:
+		f.PartitionOneWay(ff.A, ff.B)
+	case cluster.FaultGarbageReply:
+		f.GarbageReplica(ff.Node, true)
 	default:
 		return fmt.Errorf("fleet: fault kind %q is not a fleet fault", ff.Kind)
 	}
@@ -129,6 +145,13 @@ func (f *Fleet) clearFault(ff chaos.FleetFault) error {
 		f.HealCut(ff.A, ff.B)
 	case cluster.FaultIsolate:
 		f.HealCut([]int{ff.Node}, f.othersOf(ff.Node))
+	case cluster.FaultSlowPeer:
+		f.SlowReplica(ff.Node, 0)
+	case cluster.FaultAsymPartition:
+		// unblock is idempotent, so healing the cut both ways is safe.
+		f.HealCut(ff.A, ff.B)
+	case cluster.FaultGarbageReply:
+		f.GarbageReplica(ff.Node, false)
 	}
 	return nil
 }

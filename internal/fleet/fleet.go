@@ -46,6 +46,34 @@ type Config struct {
 	// MaxPullPerRound caps entries pulled per anti-entropy round
 	// (default 256).
 	MaxPullPerRound int
+	// BreakerFailures is how many consecutive failed calls trip a
+	// peer's circuit breaker open (default 3; negative disables
+	// breakers — the PR-6 timeout-then-fallback behavior).
+	BreakerFailures int
+	// BreakerLatencyBreach trips a peer's breaker when its observed
+	// p99 call latency exceeds it, even though calls succeed — the
+	// gray-failure trip (default 500ms; negative disables it).
+	BreakerLatencyBreach time.Duration
+	// BreakerCooldown is the base open→half-open hold, doubled per
+	// consecutive open up to 16× with seeded jitter (default 400ms).
+	BreakerCooldown time.Duration
+	// BreakerSeed seeds the breaker jitter RNGs (default 1).
+	BreakerSeed int64
+	// HedgeDelay is how long a forward may be in flight before local
+	// compute races it: 0 derives a per-peer delay from the latency
+	// tracker, > 0 fixes it, negative disables hedging.
+	HedgeDelay time.Duration
+	// FlapLimit quarantines a peer observed recovering more than this
+	// many times inside FlapWindow (default 4; negative disables
+	// quarantine).
+	FlapLimit int
+	// FlapWindow is the flap-counting window (default 5s).
+	FlapWindow time.Duration
+	// QuarantineHold is the base quarantine hold, doubled per repeat
+	// offense (default 1s).
+	QuarantineHold time.Duration
+	// QuarantineHoldMax caps the exponential hold (default 30s).
+	QuarantineHoldMax time.Duration
 	// Logf, when non-nil, receives fleet and per-replica job log lines.
 	// It must be safe for concurrent use.
 	Logf func(format string, args ...any)
@@ -72,6 +100,30 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPullPerRound <= 0 {
 		c.MaxPullPerRound = 256
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerLatencyBreach == 0 {
+		c.BreakerLatencyBreach = 500 * time.Millisecond
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 400 * time.Millisecond
+	}
+	if c.BreakerSeed == 0 {
+		c.BreakerSeed = 1
+	}
+	if c.FlapLimit == 0 {
+		c.FlapLimit = 4
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 5 * time.Second
+	}
+	if c.QuarantineHold <= 0 {
+		c.QuarantineHold = time.Second
+	}
+	if c.QuarantineHoldMax <= 0 {
+		c.QuarantineHoldMax = 30 * time.Second
 	}
 	return c
 }
@@ -130,8 +182,12 @@ func New(cfg Config) (*Fleet, error) {
 			if other.id == rp.id {
 				continue
 			}
+			// Distinct deterministic seed per (observer, peer) edge so
+			// breaker backoff jitter never synchronizes across the fleet.
+			seed := cfg.BreakerSeed*int64(cfg.Replicas*cfg.Replicas+1) + int64(rp.idx*cfg.Replicas+other.idx)
 			rp.peers[other.id] = &peer{
 				id: other.id, addr: other.rpcAddr, client: newPeerClient(other.rpcAddr),
+				br: newBreaker(cfg, seed),
 			}
 		}
 		rp.start(rp.httpLn, rp.rpcLn)
@@ -142,6 +198,7 @@ func New(cfg Config) (*Fleet, error) {
 // serviceConfig builds one replica's service configuration.
 func (f *Fleet) serviceConfig(rp *Replica) service.Config {
 	cfg := f.cfg.Service
+	cfg.ResilienceMetrics = rp.resilienceSnapshot
 	if rp.journal != nil {
 		cfg.JournalBackend = rp.journal
 	}
@@ -172,6 +229,13 @@ func (rp *Replica) start(httpLn, rpcLn net.Listener) {
 	for _, p := range rp.peers {
 		p.misses = 0
 		p.suspected = false
+		// A fresh incarnation starts with a clean opinion of its peers:
+		// breakers closed, no flap history, no quarantine.
+		p.br.reset()
+		p.flapTimes = nil
+		p.quarantines = 0
+		p.quarantined = false
+		p.paroleAt = time.Time{}
 		// Reset the anti-entropy journal cursor: verdicts pulled cold
 		// from this peer were never journaled locally, so a restarted
 		// replica must re-pull from the beginning (PutCold makes the
@@ -475,6 +539,77 @@ func (f *Fleet) Heal() {
 		rp.mu.Unlock()
 	}
 	f.mon.emit(KindHeal, "", "", "")
+}
+
+// PartitionOneWay cuts only the a→b direction: every replica in a
+// fails its calls to every replica in b (and stops crediting their
+// inbound RPCs as liveness), while b still reaches a — the asymmetric
+// gray failure where one side's view disagrees with the other's.
+func (f *Fleet) PartitionOneWay(a, b []int) {
+	for _, i := range a {
+		for _, j := range b {
+			f.replicas[i].block(f.replicas[j].id)
+		}
+	}
+	f.mon.emit(KindAsymPartition, "", "", cutDetail(a, b))
+}
+
+// SlowReplica injects d of latency into every data-plane RPC replica i
+// serves (forward, digest, journal) — pings stay fast, so membership
+// keeps trusting a replica whose data plane is dragging. d = 0 clears
+// the fault. Events are emitted only on an actual change.
+func (f *Fleet) SlowReplica(i int, d time.Duration) {
+	rp := f.replicas[i]
+	old := rp.slowDelay.Swap(int64(d))
+	if old == int64(d) {
+		return
+	}
+	if d > 0 {
+		f.mon.emit(KindSlowPeer, rp.id, "", fmt.Sprintf("delay=%s", d))
+	} else {
+		f.mon.emit(KindHeal, rp.id, "", "slow-peer cleared")
+	}
+}
+
+// GarbageReplica makes replica i answer data-plane RPCs with
+// well-framed but semantically hostile replies (hostile = true), or
+// clears the fault (hostile = false).
+func (f *Fleet) GarbageReplica(i int, hostile bool) {
+	rp := f.replicas[i]
+	if rp.garbage.Swap(hostile) == hostile {
+		return
+	}
+	if hostile {
+		f.mon.emit(KindGarbageReply, rp.id, "", "")
+	} else {
+		f.mon.emit(KindHeal, rp.id, "", "garbage-reply cleared")
+	}
+}
+
+// ParoleAll releases every quarantined peer view in the fleet
+// immediately (campaign cleanup: a quarantine hold must not stall the
+// post-campaign convergence gate). Paroled peers still re-enter as
+// suspected and must earn a heartbeat.
+func (f *Fleet) ParoleAll() {
+	for _, rp := range f.replicas {
+		var paroled []string
+		rp.mu.Lock()
+		for _, p := range rp.peers {
+			if p.quarantined {
+				p.quarantined = false
+				p.suspected = true
+				p.misses = f.cfg.SuspectAfter
+				p.flapTimes = nil
+				p.paroleAt = time.Time{}
+				paroled = append(paroled, p.id)
+			}
+		}
+		rp.mu.Unlock()
+		sort.Strings(paroled)
+		for _, id := range paroled {
+			f.mon.emit(KindParoled, id, rp.id, "campaign cleanup")
+		}
+	}
 }
 
 func cutDetail(a, b []int) string {

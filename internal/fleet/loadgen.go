@@ -120,6 +120,17 @@ type ReplicaLoad struct {
 	HitRatio        float64 `json:"hit_ratio"`
 	AEJournalRounds int64   `json:"ae_journal_rounds,omitempty"`
 
+	// Failure-domain counters: breaker transitions, hedged-forward
+	// races, and deadline-budget refusals observed by this replica.
+	BreakerOpens     int64    `json:"breaker_opens,omitempty"`
+	BreakerHalfOpens int64    `json:"breaker_half_opens,omitempty"`
+	BreakerSkips     int64    `json:"breaker_skips,omitempty"`
+	HedgesFired      int64    `json:"hedges_fired,omitempty"`
+	HedgeLocalWins   int64    `json:"hedge_local_wins,omitempty"`
+	HedgeWinRatio    float64  `json:"hedge_win_ratio,omitempty"`
+	BudgetExhausted  int64    `json:"budget_exhausted,omitempty"`
+	Quarantined      []string `json:"quarantined,omitempty"`
+
 	// Journal carries journal_depth, journal_batch_size_p50/p99, and
 	// per-projection projection_lag for event-sourced replicas.
 	Journal *service.JournalMetricsSnapshot `json:"journal,omitempty"`
@@ -413,9 +424,20 @@ func fetchReplicaLoads(client *http.Client, addrs []string) []ReplicaLoad {
 			CacheHits:       st.CacheHits,
 			CacheMisses:     st.CacheMisses,
 			AEJournalRounds: st.AEJournalRounds,
+
+			BreakerOpens:     st.BreakerOpens,
+			BreakerHalfOpens: st.BreakerHalfOpens,
+			BreakerSkips:     st.BreakerSkips,
+			HedgesFired:      st.HedgesFired,
+			HedgeLocalWins:   st.HedgeLocalWins,
+			BudgetExhausted:  st.BudgetExhausted,
+			Quarantined:      st.Quarantined,
 		}
 		if total := st.CacheHits + st.CacheMisses; total > 0 {
 			rl.HitRatio = round4(float64(st.CacheHits) / float64(total))
+		}
+		if st.HedgesFired > 0 {
+			rl.HedgeWinRatio = round4(float64(st.HedgeLocalWins) / float64(st.HedgesFired))
 		}
 		rl.Journal = fetchJournalGauges(client, addr)
 		out = append(out, rl)

@@ -26,10 +26,18 @@ type peer struct {
 	id     string
 	addr   string // RPC address
 	client *peerClient
+	br     *breaker
 
 	misses    int
 	suspected bool
 	left      bool
+
+	// Flap quarantine: recovery timestamps inside FlapWindow, the
+	// offense count (doubles the hold), and the active hold if any.
+	flapTimes   []time.Time
+	quarantines int
+	quarantined bool
+	paroleAt    time.Time
 
 	// journalCursor is the peer journal sequence number anti-entropy
 	// has pulled through (journal mode only; reset on local restart).
@@ -81,6 +89,17 @@ type Replica struct {
 	aePulled        atomic.Int64 // entries pulled by anti-entropy
 	aeJournalRounds atomic.Int64 // rounds served by journal suffixes
 	aeJournalHoles  atomic.Int64 // cursors caught below a peer's compaction horizon
+
+	hedgesFired      atomic.Int64 // forwards that tripped the hedge timer
+	hedgeLocalWins   atomic.Int64 // hedged races local compute won
+	hedgeForwardWins atomic.Int64 // hedged races the forward still won
+	budgetExhausted  atomic.Int64 // forwards an owner refused as budget-exhausted
+	budgetRefused    atomic.Int64 // forwards this replica refused as owner
+
+	// Gray-failure injection (campaign faults): a data-plane RPC delay
+	// and a hostile-reply switch. Pings are never affected.
+	slowDelay atomic.Int64 // nanoseconds
+	garbage   atomic.Bool
 
 	wg sync.WaitGroup
 }
@@ -160,6 +179,7 @@ func (rp *Replica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		svc.ServeHTTP(w, r)
 		return
 	}
+	started := wallNow()
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, fleetMaxBody))
 	if err != nil {
@@ -183,25 +203,14 @@ func (rp *Replica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Not the owner: serve from the local (anti-entropy-synced) cache
-	// when possible, else forward the request to its owner.
+	// when possible, else forward the request to its owner — behind the
+	// owner's circuit breaker, under the shrinking deadline budget, and
+	// hedged by local compute once the forward outstays its welcome
+	// (hedge.go).
 	if svc.TryServeCached(w, info.CacheKey, id) {
 		return
 	}
-	reply, err := rp.callPeer(owner, rpcRequest{
-		Op: "forward", From: rp.id, ID: id, Path: r.URL.Path, Body: body,
-	}, rp.f.cfg.ForwardTimeout)
-	if err == nil && reply.OK {
-		rp.forwards.Add(1)
-		w.Header().Set("X-Request-Id", id)
-		w.Header().Set("X-Fleet-Owner", owner)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(reply.Status)
-		_, _ = w.Write(reply.Body)
-		return
-	}
-	rp.forwardErrors.Add(1)
-	rp.localFallbacks.Add(1)
-	rp.serveLocal(svc, w, r, body, id)
+	rp.routeToOwner(svc, w, r, body, id, owner, info, started)
 }
 
 // serveLocal hands the request to the local service with the body
@@ -244,7 +253,11 @@ func (rp *Replica) callPeer(id string, req rpcRequest, timeout time.Duration) (r
 
 // handleForward is the owner side of a forward hop: replay the request
 // against the local service with the original request id, and ship the
-// status and body back.
+// status and body back. A declared TimeoutMS is the requester's
+// *remaining* deadline budget: the owner honors it as its context
+// deadline (the service's Gas plumbing makes the check stop there) and
+// refuses outright — budget_exhausted, no compute — when the remainder
+// is too small to be worth the hop.
 func (rp *Replica) handleForward(req rpcRequest) rpcReply {
 	svc := rp.Service()
 	if svc == nil {
@@ -253,10 +266,21 @@ func (rp *Replica) handleForward(req rpcRequest) rpcReply {
 	if _, ok := service.RouteKind(http.MethodPost, req.Path); !ok {
 		return rpcReply{Err: fmt.Sprintf("path %q is not forwardable", req.Path)}
 	}
+	timeout := rp.f.cfg.ForwardTimeout
+	if req.TimeoutMS > 0 {
+		budget := time.Duration(req.TimeoutMS) * time.Millisecond
+		if budget < budgetFloor {
+			rp.budgetRefused.Add(1)
+			return rpcReply{OK: true, BudgetExhausted: true}
+		}
+		if budget < timeout {
+			timeout = budget
+		}
+	}
 	rp.forwardedServed.Add(1)
 	rp.f.logf("fleet %s: serving forward request=%s path=%s from=%s", rp.id, req.ID, req.Path, req.From)
 
-	ctx, cancel := context.WithTimeout(context.Background(), rp.f.cfg.ForwardTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	hr := (&http.Request{
 		Method: http.MethodPost,
@@ -330,13 +354,15 @@ func (rp *Replica) closeConns() {
 
 // --- membership ---
 
-// livePeers snapshots the peers currently believed alive, sorted by id.
+// livePeers snapshots the peers currently believed alive, sorted by
+// id. A quarantined peer is not alive for routing or anti-entropy
+// purposes even though it may be answering pings.
 func (rp *Replica) livePeers() []*peer {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
 	out := make([]*peer, 0, len(rp.peers))
 	for _, p := range rp.peers {
-		if !p.suspected && !p.left && !rp.blocked[p.id] {
+		if !p.suspected && !p.left && !p.quarantined && !rp.blocked[p.id] {
 			out = append(out, p)
 		}
 	}
@@ -379,35 +405,67 @@ func (rp *Replica) heartbeatLoop(stop chan struct{}) {
 	}
 }
 
-// sweep pings every non-left peer once.
+// sweep pings every non-left, non-quarantined peer once, after first
+// paroling any quarantined peer whose hold has expired — parole and
+// the re-admitting ping can land in the same sweep.
 func (rp *Replica) sweep() {
 	timeout := rp.f.cfg.HeartbeatInterval
 	if timeout < 50*time.Millisecond {
 		timeout = 50 * time.Millisecond
 	}
+	rp.paroleDue()
 	for _, p := range rp.allPeers() {
+		rp.mu.Lock()
+		skip := p.quarantined
+		rp.mu.Unlock()
+		if skip {
+			continue
+		}
 		reply, err := rp.callPeer(p.id, rpcRequest{Op: "ping", From: rp.id}, timeout)
 		rp.noteHeartbeat(p.id, err == nil && reply.OK)
 	}
 }
 
+// paroleDue releases quarantined peers whose hold expired. A paroled
+// peer re-enters as suspected with misses pinned at the threshold: it
+// earns its way back into the ring with a real heartbeat, it is not
+// presumed recovered.
+func (rp *Replica) paroleDue() {
+	now := wallNow()
+	var paroled []string
+	rp.mu.Lock()
+	for _, p := range rp.peers {
+		if p.quarantined && !now.Before(p.paroleAt) {
+			p.quarantined = false
+			p.suspected = true
+			p.misses = rp.f.cfg.SuspectAfter
+			paroled = append(paroled, p.id)
+		}
+	}
+	rp.mu.Unlock()
+	sort.Strings(paroled)
+	for _, id := range paroled {
+		rp.f.mon.emit(KindParoled, id, rp.id, "hold expired")
+	}
+}
+
 // noteHeartbeat advances one peer's suspicion state: SuspectAfter
 // consecutive misses removes the peer from the ring (its keys re-home
-// to the survivors); the first success re-admits it.
+// to the survivors); the first success re-admits it — unless the
+// recovery is one flap too many, in which case the peer is
+// quarantined instead.
 func (rp *Replica) noteHeartbeat(id string, ok bool) {
 	rp.mu.Lock()
 	p, known := rp.peers[id]
-	if !known || p.left {
+	if !known || p.left || p.quarantined {
 		rp.mu.Unlock()
 		return
 	}
-	var event string
+	var event, detail string
 	if ok {
 		p.misses = 0
 		if p.suspected {
-			p.suspected = false
-			rp.ring.Add(id)
-			event = KindReplicaRecovered
+			event, detail = rp.admitPeerLocked(p)
 		}
 	} else {
 		p.misses++
@@ -419,11 +477,50 @@ func (rp *Replica) noteHeartbeat(id string, ok bool) {
 	}
 	rp.mu.Unlock()
 	if event != "" {
-		rp.f.mon.emit(event, id, rp.id, "")
+		rp.f.mon.emit(event, id, rp.id, detail)
 	}
 }
 
-// sawPeer treats any inbound RPC as liveness evidence.
+// admitPeerLocked re-admits a previously suspected peer, tracking the
+// recovery as a flap. More than FlapLimit recoveries inside FlapWindow
+// quarantines the peer instead: an exponential hold (doubling per
+// offense up to QuarantineHoldMax) during which the ring excludes it,
+// sweeps skip it, and inbound RPCs do not re-admit it. Returns the
+// event to emit after the lock drops.
+func (rp *Replica) admitPeerLocked(p *peer) (string, string) {
+	cfg := rp.f.cfg
+	p.suspected = false
+	if cfg.FlapLimit > 0 {
+		now := wallNow()
+		keep := p.flapTimes[:0]
+		for _, t := range p.flapTimes {
+			if now.Sub(t) <= cfg.FlapWindow {
+				keep = append(keep, t)
+			}
+		}
+		p.flapTimes = append(keep, now)
+		if len(p.flapTimes) > cfg.FlapLimit {
+			p.quarantines++
+			shift := p.quarantines - 1
+			hold := cfg.QuarantineHold << shift
+			if hold > cfg.QuarantineHoldMax || hold <= 0 {
+				hold = cfg.QuarantineHoldMax
+			}
+			p.quarantined = true
+			p.paroleAt = now.Add(hold)
+			p.flapTimes = nil
+			p.misses = 0
+			rp.ring.Remove(p.id)
+			return KindQuarantined, fmt.Sprintf("flaps=%d hold=%s", len(keep)+1, hold)
+		}
+	}
+	rp.ring.Add(p.id)
+	return KindReplicaRecovered, ""
+}
+
+// sawPeer treats any inbound RPC as liveness evidence. A quarantined
+// sender only clears its miss counter: quarantine is time-served, not
+// talked out of.
 func (rp *Replica) sawPeer(id string) {
 	if id == "" {
 		return
@@ -434,16 +531,22 @@ func (rp *Replica) sawPeer(id string) {
 		rp.mu.Unlock()
 		return
 	}
-	var recovered bool
+	if p.quarantined {
+		p.misses = 0
+		rp.mu.Unlock()
+		return
+	}
+	var event, detail string
 	p.misses = 0
 	if p.suspected {
-		p.suspected = false
-		rp.ring.Add(id)
-		recovered = true
+		event, detail = rp.admitPeerLocked(p)
+		if detail == "" {
+			detail = "inbound rpc"
+		}
 	}
 	rp.mu.Unlock()
-	if recovered {
-		rp.f.mon.emit(KindReplicaRecovered, id, rp.id, "inbound rpc")
+	if event != "" {
+		rp.f.mon.emit(event, id, rp.id, detail)
 	}
 }
 
@@ -507,11 +610,58 @@ type FleetzStatus struct {
 	AEJournalRounds int64 `json:"ae_journal_rounds"`
 	AEJournalHoles  int64 `json:"ae_journal_holes"`
 
+	// Failure-domain hardening counters (see breaker.go / hedge.go).
+	Breakers         map[string]string `json:"breakers,omitempty"` // peer id → breaker state
+	BreakerOpens     int64             `json:"breaker_opens"`
+	BreakerHalfOpens int64             `json:"breaker_half_opens"`
+	BreakerCloses    int64             `json:"breaker_closes"`
+	BreakerSkips     int64             `json:"breaker_skips"`
+	HedgesFired      int64             `json:"hedges_fired"`
+	HedgeLocalWins   int64             `json:"hedge_local_wins"`
+	HedgeForwardWins int64             `json:"hedge_forward_wins"`
+	BudgetExhausted  int64             `json:"budget_exhausted"`
+	BudgetRefused    int64             `json:"budget_refused"`
+	Quarantined      []string          `json:"quarantined,omitempty"` // peers currently held
+	Quarantines      int64             `json:"quarantines"`           // lifetime offenses observed
+
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 
 	// JournalLastSeq is the replica's journal head (journal fleets only).
 	JournalLastSeq uint64 `json:"journal_last_seq,omitempty"`
+}
+
+// resilienceSnapshot aggregates the breaker/hedge/budget/quarantine
+// counters across this replica's peers. It backs both /fleetz and the
+// service's /metrics "fleet" section (installed via
+// service.Config.ResilienceMetrics, so the service never imports the
+// fleet).
+func (rp *Replica) resilienceSnapshot() *service.FleetResilienceSnapshot {
+	snap := &service.FleetResilienceSnapshot{BreakerStates: make(map[string]string)}
+	rp.mu.Lock()
+	for id, p := range rp.peers {
+		st := p.br.stats()
+		snap.BreakerStates[id] = st.state
+		snap.BreakerOpens += st.opens
+		snap.BreakerHalfOpens += st.halfOpens
+		snap.BreakerCloses += st.closes
+		snap.BreakerSkips += st.skips
+		if p.quarantined {
+			snap.Quarantined = append(snap.Quarantined, id)
+		}
+		snap.Quarantines += int64(p.quarantines)
+	}
+	rp.mu.Unlock()
+	sort.Strings(snap.Quarantined)
+	snap.HedgesFired = rp.hedgesFired.Load()
+	snap.HedgeLocalWins = rp.hedgeLocalWins.Load()
+	snap.HedgeForwardWins = rp.hedgeForwardWins.Load()
+	if snap.HedgesFired > 0 {
+		snap.HedgeWinRatio = float64(snap.HedgeLocalWins) / float64(snap.HedgesFired)
+	}
+	snap.BudgetExhausted = rp.budgetExhausted.Load()
+	snap.BudgetRefused = rp.budgetRefused.Load()
+	return snap
 }
 
 // Status snapshots the replica's fleet view.
@@ -532,6 +682,19 @@ func (rp *Replica) Status() FleetzStatus {
 		AEJournalRounds: rp.aeJournalRounds.Load(),
 		AEJournalHoles:  rp.aeJournalHoles.Load(),
 	}
+	res := rp.resilienceSnapshot()
+	st.Breakers = res.BreakerStates
+	st.BreakerOpens = res.BreakerOpens
+	st.BreakerHalfOpens = res.BreakerHalfOpens
+	st.BreakerCloses = res.BreakerCloses
+	st.BreakerSkips = res.BreakerSkips
+	st.HedgesFired = res.HedgesFired
+	st.HedgeLocalWins = res.HedgeLocalWins
+	st.HedgeForwardWins = res.HedgeForwardWins
+	st.BudgetExhausted = res.BudgetExhausted
+	st.BudgetRefused = res.BudgetRefused
+	st.Quarantined = res.Quarantined
+	st.Quarantines = res.Quarantines
 	if svc := rp.Service(); svc != nil {
 		st.CacheHits, st.CacheMisses = svc.CacheStats()
 		st.JournalLastSeq = svc.JournalLastSeq()

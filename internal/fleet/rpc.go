@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -63,6 +64,50 @@ type rpcReply struct {
 	// Next is the horizon, and the requester must digest-sync before
 	// resuming incremental pulls.
 	Hole bool `json:"hole,omitempty"`
+	// BudgetExhausted marks a forward the owner refused because the
+	// request's remaining deadline budget was too small to be worth
+	// computing against; the requester spends what is left locally.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+}
+
+// maxReplyEntries bounds the Entries a digest or journal reply may
+// declare. The real ceiling is MaxPullPerRound (≤ a few thousand);
+// anything near a million entries in one round is a hostile peer.
+const maxReplyEntries = 1 << 20
+
+// validateReply range-checks a reply's declared fields against its
+// request. roundTrip trusts the frame codec for shape; this is the
+// semantic tier — a well-framed reply whose fields cannot be honest
+// (status outside HTTP, negative entry counts, a regressing journal
+// cursor) costs the connection and counts as a breaker failure, never
+// a wedged caller downstream.
+func validateReply(req rpcRequest, reply rpcReply) error {
+	if len(reply.Body) > maxRPCFrameBytes {
+		return fmt.Errorf("fleet: reply body %d bytes exceeds frame bound %d", len(reply.Body), maxRPCFrameBytes)
+	}
+	if !reply.OK {
+		return nil
+	}
+	switch req.Op {
+	case "forward":
+		if reply.BudgetExhausted {
+			return nil
+		}
+		if reply.Status < 100 || reply.Status > 599 {
+			return fmt.Errorf("fleet: forward reply status %d out of range", reply.Status)
+		}
+		if len(reply.Body) > 0 && !json.Valid(reply.Body) {
+			return fmt.Errorf("fleet: forward reply body is not valid JSON")
+		}
+	case "digest", "journal":
+		if reply.Entries < 0 || reply.Entries > maxReplyEntries {
+			return fmt.Errorf("fleet: %s reply declares %d entries", req.Op, reply.Entries)
+		}
+		if req.Op == "journal" && !reply.Hole && reply.Next < req.Since {
+			return fmt.Errorf("fleet: journal reply cursor regressed (next %d < since %d)", reply.Next, req.Since)
+		}
+	}
+	return nil
 }
 
 // peerClient pools connections to one peer. Calls are sequential per
@@ -135,7 +180,9 @@ func roundTrip(c net.Conn, req rpcRequest, deadline time.Time) (rpcReply, error)
 // call runs one RPC with a bounded timeout. A call that fails on a
 // pooled connection retries once on a fresh dial — pooled connections
 // go stale when the peer restarts, and the retry is what makes the
-// path self-healing rather than sticky-broken.
+// path self-healing rather than sticky-broken. A reply that fails
+// validation does NOT retry: garbage is a sick peer, not a stale
+// socket, and the failure must surface to the breaker.
 func (p *peerClient) call(req rpcRequest, timeout time.Duration) (rpcReply, error) {
 	deadline := time.Now().Add(timeout) //gcvet:detrand-ok real I/O deadline on a live TCP connection
 	c, pooled, err := p.get(timeout)
@@ -144,6 +191,10 @@ func (p *peerClient) call(req rpcRequest, timeout time.Duration) (rpcReply, erro
 	}
 	reply, err := roundTrip(c, req, deadline)
 	if err == nil {
+		if verr := validateReply(req, reply); verr != nil {
+			_ = c.Close()
+			return rpcReply{}, verr
+		}
 		p.put(c)
 		return reply, nil
 	}
@@ -161,6 +212,10 @@ func (p *peerClient) call(req rpcRequest, timeout time.Duration) (rpcReply, erro
 	if err != nil {
 		_ = c2.Close()
 		return rpcReply{}, err
+	}
+	if verr := validateReply(req, reply); verr != nil {
+		_ = c2.Close()
+		return rpcReply{}, verr
 	}
 	p.put(c2)
 	return reply, nil
@@ -218,6 +273,18 @@ func (rp *Replica) handleRPC(req rpcRequest) rpcReply {
 	case "leave":
 		rp.peerLeft(req.From)
 		return rpcReply{OK: true}
+	}
+	// Gray-failure injection, data-plane ops only: a slow or hostile
+	// replica keeps answering pings promptly — the failure detector
+	// stays green while forwards and anti-entropy drag or rot, which is
+	// exactly the regime the breaker layer exists for.
+	if d := rp.slowDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if rp.garbage.Load() {
+		return garbageRPCReply(req)
+	}
+	switch req.Op {
 	case "forward":
 		return rp.handleForward(req)
 	case "digest":
@@ -226,4 +293,19 @@ func (rp *Replica) handleRPC(req rpcRequest) rpcReply {
 		return rp.handleJournalSuffix(req)
 	}
 	return rpcReply{Err: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// garbageRPCReply builds a well-framed but semantically hostile reply
+// for the garbage-reply fault: every field a validateReply-less client
+// would trust is out of range or truncated.
+func garbageRPCReply(req rpcRequest) rpcReply {
+	switch req.Op {
+	case "forward":
+		return rpcReply{OK: true, Status: 999, Body: []byte(`{"truncated`)}
+	case "digest":
+		return rpcReply{OK: true, Entries: -7}
+	case "journal":
+		return rpcReply{OK: true, Entries: maxReplyEntries + 1}
+	}
+	return rpcReply{OK: true, Status: -1}
 }

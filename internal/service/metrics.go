@@ -134,4 +134,38 @@ type MetricsSnapshot struct {
 	Latency map[string]HistogramSnapshot `json:"latency_us"`
 	// Journal is present only when the server is event-sourced.
 	Journal *JournalMetricsSnapshot `json:"journal,omitempty"`
+	// Fleet is present only when the server fronts a fleet replica
+	// (Config.ResilienceMetrics installed).
+	Fleet *FleetResilienceSnapshot `json:"fleet,omitempty"`
+}
+
+// FleetResilienceSnapshot is the fleet routing layer's failure-domain
+// counters as surfaced through /metrics: per-peer breaker states,
+// lifetime breaker transitions, hedged-forward races, and deadline-
+// budget refusals. The fleet supplies it via Config.ResilienceMetrics;
+// the service only serializes it.
+type FleetResilienceSnapshot struct {
+	// BreakerStates maps peer id → closed | open | half-open.
+	BreakerStates map[string]string `json:"breaker_states"`
+	// Breaker transition counters, summed across peers.
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerHalfOpens int64 `json:"breaker_half_opens"`
+	BreakerCloses    int64 `json:"breaker_closes"`
+	// BreakerSkips counts calls refused by an open breaker (each one a
+	// dial-and-timeout the request did not pay).
+	BreakerSkips int64 `json:"breaker_skips"`
+	// Hedged forwards: races started, and who won them.
+	HedgesFired      int64 `json:"hedges_fired"`
+	HedgeLocalWins   int64 `json:"hedge_local_wins"`
+	HedgeForwardWins int64 `json:"hedge_forward_wins"`
+	// HedgeWinRatio is HedgeLocalWins / HedgesFired — the fraction of
+	// fired hedges where racing local compute actually paid off.
+	HedgeWinRatio float64 `json:"hedge_win_ratio"`
+	// Deadline budgets: forwards a peer refused as budget-exhausted
+	// (client view) and forwards this replica refused as owner.
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	BudgetRefused   int64 `json:"budget_refused"`
+	// Quarantine: peers currently held, and lifetime offenses.
+	Quarantined []string `json:"quarantined,omitempty"`
+	Quarantines int64    `json:"quarantines"`
 }

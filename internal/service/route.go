@@ -47,12 +47,15 @@ func RouteKind(method, path string) (string, bool) {
 // RouteInfo extracts the routing identity of a request body: RingKey is
 // the canonical program fingerprint (both fingerprints for refine) that
 // the consistent-hash ring routes on, and CacheKey is the exact verdict
-// cache key the handler for kind would use. An error means the body is
+// cache key the handler for kind would use. TimeoutMS is the request's
+// declared deadline (0 = none) so the routing layer can budget a
+// forward hop without re-decoding the body. An error means the body is
 // not routable (bad JSON, unparsable program); the caller should hand
 // the request to a local Server for the canonical 400.
 type RouteInfo struct {
-	RingKey  string
-	CacheKey string
+	RingKey   string
+	CacheKey  string
+	TimeoutMS int64
 }
 
 // routeDecode mirrors decodeJSON's strictness on raw bytes so routing
@@ -92,7 +95,7 @@ func Route(kind string, body []byte) (RouteInfo, error) {
 		if err != nil {
 			return RouteInfo{}, err
 		}
-		return RouteInfo{RingKey: fp, CacheKey: cache.Key(kindSelfStab, fp)}, nil
+		return RouteInfo{RingKey: fp, CacheKey: cache.Key(kindSelfStab, fp), TimeoutMS: req.TimeoutMS}, nil
 	case kindRefine:
 		var req RefineRequest
 		if err := routeDecode(body, &req); err != nil {
@@ -106,7 +109,7 @@ func Route(kind string, body []byte) (RouteInfo, error) {
 		if err != nil {
 			return RouteInfo{}, err
 		}
-		return RouteInfo{RingKey: fpC + fpA, CacheKey: cache.Key(kindRefine, fpC, fpA)}, nil
+		return RouteInfo{RingKey: fpC + fpA, CacheKey: cache.Key(kindRefine, fpC, fpA), TimeoutMS: req.TimeoutMS}, nil
 	case kindLint:
 		var req LintRequest
 		if err := routeDecode(body, &req); err != nil {
@@ -116,7 +119,7 @@ func Route(kind string, body []byte) (RouteInfo, error) {
 		if err != nil {
 			return RouteInfo{}, err
 		}
-		return RouteInfo{RingKey: fp, CacheKey: cache.Key(kindLint, fp, analysis.Version())}, nil
+		return RouteInfo{RingKey: fp, CacheKey: cache.Key(kindLint, fp, analysis.Version()), TimeoutMS: req.TimeoutMS}, nil
 	}
 	return RouteInfo{}, badRequest("kind %q is not routable", kind)
 }

@@ -98,6 +98,11 @@ type Config struct {
 	// the cache and publishes the covered sequence to the journal
 	// (default 2s; only meaningful with JournalMaxBytes).
 	JournalCheckpointInterval time.Duration
+	// ResilienceMetrics, when non-nil, supplies the fleet routing
+	// layer's breaker/hedge/budget counters for the /metrics "fleet"
+	// section. The fleet installs it (the service never imports the
+	// fleet); it must be safe for concurrent use.
+	ResilienceMetrics func() *FleetResilienceSnapshot
 }
 
 func (c Config) withDefaults() Config {
@@ -306,16 +311,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// resolveTimeout turns a request's timeout_ms into a bounded duration.
-func (s *Server) resolveTimeout(timeoutMS int64) time.Duration {
-	d := s.cfg.DefaultTimeout
+// RequestTimeout resolves a request's declared timeout_ms against the
+// configured default and ceiling (defaults applied, so a zero Config
+// works). It is exported for the fleet routing layer, whose deadline
+// budgets must agree exactly with what the serving replica will
+// enforce.
+func (c Config) RequestTimeout(timeoutMS int64) time.Duration {
+	c = c.withDefaults()
+	d := c.DefaultTimeout
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
 	}
-	if d > s.cfg.MaxTimeout {
-		d = s.cfg.MaxTimeout
+	if d > c.MaxTimeout {
+		d = c.MaxTimeout
 	}
 	return d
+}
+
+// resolveTimeout turns a request's timeout_ms into a bounded duration.
+func (s *Server) resolveTimeout(timeoutMS int64) time.Duration {
+	return s.cfg.RequestTimeout(timeoutMS)
 }
 
 // resolveBudget turns a request's budget into the gas step budget.
@@ -527,6 +542,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.journal != nil {
 		snap.Journal = s.journal.metricsSnapshot()
+	}
+	if s.cfg.ResilienceMetrics != nil {
+		snap.Fleet = s.cfg.ResilienceMetrics()
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

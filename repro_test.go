@@ -89,8 +89,8 @@ func TestFacadeSurface(t *testing.T) {
 // TestExperimentRegistry sanity-checks the public experiments hook.
 func TestExperimentRegistry(t *testing.T) {
 	all := repro.Experiments()
-	if len(all) != 21 {
-		t.Fatalf("experiments = %d, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(all))
 	}
 	rep := all[0]()
 	if rep.ID != "E1" || !rep.Pass() {
